@@ -1,0 +1,152 @@
+//! Shared application infrastructure.
+//!
+//! Every benchmark follows the paper's computational model (§3.1):
+//! iterative, explicit I/O, one-dimensional `GEN_BLOCK` distribution,
+//! owner-computes with the Local Placement rule (each node's share
+//! lives on its local disk). The helpers here keep the applications'
+//! out-of-core behavior aligned with the model's heuristic — except
+//! for the real-world details (resident overheads, sparse actuals)
+//! that the paper identifies as MHETA's error sources.
+
+use mheta_core::ooc::{plan_node, VarPlan};
+use mheta_core::ProgramStructure;
+use mheta_mpi::{Comm, Recorder};
+use mheta_sim::VarId;
+use std::collections::HashMap;
+
+/// What each rank reports after running a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankResult {
+    /// Virtual time when the measured iteration loop began (after
+    /// setup, compulsory loads, and the synchronizing barrier).
+    pub t0_ns: u64,
+    /// Virtual time when the loop finished.
+    pub t1_ns: u64,
+    /// Application-specific check value (residual, checksum, …),
+    /// identical across distributions up to floating-point
+    /// reassociation.
+    pub check: f64,
+}
+
+impl RankResult {
+    /// Measured loop duration in seconds.
+    #[must_use]
+    pub fn secs(&self) -> f64 {
+        (self.t1_ns - self.t0_ns) as f64 / 1e9
+    }
+}
+
+/// Deterministic value generator: a 64-bit mix of the coordinates,
+/// mapped into `[0, 1)`. Data depends only on *global* coordinates, so
+/// checksums are distribution-independent.
+#[must_use]
+pub fn hash01(seed: u64, a: u64, b: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(a.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(b.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Compute this rank's out-of-core plans.
+///
+/// The budget starts from the structure's declared overheads (the same
+/// figure the model uses); `extra_overhead_bytes` adds implementation
+/// buffers the structure cannot express, and `actual_row_bytes`
+/// overrides the structure's *average* per-row footprint with the
+/// rank's actual figure (sparse data) — the two places application
+/// reality legitimately diverges from the model's heuristic (§5.4).
+///
+/// Honors the instrumented run's force-OOC transformation (§4.1.1):
+/// during instrumentation every distributed variable takes the chunked
+/// I/O path so the hooks can measure its latencies, with a single
+/// whole-share chunk when it would otherwise be in core.
+#[must_use]
+pub fn rank_plans<R: Recorder>(
+    comm: &Comm<'_, R>,
+    structure: &ProgramStructure,
+    my_rows: usize,
+    extra_overhead_bytes: f64,
+    actual_row_bytes: &[(VarId, f64)],
+) -> HashMap<VarId, VarPlan> {
+    let memory = comm.ctx_ref().node().memory_bytes;
+    let mut row_bytes = structure.footprint_row_bytes();
+    for (var, bytes) in actual_row_bytes {
+        if let Some(slot) = row_bytes.iter_mut().find(|(v, _)| v == var) {
+            slot.1 = *bytes;
+        }
+    }
+    let overhead = structure.overhead_bytes(my_rows) + extra_overhead_bytes;
+    let mut plans = plan_node(memory, overhead, my_rows, &row_bytes);
+    if comm.force_ooc() {
+        for plan in plans.values_mut() {
+            if plan.in_core && plan.ocla_rows > 0 {
+                plan.in_core = false;
+                plan.icla_rows = plan.ocla_rows;
+                plan.n_io = 1;
+            }
+        }
+    }
+    plans
+}
+
+/// Row-chunk boundaries for streaming `rows` rows in `icla_rows`-row
+/// pieces: `(start, len)` pairs.
+#[must_use]
+pub fn chunks(rows: usize, icla_rows: usize) -> Vec<(usize, usize)> {
+    assert!(icla_rows > 0, "ICLA must hold at least one row");
+    let mut out = Vec::with_capacity(rows.div_ceil(icla_rows));
+    let mut start = 0;
+    while start < rows {
+        let len = icla_rows.min(rows - start);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash01_is_deterministic_and_bounded() {
+        for a in 0..50u64 {
+            for b in 0..10u64 {
+                let v = hash01(7, a, b);
+                assert!((0.0..1.0).contains(&v));
+                assert_eq!(v, hash01(7, a, b));
+            }
+        }
+        assert_ne!(hash01(7, 1, 2), hash01(7, 2, 1));
+        assert_ne!(hash01(7, 1, 2), hash01(8, 1, 2));
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for (rows, icla) in [(10, 3), (10, 10), (10, 20), (1, 1), (7, 2)] {
+            let cs = chunks(rows, icla);
+            assert_eq!(cs.iter().map(|c| c.1).sum::<usize>(), rows);
+            assert_eq!(cs[0].0, 0);
+            for w in cs.windows(2) {
+                assert_eq!(w[0].0 + w[0].1, w[1].0);
+            }
+            assert!(cs.iter().all(|c| c.1 <= icla && c.1 > 0));
+        }
+    }
+
+    #[test]
+    fn rank_result_secs() {
+        let r = RankResult {
+            t0_ns: 1_000_000_000,
+            t1_ns: 3_500_000_000,
+            check: 0.0,
+        };
+        assert!((r.secs() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,439 @@
+//! Conjugate Gradient, the paper's NAS-derived benchmark.
+//!
+//! CG solves `A x = b` for a sparse symmetric positive-definite matrix
+//! `A`, distributed by rows and **read-only** (no write-back per
+//! iteration, so Eq. 1's write terms vanish). The matrix is a
+//! band-limited symmetric pattern with per-row population driven by a
+//! hash — deliberately nonuniform, because "there is not a simple
+//! correlation between number of rows and number of elements per row"
+//! is exactly the sparse-dataset limitation the paper reports for CG
+//! (§5.4).
+//!
+//! Communication is all reductions: the `p·q` dot product, the
+//! residual norm, and the re-assembly of the (row-distributed) search
+//! direction into every node's full copy via a padded allreduce.
+//!
+//! The right-hand side is `b = A·1`, so the exact solution is the
+//! all-ones vector — which makes convergence checkable.
+
+use mheta_core::{CommPattern, ProgramStructure, SectionSpec, StageSpec, Variable};
+use mheta_dist::GenBlock;
+use mheta_mpi::{allreduce, barrier, Comm, Recorder, ReduceOp};
+use mheta_sim::{SimResult, VarId};
+
+use crate::app::{chunks, hash01, rank_plans, RankResult};
+
+/// Variable ID of the sparse matrix (interleaved `[col, val]` pairs).
+pub const VAR_A: VarId = 1;
+/// Variable ID of the replicated full search direction `p`.
+pub const VAR_P: VarId = 2;
+/// Variable ID of the resident per-row working vectors (`x`, `r`, `q`,
+/// CSR offsets).
+pub const VAR_VECS: VarId = 3;
+
+/// The CG benchmark.
+#[derive(Debug, Clone)]
+pub struct Cg {
+    /// Unknowns (rows of `A`, the distribution axis).
+    pub n: usize,
+    /// Half-bandwidth of the symmetric pattern.
+    pub band: usize,
+    /// Off-diagonal fill probability within the band.
+    pub fill: f64,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for Cg {
+    fn default() -> Self {
+        Cg {
+            n: 2048,
+            band: 96,
+            fill: 0.33,
+            seed: 0xC6,
+        }
+    }
+}
+
+impl Cg {
+    /// A reduced-size instance for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Cg {
+            n: 96,
+            band: 12,
+            fill: 0.4,
+            seed: 0xC6,
+        }
+    }
+
+    /// One row of the matrix: `(column, value)` pairs, column-sorted,
+    /// diagonal included. Symmetric by construction (the hash is keyed
+    /// on the unordered pair) and strictly diagonally dominant, hence
+    /// positive definite.
+    #[must_use]
+    pub fn row(&self, r: usize) -> Vec<(usize, f64)> {
+        let lo = r.saturating_sub(self.band);
+        let hi = (r + self.band).min(self.n - 1);
+        let mut entries = Vec::new();
+        let mut offdiag_sum = 0.0;
+        for c in lo..=hi {
+            if c == r {
+                continue;
+            }
+            let (a, b) = (r.min(c) as u64, r.max(c) as u64);
+            if hash01(self.seed, a, b) < self.fill {
+                let v = -hash01(self.seed ^ 0x57, a, b);
+                entries.push((c, v));
+                offdiag_sum += v.abs();
+            }
+        }
+        let diag = offdiag_sum + 1.0 + hash01(self.seed ^ 0x99, r as u64, r as u64);
+        entries.push((r, diag));
+        entries.sort_unstable_by_key(|e| e.0);
+        entries
+    }
+
+    /// Exact average interleaved elements per row (2 per nonzero),
+    /// scanning the full pattern once.
+    #[must_use]
+    pub fn avg_elems_per_row(&self) -> f64 {
+        let total: usize = (0..self.n).map(|r| 2 * self.row(r).len()).sum();
+        total as f64 / self.n as f64
+    }
+
+    /// The MHETA program structure.
+    #[must_use]
+    pub fn structure(&self) -> ProgramStructure {
+        ProgramStructure {
+            name: "cg".into(),
+            sections: vec![
+                SectionSpec {
+                    id: 0,
+                    tiles: 1,
+                    stages: vec![StageSpec::new(0, vec![VAR_A], vec![], false)],
+                    comm: CommPattern::Reduction { msg_elems: 1 },
+                },
+                SectionSpec {
+                    id: 1,
+                    tiles: 1,
+                    stages: vec![StageSpec::new(0, vec![], vec![], false)],
+                    comm: CommPattern::Reduction { msg_elems: 1 },
+                },
+                SectionSpec {
+                    id: 2,
+                    tiles: 1,
+                    stages: vec![StageSpec::new(0, vec![], vec![], false)],
+                    comm: CommPattern::Reduction { msg_elems: self.n },
+                },
+            ],
+            variables: vec![
+                Variable::streamed(VAR_A, "A", self.n, self.avg_elems_per_row(), true),
+                Variable::replicated(VAR_P, "p", self.n),
+                Variable::resident_local(VAR_VECS, "x/r/q/offsets", self.n, 4.0),
+            ],
+        }
+    }
+
+    /// Run the benchmark on one rank.
+    pub fn run<R: Recorder>(
+        &self,
+        comm: &mut Comm<'_, R>,
+        dist: &GenBlock,
+        iters: u32,
+    ) -> SimResult<RankResult> {
+        let rank = comm.rank();
+        let m = dist.rows()[rank];
+        let offset = dist.offsets()[rank];
+        let n = self.n;
+        let structure = self.structure();
+
+        // ---- setup: my matrix rows, interleaved on disk -------------
+        let mut flat: Vec<f64> = Vec::new();
+        let mut offsets = Vec::with_capacity(m + 1); // element offsets
+        let mut b_local = Vec::with_capacity(m);
+        offsets.push(0);
+        for i in 0..m {
+            let row = self.row(offset + i);
+            b_local.push(row.iter().map(|e| e.1).sum::<f64>());
+            for (c, v) in row {
+                flat.push(c as f64);
+                flat.push(v);
+            }
+            offsets.push(flat.len());
+        }
+        let total_elems = flat.len();
+        comm.ctx().disk.store(VAR_A, flat.clone());
+
+        // The application plans with the same average-based heuristic
+        // the model uses (the paper's emulation caps the ICLA *budget*;
+        // it does not resize per actual bytes). The sparse-data error
+        // (§5.4, limitation 3) therefore shows up where it hurts: the
+        // actual per-chunk I/O and compute below scale with the real
+        // nonuniform row populations, while the model scales averages.
+        let plans = rank_plans(comm, &structure, m, 8.0, &[]);
+        let plan = plans[&VAR_A];
+        // In-core nodes keep the whole share resident; one compulsory
+        // read before the measured loop.
+        let core: Option<Vec<f64>> = if plan.in_core {
+            let mut buf = vec![0.0; total_elems];
+            comm.file_read(VAR_A, 0, &mut buf)?;
+            Some(buf)
+        } else {
+            drop(flat);
+            None
+        };
+
+        // ---- CG state ------------------------------------------------
+        let mut x = vec![0.0; m];
+        let mut rr = b_local.clone(); // residual (x0 = 0)
+        let mut q = vec![0.0; m];
+        // Assemble full p from the distributed residual (untimed setup).
+        let mut p_full = vec![0.0; n];
+        p_full[offset..offset + m].copy_from_slice(&rr);
+        allreduce(comm, ReduceOp::Sum, &mut p_full)?;
+        let mut rz = {
+            let mut acc = [rr.iter().map(|v| v * v).sum::<f64>()];
+            allreduce(comm, ReduceOp::Sum, &mut acc)?;
+            acc[0]
+        };
+
+        barrier(comm)?;
+        let t0 = comm.ctx_ref().now().as_nanos();
+
+        for it in 0..iters {
+            comm.begin_iteration(it);
+
+            // ---- section 0: q = A p and p.q --------------------------
+            comm.begin_section(0);
+            comm.begin_stage(0);
+            if let Some(a) = core.as_ref() {
+                self.matvec(comm, a, &offsets, 0, m, &p_full, &mut q);
+            } else {
+                let mut buf = vec![0.0; 0];
+                for (s, l) in chunks(m, plan.icla_rows) {
+                    let elems = offsets[s + l] - offsets[s];
+                    buf.resize(elems, 0.0);
+                    comm.file_read(VAR_A, offsets[s], &mut buf)?;
+                    // Re-base offsets for the chunk view.
+                    self.matvec_chunk(comm, &buf, &offsets[s..=s + l], s, &p_full, &mut q);
+                }
+            }
+            comm.end_stage(0);
+            let pq = {
+                let mut acc = [(0..m).map(|i| p_full[offset + i] * q[i]).sum::<f64>()];
+                allreduce(comm, ReduceOp::Sum, &mut acc)?;
+                acc[0]
+            };
+            comm.end_section(0);
+            let alpha = rz / pq;
+
+            // ---- section 1: update x, r; new residual norm -----------
+            comm.begin_section(1);
+            comm.begin_stage(0);
+            let mut rz_local = 0.0;
+            for i in 0..m {
+                x[i] += alpha * p_full[offset + i];
+                rr[i] -= alpha * q[i];
+                rz_local += rr[i] * rr[i];
+            }
+            comm.compute(3.0 * m as f64, (3 * m * 8) as u64);
+            comm.end_stage(0);
+            let rz_new = {
+                let mut acc = [rz_local];
+                allreduce(comm, ReduceOp::Sum, &mut acc)?;
+                acc[0]
+            };
+            comm.end_section(1);
+            let beta = rz_new / rz;
+            rz = rz_new;
+
+            // ---- section 2: p = r + beta p; reassemble ---------------
+            comm.begin_section(2);
+            comm.begin_stage(0);
+            let p_old: Vec<f64> = p_full[offset..offset + m].to_vec();
+            for slot in p_full.iter_mut() {
+                *slot = 0.0;
+            }
+            for i in 0..m {
+                p_full[offset + i] = rr[i] + beta * p_old[i];
+            }
+            comm.compute(m as f64, (m * 8) as u64);
+            comm.end_stage(0);
+            allreduce(comm, ReduceOp::Sum, &mut p_full)?;
+            comm.end_section(2);
+
+            comm.end_iteration(it);
+        }
+        let t1 = comm.ctx_ref().now().as_nanos();
+
+        // Untimed verification: distance of x from the all-ones vector.
+        let mut err = [(0..m).map(|i| (x[i] - 1.0) * (x[i] - 1.0)).sum::<f64>()];
+        allreduce(comm, ReduceOp::Sum, &mut err)?;
+
+        let _ = rz;
+        Ok(RankResult {
+            t0_ns: t0,
+            t1_ns: t1,
+            check: err[0].sqrt(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn matvec<R: Recorder>(
+        &self,
+        comm: &mut Comm<'_, R>,
+        flat: &[f64],
+        offsets: &[usize],
+        first_row: usize,
+        rows: usize,
+        p_full: &[f64],
+        q: &mut [f64],
+    ) {
+        let base = offsets[first_row];
+        let mut nnz = 0usize;
+        for i in 0..rows {
+            let lo = offsets[first_row + i] - base;
+            let hi = offsets[first_row + i + 1] - base;
+            let mut acc = 0.0;
+            let mut k = lo;
+            while k < hi {
+                let c = flat[k] as usize;
+                acc += flat[k + 1] * p_full[c];
+                k += 2;
+            }
+            q[first_row + i] = acc;
+            nnz += (hi - lo) / 2;
+        }
+        comm.compute(nnz as f64, ((offsets[rows] - base) * 8) as u64);
+    }
+
+    fn matvec_chunk<R: Recorder>(
+        &self,
+        comm: &mut Comm<'_, R>,
+        buf: &[f64],
+        chunk_offsets: &[usize],
+        first_row: usize,
+        p_full: &[f64],
+        q: &mut [f64],
+    ) {
+        let base = chunk_offsets[0];
+        let rows = chunk_offsets.len() - 1;
+        let mut nnz = 0usize;
+        for i in 0..rows {
+            let lo = chunk_offsets[i] - base;
+            let hi = chunk_offsets[i + 1] - base;
+            let mut acc = 0.0;
+            let mut k = lo;
+            while k < hi {
+                let c = buf[k] as usize;
+                acc += buf[k + 1] * p_full[c];
+                k += 2;
+            }
+            q[first_row + i] = acc;
+            nnz += (hi - lo) / 2;
+        }
+        comm.compute(nnz as f64, (buf.len() * 8) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheta_mpi::{run_app, ExecMode, NullRecorder, RunOptions};
+    use mheta_sim::ClusterSpec;
+
+    fn quiet(n: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::homogeneous(n);
+        s.noise.amplitude = 0.0;
+        s
+    }
+
+    fn run_cg(spec: &ClusterSpec, dist: GenBlock, iters: u32) -> Vec<RankResult> {
+        let app = Cg::small();
+        run_app(
+            spec,
+            RunOptions {
+                tracing: false,
+                mode: ExecMode::Normal,
+            },
+            |_| NullRecorder,
+            |comm| app.run(comm, &dist, iters),
+        )
+        .unwrap()
+        .results
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let cg = Cg::small();
+        for r in 0..cg.n {
+            for (c, v) in cg.row(r) {
+                let back = cg.row(c);
+                let found = back.iter().find(|e| e.0 == r).map(|e| e.1);
+                assert_eq!(found, Some(v), "A[{r}][{c}] != A[{c}][{r}]");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_diagonally_dominant() {
+        let cg = Cg::small();
+        for r in 0..cg.n {
+            let row = cg.row(r);
+            let diag = row.iter().find(|e| e.0 == r).unwrap().1;
+            let off: f64 = row.iter().filter(|e| e.0 != r).map(|e| e.1.abs()).sum();
+            assert!(diag > off, "row {r}: diag {diag} <= off {off}");
+        }
+    }
+
+    #[test]
+    fn nnz_varies_per_row() {
+        let cg = Cg::small();
+        let counts: Vec<usize> = (0..cg.n).map(|r| cg.row(r).len()).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > min, "pattern is uniform; sparse error source gone");
+    }
+
+    #[test]
+    fn converges_toward_ones() {
+        let spec = quiet(4);
+        let short = run_cg(&spec, GenBlock::block(96, 4), 2);
+        let long = run_cg(&spec, GenBlock::block(96, 4), 12);
+        assert!(long[0].check < short[0].check);
+        assert!(long[0].check < 0.1, "||x-1|| = {}", long[0].check);
+    }
+
+    #[test]
+    fn distribution_independent_result() {
+        let spec = quiet(4);
+        let a = run_cg(&spec, GenBlock::block(96, 4), 5);
+        let b = run_cg(&spec, GenBlock::new(vec![50, 30, 10, 6]).unwrap(), 5);
+        let rel = (a[0].check - b[0].check).abs() / a[0].check.max(1e-30);
+        assert!(rel < 1e-6, "rel {rel}");
+    }
+
+    #[test]
+    fn out_of_core_matches_in_core() {
+        let mut small_mem = quiet(4);
+        for nd in &mut small_mem.nodes {
+            // Leaves ~0.5 KiB after vector overheads: 2-row ICLAs.
+            nd.memory_bytes = 2 * 1024;
+        }
+        let a = run_cg(&small_mem, GenBlock::block(96, 4), 5);
+        let b = run_cg(&quiet(4), GenBlock::block(96, 4), 5);
+        let rel = (a[0].check - b[0].check).abs() / b[0].check.max(1e-30);
+        assert!(rel < 1e-9, "rel {rel}");
+        // And the memory-starved cluster is slower.
+        let ta: f64 = a.iter().map(RankResult::secs).fold(0.0, f64::max);
+        let tb: f64 = b.iter().map(RankResult::secs).fold(0.0, f64::max);
+        assert!(ta > tb);
+    }
+
+    #[test]
+    fn structure_validates() {
+        Cg::small().structure().validate().unwrap();
+        assert!(Cg::small().avg_elems_per_row() > 2.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Lanczos iteration, the paper's full-scale application: an iterative
+//! method over a symmetric dense `n × n` matrix (the paper solves
+//! `A x = b` with `A` symmetric positive definite and dense).
+//!
+//! Each iteration of the three-term recurrence:
+//!
+//! 0. `w = A v` — the dense mat-vec streaming the row-distributed,
+//!    **read-only** matrix from disk, then `α = v·w` by reduction;
+//! 1. `w ← w − α v − β v_prev` and `β² = w·w`, local row work plus a
+//!    scalar reduction;
+//! 2. `v_next = w / β`, re-assembled into every node's full copy by a
+//!    padded allreduce.
+//!
+//! Verification uses Lanczos invariants: the iterate stays unit-norm
+//! and consecutive basis vectors are orthogonal.
+
+use mheta_core::{CommPattern, ProgramStructure, SectionSpec, StageSpec, Variable};
+use mheta_dist::GenBlock;
+use mheta_mpi::{allreduce, barrier, Comm, Recorder, ReduceOp};
+use mheta_sim::{SimResult, VarId};
+
+use crate::app::{chunks, hash01, rank_plans, RankResult};
+
+/// Variable ID of the dense matrix.
+pub const VAR_A: VarId = 1;
+/// Variable ID of the replicated full Lanczos vector.
+pub const VAR_V: VarId = 2;
+/// Variable ID of the resident per-row working vectors (`w`, `v_prev`).
+pub const VAR_W: VarId = 3;
+
+/// The Lanczos benchmark.
+#[derive(Debug, Clone)]
+pub struct Lanczos {
+    /// Matrix dimension (rows = the distribution axis).
+    pub n: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for Lanczos {
+    fn default() -> Self {
+        Lanczos {
+            n: 640,
+            seed: 0x1a,
+        }
+    }
+}
+
+impl Lanczos {
+    /// A reduced-size instance for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Lanczos { n: 64, seed: 0x1a }
+    }
+
+    /// Matrix entry `A[r][c]` (symmetric; heavy diagonal keeps the
+    /// spectrum well behaved).
+    #[must_use]
+    pub fn entry(&self, r: usize, c: usize) -> f64 {
+        let (a, b) = (r.min(c) as u64, r.max(c) as u64);
+        let v = hash01(self.seed, a, b) - 0.5;
+        if r == c {
+            v + self.n as f64 / 4.0
+        } else {
+            v
+        }
+    }
+
+    /// The MHETA program structure.
+    #[must_use]
+    pub fn structure(&self) -> ProgramStructure {
+        ProgramStructure {
+            name: "lanczos".into(),
+            sections: vec![
+                SectionSpec {
+                    id: 0,
+                    tiles: 1,
+                    stages: vec![StageSpec::new(0, vec![VAR_A], vec![], false)],
+                    comm: CommPattern::Reduction { msg_elems: 1 },
+                },
+                SectionSpec {
+                    id: 1,
+                    tiles: 1,
+                    stages: vec![StageSpec::new(0, vec![], vec![], false)],
+                    comm: CommPattern::Reduction { msg_elems: 1 },
+                },
+                SectionSpec {
+                    id: 2,
+                    tiles: 1,
+                    stages: vec![StageSpec::new(0, vec![], vec![], false)],
+                    comm: CommPattern::Reduction { msg_elems: self.n },
+                },
+            ],
+            variables: vec![
+                Variable::streamed(VAR_A, "A", self.n, self.n as f64, true),
+                // v_full and the assembly buffer.
+                Variable::replicated(VAR_V, "v", 2 * self.n),
+                Variable::resident_local(VAR_W, "w/v_prev", self.n, 2.0),
+            ],
+        }
+    }
+
+    /// Run the benchmark on one rank.
+    pub fn run<R: Recorder>(
+        &self,
+        comm: &mut Comm<'_, R>,
+        dist: &GenBlock,
+        iters: u32,
+    ) -> SimResult<RankResult> {
+        let rank = comm.rank();
+        let m = dist.rows()[rank];
+        let offset = dist.offsets()[rank];
+        let n = self.n;
+        let structure = self.structure();
+
+        // ---- setup: my dense rows on disk -----------------------------
+        {
+            let mut flat = Vec::with_capacity(m * n);
+            for i in 0..m {
+                for c in 0..n {
+                    flat.push(self.entry(offset + i, c));
+                }
+            }
+            comm.ctx().disk.store(VAR_A, flat);
+        }
+
+        // All resident data is declared in the structure.
+        let plans = rank_plans(comm, &structure, m, 0.0, &[]);
+        let plan = plans[&VAR_A];
+        let core: Option<Vec<f64>> = if plan.in_core {
+            let mut buf = vec![0.0; m * n];
+            comm.file_read(VAR_A, 0, &mut buf)?;
+            Some(buf)
+        } else {
+            None
+        };
+
+        // ---- Lanczos state --------------------------------------------
+        // v = normalized all-ones; v_prev = 0; beta = 0.
+        let mut v_full = vec![1.0 / (n as f64).sqrt(); n];
+        let mut v_prev_local = vec![0.0; m];
+        let mut w = vec![0.0; m];
+        let mut beta = 0.0f64;
+        let mut ortho = 0.0f64;
+        let mut alpha_last = 0.0f64;
+
+        barrier(comm)?;
+        let t0 = comm.ctx_ref().now().as_nanos();
+
+        for it in 0..iters {
+            comm.begin_iteration(it);
+
+            // ---- section 0: w = A v, alpha = v.w ----------------------
+            comm.begin_section(0);
+            comm.begin_stage(0);
+            if let Some(a) = core.as_ref() {
+                for i in 0..m {
+                    w[i] = a[i * n..(i + 1) * n]
+                        .iter()
+                        .zip(&v_full)
+                        .map(|(x, y)| x * y)
+                        .sum();
+                }
+                comm.compute((m * n) as f64, (m * n * 8) as u64);
+            } else {
+                let mut buf = vec![0.0; plan.icla_rows * n];
+                for (s, l) in chunks(m, plan.icla_rows) {
+                    comm.file_read(VAR_A, s * n, &mut buf[..l * n])?;
+                    for i in 0..l {
+                        w[s + i] = buf[i * n..(i + 1) * n]
+                            .iter()
+                            .zip(&v_full)
+                            .map(|(x, y)| x * y)
+                            .sum();
+                    }
+                    comm.compute((l * n) as f64, (l * n * 8) as u64);
+                }
+            }
+            comm.end_stage(0);
+            let alpha = {
+                let mut acc = [(0..m).map(|i| v_full[offset + i] * w[i]).sum::<f64>()];
+                allreduce(comm, ReduceOp::Sum, &mut acc)?;
+                acc[0]
+            };
+            comm.end_section(0);
+
+            // ---- section 1: orthogonalize, norm -----------------------
+            comm.begin_section(1);
+            comm.begin_stage(0);
+            let mut nsq_local = 0.0;
+            for i in 0..m {
+                w[i] -= alpha * v_full[offset + i] + beta * v_prev_local[i];
+                nsq_local += w[i] * w[i];
+            }
+            comm.compute(3.0 * m as f64, (3 * m * 8) as u64);
+            comm.end_stage(0);
+            let nsq = {
+                let mut acc = [nsq_local];
+                allreduce(comm, ReduceOp::Sum, &mut acc)?;
+                acc[0]
+            };
+            comm.end_section(1);
+            let beta_new = nsq.sqrt();
+
+            // ---- section 2: v_next = w / beta, reassemble -------------
+            comm.begin_section(2);
+            comm.begin_stage(0);
+            v_prev_local.copy_from_slice(&v_full[offset..offset + m]);
+            let mut next = vec![0.0; n];
+            for i in 0..m {
+                next[offset + i] = w[i] / beta_new;
+            }
+            comm.compute(m as f64, (m * 8) as u64);
+            comm.end_stage(0);
+            allreduce(comm, ReduceOp::Sum, &mut next)?;
+            comm.end_section(2);
+
+            // Track the invariant: v_next . v (should be ~0).
+            ortho = ortho.max(
+                next.iter().zip(&v_full).map(|(a, b)| a * b).sum::<f64>().abs(),
+            );
+            v_full = next;
+            beta = beta_new;
+            alpha_last = alpha;
+
+            comm.end_iteration(it);
+        }
+
+        let t1 = comm.ctx_ref().now().as_nanos();
+        let _ = alpha_last;
+        Ok(RankResult {
+            t0_ns: t0,
+            t1_ns: t1,
+            // Check value: max observed |v_{j+1} . v_j| plus the norm
+            // error of the final iterate.
+            check: ortho + (v_full.iter().map(|x| x * x).sum::<f64>().sqrt() - 1.0).abs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheta_mpi::{run_app, ExecMode, NullRecorder, RunOptions};
+    use mheta_sim::ClusterSpec;
+
+    fn quiet(n: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::homogeneous(n);
+        s.noise.amplitude = 0.0;
+        s
+    }
+
+    fn run_lanczos(spec: &ClusterSpec, dist: GenBlock, iters: u32) -> Vec<RankResult> {
+        let app = Lanczos::small();
+        run_app(
+            spec,
+            RunOptions {
+                tracing: false,
+                mode: ExecMode::Normal,
+            },
+            |_| NullRecorder,
+            |comm| app.run(comm, &dist, iters),
+        )
+        .unwrap()
+        .results
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_heavy_diagonal() {
+        let l = Lanczos::small();
+        for r in (0..l.n).step_by(7) {
+            for c in (0..l.n).step_by(5) {
+                assert_eq!(l.entry(r, c), l.entry(c, r));
+            }
+            assert!(l.entry(r, r) > 10.0);
+        }
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let spec = quiet(4);
+        let rs = run_lanczos(&spec, GenBlock::block(64, 4), 5);
+        // Orthogonality + unit-norm error stays tiny.
+        assert!(rs[0].check < 1e-9, "invariant error {}", rs[0].check);
+    }
+
+    #[test]
+    fn distribution_independent() {
+        let spec = quiet(4);
+        let a = run_lanczos(&spec, GenBlock::block(64, 4), 4);
+        let b = run_lanczos(&spec, GenBlock::new(vec![40, 10, 10, 4]).unwrap(), 4);
+        assert!((a[0].check - b[0].check).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_core_runs_and_is_slower() {
+        let mut starved = quiet(4);
+        for nd in &mut starved.nodes {
+            nd.memory_bytes = 3 * 1024;
+        }
+        let a = run_lanczos(&starved, GenBlock::block(64, 4), 3);
+        let b = run_lanczos(&quiet(4), GenBlock::block(64, 4), 3);
+        assert!(a[0].check < 1e-9);
+        let ta: f64 = a.iter().map(RankResult::secs).fold(0.0, f64::max);
+        let tb: f64 = b.iter().map(RankResult::secs).fold(0.0, f64::max);
+        assert!(ta > tb, "ooc {ta} vs core {tb}");
+    }
+
+    #[test]
+    fn structure_validates() {
+        Lanczos::default().structure().validate().unwrap();
+    }
+}

@@ -1,0 +1,386 @@
+//! RNA: the pipelined benchmark, modeled on the paper's RNA-pseudoknot
+//! dynamic program.
+//!
+//! A wavefront dynamic program over an `R × C` score matrix,
+//! distributed by rows and tiled into `T` column blocks. Cell `(r, c)`
+//! depends on `(r−1, c)`, `(r, c−1)`, and `(r−1, c−1)`, so node `i`
+//! can process tile `t` only after node `i−1` has finished its rows of
+//! tile `t` — the multi-tile pipelined parallel section of §3.1 (the
+//! only benchmark with `tiles > 1`).
+//!
+//! Per tile the node streams its rows' *column slice* of the matrix
+//! (`row_fraction = 1/T` in the stage spec), reading the previous
+//! iteration's values and writing the new ones. On-disk layout is
+//! tile-major so each tile's slice is contiguous.
+//!
+//! Iterations couple through a damping term (`new = wavefront + γ·old`)
+//! so the global score converges geometrically — giving the
+//! `while reduce_value < threshold` outer loop of Figure 1 something
+//! real to measure.
+
+use mheta_core::{CommPattern, ProgramStructure, SectionSpec, StageSpec, Variable};
+use mheta_dist::GenBlock;
+use mheta_mpi::{allreduce, barrier, Comm, Recorder, ReduceOp};
+use mheta_sim::{SimResult, VarId};
+
+use crate::app::{chunks, hash01, rank_plans, RankResult};
+
+/// Variable ID of the score matrix.
+pub const VAR_DP: VarId = 1;
+/// Variable ID of the resident left-column carry.
+pub const VAR_CARRY: VarId = 2;
+/// Variable ID of the replicated boundary-message buffers.
+pub const VAR_BUFS: VarId = 3;
+const TAG_PIPE: u32 = 30;
+/// Damping factor coupling successive iterations.
+const GAMMA: f64 = 0.25;
+
+/// The RNA pipelined benchmark.
+#[derive(Debug, Clone)]
+pub struct Rna {
+    /// Matrix rows (the distribution axis).
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Column tiles (pipeline depth per section).
+    pub tiles: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for Rna {
+    fn default() -> Self {
+        Rna {
+            rows: 768,
+            cols: 256,
+            tiles: 8,
+            seed: 0x52,
+        }
+    }
+}
+
+impl Rna {
+    /// A reduced-size instance for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Rna {
+            rows: 48,
+            cols: 32,
+            tiles: 4,
+            seed: 0x52,
+        }
+    }
+
+    fn tile_cols(&self) -> usize {
+        debug_assert_eq!(self.cols % self.tiles, 0);
+        self.cols / self.tiles
+    }
+
+    fn score(&self, r: usize, c: usize) -> f64 {
+        (hash01(self.seed, r as u64, c as u64) * 4.0).floor() / 8.0
+    }
+
+    /// The MHETA program structure.
+    #[must_use]
+    pub fn structure(&self) -> ProgramStructure {
+        ProgramStructure {
+            name: "rna".into(),
+            sections: vec![
+                SectionSpec {
+                    id: 0,
+                    tiles: self.tiles as u32,
+                    stages: vec![StageSpec::new(0, vec![VAR_DP], vec![VAR_DP], false)
+                        .with_row_fraction(1.0 / self.tiles as f64)],
+                    comm: CommPattern::Pipelined {
+                        msg_elems: self.tile_cols() + 1,
+                    },
+                },
+                SectionSpec {
+                    id: 1,
+                    tiles: 1,
+                    stages: vec![],
+                    comm: CommPattern::Reduction { msg_elems: 1 },
+                },
+            ],
+            variables: vec![
+                Variable::streamed(VAR_DP, "DP", self.rows, self.cols as f64, false),
+                Variable::resident_local(VAR_CARRY, "left_carry", self.rows, 1.0),
+                Variable::replicated(VAR_BUFS, "boundary bufs", 4 * (self.tile_cols() + 1)),
+            ],
+        }
+    }
+
+    /// Disk offset of row `local_row`'s slice of tile `t` in the
+    /// tile-major layout.
+    fn slice_offset(&self, m: usize, t: usize, local_row: usize) -> usize {
+        t * m * self.tile_cols() + local_row * self.tile_cols()
+    }
+
+    /// Run the benchmark on one rank.
+    pub fn run<R: Recorder>(
+        &self,
+        comm: &mut Comm<'_, R>,
+        dist: &GenBlock,
+        iters: u32,
+    ) -> SimResult<RankResult> {
+        let rank = comm.rank();
+        let n = comm.size();
+        let m = dist.rows()[rank];
+        let offset = dist.offsets()[rank];
+        let tc = self.tile_cols();
+        let tiles = self.tiles;
+        let structure = self.structure();
+
+        // ---- setup: zero-initialized matrix, tile-major ---------------
+        comm.ctx().disk.create(VAR_DP, m * self.cols);
+
+        // All resident data is declared in the structure.
+        let plans = rank_plans(comm, &structure, m, 0.0, &[]);
+        let plan = plans[&VAR_DP];
+        let mut core: Option<Vec<f64>> = if plan.in_core {
+            let mut buf = vec![0.0; m * self.cols];
+            comm.file_read(VAR_DP, 0, &mut buf)?;
+            Some(buf)
+        } else {
+            None
+        };
+
+        barrier(comm)?;
+        let t0 = comm.ctx_ref().now().as_nanos();
+        let mut total = 0.0f64;
+
+        for it in 0..iters {
+            comm.begin_iteration(it);
+
+            // ---- section 0: pipelined wavefront over tiles -------------
+            comm.begin_section(0);
+            // dp(r, c-1) carry for column tile boundaries: the last
+            // column of the previous tile, per local row. Starts as the
+            // virtual column -1 (zeros).
+            let mut left_carry = vec![0.0; m];
+            let mut local_sum = 0.0;
+            for t in 0..tiles {
+                // Receive the upstream boundary: the previous rank's
+                // last row of this tile, prefixed with its corner value
+                // dp(prev_last, tile_start - 1).
+                let upstream: Vec<f64> = if rank > 0 {
+                    comm.recv_f64s(rank - 1, TAG_PIPE + t as u32)?
+                } else {
+                    vec![0.0; tc + 1]
+                };
+                comm.begin_tile(t as u32);
+                comm.begin_stage(0);
+                let (last_row_msg, tile_sum) = self.process_tile(
+                    comm,
+                    core.as_deref_mut(),
+                    plan.icla_rows,
+                    m,
+                    offset,
+                    t,
+                    &upstream,
+                    &mut left_carry,
+                )?;
+                local_sum += tile_sum;
+                comm.end_stage(0);
+                comm.end_tile(t as u32);
+                if rank + 1 < n {
+                    comm.send_f64s(rank + 1, TAG_PIPE + t as u32, &last_row_msg)?;
+                }
+            }
+            comm.end_section(0);
+
+            // ---- section 1: global score ------------------------------
+            comm.begin_section(1);
+            let mut acc = [local_sum];
+            allreduce(comm, ReduceOp::Sum, &mut acc)?;
+            total = acc[0];
+            comm.end_section(1);
+
+            comm.end_iteration(it);
+        }
+
+        Ok(RankResult {
+            t0_ns: t0,
+            t1_ns: comm.ctx_ref().now().as_nanos(),
+            check: total,
+        })
+    }
+
+    /// Process one tile's rows. Returns the boundary message for the
+    /// downstream rank (`[corner, last row of the tile...]`) and the
+    /// tile's score sum.
+    #[allow(clippy::too_many_arguments)]
+    fn process_tile<R: Recorder>(
+        &self,
+        comm: &mut Comm<'_, R>,
+        core: Option<&mut [f64]>,
+        icla_rows: usize,
+        m: usize,
+        offset: usize,
+        t: usize,
+        upstream: &[f64],
+        left_carry: &mut [f64],
+    ) -> SimResult<(Vec<f64>, f64)> {
+        let tc = self.tile_cols();
+        let col0 = t * tc;
+        let mut sum = 0.0;
+        // The row above the current one, new values (starts upstream).
+        let mut above: Vec<f64> = upstream[1..].to_vec();
+        // Corner: dp(r-1, col0-1), new value.
+        let mut corner = upstream[0];
+        let mut out_msg = vec![0.0; tc + 1];
+
+        let do_rows = |comm: &mut Comm<'_, R>,
+                           old: &mut [f64],
+                           rows: std::ops::Range<usize>,
+                           above: &mut Vec<f64>,
+                           corner: &mut f64,
+                           left_carry: &mut [f64],
+                           sum: &mut f64| {
+            let base = rows.start;
+            for i in rows {
+                let old_row = &mut old[(i - base) * tc..(i - base + 1) * tc];
+                let mut new_row = vec![0.0; tc];
+                let mut left = left_carry[i]; // dp(i, col0 - 1), new
+                let mut diag = *corner;
+                for c in 0..tc {
+                    let up = above[c];
+                    let wave = up.max(left).max(diag);
+                    // Contraction: 0.5 on the wavefront, GAMMA on the
+                    // previous iteration; sup-norm convergence factor
+                    // GAMMA / (1 - 0.5) = 0.5 per iteration.
+                    let v = 0.5 * wave + GAMMA * old_row[c] + self.score(offset + i, col0 + c);
+                    diag = up;
+                    left = v;
+                    new_row[c] = v;
+                    *sum += v;
+                }
+                *corner = left_carry[i];
+                left_carry[i] = new_row[tc - 1];
+                old_row.copy_from_slice(&new_row);
+                *above = new_row;
+            }
+            let count = old.len() / tc;
+            comm.compute((count * tc) as f64, (2 * old.len() * 8) as u64);
+        };
+
+        if let Some(u) = core {
+            // In-core: the slice lives in the row-major memory image.
+            let mut slice = vec![0.0; m * tc];
+            for i in 0..m {
+                slice[i * tc..(i + 1) * tc]
+                    .copy_from_slice(&u[i * self.cols + col0..i * self.cols + col0 + tc]);
+            }
+            do_rows(
+                comm,
+                &mut slice,
+                0..m,
+                &mut above,
+                &mut corner,
+                left_carry,
+                &mut sum,
+            );
+            for i in 0..m {
+                u[i * self.cols + col0..i * self.cols + col0 + tc]
+                    .copy_from_slice(&slice[i * tc..(i + 1) * tc]);
+            }
+        } else {
+            let mut buf = vec![0.0; icla_rows * tc];
+            for (s, l) in chunks(m, icla_rows) {
+                let disk_off = self.slice_offset(m, t, s);
+                comm.file_read(VAR_DP, disk_off, &mut buf[..l * tc])?;
+                do_rows(
+                    comm,
+                    &mut buf[..l * tc],
+                    s..s + l,
+                    &mut above,
+                    &mut corner,
+                    left_carry,
+                    &mut sum,
+                );
+                comm.file_write(VAR_DP, disk_off, &buf[..l * tc])?;
+            }
+        }
+
+        // Downstream's first row needs diag = dp(our_last, col0 - 1);
+        // `corner` holds exactly that after the final row.
+        out_msg[0] = corner;
+        out_msg[1..].copy_from_slice(&above);
+        Ok((out_msg, sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheta_mpi::{run_app, ExecMode, NullRecorder, RunOptions};
+    use mheta_sim::ClusterSpec;
+
+    fn quiet(n: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::homogeneous(n);
+        s.noise.amplitude = 0.0;
+        s
+    }
+
+    fn run_rna(spec: &ClusterSpec, dist: GenBlock, iters: u32) -> Vec<RankResult> {
+        let app = Rna::small();
+        run_app(
+            spec,
+            RunOptions {
+                tracing: false,
+                mode: ExecMode::Normal,
+            },
+            |_| NullRecorder,
+            |comm| app.run(comm, &dist, iters),
+        )
+        .unwrap()
+        .results
+    }
+
+    #[test]
+    fn single_node_matches_multi_node() {
+        let a = run_rna(&quiet(1), GenBlock::block(48, 1), 3);
+        let b = run_rna(&quiet(4), GenBlock::block(48, 4), 3);
+        let rel = (a[0].check - b[0].check).abs() / a[0].check.abs().max(1e-30);
+        assert!(rel < 1e-9, "rel {rel}: {} vs {}", a[0].check, b[0].check);
+    }
+
+    #[test]
+    fn distribution_independent() {
+        let spec = quiet(4);
+        let a = run_rna(&spec, GenBlock::block(48, 4), 3);
+        let b = run_rna(&spec, GenBlock::new(vec![20, 12, 12, 4]).unwrap(), 3);
+        let rel = (a[0].check - b[0].check).abs() / a[0].check.abs().max(1e-30);
+        assert!(rel < 1e-9, "rel {rel}");
+    }
+
+    #[test]
+    fn out_of_core_matches_in_core() {
+        let mut starved = quiet(4);
+        for nd in &mut starved.nodes {
+            nd.memory_bytes = 2 * 1024;
+        }
+        let a = run_rna(&starved, GenBlock::block(48, 4), 3);
+        let b = run_rna(&quiet(4), GenBlock::block(48, 4), 3);
+        let rel = (a[0].check - b[0].check).abs() / b[0].check.abs().max(1e-30);
+        assert!(rel < 1e-9, "rel {rel}");
+    }
+
+    #[test]
+    fn score_converges_geometrically() {
+        let spec = quiet(2);
+        let r5 = run_rna(&spec, GenBlock::block(48, 2), 5);
+        let r6 = run_rna(&spec, GenBlock::block(48, 2), 6);
+        let r10 = run_rna(&spec, GenBlock::block(48, 2), 10);
+        // Successive totals approach a fixed point.
+        let d_late = (r10[0].check - r6[0].check).abs();
+        let d_early = (r6[0].check - r5[0].check).abs();
+        assert!(d_late < d_early, "{d_late} !< {d_early}");
+    }
+
+    #[test]
+    fn structure_validates() {
+        Rna::default().structure().validate().unwrap();
+        Rna::small().structure().validate().unwrap();
+    }
+}

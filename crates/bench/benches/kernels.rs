@@ -1,0 +1,24 @@
+//! Application kernel throughput: one full measured run of each small
+//! benchmark on a homogeneous cluster (real numerics + simulation
+//! bookkeeping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mheta_apps::{run_measured, Benchmark};
+use mheta_dist::GenBlock;
+use mheta_sim::ClusterSpec;
+
+fn bench_kernels(c: &mut Criterion) {
+    let spec = ClusterSpec::homogeneous(4);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for bench in Benchmark::small_four() {
+        let dist = GenBlock::block(bench.total_rows(), spec.len());
+        group.bench_function(format!("{}_small_x3", bench.name()), |b| {
+            b.iter(|| run_measured(&bench, &spec, &dist, 3, false).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

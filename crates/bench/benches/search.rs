@@ -1,0 +1,56 @@
+//! Search-algorithm cost: the four strategies of [26] at a fixed MHETA
+//! evaluation budget against a real model (GBS should be cheapest per
+//! quality since it exploits the spectrum structure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mheta_apps::{anchor_inputs, build_model, Benchmark};
+use mheta_dist::{
+    gbs_search, genetic_search, random_search, simulated_annealing, AnnealingConfig, GbsConfig,
+    GenBlock, GeneticConfig, RandomConfig, SpectrumPath,
+};
+use mheta_sim::presets;
+
+fn bench_search(c: &mut Criterion) {
+    let spec = presets::hy1();
+    let bench = Benchmark::paper_four().remove(0); // Jacobi
+    let model = build_model(&bench, &spec, false).expect("model builds");
+    let inp = anchor_inputs(&model);
+    let path = SpectrumPath::new(&inp);
+    let total = bench.total_rows();
+    let n = spec.len();
+    let blk = GenBlock::block(total, n);
+
+    let mut group = c.benchmark_group("search_64evals");
+    group.sample_size(20);
+    group.bench_function("gbs", |b| {
+        b.iter(|| gbs_search(&path, &model, GbsConfig::default()))
+    });
+    group.bench_function("genetic", |b| {
+        b.iter(|| {
+            genetic_search(total, n, std::slice::from_ref(&blk), &model, GeneticConfig {
+                max_evals: 64,
+                ..GeneticConfig::default()
+            })
+        })
+    });
+    group.bench_function("annealing", |b| {
+        b.iter(|| {
+            simulated_annealing(&blk, &model, AnnealingConfig {
+                max_evals: 64,
+                ..AnnealingConfig::default()
+            })
+        })
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            random_search(total, n, &model, RandomConfig {
+                max_evals: 64,
+                ..RandomConfig::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

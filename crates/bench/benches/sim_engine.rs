@@ -1,0 +1,78 @@
+//! Simulator substrate throughput: message round-trips, collectives,
+//! disk transfers, and whole-cluster spawn/run overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mheta_mpi::{allreduce, Comm, ExecMode, NullRecorder, ReduceOp};
+use mheta_sim::{run_cluster, ClusterSpec};
+
+fn bench_messaging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+
+    group.bench_function("pingpong_1000x", |b| {
+        let spec = ClusterSpec::homogeneous(2);
+        b.iter(|| {
+            run_cluster(&spec, false, |ctx| {
+                for i in 0..1000u32 {
+                    if ctx.rank() == 0 {
+                        ctx.send(1, i, vec![0u8; 64])?;
+                        ctx.recv(1, i)?;
+                    } else {
+                        ctx.recv(0, i)?;
+                        ctx.send(0, i, vec![0u8; 64])?;
+                    }
+                }
+                Ok(())
+            })
+            .expect("runs")
+        })
+    });
+
+    group.bench_function("allreduce_8ranks_100x", |b| {
+        let spec = ClusterSpec::homogeneous(8);
+        b.iter(|| {
+            run_cluster(&spec, false, |ctx| {
+                let mut rec = NullRecorder;
+                let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+                let mut v = vec![1.0; 16];
+                for _ in 0..100 {
+                    allreduce(&mut comm, ReduceOp::Sum, &mut v)?;
+                }
+                Ok(())
+            })
+            .expect("runs")
+        })
+    });
+
+    group.bench_function("disk_stream_1MiB", |b| {
+        let spec = ClusterSpec::homogeneous(1);
+        b.iter(|| {
+            run_cluster(&spec, false, |ctx| {
+                ctx.disk.create(1, 131_072);
+                let mut buf = vec![0.0; 8_192];
+                for k in 0..16 {
+                    ctx.disk_read(1, k * 8_192, &mut buf)?;
+                    ctx.disk_write(1, k * 8_192, &buf)?;
+                }
+                Ok(())
+            })
+            .expect("runs")
+        })
+    });
+
+    group.bench_function("spawn_8rank_cluster", |b| {
+        let spec = ClusterSpec::homogeneous(8);
+        b.iter(|| {
+            run_cluster(&spec, false, |ctx| {
+                ctx.compute(10.0, u64::MAX);
+                Ok(())
+            })
+            .expect("runs")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_messaging);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerate the paper's §5.3 analysis: how much the choice of data
+//! distribution matters — the ratio between the worst and best actual
+//! execution times over the spectrum, per configuration and
+//! application (the paper reports up to ~4x: RNA on DC and Lanczos on
+//! HY1), and whether MHETA's pick matches the actual best.
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin best_worst
+//! ```
+
+use mheta_bench::{canonical_sweep, experiment_iters, select_apps, Flags};
+use mheta_sim::presets;
+
+fn main() {
+    let flags = Flags::from_env();
+    let steps = flags.usize_or("--steps", 3);
+    let paper_iters = flags.has("--paper-iters");
+
+    println!("Best vs worst distribution (actual times), and MHETA's pick");
+    println!(
+        "{:<5} {:<8} {:>9} {:>9} {:>7}  {:<14} {:<14} pick cost",
+        "arch", "app", "best(s)", "worst(s)", "ratio", "best dist", "MHETA pick"
+    );
+
+    for spec in [presets::dc(), presets::io(), presets::hy1(), presets::hy2()] {
+        for bench in select_apps(&flags) {
+            let iters = experiment_iters(&bench, paper_iters);
+            let pts = canonical_sweep(&bench, &spec, steps, iters, false)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), spec.name));
+            let best = pts
+                .iter()
+                .min_by(|a, b| a.act_secs.total_cmp(&b.act_secs))
+                .expect("points nonempty");
+            let worst = pts
+                .iter()
+                .max_by(|a, b| a.act_secs.total_cmp(&b.act_secs))
+                .expect("points nonempty");
+            let pick = pts
+                .iter()
+                .min_by(|a, b| a.pred_secs.total_cmp(&b.pred_secs))
+                .expect("points nonempty");
+            // Cost of trusting MHETA: actual time at its pick relative
+            // to the true best (1.00 = perfect).
+            let pick_cost = pick.act_secs / best.act_secs;
+            println!(
+                "{:<5} {:<8} {:>9.2} {:>9.2} {:>6.2}x  {:<14} {:<14} {:.3}x",
+                spec.name,
+                bench.name(),
+                best.act_secs,
+                worst.act_secs,
+                worst.act_secs / best.act_secs,
+                best.label,
+                pick.label,
+                pick_cost
+            );
+        }
+    }
+    println!(
+        "\n'pick cost' = actual time of MHETA's chosen distribution / actual best (1.000 = optimal pick)"
+    );
+}

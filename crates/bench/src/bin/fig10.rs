@@ -1,0 +1,18 @@
+//! Regenerate **Figure 10**: predicted vs actual execution times for
+//! configurations **DC** and **IO**, all four applications, across the
+//! distribution spectrum. The best distribution in each series is
+//! marked (the paper circles these; disagreement = dashed circle).
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin fig10
+//! ```
+
+use mheta_bench::{figures, Flags};
+use mheta_sim::presets;
+
+fn main() {
+    let flags = Flags::from_env();
+    let steps = flags.usize_or("--steps", 3);
+    let paper_iters = flags.has("--paper-iters");
+    figures::run_configs(&[presets::dc(), presets::io()], &flags, steps, paper_iters);
+}

@@ -1,0 +1,19 @@
+//! Regenerate **Figure 11**: predicted vs actual execution times for
+//! the hybrid configurations **HY1** and **HY2**, all four
+//! applications, across the distribution spectrum (including the
+//! paper's observation that Jacobi's best distribution on HY1 lies
+//! between I-C/Bal and Bal).
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin fig11
+//! ```
+
+use mheta_bench::{figures, Flags};
+use mheta_sim::presets;
+
+fn main() {
+    let flags = Flags::from_env();
+    let steps = flags.usize_or("--steps", 3);
+    let paper_iters = flags.has("--paper-iters");
+    figures::run_configs(&[presets::hy1(), presets::hy2()], &flags, steps, paper_iters);
+}

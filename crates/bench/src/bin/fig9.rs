@@ -1,0 +1,123 @@
+//! Regenerate **Figure 9**: the minimum, average, and maximum
+//! percentage difference between MHETA's predicted and the actual
+//! execution times, across the emulated architectures, per point of
+//! the distribution spectrum.
+//!
+//! * default — all four applications, no prefetching, over the
+//!   seventeen architectures (Figure 9 top left);
+//! * `--prefetch` — Jacobi with prefetching over the twelve
+//!   memory-restricted architectures (Figure 9 top right);
+//! * `--per-app` — also print the per-application series (Figure 9
+//!   bottom: RNA best case, CG worst case).
+//!
+//! Other flags: `--steps N` samples per leg (default 3, giving the
+//! paper-like 13 x-axis points), `--paper-iters` uses the §5.1
+//! iteration counts (slower), `--apps jacobi,cg,...` restricts apps.
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin fig9 -- --per-app
+//! cargo run --release -p mheta-bench --bin fig9 -- --prefetch
+//! ```
+
+use std::collections::BTreeMap;
+
+use mheta_apps::Benchmark;
+use mheta_bench::{canonical_sweep, experiment_iters, select_apps, Flags, Stats};
+use mheta_sim::presets;
+
+fn print_series(title: &str, labels: &[(String, f64)], per_label: &BTreeMap<usize, Vec<f64>>) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len()));
+    println!("{:<16} {:>7} {:>7} {:>7}  (n)", "distribution", "MIN%", "AVG%", "MAX%");
+    let mut all: Vec<f64> = Vec::new();
+    for (i, (label, _)) in labels.iter().enumerate() {
+        let vals = per_label.get(&i).cloned().unwrap_or_default();
+        let s = Stats::of(&vals);
+        println!(
+            "{:<16} {:>6.2}% {:>6.2}% {:>6.2}%  ({})",
+            label, s.min, s.avg, s.max, s.n
+        );
+        all.extend(vals);
+    }
+    let overall = Stats::of(&all);
+    println!(
+        "overall: avg {:.2}% (accuracy {:.1}%), max {:.2}%, {} samples",
+        overall.avg,
+        100.0 - overall.avg,
+        overall.max,
+        overall.n
+    );
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let prefetch = flags.has("--prefetch");
+    let steps = flags.usize_or("--steps", 3);
+    let paper_iters = flags.has("--paper-iters");
+
+    let archs = if prefetch {
+        presets::twelve_prefetch_architectures()
+    } else {
+        presets::seventeen_architectures()
+    };
+    let apps: Vec<Benchmark> = if prefetch {
+        Benchmark::paper_four()
+            .into_iter()
+            .filter(Benchmark::supports_prefetch)
+            .collect()
+    } else {
+        select_apps(&flags)
+    };
+
+    println!(
+        "Figure 9: percent difference of actual and predicted execution times"
+    );
+    println!(
+        "({} architectures x {} application(s){}, {} spectrum points each)",
+        archs.len(),
+        apps.len(),
+        if prefetch { ", prefetching" } else { "" },
+        4 * steps + 1
+    );
+
+    let labels = mheta_bench::canonical_labels(steps);
+    // label index -> %diff samples, aggregated over (arch, app).
+    let mut combined: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    let mut per_app: BTreeMap<String, BTreeMap<usize, Vec<f64>>> = BTreeMap::new();
+
+    for arch in &archs {
+        for bench in &apps {
+            let iters = experiment_iters(bench, paper_iters);
+            let points = canonical_sweep(bench, arch, steps, iters, prefetch)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), arch.name));
+            for (i, p) in points.iter().enumerate() {
+                let d = p.percent_difference();
+                combined.entry(i).or_default().push(d);
+                per_app
+                    .entry(bench.name().to_string())
+                    .or_default()
+                    .entry(i)
+                    .or_default()
+                    .push(d);
+            }
+            eprintln!("  done: {:>14} {:8}", arch.name, bench.name());
+        }
+    }
+
+    let title = if prefetch {
+        "All architectures, Jacobi with prefetching (Fig. 9 top right)".to_string()
+    } else {
+        "All applications without prefetching (Fig. 9 top left)".to_string()
+    };
+    print_series(&title, &labels, &combined);
+
+    if flags.has("--per-app") {
+        for (app, series) in &per_app {
+            print_series(
+                &format!("{app} only (Fig. 9 bottom)"),
+                &labels,
+                series,
+            );
+        }
+    }
+}

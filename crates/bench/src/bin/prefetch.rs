@@ -1,0 +1,79 @@
+//! Prefetching ablation (supporting the Figure 9 top-right experiment):
+//! for Jacobi on the twelve memory-restricted architectures,
+//!
+//! 1. what prefetching buys (actual sync vs prefetch times), and
+//! 2. what *modeling* prefetching buys: predicting the prefetch run
+//!    with Eq. 2 (correct) vs with Eq. 1 (ablated — as if the unrolled
+//!    loop were ordinary synchronous reads).
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin prefetch
+//! ```
+
+use mheta_apps::{anchor_inputs, build_model, percent_difference, run_measured, Benchmark};
+use mheta_bench::{experiment_iters, Flags};
+use mheta_dist::SpectrumPath;
+use mheta_sim::presets;
+
+fn main() {
+    let flags = Flags::from_env();
+    let paper_iters = flags.has("--paper-iters");
+    let bench = Benchmark::paper_four()
+        .into_iter()
+        .find(Benchmark::supports_prefetch)
+        .expect("Jacobi supports prefetching");
+    let iters = experiment_iters(&bench, paper_iters);
+
+    println!("Prefetching ablation: Jacobi, Blk distribution, {iters} iterations");
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} | {:>9} {:>8} | {:>9} {:>8}",
+        "arch", "sync(s)", "pf(s)", "speedup", "Eq2 pred", "err%", "Eq1 pred", "err%"
+    );
+
+    let mut eq2_errs = Vec::new();
+    let mut eq1_errs = Vec::new();
+    for spec in presets::twelve_prefetch_architectures() {
+        // Models built from the appropriately transformed instrumented
+        // iterations: Eq. 2 (prefetch structure) vs Eq. 1 (ablation).
+        let model_pf = build_model(&bench, &spec, true).expect("prefetch model");
+        let model_sync = build_model(&bench, &spec, false).expect("sync model");
+        let inp = anchor_inputs(&model_pf);
+        let path = SpectrumPath::full(&inp);
+        let blk = path.at(0.0);
+
+        let act_sync = run_measured(&bench, &spec, &blk, iters, false)
+            .expect("sync run")
+            .secs;
+        let act_pf = run_measured(&bench, &spec, &blk, iters, true)
+            .expect("prefetch run")
+            .secs;
+        let pred_eq2 = model_pf.predict(blk.rows()).expect("predict").app_secs(iters);
+        // Ablation: predict the *prefetch* run with the synchronous
+        // model (Eq. 1 I/O terms).
+        let pred_eq1 = model_sync
+            .predict(blk.rows())
+            .expect("predict")
+            .app_secs(iters);
+        let e2 = percent_difference(pred_eq2, act_pf);
+        let e1 = percent_difference(pred_eq1, act_pf);
+        eq2_errs.push(e2);
+        eq1_errs.push(e1);
+        println!(
+            "{:<14} {:>8.2}s {:>8.2}s {:>7.2}x | {:>8.2}s {:>7.2}% | {:>8.2}s {:>7.2}%",
+            spec.name,
+            act_sync,
+            act_pf,
+            act_sync / act_pf,
+            pred_eq2,
+            e2,
+            pred_eq1,
+            e1
+        );
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nmean prediction error for the prefetch runs: Eq.2 {:.2}% vs Eq.1 (ablated) {:.2}%",
+        avg(&eq2_errs),
+        avg(&eq1_errs)
+    );
+}

@@ -1,0 +1,115 @@
+//! Compare the four distribution-search strategies of the companion
+//! work \[26\] — Generalized Binary Search over the spectrum, genetic,
+//! simulated annealing, and random — all using MHETA as the evaluation
+//! function (§5.3).
+//!
+//! For each (configuration, application): run every search with the
+//! same evaluation budget, then *actually execute* the found
+//! distribution to score it against the spectrum's true best.
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin search_compare
+//! ```
+
+use mheta_apps::{anchor_inputs, build_model, run_measured};
+use mheta_bench::{experiment_iters, select_apps, Flags};
+use mheta_dist::{
+    gbs_search, genetic_search, random_search, simulated_annealing, AnnealingConfig, GbsConfig,
+    GenBlock, GeneticConfig, RandomConfig, SearchOutcome, SpectrumPath,
+};
+use mheta_sim::presets;
+
+fn main() {
+    let flags = Flags::from_env();
+    let budget = flags.usize_or("--budget", 64);
+    let paper_iters = flags.has("--paper-iters");
+
+    println!("Distribution search comparison (budget {budget} MHETA evaluations)");
+    println!(
+        "{:<5} {:<8} {:<9} {:>6} {:>10} {:>10} {:>8}",
+        "arch", "app", "search", "evals", "pred(s)", "actual(s)", "vs Blk"
+    );
+
+    for spec in [presets::io(), presets::hy1(), presets::hy2()] {
+        for bench in select_apps(&flags) {
+            let iters = experiment_iters(&bench, paper_iters);
+            let model = build_model(&bench, &spec, false)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), spec.name));
+            let inp = anchor_inputs(&model);
+            let path = SpectrumPath::new(&inp);
+            let n = spec.len();
+            let total = bench.total_rows();
+            let blk = GenBlock::block(total, n);
+            let blk_act = run_measured(&bench, &spec, &blk, iters, false)
+                .expect("Blk run")
+                .secs;
+
+            let searches: Vec<(&str, SearchOutcome)> = vec![
+                (
+                    "GBS",
+                    gbs_search(
+                        &path,
+                        &model,
+                        GbsConfig {
+                            max_evals: budget,
+                            ..GbsConfig::default()
+                        },
+                    ),
+                ),
+                (
+                    "genetic",
+                    genetic_search(
+                        total,
+                        n,
+                        std::slice::from_ref(&blk),
+                        &model,
+                        GeneticConfig {
+                            max_evals: budget,
+                            ..GeneticConfig::default()
+                        },
+                    ),
+                ),
+                (
+                    "anneal",
+                    simulated_annealing(
+                        &blk,
+                        &model,
+                        AnnealingConfig {
+                            max_evals: budget,
+                            ..AnnealingConfig::default()
+                        },
+                    ),
+                ),
+                (
+                    "random",
+                    random_search(
+                        total,
+                        n,
+                        &model,
+                        RandomConfig {
+                            max_evals: budget,
+                            ..RandomConfig::default()
+                        },
+                    ),
+                ),
+            ];
+
+            for (name, outcome) in searches {
+                let act = run_measured(&bench, &spec, &outcome.best, iters, false)
+                    .expect("search-result run")
+                    .secs;
+                println!(
+                    "{:<5} {:<8} {:<9} {:>6} {:>9.2}s {:>9.2}s {:>7.2}x",
+                    spec.name,
+                    bench.name(),
+                    name,
+                    outcome.evaluations,
+                    outcome.score_ns * f64::from(iters) / 1e9,
+                    act,
+                    blk_act / act
+                );
+            }
+        }
+    }
+    println!("\n'vs Blk' = actual speedup of the found distribution over the Block default.");
+}

@@ -1,0 +1,34 @@
+//! Regenerate **Table 1**: the four sample configurations of the
+//! emulated architectures (DC, IO, HY1, HY2), with the concrete node
+//! parameters this reproduction uses.
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin table1
+//! ```
+
+use mheta_sim::presets;
+
+fn main() {
+    println!("Table 1: Four sample configurations of the emulated architectures");
+    println!("==================================================================");
+    for spec in [presets::dc(), presets::io(), presets::hy1(), presets::hy2()] {
+        println!("\n{}: {}", spec.name, presets::table1_description(&spec.name));
+        println!(
+            "  {:>4} {:>9} {:>10} {:>12} {:>12}",
+            "node", "cpu_power", "memory", "read ns/B", "seek ms"
+        );
+        for (i, n) in spec.nodes.iter().enumerate() {
+            println!(
+                "  {:>4} {:>9.2} {:>9}K {:>12.0} {:>12.1}",
+                i,
+                n.cpu_power,
+                n.memory_bytes / 1024,
+                n.io_read_ns_per_byte,
+                n.io_read_seek_ns / 1e6
+            );
+        }
+    }
+    println!(
+        "\n(All seventeen emulated architectures: see `mheta_sim::presets::seventeen_architectures`.)"
+    );
+}

@@ -1,0 +1,518 @@
+//! The "internal MHETA file" (§4.1, Figure 3).
+//!
+//! The paper's runtime stores the program structure, microbenchmark
+//! results, and instrumented measurements in a file that MHETA reads
+//! before evaluating distributions. This module provides that
+//! persistence: a human-readable, line-oriented text format with exact
+//! `f64` round-tripping (values are stored in hexadecimal float form
+//! alongside a decimal rendering for readability).
+//!
+//! The format is deliberately simple — `section.key = value` lines —
+//! so profiles can be inspected and diffed. A full model (structure +
+//! architecture parameters + instrumented profile) round-trips through
+//! [`save_model`]/[`load_model`].
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use mheta_mpi::Scope;
+
+use crate::error::ModelError;
+use crate::model::Mheta;
+use crate::params::{ArchParams, CommParams, DiskParams};
+use crate::profile::{InstrumentedProfile, NodeProfile};
+use crate::structure::{CommPattern, ProgramStructure, SectionSpec, StageSpec, Variable};
+
+/// Serialize an `f64` exactly (bit pattern as hex) for the file.
+fn f64_out(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn f64_in(s: &str) -> Result<f64, ModelError> {
+    u64::from_str_radix(s.trim(), 16)
+        .map(f64::from_bits)
+        .map_err(|e| ModelError::Dimension(format!("bad f64 field '{s}': {e}")))
+}
+
+fn usize_in(s: &str) -> Result<usize, ModelError> {
+    s.trim()
+        .parse()
+        .map_err(|e| ModelError::Dimension(format!("bad integer field '{s}': {e}")))
+}
+
+/// Write a [`ProgramStructure`] in the MHETA file format.
+#[must_use]
+pub fn structure_to_string(s: &ProgramStructure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[structure]");
+    let _ = writeln!(out, "name = {}", s.name);
+    for v in &s.variables {
+        let _ = writeln!(
+            out,
+            "var = {} {} {} {} {} {} {} # {}",
+            v.id,
+            v.elem_bytes,
+            u8::from(v.read_only),
+            u8::from(v.distributed),
+            u8::from(v.resident),
+            v.total_rows,
+            f64_out(v.elems_per_row),
+            v.name
+        );
+    }
+    for sec in &s.sections {
+        let comm = match sec.comm {
+            CommPattern::None => "none 0".to_string(),
+            CommPattern::NearestNeighbor { msg_elems } => format!("nn {msg_elems}"),
+            CommPattern::Pipelined { msg_elems } => format!("pipe {msg_elems}"),
+            CommPattern::Reduction { msg_elems } => format!("reduce {msg_elems}"),
+        };
+        let _ = writeln!(out, "section = {} {} {}", sec.id, sec.tiles, comm);
+        for st in &sec.stages {
+            let reads: Vec<String> = st.reads.iter().map(u32::to_string).collect();
+            let writes: Vec<String> = st.writes.iter().map(u32::to_string).collect();
+            let _ = writeln!(
+                out,
+                "stage = {} {} {} r:{} w:{}",
+                st.id,
+                u8::from(st.prefetch),
+                f64_out(st.row_fraction),
+                reads.join(","),
+                writes.join(",")
+            );
+        }
+    }
+    out
+}
+
+fn parse_ids(s: &str) -> Result<Vec<u32>, ModelError> {
+    if s.is_empty() {
+        return Ok(vec![]);
+    }
+    s.split(',')
+        .map(|t| {
+            t.parse()
+                .map_err(|e| ModelError::Dimension(format!("bad variable id '{t}': {e}")))
+        })
+        .collect()
+}
+
+/// Parse a [`ProgramStructure`] from the MHETA file format.
+pub fn structure_from_str(text: &str) -> Result<ProgramStructure, ModelError> {
+    let mut s = ProgramStructure {
+        name: String::new(),
+        sections: vec![],
+        variables: vec![],
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        let Some((key, rest)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, rest) = (key.trim(), rest.trim());
+        match key {
+            "name" => s.name = rest.to_string(),
+            "var" => {
+                let (fields, name) = match rest.split_once('#') {
+                    Some((f, n)) => (f.trim(), n.trim().to_string()),
+                    None => (rest, String::new()),
+                };
+                let t: Vec<&str> = fields.split_whitespace().collect();
+                if t.len() != 7 {
+                    return Err(ModelError::Dimension(format!("bad var line '{line}'")));
+                }
+                s.variables.push(Variable {
+                    id: usize_in(t[0])? as u32,
+                    name,
+                    elem_bytes: usize_in(t[1])? as u64,
+                    read_only: t[2] == "1",
+                    distributed: t[3] == "1",
+                    resident: t[4] == "1",
+                    total_rows: usize_in(t[5])?,
+                    elems_per_row: f64_in(t[6])?,
+                });
+            }
+            "section" => {
+                let t: Vec<&str> = rest.split_whitespace().collect();
+                if t.len() != 4 {
+                    return Err(ModelError::Dimension(format!("bad section line '{line}'")));
+                }
+                let msg_elems = usize_in(t[3])?;
+                let comm = match t[2] {
+                    "none" => CommPattern::None,
+                    "nn" => CommPattern::NearestNeighbor { msg_elems },
+                    "pipe" => CommPattern::Pipelined { msg_elems },
+                    "reduce" => CommPattern::Reduction { msg_elems },
+                    other => {
+                        return Err(ModelError::Dimension(format!(
+                            "unknown comm pattern '{other}'"
+                        )))
+                    }
+                };
+                s.sections.push(SectionSpec {
+                    id: usize_in(t[0])? as u32,
+                    tiles: usize_in(t[1])? as u32,
+                    stages: vec![],
+                    comm,
+                });
+            }
+            "stage" => {
+                let t: Vec<&str> = rest.split_whitespace().collect();
+                if t.len() != 5 {
+                    return Err(ModelError::Dimension(format!("bad stage line '{line}'")));
+                }
+                let reads = parse_ids(t[3].trim_start_matches("r:"))?;
+                let writes = parse_ids(t[4].trim_start_matches("w:"))?;
+                let stage = StageSpec {
+                    id: usize_in(t[0])? as u32,
+                    reads,
+                    writes,
+                    prefetch: t[1] == "1",
+                    row_fraction: f64_in(t[2])?,
+                };
+                s.sections
+                    .last_mut()
+                    .ok_or_else(|| {
+                        ModelError::Dimension("stage line before any section".into())
+                    })?
+                    .stages
+                    .push(stage);
+            }
+            _ => {}
+        }
+    }
+    s.validate().map_err(ModelError::Structure)?;
+    Ok(s)
+}
+
+/// Write [`ArchParams`] in the MHETA file format.
+#[must_use]
+pub fn arch_to_string(a: &ArchParams) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[arch]");
+    let _ = writeln!(out, "name = {}", a.name);
+    let _ = writeln!(
+        out,
+        "comm = {} {} {} {}",
+        f64_out(a.comm.o_s),
+        f64_out(a.comm.o_r),
+        f64_out(a.comm.alpha),
+        f64_out(a.comm.beta)
+    );
+    for (i, d) in a.disks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "disk = {} {} {} {} {} {}",
+            i,
+            f64_out(d.o_read),
+            f64_out(d.o_write),
+            f64_out(d.read_ns_per_byte),
+            f64_out(d.write_ns_per_byte),
+            a.memory_bytes[i]
+        );
+    }
+    out
+}
+
+/// Parse [`ArchParams`] from the MHETA file format.
+pub fn arch_from_str(text: &str) -> Result<ArchParams, ModelError> {
+    let mut name = String::new();
+    let mut comm = None;
+    let mut disks = Vec::new();
+    let mut memory = Vec::new();
+    for line in text.lines() {
+        let Some((key, rest)) = line.trim().split_once('=') else {
+            continue;
+        };
+        let (key, rest) = (key.trim(), rest.trim());
+        match key {
+            "name" => name = rest.to_string(),
+            "comm" => {
+                let t: Vec<&str> = rest.split_whitespace().collect();
+                if t.len() != 4 {
+                    return Err(ModelError::Dimension(format!("bad comm line '{line}'")));
+                }
+                comm = Some(CommParams {
+                    o_s: f64_in(t[0])?,
+                    o_r: f64_in(t[1])?,
+                    alpha: f64_in(t[2])?,
+                    beta: f64_in(t[3])?,
+                });
+            }
+            "disk" => {
+                let t: Vec<&str> = rest.split_whitespace().collect();
+                if t.len() != 6 {
+                    return Err(ModelError::Dimension(format!("bad disk line '{line}'")));
+                }
+                disks.push(DiskParams {
+                    o_read: f64_in(t[1])?,
+                    o_write: f64_in(t[2])?,
+                    read_ns_per_byte: f64_in(t[3])?,
+                    write_ns_per_byte: f64_in(t[4])?,
+                });
+                memory.push(usize_in(t[5])? as u64);
+            }
+            _ => {}
+        }
+    }
+    Ok(ArchParams {
+        name,
+        comm: comm.ok_or_else(|| ModelError::Dimension("missing comm line".into()))?,
+        disks,
+        memory_bytes: memory,
+    })
+}
+
+/// Write an [`InstrumentedProfile`] in the MHETA file format.
+#[must_use]
+pub fn profile_to_string(p: &InstrumentedProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[profile]");
+    let rows: Vec<String> = p.rows.iter().map(usize::to_string).collect();
+    let _ = writeln!(out, "rows = {}", rows.join(" "));
+    for node in &p.nodes {
+        // Sort for stable output.
+        let mut compute: Vec<(&Scope, &f64)> = node.compute_ns_per_row.iter().collect();
+        compute.sort_by_key(|(s, _)| (s.section, s.tile, s.stage));
+        for (scope, v) in compute {
+            let _ = writeln!(
+                out,
+                "compute = {} {} {} {} {}",
+                node.rank,
+                scope.section,
+                scope.tile,
+                scope.stage,
+                f64_out(*v)
+            );
+        }
+        let mut reads: Vec<(&u32, &f64)> = node.read_ns_per_elem.iter().collect();
+        reads.sort_by_key(|(v, _)| **v);
+        for (var, v) in reads {
+            let _ = writeln!(out, "read = {} {} {}", node.rank, var, f64_out(*v));
+        }
+        let mut writes: Vec<(&u32, &f64)> = node.write_ns_per_elem.iter().collect();
+        writes.sort_by_key(|(v, _)| **v);
+        for (var, v) in writes {
+            let _ = writeln!(out, "write = {} {} {}", node.rank, var, f64_out(*v));
+        }
+        let mut sends: Vec<(&u32, &u64)> = node.section_send_bytes.iter().collect();
+        sends.sort_by_key(|(s, _)| **s);
+        for (section, bytes) in sends {
+            let _ = writeln!(out, "send = {} {} {}", node.rank, section, bytes);
+        }
+    }
+    out
+}
+
+/// Parse an [`InstrumentedProfile`] from the MHETA file format.
+pub fn profile_from_str(text: &str) -> Result<InstrumentedProfile, ModelError> {
+    let mut rows: Vec<usize> = Vec::new();
+    let mut nodes: HashMap<usize, NodeProfile> = HashMap::new();
+    for line in text.lines() {
+        let Some((key, rest)) = line.trim().split_once('=') else {
+            continue;
+        };
+        let (key, rest) = (key.trim(), rest.trim());
+        let t: Vec<&str> = rest.split_whitespace().collect();
+        match key {
+            "rows" => {
+                rows = t.iter().map(|s| usize_in(s)).collect::<Result<_, _>>()?;
+            }
+            "compute" => {
+                if t.len() != 5 {
+                    return Err(ModelError::Dimension(format!("bad compute line '{line}'")));
+                }
+                let rank = usize_in(t[0])?;
+                let scope = Scope {
+                    section: usize_in(t[1])? as u32,
+                    tile: usize_in(t[2])? as u32,
+                    stage: usize_in(t[3])? as u32,
+                };
+                nodes
+                    .entry(rank)
+                    .or_insert_with(|| NodeProfile {
+                        rank,
+                        ..NodeProfile::default()
+                    })
+                    .compute_ns_per_row
+                    .insert(scope, f64_in(t[4])?);
+            }
+            "read" | "write" | "send" => {
+                if t.len() != 3 {
+                    return Err(ModelError::Dimension(format!("bad {key} line '{line}'")));
+                }
+                let rank = usize_in(t[0])?;
+                let id = usize_in(t[1])? as u32;
+                let node = nodes.entry(rank).or_insert_with(|| NodeProfile {
+                    rank,
+                    ..NodeProfile::default()
+                });
+                match key {
+                    "read" => {
+                        node.read_ns_per_elem.insert(id, f64_in(t[2])?);
+                    }
+                    "write" => {
+                        node.write_ns_per_elem.insert(id, f64_in(t[2])?);
+                    }
+                    _ => {
+                        node.section_send_bytes.insert(id, usize_in(t[2])? as u64);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<NodeProfile> = (0..rows.len())
+        .map(|rank| {
+            nodes.remove(&rank).unwrap_or(NodeProfile {
+                rank,
+                ..NodeProfile::default()
+            })
+        })
+        .collect();
+    out.sort_by_key(|n| n.rank);
+    Ok(InstrumentedProfile { nodes: out, rows })
+}
+
+/// Serialize a complete model to the MHETA file format.
+#[must_use]
+pub fn save_model(model: &Mheta) -> String {
+    format!(
+        "{}\n{}\n{}",
+        structure_to_string(model.structure()),
+        arch_to_string(model.arch()),
+        profile_to_string(model.profile())
+    )
+}
+
+/// Reassemble a model from [`save_model`]'s output.
+pub fn load_model(text: &str) -> Result<Mheta, ModelError> {
+    let structure = structure_from_str(text)?;
+    let arch = arch_from_str(text)?;
+    let profile = profile_from_str(text)?;
+    Mheta::new(structure, arch, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_structure() -> ProgramStructure {
+        ProgramStructure {
+            name: "demo".into(),
+            sections: vec![
+                SectionSpec {
+                    id: 0,
+                    tiles: 4,
+                    stages: vec![
+                        StageSpec::new(0, vec![1], vec![1], false).with_row_fraction(0.25)
+                    ],
+                    comm: CommPattern::Pipelined { msg_elems: 33 },
+                },
+                SectionSpec {
+                    id: 1,
+                    tiles: 1,
+                    stages: vec![StageSpec::new(0, vec![2], vec![], true)],
+                    comm: CommPattern::Reduction { msg_elems: 1 },
+                },
+            ],
+            variables: vec![
+                Variable::streamed(1, "DP matrix", 128, 0.1 + 0.2, false),
+                Variable::streamed(2, "A", 128, 64.0, true),
+                Variable::replicated(3, "p", 512),
+                Variable::resident_local(4, "vecs", 128, 4.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn structure_round_trips_exactly() {
+        let s = sample_structure();
+        let text = structure_to_string(&s);
+        let back = structure_from_str(&text).unwrap();
+        assert_eq!(s, back);
+        // Including the non-representable-in-decimal f64 0.1+0.2.
+        assert_eq!(back.variable(1).unwrap().elems_per_row, 0.1 + 0.2);
+    }
+
+    #[test]
+    fn arch_round_trips_exactly() {
+        let a = ArchParams {
+            name: "HY1".into(),
+            comm: CommParams {
+                o_s: 20_000.5,
+                o_r: 19_999.5,
+                alpha: 50_000.0,
+                beta: 10.125,
+            },
+            disks: vec![
+                DiskParams {
+                    o_read: 5e6,
+                    o_write: 6e6,
+                    read_ns_per_byte: 500.0,
+                    write_ns_per_byte: 550.0,
+                };
+                3
+            ],
+            memory_bytes: vec![1, 2, 3],
+        };
+        let back = arch_from_str(&arch_to_string(&a)).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn profile_round_trips() {
+        let mut node = NodeProfile {
+            rank: 0,
+            ..NodeProfile::default()
+        };
+        node.compute_ns_per_row.insert(
+            Scope {
+                section: 1,
+                tile: 2,
+                stage: 0,
+            },
+            123.456,
+        );
+        node.read_ns_per_elem.insert(7, 0.333);
+        node.write_ns_per_elem.insert(7, 0.444);
+        node.section_send_bytes.insert(2, 1536);
+        let p = InstrumentedProfile {
+            nodes: vec![
+                node,
+                NodeProfile {
+                    rank: 1,
+                    ..NodeProfile::default()
+                },
+            ],
+            rows: vec![10, 12],
+        };
+        let back = profile_from_str(&profile_to_string(&p)).unwrap();
+        assert_eq!(back.rows, p.rows);
+        assert_eq!(back.nodes.len(), 2);
+        assert_eq!(
+            back.nodes[0].compute_ns_per_row,
+            p.nodes[0].compute_ns_per_row
+        );
+        assert_eq!(back.nodes[0].read_ns_per_elem, p.nodes[0].read_ns_per_elem);
+        assert_eq!(back.nodes[0].section_send_bytes, p.nodes[0].section_send_bytes);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(structure_from_str("var = 1 2").is_err());
+        assert!(structure_from_str("stage = 0 0 x r: w:").is_err());
+        assert!(arch_from_str("disk = 0 1 2").is_err());
+        assert!(profile_from_str("compute = 0 1").is_err());
+        // Missing comm line.
+        assert!(arch_from_str("name = x").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let s = sample_structure();
+        let mut text = structure_to_string(&s);
+        text.push_str("\nfuture_extension = whatever\n");
+        assert_eq!(structure_from_str(&text).unwrap(), s);
+    }
+}

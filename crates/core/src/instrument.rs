@@ -1,0 +1,327 @@
+//! Build an [`InstrumentedProfile`] from the hook events of one
+//! instrumented iteration.
+//!
+//! This is the analysis half of MPI-Jack (Figure 3): the raw pre/post
+//! hook records — scope brackets and operations with timestamps — are
+//! folded into the per-node quantities MHETA's equations consume:
+//!
+//! * stage computation per row = (stage wall − stage I/O) / rows,
+//! * per-variable, per-element read/write latencies
+//!   `l_{r,w}(v) = (op duration − seek) / elements`,
+//! * per-section outgoing message sizes (the communication participants
+//!   of §4.1.2 are implied by the program structure; sizes come from
+//!   the observed sends).
+
+use std::collections::HashMap;
+
+use mheta_mpi::{HookEvent, OpKind, Scope, ScopeKind, VecRecorder};
+
+use crate::params::ArchParams;
+use crate::profile::{InstrumentedProfile, NodeProfile};
+
+#[derive(Default)]
+struct StageAccum {
+    wall_ns: f64,
+    io_ns: f64,
+    occurrences: u32,
+}
+
+/// Fold one rank's hook events into its [`NodeProfile`].
+#[must_use]
+pub fn build_node_profile(
+    rank: usize,
+    arch: &ArchParams,
+    events: &[HookEvent],
+    rows: usize,
+) -> NodeProfile {
+    let disk = &arch.disks[rank];
+    let mut stages: HashMap<Scope, StageAccum> = HashMap::new();
+    let mut reads: HashMap<u32, (f64, u32)> = HashMap::new(); // var -> (sum l, n)
+    let mut writes: HashMap<u32, (f64, u32)> = HashMap::new();
+    let mut section_send_bytes: HashMap<u32, u64> = HashMap::new();
+
+    let mut current = Scope::default();
+    let mut stage_open: Option<(Scope, f64)> = None; // (scope, start ns)
+
+    for ev in events {
+        match ev {
+            HookEvent::ScopeEnter { kind, id, at } => match kind {
+                ScopeKind::Section => {
+                    current = Scope {
+                        section: *id,
+                        tile: 0,
+                        stage: 0,
+                    };
+                }
+                ScopeKind::Tile => {
+                    current.tile = *id;
+                }
+                ScopeKind::Stage => {
+                    current.stage = *id;
+                    stage_open = Some((current, at.as_nanos() as f64));
+                }
+                ScopeKind::Iteration => {}
+            },
+            HookEvent::ScopeExit { kind, at, .. } => {
+                if *kind == ScopeKind::Stage {
+                    if let Some((scope, start)) = stage_open.take() {
+                        let acc = stages.entry(scope).or_default();
+                        acc.wall_ns += at.as_nanos() as f64 - start;
+                        acc.occurrences += 1;
+                    }
+                }
+            }
+            HookEvent::Op { info, start, end } => {
+                let dur = end.as_nanos() as f64 - start.as_nanos() as f64;
+                match info.kind {
+                    OpKind::FileRead | OpKind::PrefetchIssue => {
+                        if stage_open.is_some() {
+                            stages.entry(info.scope).or_default().io_ns += dur;
+                        }
+                        if let (Some(var), true) = (info.var, info.elems > 0) {
+                            let l = ((dur - disk.o_read) / info.elems as f64).max(0.0);
+                            let e = reads.entry(var).or_insert((0.0, 0));
+                            e.0 += l;
+                            e.1 += 1;
+                        }
+                    }
+                    OpKind::FileWrite => {
+                        if stage_open.is_some() {
+                            stages.entry(info.scope).or_default().io_ns += dur;
+                        }
+                        if let (Some(var), true) = (info.var, info.elems > 0) {
+                            let l = ((dur - disk.o_write) / info.elems as f64).max(0.0);
+                            let e = writes.entry(var).or_insert((0.0, 0));
+                            e.0 += l;
+                            e.1 += 1;
+                        }
+                    }
+                    OpKind::PrefetchWait => {
+                        if stage_open.is_some() {
+                            stages.entry(info.scope).or_default().io_ns += dur;
+                        }
+                    }
+                    OpKind::Send => {
+                        let e = section_send_bytes.entry(info.scope.section).or_insert(0);
+                        *e = (*e).max(info.bytes);
+                    }
+                    OpKind::Recv => {}
+                }
+            }
+        }
+    }
+
+    let mut profile = NodeProfile {
+        rank,
+        ..NodeProfile::default()
+    };
+    for (scope, acc) in stages {
+        if rows == 0 || acc.occurrences == 0 {
+            continue;
+        }
+        let per_occurrence =
+            (acc.wall_ns - acc.io_ns).max(0.0) / f64::from(acc.occurrences);
+        profile
+            .compute_ns_per_row
+            .insert(scope, per_occurrence / rows as f64);
+    }
+    for (var, (sum, n)) in reads {
+        profile.read_ns_per_elem.insert(var, sum / f64::from(n));
+    }
+    for (var, (sum, n)) in writes {
+        profile.write_ns_per_elem.insert(var, sum / f64::from(n));
+    }
+    profile.section_send_bytes = section_send_bytes;
+    profile
+}
+
+/// Build the cluster-wide profile from every rank's recorder.
+///
+/// `rows` is the distribution the instrumented iteration ran with.
+#[must_use]
+pub fn build_profile(
+    arch: &ArchParams,
+    recorders: &[VecRecorder],
+    rows: &[usize],
+) -> InstrumentedProfile {
+    assert_eq!(recorders.len(), rows.len(), "one recorder per rank");
+    let nodes = recorders
+        .iter()
+        .enumerate()
+        .map(|(rank, rec)| build_node_profile(rank, arch, &rec.events, rows[rank]))
+        .collect();
+    InstrumentedProfile {
+        nodes,
+        rows: rows.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CommParams, DiskParams};
+    use mheta_mpi::OpInfo;
+    use mheta_sim::{SimDur, SimTime};
+
+    fn arch(n: usize) -> ArchParams {
+        ArchParams {
+            name: "t".into(),
+            comm: CommParams {
+                o_s: 0.0,
+                o_r: 0.0,
+                alpha: 0.0,
+                beta: 0.0,
+            },
+            disks: vec![
+                DiskParams {
+                    o_read: 100.0,
+                    o_write: 200.0,
+                    read_ns_per_byte: 1.0,
+                    write_ns_per_byte: 1.0,
+                };
+                n
+            ],
+            memory_bytes: vec![1 << 20; n],
+        }
+    }
+
+    fn op(kind: OpKind, var: u32, elems: usize, scope: Scope, s: u64, e: u64) -> HookEvent {
+        HookEvent::Op {
+            info: OpInfo {
+                kind,
+                var: Some(var),
+                peer: None,
+                bytes: (elems * 8) as u64,
+                elems,
+                scope,
+                blocked: SimDur::ZERO,
+            },
+            start: SimTime(s),
+            end: SimTime(e),
+        }
+    }
+
+    fn enter(kind: ScopeKind, id: u32, at: u64) -> HookEvent {
+        HookEvent::ScopeEnter {
+            kind,
+            id,
+            at: SimTime(at),
+        }
+    }
+
+    fn exit(kind: ScopeKind, id: u32, at: u64) -> HookEvent {
+        HookEvent::ScopeExit {
+            kind,
+            id,
+            at: SimTime(at),
+        }
+    }
+
+    #[test]
+    fn stage_compute_is_wall_minus_io() {
+        let scope = Scope {
+            section: 0,
+            tile: 0,
+            stage: 0,
+        };
+        let events = vec![
+            enter(ScopeKind::Section, 0, 0),
+            enter(ScopeKind::Stage, 0, 0),
+            // 1100 ns read: seek 100 + 1000 for 10 elems -> l_r = 100.
+            op(OpKind::FileRead, 7, 10, scope, 0, 1100),
+            // stage closes at 5000; compute = 5000 - 1100 = 3900.
+            exit(ScopeKind::Stage, 0, 5000),
+            exit(ScopeKind::Section, 0, 5000),
+        ];
+        let p = build_node_profile(0, &arch(1), &events, 10);
+        let per_row = p.compute_ns_per_row[&scope];
+        assert!((per_row - 390.0).abs() < 1e-9);
+        assert!((p.read_ns_per_elem[&7] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_latency_subtracts_write_seek() {
+        let scope = Scope::default();
+        let events = vec![
+            enter(ScopeKind::Section, 0, 0),
+            enter(ScopeKind::Stage, 0, 0),
+            // 1200 ns write: seek 200 + 1000 over 20 elems -> l_w = 50.
+            op(OpKind::FileWrite, 3, 20, scope, 0, 1200),
+            exit(ScopeKind::Stage, 0, 2000),
+            exit(ScopeKind::Section, 0, 2000),
+        ];
+        let p = build_node_profile(0, &arch(1), &events, 4);
+        assert!((p.write_ns_per_elem[&3] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_sizes_tracked_per_section() {
+        let scope = Scope {
+            section: 2,
+            ..Scope::default()
+        };
+        let events = vec![
+            enter(ScopeKind::Section, 2, 0),
+            HookEvent::Op {
+                info: OpInfo {
+                    kind: OpKind::Send,
+                    var: None,
+                    peer: Some(1),
+                    bytes: 256,
+                    elems: 32,
+                    scope,
+                    blocked: SimDur::ZERO,
+                },
+                start: SimTime(0),
+                end: SimTime(10),
+            },
+            exit(ScopeKind::Section, 2, 10),
+        ];
+        let p = build_node_profile(0, &arch(1), &events, 4);
+        assert_eq!(p.section_send_bytes[&2], 256);
+    }
+
+    #[test]
+    fn tiles_produce_distinct_scopes() {
+        let mk = |tile: u32| Scope {
+            section: 0,
+            tile,
+            stage: 0,
+        };
+        let events = vec![
+            enter(ScopeKind::Section, 0, 0),
+            enter(ScopeKind::Tile, 0, 0),
+            enter(ScopeKind::Stage, 0, 0),
+            exit(ScopeKind::Stage, 0, 100),
+            exit(ScopeKind::Tile, 0, 100),
+            enter(ScopeKind::Tile, 1, 100),
+            enter(ScopeKind::Stage, 0, 100),
+            exit(ScopeKind::Stage, 0, 400),
+            exit(ScopeKind::Tile, 1, 400),
+            exit(ScopeKind::Section, 0, 400),
+        ];
+        let p = build_node_profile(0, &arch(1), &events, 10);
+        assert!((p.compute_ns_per_row[&mk(0)] - 10.0).abs() < 1e-9);
+        assert!((p.compute_ns_per_row[&mk(1)] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rows_yields_no_compute_entries() {
+        let events = vec![
+            enter(ScopeKind::Section, 0, 0),
+            enter(ScopeKind::Stage, 0, 0),
+            exit(ScopeKind::Stage, 0, 100),
+            exit(ScopeKind::Section, 0, 100),
+        ];
+        let p = build_node_profile(0, &arch(1), &events, 0);
+        assert!(p.compute_ns_per_row.is_empty());
+    }
+
+    #[test]
+    fn build_profile_requires_matching_lengths() {
+        let recs = vec![VecRecorder::default()];
+        let prof = build_profile(&arch(1), &recs, &[5]);
+        assert_eq!(prof.nodes.len(), 1);
+        assert_eq!(prof.rows, vec![5]);
+    }
+}

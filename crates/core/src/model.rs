@@ -1,0 +1,901 @@
+//! The MHETA prediction engine (§4.2).
+//!
+//! Given the program structure, microbenchmarked architecture
+//! parameters, and the instrumented-iteration profile, predict the
+//! per-iteration execution time of the application under an arbitrary
+//! `GEN_BLOCK` distribution:
+//!
+//! * **Computation** — `T_c' = (T_c / W) · W'` per (node, section,
+//!   tile, stage) (§4.2.1).
+//! * **Synchronous I/O** — Eq. 1:
+//!   `T_io(v) = N_io · [O_r + L_r(v) + (O_w + L_w(v))]`.
+//! * **Prefetched I/O** — Eq. 2:
+//!   `T_io(v) = N_io·(O_r + T_o + O_w + L_w) + L_r + (N_io−1)·L_e`,
+//!   `L_e = max(0, L_r − T_o)`. Because the `N_io · T_o` term *is* the
+//!   stage's computation, this module keeps `T_c` separate and adds
+//!   only the I/O component — algebraically identical to Eq. 2.
+//! * **Nearest-neighbor waits** — Eq. 3 generalized to any number of
+//!   nodes: a node's blocked time for message `m` from `j` is
+//!   `max(0, (T_S(j) + o_s) + X(m) − (T_S(i) + o_s·sends_i))`, folded
+//!   over its incoming messages in receive order (Eq. 5 sums `o_s`,
+//!   waits, and `o_r`).
+//! * **Pipelined waits** — Eq. 4, implemented as the equivalent
+//!   tile-completion recurrence
+//!   `start(i,t) = max(finish(i,t−1), arrive(i,t))`.
+//! * **Reduction** — the binomial-tree twin of the executed collective
+//!   ([`mheta_mpi::model_allreduce`]); the paper defers this to \[25\].
+//! * **Totals** — §4.2.3: per-node sums over sections, iteration time
+//!   is the slowest node.
+
+use std::collections::HashMap;
+
+use mheta_mpi::{model_allreduce, HopCost, Scope};
+use mheta_sim::VarId;
+
+use crate::error::ModelError;
+use crate::ooc::{plan_node, VarPlan};
+use crate::params::ArchParams;
+use crate::profile::InstrumentedProfile;
+use crate::structure::{CommPattern, ProgramStructure, SectionSpec, StageSpec};
+
+/// Per-node cost decomposition of one predicted iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeBreakdown {
+    /// Computation, ns.
+    pub compute_ns: f64,
+    /// Disk I/O, ns.
+    pub io_ns: f64,
+    /// Communication (overheads + waits), ns.
+    pub comm_ns: f64,
+}
+
+impl NodeBreakdown {
+    /// Total predicted time for this node.
+    #[must_use]
+    pub fn total_ns(&self) -> f64 {
+        self.compute_ns + self.io_ns + self.comm_ns
+    }
+}
+
+/// The outcome of evaluating one distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted time of one iteration on each node, ns.
+    pub per_node_ns: Vec<f64>,
+    /// Predicted iteration time: the slowest node, ns.
+    pub iteration_ns: f64,
+    /// Per-node decomposition.
+    pub breakdown: Vec<NodeBreakdown>,
+}
+
+impl Prediction {
+    /// Predicted application time for `iters` iterations, seconds.
+    #[must_use]
+    pub fn app_secs(&self, iters: u32) -> f64 {
+        self.iteration_ns * f64::from(iters) / 1e9
+    }
+}
+
+/// How reductions are modeled (ablation knob; the paper's model — and
+/// the execution — use the binomial tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReductionModel {
+    /// Binomial tree matching the executed collective (default).
+    #[default]
+    Tree,
+    /// Flat: every node sends to the root serially, then the root
+    /// broadcasts serially — what a naive model would assume.
+    Flat,
+}
+
+/// Ablation switches for [`Mheta::predict_with`]. The defaults are the
+/// full model; each switch removes one modeling ingredient so its
+/// contribution to accuracy can be measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictOptions {
+    /// Model blocking time (the Eq. 3/4 waits). With `false`,
+    /// communication costs only its send/receive overheads plus the
+    /// transfer — nodes never wait for each other, so load imbalance
+    /// is invisible to the prediction.
+    pub model_waits: bool,
+    /// Reduction schedule model.
+    pub reduction: ReductionModel,
+}
+
+impl Default for PredictOptions {
+    fn default() -> Self {
+        PredictOptions {
+            model_waits: true,
+            reduction: ReductionModel::Tree,
+        }
+    }
+}
+
+/// The assembled model: evaluate distributions with [`Mheta::predict`].
+#[derive(Debug, Clone)]
+pub struct Mheta {
+    structure: ProgramStructure,
+    arch: ArchParams,
+    profile: InstrumentedProfile,
+    /// Bytes per row of each distributed variable (model's view:
+    /// averages).
+    dist_row_bytes: Vec<(VarId, f64)>,
+}
+
+impl Mheta {
+    /// Assemble a model; validates the three inputs against each other.
+    pub fn new(
+        structure: ProgramStructure,
+        arch: ArchParams,
+        profile: InstrumentedProfile,
+    ) -> Result<Self, ModelError> {
+        structure.validate().map_err(ModelError::Structure)?;
+        if arch.len() != profile.nodes.len() {
+            return Err(ModelError::Dimension(format!(
+                "arch has {} nodes but profile has {}",
+                arch.len(),
+                profile.nodes.len()
+            )));
+        }
+        for section in &structure.sections {
+            for stage in &section.stages {
+                if stage.prefetch {
+                    let dist_reads = stage
+                        .reads
+                        .iter()
+                        .filter(|v| {
+                            structure
+                                .variable(**v)
+                                .is_some_and(|var| var.distributed)
+                        })
+                        .count();
+                    if dist_reads > 1 {
+                        return Err(ModelError::Dimension(format!(
+                            "section {} stage {}: prefetch stages support one \
+                             distributed read variable, found {dist_reads}",
+                            section.id, stage.id
+                        )));
+                    }
+                }
+            }
+        }
+        let dist_row_bytes = structure.footprint_row_bytes();
+        Ok(Mheta {
+            structure,
+            arch,
+            profile,
+            dist_row_bytes,
+        })
+    }
+
+    /// The program structure this model was built for.
+    #[must_use]
+    pub fn structure(&self) -> &ProgramStructure {
+        &self.structure
+    }
+
+    /// The measured architecture parameters.
+    #[must_use]
+    pub fn arch(&self) -> &ArchParams {
+        &self.arch
+    }
+
+    /// The instrumented profile.
+    #[must_use]
+    pub fn profile(&self) -> &InstrumentedProfile {
+        &self.profile
+    }
+
+    /// Out-of-core plans for a node under `my_rows`: the structure's
+    /// declared resident overhead plus average row sizes — the simple
+    /// heuristic of §4.2.1, which diverges from the applications only
+    /// through what the structure cannot express (actual sparse row
+    /// sizes, small implementation buffers — the §5.4 error sources).
+    #[must_use]
+    pub fn node_plans(&self, rank: usize, my_rows: usize) -> HashMap<VarId, VarPlan> {
+        plan_node(
+            self.arch.memory_bytes[rank],
+            self.structure.overhead_bytes(my_rows),
+            my_rows,
+            &self.dist_row_bytes,
+        )
+    }
+
+    /// Predict one iteration under the distribution `rows` (rows per
+    /// node).
+    pub fn predict(&self, rows: &[usize]) -> Result<Prediction, ModelError> {
+        self.predict_with(rows, PredictOptions::default())
+    }
+
+    /// [`Mheta::predict`] with explicit ablation switches.
+    pub fn predict_with(
+        &self,
+        rows: &[usize],
+        opts: PredictOptions,
+    ) -> Result<Prediction, ModelError> {
+        let n = self.arch.len();
+        if rows.len() != n {
+            return Err(ModelError::Dimension(format!(
+                "distribution has {} entries for {} nodes",
+                rows.len(),
+                n
+            )));
+        }
+        let total: usize = rows.iter().sum();
+        let expected = self.structure.distribution_rows();
+        if expected != 0 && total != expected {
+            return Err(ModelError::Dimension(format!(
+                "distribution sums to {total} rows, structure has {expected}"
+            )));
+        }
+
+        let plans: Vec<HashMap<VarId, VarPlan>> = (0..n)
+            .map(|i| self.node_plans(i, rows[i]))
+            .collect();
+
+        // Two passes over the section chain: the first develops the
+        // steady-state clock skew between nodes (pipeline fill, bcast
+        // tree asymmetry); the second measures the per-iteration cycle
+        // the remaining iterations actually repeat. A single pass would
+        // fold the one-time skew into every predicted iteration.
+        let mut clock = vec![0.0f64; n];
+        let mut warmup_breakdown = vec![NodeBreakdown::default(); n];
+        for section in &self.structure.sections {
+            self.advance_section(section, rows, &plans, &mut clock, &mut warmup_breakdown, opts);
+        }
+        let after_warmup = clock.clone();
+        let mut breakdown = vec![NodeBreakdown::default(); n];
+        for section in &self.structure.sections {
+            self.advance_section(section, rows, &plans, &mut clock, &mut breakdown, opts);
+        }
+
+        let per_node_ns: Vec<f64> = clock
+            .iter()
+            .zip(&after_warmup)
+            .map(|(c, w)| c - w)
+            .collect();
+        let iteration_ns = per_node_ns.iter().copied().fold(0.0, f64::max);
+        Ok(Prediction {
+            per_node_ns,
+            iteration_ns,
+            breakdown,
+        })
+    }
+
+    /// Compute + I/O time of one (node, tile, stage), split into the
+    /// two components.
+    fn stage_time(
+        &self,
+        rank: usize,
+        rows: usize,
+        section: &SectionSpec,
+        tile: u32,
+        stage: &StageSpec,
+        plans: &HashMap<VarId, VarPlan>,
+    ) -> (f64, f64) {
+        let scope = Scope {
+            section: section.id,
+            tile,
+            stage: stage.id,
+        };
+        let t_c = self.profile.compute_ns_per_row(rank, scope) * rows as f64;
+        let disk = &self.arch.disks[rank];
+        let mut io = 0.0;
+
+        for &v in &stage.reads {
+            let Some(var) = self.structure.variable(v) else {
+                continue;
+            };
+            if !var.distributed {
+                continue; // replicated arrays are resident (§3.1).
+            }
+            let plan = plans[&v];
+            if plan.in_core || plan.n_io == 0 {
+                continue;
+            }
+            // Eq. 1 charges N_io x (O_r + L_r) with L_r per ICLA; we
+            // charge the seeks per pass but the latency on the actual
+            // OCLA elements, so the ragged final chunk is not billed as
+            // a full pass (equivalently: L_r uses the mean chunk size).
+            let n_io = plan.n_io as f64;
+            let ocla_elems =
+                plan.ocla_rows as f64 * var.elems_per_row * stage.row_fraction;
+            let mean_chunk_elems = ocla_elems / n_io;
+            let l_r = self
+                .profile
+                .read_ns_per_elem(rank, v)
+                .unwrap_or(disk.read_ns_per_byte * var.elem_bytes as f64);
+            let big_l_r = l_r * mean_chunk_elems;
+            if stage.prefetch {
+                // Eq. 2 minus its N·T_o computation term (T_c covers it).
+                let t_o = t_c / n_io;
+                let l_e = (big_l_r - t_o).max(0.0);
+                io += n_io * disk.o_read + big_l_r + (n_io - 1.0) * l_e;
+            } else {
+                // Eq. 1, read half.
+                io += n_io * (disk.o_read + big_l_r);
+            }
+        }
+
+        for &v in &stage.writes {
+            let Some(var) = self.structure.variable(v) else {
+                continue;
+            };
+            if !var.distributed || var.read_only {
+                continue;
+            }
+            let plan = plans[&v];
+            if plan.in_core || plan.n_io == 0 {
+                continue;
+            }
+            let ocla_elems =
+                plan.ocla_rows as f64 * var.elems_per_row * stage.row_fraction;
+            let l_w = self
+                .profile
+                .write_ns_per_elem(rank, v)
+                .unwrap_or(disk.write_ns_per_byte * var.elem_bytes as f64);
+            // Eq. 1 / Eq. 2 write half (identical in both): seeks per
+            // pass, latency on the actual elements written.
+            io += plan.n_io as f64 * disk.o_write + l_w * ocla_elems;
+        }
+
+        (t_c, io)
+    }
+
+    /// Sum of stage times for one (node, tile).
+    fn tile_time(
+        &self,
+        rank: usize,
+        rows: usize,
+        section: &SectionSpec,
+        tile: u32,
+        plans: &HashMap<VarId, VarPlan>,
+        breakdown: &mut NodeBreakdown,
+    ) -> f64 {
+        let mut total = 0.0;
+        for stage in &section.stages {
+            let (t_c, io) = self.stage_time(rank, rows, section, tile, stage, plans);
+            breakdown.compute_ns += t_c;
+            breakdown.io_ns += io;
+            total += t_c + io;
+        }
+        total
+    }
+
+    /// Advance all per-node clocks across one parallel section,
+    /// including its closing communication.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_section(
+        &self,
+        section: &SectionSpec,
+        rows: &[usize],
+        plans: &[HashMap<VarId, VarPlan>],
+        clock: &mut [f64],
+        breakdown: &mut [NodeBreakdown],
+        opts: PredictOptions,
+    ) {
+        let n = clock.len();
+        let comm = &self.arch.comm;
+        let msg_bytes = |elems: usize| {
+            let measured = self.profile.section_send_bytes(section.id);
+            if measured > 0 {
+                measured
+            } else {
+                (elems * 8) as u64
+            }
+        };
+
+        match section.comm {
+            CommPattern::None => {
+                for i in 0..n {
+                    clock[i] +=
+                        self.tile_time(i, rows[i], section, 0, &plans[i], &mut breakdown[i]);
+                }
+            }
+            CommPattern::NearestNeighbor { msg_elems } => {
+                let x = comm.transfer_ns(msg_bytes(msg_elems));
+                // Phase 1: stages, then posts (left first, then right).
+                let mut ready = vec![0.0f64; n];
+                let mut after_sends = vec![0.0f64; n];
+                let mut arrival_from_left = vec![f64::NEG_INFINITY; n];
+                let mut arrival_from_right = vec![f64::NEG_INFINITY; n];
+                for i in 0..n {
+                    let t_s =
+                        self.tile_time(i, rows[i], section, 0, &plans[i], &mut breakdown[i]);
+                    ready[i] = clock[i] + t_s;
+                    let mut t = ready[i];
+                    if i > 0 {
+                        t += comm.o_s;
+                        arrival_from_right[i - 1] = t + x;
+                    }
+                    if i + 1 < n {
+                        t += comm.o_s;
+                        arrival_from_left[i + 1] = t + x;
+                    }
+                    after_sends[i] = t;
+                }
+                // Phase 2: receives in the same order (left, then right).
+                for i in 0..n {
+                    let mut t = after_sends[i];
+                    if i > 0 {
+                        if opts.model_waits {
+                            t = t.max(arrival_from_left[i]);
+                        }
+                        t += comm.o_r;
+                    }
+                    if i + 1 < n {
+                        if opts.model_waits {
+                            t = t.max(arrival_from_right[i]);
+                        }
+                        t += comm.o_r;
+                    }
+                    // Everything past the stage work — send overheads,
+                    // blocked time, receive overheads — is Eq. 5's T_C.
+                    breakdown[i].comm_ns += t - ready[i];
+                    clock[i] = t;
+                }
+            }
+            CommPattern::Reduction { msg_elems } => {
+                let x = comm.transfer_ns(msg_bytes(msg_elems));
+                let mut ready = vec![0.0f64; n];
+                for i in 0..n {
+                    ready[i] = clock[i]
+                        + self.tile_time(i, rows[i], section, 0, &plans[i], &mut breakdown[i]);
+                }
+                let cost = HopCost {
+                    o_s: comm.o_s,
+                    o_r: comm.o_r,
+                    transfer: x,
+                };
+                let done = match (opts.model_waits, opts.reduction) {
+                    (true, ReductionModel::Tree) => model_allreduce(&ready, cost),
+                    (true, ReductionModel::Flat) => flat_allreduce(&ready, cost),
+                    (false, _) => {
+                        // No-wait ablation: every node pays only its own
+                        // role's critical path from a synchronized start.
+                        let base = model_allreduce(&vec![0.0; n], cost);
+                        ready.iter().zip(&base).map(|(r, b)| r + b).collect()
+                    }
+                };
+                #[allow(clippy::manual_memcpy)] // comm_ns accumulation is not a copy
+                for i in 0..n {
+                    breakdown[i].comm_ns += done[i] - ready[i];
+                    clock[i] = done[i];
+                }
+            }
+            CommPattern::Pipelined { msg_elems } => {
+                let x = comm.transfer_ns(msg_bytes(msg_elems));
+                let tiles = section.tiles;
+                let mut arrival = vec![f64::NEG_INFINITY; tiles as usize];
+                for i in 0..n {
+                    let mut next_arrival = vec![f64::NEG_INFINITY; tiles as usize];
+                    let mut t = clock[i];
+                    let mut comm_time = 0.0;
+                    for tile in 0..tiles {
+                        if i > 0 {
+                            let before = t;
+                            if opts.model_waits {
+                                t = t.max(arrival[tile as usize]);
+                            }
+                            t += comm.o_r;
+                            comm_time += t - before;
+                        }
+                        t += self.tile_time(
+                            i,
+                            rows[i],
+                            section,
+                            tile,
+                            &plans[i],
+                            &mut breakdown[i],
+                        );
+                        if i + 1 < n {
+                            t += comm.o_s;
+                            comm_time += comm.o_s;
+                            next_arrival[tile as usize] = t + x;
+                        }
+                    }
+                    breakdown[i].comm_ns += comm_time;
+                    clock[i] = t;
+                    arrival = next_arrival;
+                }
+            }
+        }
+    }
+}
+
+/// Flat (serialized) allreduce model for the [`ReductionModel::Flat`]
+/// ablation: every non-root sends to rank 0, which receives them in
+/// rank order, then sends the result back to each in rank order.
+fn flat_allreduce(ready: &[f64], cost: HopCost) -> Vec<f64> {
+    let n = ready.len();
+    if n <= 1 {
+        return ready.to_vec();
+    }
+    let mut clock = ready.to_vec();
+    // Gather to root.
+    let mut root = clock[0];
+    for c in clock.iter_mut().skip(1) {
+        *c += cost.o_s;
+        let arrival = *c + cost.transfer;
+        root = root.max(arrival) + cost.o_r;
+    }
+    clock[0] = root;
+    // Serial broadcast back.
+    for i in 1..n {
+        clock[0] += cost.o_s;
+        let arrival = clock[0] + cost.transfer;
+        clock[i] = clock[i].max(arrival) + cost.o_r;
+    }
+    clock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CommParams, DiskParams};
+    use crate::profile::NodeProfile;
+    use crate::structure::Variable;
+
+    fn arch(n: usize, memory: u64) -> ArchParams {
+        ArchParams {
+            name: "t".into(),
+            comm: CommParams {
+                o_s: 10.0,
+                o_r: 20.0,
+                alpha: 100.0,
+                beta: 1.0,
+            },
+            disks: vec![
+                DiskParams {
+                    o_read: 1_000.0,
+                    o_write: 2_000.0,
+                    read_ns_per_byte: 1.0,
+                    write_ns_per_byte: 1.0,
+                };
+                n
+            ],
+            memory_bytes: vec![memory; n],
+        }
+    }
+
+    fn variable(id: VarId, rows: usize, epr: f64, read_only: bool) -> Variable {
+        Variable {
+            id,
+            name: format!("v{id}"),
+            elem_bytes: 8,
+            read_only,
+            distributed: true,
+            resident: false,
+            total_rows: rows,
+            elems_per_row: epr,
+        }
+    }
+
+    fn one_section(
+        rows: usize,
+        comm: CommPattern,
+        prefetch: bool,
+        read_only: bool,
+    ) -> ProgramStructure {
+        ProgramStructure {
+            name: "t".into(),
+            sections: vec![SectionSpec {
+                id: 0,
+                tiles: 1,
+                stages: vec![StageSpec {
+                    id: 0,
+                    reads: vec![1],
+                    writes: if read_only { vec![] } else { vec![1] },
+                    prefetch,
+                    row_fraction: 1.0,
+                }],
+                comm,
+            }],
+            variables: vec![variable(1, rows, 10.0, read_only)],
+        }
+    }
+
+    fn profile_uniform(n: usize, rows_each: usize, cpr: f64, l_r: f64, l_w: f64) -> InstrumentedProfile {
+        let nodes = (0..n)
+            .map(|rank| {
+                let mut p = NodeProfile {
+                    rank,
+                    ..Default::default()
+                };
+                for sec in 0..4u32 {
+                    for tile in 0..8u32 {
+                        p.compute_ns_per_row.insert(
+                            Scope {
+                                section: sec,
+                                tile,
+                                stage: 0,
+                            },
+                            cpr,
+                        );
+                    }
+                }
+                p.read_ns_per_elem.insert(1, l_r);
+                p.write_ns_per_elem.insert(1, l_w);
+                p
+            })
+            .collect();
+        InstrumentedProfile {
+            nodes,
+            rows: vec![rows_each; n],
+        }
+    }
+
+    #[test]
+    fn in_core_single_node_is_pure_compute() {
+        let s = one_section(100, CommPattern::None, false, true);
+        // 100 rows x 80 B = 8000 B fits in 1 MiB: in core, no I/O.
+        let m = Mheta::new(s, arch(1, 1 << 20), profile_uniform(1, 100, 50.0, 1.0, 1.0)).unwrap();
+        let p = m.predict(&[100]).unwrap();
+        assert!((p.iteration_ns - 5_000.0).abs() < 1e-9);
+        assert_eq!(p.breakdown[0].io_ns, 0.0);
+        assert_eq!(p.breakdown[0].comm_ns, 0.0);
+    }
+
+    #[test]
+    fn equation_one_arithmetic() {
+        // Share: 100 rows x 10 elems x 8 B = 8000 B. The variable is
+        // read-write, so its streaming footprint is 160 B/row; memory
+        // 2000 B -> ICLA 12 rows, N_io = ceil(100/12) = 9.
+        // Reads: 9 seeks + latency on the whole 1000-elem OCLA;
+        // writes likewise.
+        let s = one_section(100, CommPattern::None, false, false);
+        let m = Mheta::new(s, arch(1, 2_000), profile_uniform(1, 100, 0.0, 8.0, 4.0)).unwrap();
+        let p = m.predict(&[100]).unwrap();
+        let expect = (9.0 * 1_000.0 + 8.0 * 1_000.0) + (9.0 * 2_000.0 + 4.0 * 1_000.0);
+        assert!(
+            (p.iteration_ns - expect).abs() < 1e-6,
+            "got {} want {expect}",
+            p.iteration_ns
+        );
+    }
+
+    #[test]
+    fn read_only_variable_keeps_single_footprint() {
+        // Read-only: footprint 80 B/row -> ICLA 25 rows, N_io = 4,
+        // no write terms.
+        let s = one_section(100, CommPattern::None, false, true);
+        let m = Mheta::new(s, arch(1, 2_000), profile_uniform(1, 100, 0.0, 8.0, 4.0)).unwrap();
+        let p = m.predict(&[100]).unwrap();
+        let expect = 4.0 * (1_000.0 + 8.0 * 250.0);
+        assert!(
+            (p.iteration_ns - expect).abs() < 1e-6,
+            "got {} want {expect}",
+            p.iteration_ns
+        );
+    }
+
+    #[test]
+    fn row_fraction_scales_transfer_not_seeks() {
+        let mut s = one_section(100, CommPattern::None, false, true);
+        s.sections[0].stages[0].row_fraction = 0.5;
+        let m = Mheta::new(s, arch(1, 2_000), profile_uniform(1, 100, 0.0, 8.0, 4.0)).unwrap();
+        let p = m.predict(&[100]).unwrap();
+        // Same N_io and seeks, half the per-pass latency.
+        let expect = 4.0 * (1_000.0 + 8.0 * 125.0);
+        assert!(
+            (p.iteration_ns - expect).abs() < 1e-6,
+            "got {} want {expect}",
+            p.iteration_ns
+        );
+    }
+
+    #[test]
+    fn equation_two_reduces_to_equation_one_without_compute() {
+        let s1 = one_section(100, CommPattern::None, false, true);
+        let s2 = one_section(100, CommPattern::None, true, true);
+        let a = arch(1, 2_000);
+        let prof = profile_uniform(1, 100, 0.0, 8.0, 4.0);
+        let p1 = Mheta::new(s1, a.clone(), prof.clone())
+            .unwrap()
+            .predict(&[100])
+            .unwrap();
+        let p2 = Mheta::new(s2, a, prof).unwrap().predict(&[100]).unwrap();
+        // With T_o = 0 (no compute), Eq. 2 == Eq. 1.
+        assert!((p1.iteration_ns - p2.iteration_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prefetch_masks_latency_with_enough_compute() {
+        // L_r per ICLA = 2000 ns; compute per ICLA = 25 rows x 200 = 5000.
+        // T_o >= L_r so L_e = 0: I/O = N*O_r + L_r.
+        let s = one_section(100, CommPattern::None, true, true);
+        let m = Mheta::new(s, arch(1, 2_000), profile_uniform(1, 100, 200.0, 8.0, 4.0)).unwrap();
+        let p = m.predict(&[100]).unwrap();
+        let t_c = 100.0 * 200.0;
+        let expect_io = 4.0 * 1_000.0 + 2_000.0;
+        assert!(
+            (p.iteration_ns - (t_c + expect_io)).abs() < 1e-6,
+            "got {}",
+            p.iteration_ns
+        );
+        // Same program without prefetch pays the full latency each pass.
+        let s_sync = one_section(100, CommPattern::None, false, true);
+        let p_sync = Mheta::new(
+            s_sync,
+            arch(1, 2_000),
+            profile_uniform(1, 100, 200.0, 8.0, 4.0),
+        )
+        .unwrap()
+        .predict(&[100])
+        .unwrap();
+        assert!(p_sync.iteration_ns > p.iteration_ns);
+    }
+
+    #[test]
+    fn nearest_neighbor_wait_matches_hand_computation() {
+        // Two nodes, node 1 slower (300 ns/row vs 100), 10 rows each.
+        let s = ProgramStructure {
+            name: "t".into(),
+            sections: vec![SectionSpec {
+                id: 0,
+                tiles: 1,
+                stages: vec![StageSpec {
+                    id: 0,
+                    reads: vec![],
+                    writes: vec![],
+                    prefetch: false,
+                    row_fraction: 1.0,
+                }],
+                comm: CommPattern::NearestNeighbor { msg_elems: 10 },
+            }],
+            variables: vec![variable(1, 20, 10.0, true)],
+        };
+        let mut prof = profile_uniform(2, 10, 100.0, 1.0, 1.0);
+        for p in prof.nodes[1].compute_ns_per_row.values_mut() {
+            *p = 300.0;
+        }
+        let m = Mheta::new(s, arch(2, 1 << 20), prof).unwrap();
+        let p = m.predict(&[10, 10]).unwrap();
+        // T_S: node0 = 1000, node1 = 3000; X = 100 + 80 = 180.
+        // Warmup: node0 ends at 3210 (blocked on the slow node), node1
+        // at 3030. In steady state both repeat the slow node's cycle:
+        // node1 never waits (its message arrives early), spending
+        // 3000 + o_s + o_r = 3030 per iteration; node0 is bound by
+        // node1's cadence, also 3030.
+        assert!((p.per_node_ns[0] - 3_030.0).abs() < 1e-9, "{}", p.per_node_ns[0]);
+        assert!((p.per_node_ns[1] - 3_030.0).abs() < 1e-9, "{}", p.per_node_ns[1]);
+        assert!((p.iteration_ns - 3_030.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_accumulates_along_the_chain() {
+        let tiles = 4u32;
+        let s = ProgramStructure {
+            name: "t".into(),
+            sections: vec![SectionSpec {
+                id: 0,
+                tiles,
+                stages: vec![StageSpec {
+                    id: 0,
+                    reads: vec![],
+                    writes: vec![],
+                    prefetch: false,
+                    row_fraction: 1.0,
+                }],
+                comm: CommPattern::Pipelined { msg_elems: 4 },
+            }],
+            variables: vec![variable(1, 30, 10.0, true)],
+        };
+        let m = Mheta::new(s, arch(3, 1 << 20), profile_uniform(3, 10, 100.0, 1.0, 1.0)).unwrap();
+        let p = m.predict(&[10, 10, 10]).unwrap();
+        // Steady state: node 0 never waits (tiles x (work + o_s));
+        // interior nodes add the receive overhead per tile; the tail
+        // node skips the send. The chain is bounded below by upstream.
+        let expect0 = f64::from(tiles) * (10.0 * 100.0 + 10.0);
+        let expect1 = f64::from(tiles) * (20.0 + 10.0 * 100.0 + 10.0);
+        // The tail node's own busy time (o_r + work) is less than its
+        // producer's cadence, so it is bound by node 1's cycle.
+        let expect2 = expect1;
+        assert!((p.per_node_ns[0] - expect0).abs() < 1e-9, "{}", p.per_node_ns[0]);
+        assert!((p.per_node_ns[1] - expect1).abs() < 1e-9, "{}", p.per_node_ns[1]);
+        assert!((p.per_node_ns[2] - expect2).abs() < 1e-9, "{}", p.per_node_ns[2]);
+        assert!(p.iteration_ns >= expect0);
+    }
+
+    #[test]
+    fn reduction_uses_tree_model() {
+        let s = one_section(40, CommPattern::Reduction { msg_elems: 1 }, false, true);
+        let m = Mheta::new(s, arch(4, 1 << 20), profile_uniform(4, 10, 100.0, 1.0, 1.0)).unwrap();
+        let p = m.predict(&[10, 10, 10, 10]).unwrap();
+        // All nodes same T_S = 1000; allreduce adds tree latency.
+        assert!(p.iteration_ns > 1_000.0);
+        // Everyone ends within one hop of each other after the bcast.
+        let min = p.per_node_ns.iter().copied().fold(f64::MAX, f64::min);
+        assert!(p.iteration_ns - min < 2.0 * (10.0 + 108.0 + 20.0) + 1.0);
+    }
+
+    #[test]
+    fn wrong_distribution_length_rejected() {
+        let s = one_section(100, CommPattern::None, false, true);
+        let m = Mheta::new(s, arch(2, 1 << 20), profile_uniform(2, 50, 1.0, 1.0, 1.0)).unwrap();
+        assert!(m.predict(&[100]).is_err());
+        assert!(m.predict(&[50, 49]).is_err());
+        assert!(m.predict(&[50, 50]).is_ok());
+    }
+
+    #[test]
+    fn more_rows_cost_more() {
+        let s = one_section(100, CommPattern::None, false, true);
+        let m = Mheta::new(s, arch(2, 1 << 20), profile_uniform(2, 50, 10.0, 1.0, 1.0)).unwrap();
+        let balanced = m.predict(&[50, 50]).unwrap();
+        let skewed = m.predict(&[90, 10]).unwrap();
+        assert!(skewed.iteration_ns > balanced.iteration_ns);
+    }
+
+    #[test]
+    fn no_wait_ablation_hides_imbalance() {
+        // Two nodes, one much slower; NN comm. The full model's cycle
+        // is bound by the slow node on both; the no-wait ablation lets
+        // the fast node's prediction ignore its partner.
+        let s = ProgramStructure {
+            name: "t".into(),
+            sections: vec![SectionSpec {
+                id: 0,
+                tiles: 1,
+                stages: vec![StageSpec::new(0, vec![], vec![], false)],
+                comm: CommPattern::NearestNeighbor { msg_elems: 10 },
+            }],
+            variables: vec![variable(1, 20, 10.0, true)],
+        };
+        let mut prof = profile_uniform(2, 10, 100.0, 1.0, 1.0);
+        for p in prof.nodes[1].compute_ns_per_row.values_mut() {
+            *p = 300.0;
+        }
+        let m = Mheta::new(s, arch(2, 1 << 20), prof).unwrap();
+        let full = m.predict(&[10, 10]).unwrap();
+        let ablated = m
+            .predict_with(
+                &[10, 10],
+                PredictOptions {
+                    model_waits: false,
+                    ..PredictOptions::default()
+                },
+            )
+            .unwrap();
+        // Full model: both nodes run at the slow node's cycle (3030).
+        // Ablated: node 0 believes it only pays its own work+overheads,
+        // while the slow node (which never waited) is unchanged — so
+        // the iteration time stays put but the per-node picture is
+        // wrong, which is what breaks distribution comparisons.
+        assert!(ablated.per_node_ns[0] < full.per_node_ns[0] * 0.5);
+        assert!((ablated.per_node_ns[1] - full.per_node_ns[1]).abs() < 1.0);
+        assert!((ablated.iteration_ns - full.iteration_ns).abs() < 1.0);
+    }
+
+    #[test]
+    fn reduction_model_choice_changes_predictions() {
+        let s = one_section(80, CommPattern::Reduction { msg_elems: 1 }, false, true);
+        let m = Mheta::new(s, arch(8, 1 << 20), profile_uniform(8, 10, 100.0, 1.0, 1.0)).unwrap();
+        let rows = vec![10; 8];
+        let tree = m.predict(&rows).unwrap().iteration_ns;
+        let flat = m
+            .predict_with(
+                &rows,
+                PredictOptions {
+                    reduction: ReductionModel::Flat,
+                    ..PredictOptions::default()
+                },
+            )
+            .unwrap()
+            .iteration_ns;
+        // With 8 nodes and cheap endpoint overheads the serialized
+        // schedule actually beats the 2·log2(n)-deep tree on paper —
+        // but the *execution* uses the tree, so predicting with the
+        // flat model is a real (measurable) modeling error either way.
+        assert_ne!(flat, tree, "the ablation must change the prediction");
+        assert!(flat > 0.0 && tree > 0.0);
+    }
+
+    #[test]
+    fn app_secs_scales_linearly() {
+        let s = one_section(100, CommPattern::None, false, true);
+        let m = Mheta::new(s, arch(1, 1 << 20), profile_uniform(1, 100, 10.0, 1.0, 1.0)).unwrap();
+        let p = m.predict(&[100]).unwrap();
+        assert!((p.app_secs(10) - 10.0 * p.iteration_ns / 1e9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! The anchor distributions of the paper's Figure 8.
+//!
+//! The tested distributions span two axes: how well the load is
+//! balanced and to what degree I/O costs are considered:
+//!
+//! * **Blk** — even split, oblivious to both.
+//! * **Bal** — balances the load (rows inversely proportional to each
+//!   node's measured per-row compute cost), ignores I/O.
+//! * **I-C** — maximizes the number of nodes whose datasets are
+//!   exclusively in core, ignores load.
+//! * **I-C/Bal** — first maximizes in-core nodes, then balances load
+//!   as much as possible subject to staying in core.
+
+use crate::genblock::GenBlock;
+
+/// Inputs the anchor constructors need about the machine and program:
+/// per-node compute rates and in-core capacities.
+#[derive(Debug, Clone)]
+pub struct AnchorInputs {
+    /// Total rows to distribute.
+    pub total_rows: usize,
+    /// Per-node compute cost per row, ns (from the instrumented
+    /// profile); lower = faster node.
+    pub ns_per_row: Vec<f64>,
+    /// Per-node in-core capacity in rows: how many rows fit in the
+    /// node's memory given the per-row footprint of all distributed
+    /// variables.
+    pub capacity_rows: Vec<usize>,
+}
+
+impl AnchorInputs {
+    fn n(&self) -> usize {
+        self.ns_per_row.len()
+    }
+
+    fn speeds(&self) -> Vec<f64> {
+        self.ns_per_row
+            .iter()
+            .map(|&c| if c > 0.0 && c.is_finite() { 1.0 / c } else { 1.0 })
+            .collect()
+    }
+}
+
+/// `Blk`: even split.
+#[must_use]
+pub fn blk(inp: &AnchorInputs) -> GenBlock {
+    GenBlock::block(inp.total_rows, inp.n())
+}
+
+/// `Bal`: rows proportional to node speed.
+#[must_use]
+pub fn bal(inp: &AnchorInputs) -> GenBlock {
+    GenBlock::apportion(inp.total_rows, &inp.speeds())
+}
+
+/// `I-C`: maximize the number of exclusively in-core nodes, ignoring
+/// load. Every node keeps at least one row; spare rows fill nodes in
+/// descending capacity order up to their in-core capacity; any overflow
+/// beyond total capacity lands proportionally to capacity.
+#[must_use]
+pub fn ic(inp: &AnchorInputs) -> GenBlock {
+    let n = inp.n();
+    assert!(inp.total_rows >= n, "need at least one row per node");
+    let mut rows = vec![1usize; n];
+    let mut remaining = inp.total_rows - n;
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| inp.capacity_rows[b].cmp(&inp.capacity_rows[a]).then(a.cmp(&b)));
+
+    for &i in &order {
+        if remaining == 0 {
+            break;
+        }
+        let headroom = inp.capacity_rows[i].saturating_sub(rows[i]);
+        let take = headroom.min(remaining);
+        rows[i] += take;
+        remaining -= take;
+    }
+    if remaining > 0 {
+        // Dataset exceeds aggregate memory: someone must go out of
+        // core. Spill proportionally to capacity so big-memory nodes
+        // absorb most of it.
+        let weights: Vec<f64> = inp
+            .capacity_rows
+            .iter()
+            .map(|&c| (c as f64).max(1.0))
+            .collect();
+        let spill = GenBlock::apportion(remaining + n, &weights);
+        for (r, s) in rows.iter_mut().zip(spill.rows()) {
+            *r += s - 1;
+        }
+    }
+    GenBlock::new(rows).expect("rows start at 1 and only grow")
+}
+
+/// `I-C/Bal`: maximize in-core nodes first, then balance load subject
+/// to the in-core caps (iterative water-filling); if the dataset
+/// exceeds aggregate memory, the overflow is spread by speed.
+#[must_use]
+pub fn ic_bal(inp: &AnchorInputs) -> GenBlock {
+    let n = inp.n();
+    assert!(inp.total_rows >= n, "need at least one row per node");
+    let speeds = inp.speeds();
+    let mut rows = vec![1usize; n];
+    let mut remaining = inp.total_rows - n;
+    let mut open: Vec<usize> = (0..n)
+        .filter(|&i| inp.capacity_rows[i] > rows[i])
+        .collect();
+
+    // Water-fill: hand out rows by speed among nodes with headroom,
+    // capping at in-core capacity, until rows run out or all nodes cap.
+    while remaining > 0 && !open.is_empty() {
+        let wsum: f64 = open.iter().map(|&i| speeds[i]).sum();
+        let mut gave = 0usize;
+        let mut next_open = Vec::with_capacity(open.len());
+        for &i in &open {
+            let share = ((speeds[i] / wsum) * remaining as f64).floor() as usize;
+            let share = share.max(1).min(remaining - gave);
+            let headroom = inp.capacity_rows[i] - rows[i];
+            let take = share.min(headroom);
+            rows[i] += take;
+            gave += take;
+            if rows[i] < inp.capacity_rows[i] {
+                next_open.push(i);
+            }
+            if gave == remaining {
+                break;
+            }
+        }
+        remaining -= gave;
+        if gave == 0 {
+            break; // all open nodes were actually capped
+        }
+        open = next_open;
+    }
+    if remaining > 0 {
+        // Aggregate memory exhausted: balance the overflow by speed.
+        let spill = GenBlock::apportion(remaining + n, &speeds);
+        for (r, s) in rows.iter_mut().zip(spill.rows()) {
+            *r += s - 1;
+        }
+    }
+    GenBlock::new(rows).expect("rows start at 1 and only grow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(total: usize, ns: &[f64], cap: &[usize]) -> AnchorInputs {
+        AnchorInputs {
+            total_rows: total,
+            ns_per_row: ns.to_vec(),
+            capacity_rows: cap.to_vec(),
+        }
+    }
+
+    #[test]
+    fn blk_is_even() {
+        let inp = inputs(100, &[1.0; 4], &[100; 4]);
+        assert_eq!(blk(&inp).rows(), &[25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn bal_favors_fast_nodes() {
+        // Node 1 is twice as fast (half the per-row cost).
+        let inp = inputs(90, &[2.0, 1.0, 2.0], &[1000; 3]);
+        let g = bal(&inp);
+        assert_eq!(g.total(), 90);
+        assert!(g.rows()[1] > g.rows()[0]);
+        // Roughly 2x the rows of a slow node.
+        let ratio = g.rows()[1] as f64 / g.rows()[0] as f64;
+        assert!((1.6..=2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ic_fills_big_memory_nodes_first() {
+        // Capacities: node 0 can hold everything; others tiny.
+        let inp = inputs(100, &[1.0; 4], &[200, 5, 5, 5]);
+        let g = ic(&inp);
+        assert_eq!(g.total(), 100);
+        // All rows beyond the 1-row reserves go to node 0.
+        assert_eq!(g.rows()[0], 97);
+        assert_eq!(&g.rows()[1..], &[1, 1, 1]);
+        // Every node is within its capacity: all in core.
+        for (r, c) in g.rows().iter().zip(&inp.capacity_rows) {
+            assert!(r <= c);
+        }
+    }
+
+    #[test]
+    fn ic_spills_when_memory_insufficient() {
+        let inp = inputs(100, &[1.0; 2], &[30, 30]);
+        let g = ic(&inp);
+        assert_eq!(g.total(), 100);
+        // Both nodes must exceed capacity; spill is capacity-weighted
+        // (equal here).
+        assert!(g.rows()[0] > 30 && g.rows()[1] > 30);
+    }
+
+    #[test]
+    fn ic_bal_balances_within_caps() {
+        // Equal speeds, one small node: it caps, others share evenly.
+        let inp = inputs(100, &[1.0; 4], &[100, 100, 100, 4]);
+        let g = ic_bal(&inp);
+        assert_eq!(g.total(), 100);
+        assert!(g.rows()[3] <= 4);
+        let others: Vec<usize> = g.rows()[..3].to_vec();
+        let max = others.iter().max().unwrap();
+        let min = others.iter().min().unwrap();
+        assert!(max - min <= 2, "{others:?}");
+    }
+
+    #[test]
+    fn ic_bal_respects_speed_within_memory() {
+        let inp = inputs(120, &[2.0, 1.0], &[1000, 1000]);
+        let g = ic_bal(&inp);
+        assert!(g.rows()[1] > g.rows()[0]);
+        assert_eq!(g.total(), 120);
+    }
+
+    #[test]
+    fn ic_bal_overflow_spread_by_speed() {
+        let inp = inputs(100, &[1.0, 1.0], &[10, 10]);
+        let g = ic_bal(&inp);
+        assert_eq!(g.total(), 100);
+        let diff = g.rows()[0].abs_diff(g.rows()[1]);
+        assert!(diff <= 2, "{g}");
+    }
+
+    #[test]
+    fn all_anchors_sum_and_floor() {
+        let inp = inputs(64, &[1.0, 0.5, 2.0, 1.0], &[10, 40, 10, 40]);
+        for g in [blk(&inp), bal(&inp), ic(&inp), ic_bal(&inp)] {
+            assert_eq!(g.total(), 64);
+            assert!(g.rows().iter().all(|&r| r >= 1));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Evaluation functions for distribution search.
+//!
+//! MHETA is the evaluation function (§5.3: "MHETA is used as part of
+//! four different algorithms … to determine an effective distribution
+//! \[26\]"); the trait indirection lets tests plug in synthetic
+//! fitness landscapes.
+
+use std::cell::Cell;
+
+use mheta_core::Mheta;
+
+/// Anything that can score a distribution; lower is better.
+pub trait Evaluator {
+    /// Predicted (or measured) iteration time for `rows`, ns. Returns
+    /// `f64::INFINITY` for invalid distributions.
+    fn eval_ns(&self, rows: &[usize]) -> f64;
+}
+
+impl Evaluator for Mheta {
+    fn eval_ns(&self, rows: &[usize]) -> f64 {
+        self.predict(rows)
+            .map(|p| p.iteration_ns)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+impl<F> Evaluator for F
+where
+    F: Fn(&[usize]) -> f64,
+{
+    fn eval_ns(&self, rows: &[usize]) -> f64 {
+        self(rows)
+    }
+}
+
+/// Wraps an evaluator and counts calls — the "number of MHETA
+/// evaluations" axis of the search-algorithm comparison.
+pub struct CountingEvaluator<'a, E: Evaluator + ?Sized> {
+    inner: &'a E,
+    count: Cell<usize>,
+}
+
+impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
+    /// Wrap `inner`.
+    pub fn new(inner: &'a E) -> Self {
+        CountingEvaluator {
+            inner,
+            count: Cell::new(0),
+        }
+    }
+
+    /// Evaluations performed so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count.get()
+    }
+}
+
+impl<E: Evaluator + ?Sized> Evaluator for CountingEvaluator<'_, E> {
+    fn eval_ns(&self, rows: &[usize]) -> f64 {
+        self.count.set(self.count.get() + 1);
+        self.inner.eval_ns(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_evaluators() {
+        let f = |rows: &[usize]| rows[0] as f64;
+        assert_eq!(f.eval_ns(&[7, 1]), 7.0);
+    }
+
+    #[test]
+    fn counting_wrapper_counts() {
+        let f = |_: &[usize]| 1.0;
+        let c = CountingEvaluator::new(&f);
+        for _ in 0..5 {
+            c.eval_ns(&[1]);
+        }
+        assert_eq!(c.count(), 5);
+    }
+}

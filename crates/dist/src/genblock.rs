@@ -1,0 +1,254 @@
+//! `GEN_BLOCK` distributions.
+//!
+//! The paper assumes a one-dimensional data distribution in which the
+//! rows of each distributed array are divided into variable-sized
+//! contiguous blocks — HPF's `GEN_BLOCK` (§3.1). A [`GenBlock`] is the
+//! per-node row count vector; every node owns at least one row (the
+//! owner-computes rule needs every participant addressable, and the
+//! benchmark communication protocols assume a full chain of nodes).
+
+use std::fmt;
+
+/// A validated `GEN_BLOCK` distribution: `rows[i]` rows on node `i`,
+/// each at least 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GenBlock {
+    rows: Vec<usize>,
+}
+
+/// Errors constructing a [`GenBlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenBlockError {
+    /// The node list was empty.
+    Empty,
+    /// Some node was assigned zero rows.
+    ZeroRows {
+        /// Offending node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for GenBlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenBlockError::Empty => write!(f, "GEN_BLOCK with zero nodes"),
+            GenBlockError::ZeroRows { node } => {
+                write!(f, "GEN_BLOCK assigns zero rows to node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenBlockError {}
+
+impl GenBlock {
+    /// Validate and wrap a row-count vector.
+    pub fn new(rows: Vec<usize>) -> Result<Self, GenBlockError> {
+        if rows.is_empty() {
+            return Err(GenBlockError::Empty);
+        }
+        if let Some(node) = rows.iter().position(|&r| r == 0) {
+            return Err(GenBlockError::ZeroRows { node });
+        }
+        Ok(GenBlock { rows })
+    }
+
+    /// The even split of `total` rows over `n` nodes (the paper's
+    /// `Blk`); the first `total % n` nodes take one extra row.
+    ///
+    /// # Panics
+    /// Panics if `total < n` — every node must own at least one row.
+    #[must_use]
+    pub fn block(total: usize, n: usize) -> Self {
+        assert!(n > 0 && total >= n, "need at least one row per node");
+        let base = total / n;
+        let extra = total % n;
+        GenBlock {
+            rows: (0..n).map(|i| base + usize::from(i < extra)).collect(),
+        }
+    }
+
+    /// Rows per node.
+    #[must_use]
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Always false (validated nonempty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total rows.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.rows.iter().sum()
+    }
+
+    /// Global index of each node's first row (length `n + 1`; the last
+    /// entry is the total, so node `i` owns `[offsets[i], offsets[i+1])`).
+    #[must_use]
+    pub fn offsets(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.rows.len() + 1);
+        let mut acc = 0;
+        out.push(0);
+        for &r in &self.rows {
+            acc += r;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Which node owns global row `row`.
+    ///
+    /// # Panics
+    /// Panics if `row >= total()`.
+    #[must_use]
+    pub fn owner(&self, row: usize) -> usize {
+        let mut acc = 0;
+        for (i, &r) in self.rows.iter().enumerate() {
+            acc += r;
+            if row < acc {
+                return i;
+            }
+        }
+        panic!("row {row} out of range for {} total rows", self.total());
+    }
+
+    /// Largest-remainder apportionment: distribute `total` rows over
+    /// `weights` (nonnegative, not all zero), guaranteeing every node at
+    /// least one row. This is the shared machinery behind the anchor
+    /// distributions and spectrum interpolation.
+    ///
+    /// # Panics
+    /// Panics if `total < weights.len()` or all weights are zero or
+    /// negative.
+    #[must_use]
+    pub fn apportion(total: usize, weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0 && total >= n, "need at least one row per node");
+        let wsum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(wsum > 0.0, "weights must not all be zero");
+        // Reserve one row per node, apportion the rest by weight.
+        let spare = total - n;
+        let quotas: Vec<f64> = weights
+            .iter()
+            .map(|w| w.max(0.0) / wsum * spare as f64)
+            .collect();
+        let mut rows: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = rows.iter().sum();
+        // Hand out remainders to the largest fractional parts.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let fa = quotas[a] - quotas[a].floor();
+            let fb = quotas[b] - quotas[b].floor();
+            fb.partial_cmp(&fa)
+                .expect("quotas are finite")
+                .then(a.cmp(&b))
+        });
+        for &i in order.iter().take(spare - assigned) {
+            rows[i] += 1;
+        }
+        for r in &mut rows {
+            *r += 1; // the reserved row
+        }
+        GenBlock { rows }
+    }
+}
+
+impl fmt::Display for GenBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_splits_evenly_with_remainder_up_front() {
+        let g = GenBlock::block(10, 4);
+        assert_eq!(g.rows(), &[3, 3, 2, 2]);
+        assert_eq!(g.total(), 10);
+    }
+
+    #[test]
+    fn zero_rows_rejected() {
+        assert!(matches!(
+            GenBlock::new(vec![3, 0, 2]),
+            Err(GenBlockError::ZeroRows { node: 1 })
+        ));
+        assert!(matches!(GenBlock::new(vec![]), Err(GenBlockError::Empty)));
+    }
+
+    #[test]
+    fn offsets_bracket_each_node() {
+        let g = GenBlock::new(vec![4, 2, 3]).unwrap();
+        assert_eq!(g.offsets(), vec![0, 4, 6, 9]);
+    }
+
+    #[test]
+    fn owner_respects_boundaries() {
+        let g = GenBlock::new(vec![4, 2, 3]).unwrap();
+        assert_eq!(g.owner(0), 0);
+        assert_eq!(g.owner(3), 0);
+        assert_eq!(g.owner(4), 1);
+        assert_eq!(g.owner(5), 1);
+        assert_eq!(g.owner(6), 2);
+        assert_eq!(g.owner(8), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_panics_past_end() {
+        let _ = GenBlock::new(vec![2, 2]).unwrap().owner(4);
+    }
+
+    #[test]
+    fn apportion_preserves_total_and_minimum() {
+        let g = GenBlock::apportion(100, &[1.0, 2.0, 4.0, 0.0]);
+        assert_eq!(g.total(), 100);
+        assert!(g.rows().iter().all(|&r| r >= 1));
+        // Heavier weights get more rows.
+        assert!(g.rows()[2] > g.rows()[1]);
+        assert!(g.rows()[1] > g.rows()[0]);
+        assert_eq!(g.rows()[3], 1); // zero weight keeps only the reserve
+    }
+
+    #[test]
+    fn apportion_exact_total_equals_nodes() {
+        let g = GenBlock::apportion(3, &[5.0, 1.0, 1.0]);
+        assert_eq!(g.rows(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn apportion_equal_weights_is_block() {
+        let g = GenBlock::apportion(10, &[1.0; 4]);
+        let b = GenBlock::block(10, 4);
+        assert_eq!(g.total(), b.total());
+        let max = g.rows().iter().max().unwrap();
+        let min = g.rows().iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let g = GenBlock::new(vec![1, 2, 3]).unwrap();
+        assert_eq!(g.to_string(), "[1 2 3]");
+    }
+}

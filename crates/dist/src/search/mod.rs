@@ -1,0 +1,68 @@
+//! Distribution search algorithms.
+//!
+//! The companion paper \[26\] evaluates four strategies that use MHETA as
+//! their fitness function: Generalized Binary Search over the
+//! distribution spectrum, a genetic algorithm, simulated annealing, and
+//! random search. All four are implemented here behind a common
+//! [`SearchOutcome`] result type, with deterministic seeded randomness.
+
+mod annealing;
+mod gbs;
+mod genetic;
+mod random;
+
+pub use annealing::{simulated_annealing, AnnealingConfig};
+pub use gbs::{gbs_search, GbsConfig};
+pub use genetic::{genetic_search, GeneticConfig};
+pub use random::{random_search, RandomConfig};
+
+use crate::genblock::GenBlock;
+
+/// What a search run produced.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best distribution found.
+    pub best: GenBlock,
+    /// Its score (predicted iteration time, ns).
+    pub score_ns: f64,
+    /// How many evaluator calls were spent.
+    pub evaluations: usize,
+}
+
+/// Mutate `rows` by moving up to `max_move` rows from one node to
+/// another, respecting the one-row minimum. Shared by the annealing
+/// and genetic searches.
+pub(crate) fn move_rows(
+    rows: &mut [usize],
+    from: usize,
+    to: usize,
+    amount: usize,
+) -> bool {
+    if from == to || rows[from] <= 1 {
+        return false;
+    }
+    let amount = amount.min(rows[from] - 1);
+    if amount == 0 {
+        return false;
+    }
+    rows[from] -= amount;
+    rows[to] += amount;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_rows_preserves_total_and_minimum() {
+        let mut rows = vec![5, 1, 3];
+        assert!(move_rows(&mut rows, 0, 1, 10));
+        assert_eq!(rows.iter().sum::<usize>(), 9);
+        assert_eq!(rows, vec![1, 5, 3]);
+        // Node with a single row cannot give any away.
+        assert!(!move_rows(&mut rows, 0, 2, 1));
+        // Self-moves are rejected.
+        assert!(!move_rows(&mut rows, 1, 1, 1));
+    }
+}

@@ -1,0 +1,89 @@
+//! Random search baseline: sample distributions from a Dirichlet-like
+//! prior (exponential weights, apportioned) and keep the best.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fitness::{CountingEvaluator, Evaluator};
+use crate::genblock::GenBlock;
+use crate::search::SearchOutcome;
+
+/// Tuning for [`random_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomConfig {
+    /// Evaluator budget.
+    pub max_evals: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            max_evals: 200,
+            seed: 0x7A9D0,
+        }
+    }
+}
+
+/// Sample random distributions of `total` rows over `n` nodes.
+pub fn random_search<E: Evaluator + ?Sized>(
+    total: usize,
+    n: usize,
+    eval: &E,
+    cfg: RandomConfig,
+) -> SearchOutcome {
+    assert!(total >= n, "need at least one row per node");
+    let counter = CountingEvaluator::new(eval);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Always include Blk as the first sample: it is the obvious default.
+    let mut best = GenBlock::block(total, n);
+    let mut best_score = counter.eval_ns(best.rows());
+
+    while counter.count() < cfg.max_evals {
+        let weights: Vec<f64> = (0..n).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+        let g = GenBlock::apportion(total, &weights);
+        let score = counter.eval_ns(g.rows());
+        if score < best_score {
+            best_score = score;
+            best = g;
+        }
+    }
+
+    SearchOutcome {
+        best,
+        score_ns: best_score,
+        evaluations: counter.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_best_sample() {
+        // Fitness favors node 0 holding many rows.
+        let f = |rows: &[usize]| -(rows[0] as f64);
+        let out = random_search(64, 4, &f, RandomConfig::default());
+        let blk = GenBlock::block(64, 4);
+        assert!(out.score_ns <= f(blk.rows()));
+        assert_eq!(out.best.total(), 64);
+    }
+
+    #[test]
+    fn respects_budget_and_determinism() {
+        let f = |rows: &[usize]| rows[1] as f64;
+        let a = random_search(64, 4, &f, RandomConfig {
+            max_evals: 30,
+            seed: 1,
+        });
+        let b = random_search(64, 4, &f, RandomConfig {
+            max_evals: 30,
+            seed: 1,
+        });
+        assert!(a.evaluations <= 30);
+        assert_eq!(a.best, b.best);
+    }
+}

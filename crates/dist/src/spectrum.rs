@@ -1,0 +1,301 @@
+//! The distribution spectrum of Figure 8: `Blk → I-C → I-C/Bal → Bal →
+//! Blk`, with interpolated points between the anchors.
+//!
+//! The paper simplifies degenerate architectures (§5.1): when all nodes
+//! have equal CPU power, `Blk` already balances the load, so `Bal`
+//! collapses into `Blk` (and `I-C/Bal` into `I-C`); when no node is
+//! memory-restricted, I/O is not a concern and `I-C` collapses into
+//! `Blk` (and `I-C/Bal` into `Bal`). The same collapsing happens here,
+//! with duplicate legs dropped.
+
+use crate::anchors::{bal, blk, ic, ic_bal, AnchorInputs};
+use crate::genblock::GenBlock;
+
+/// One point along the spectrum.
+#[derive(Debug, Clone)]
+pub struct SpectrumPoint {
+    /// Human-readable label ("Blk", "I-C", "Blk>I-C 1/3", …).
+    pub label: String,
+    /// Position in `[0, 1]` along the whole path (for plotting).
+    pub frac: f64,
+    /// The distribution.
+    pub dist: GenBlock,
+}
+
+/// A continuous path through the anchor distributions, supporting
+/// interpolation at any parameter `t ∈ [0, 1]`. This is the search
+/// space the paper's GBS algorithm walks.
+#[derive(Debug, Clone)]
+pub struct SpectrumPath {
+    anchors: Vec<(String, GenBlock)>,
+    total_rows: usize,
+}
+
+impl SpectrumPath {
+    /// The canonical five anchors with the §5.1 degeneracy
+    /// substitutions applied (but no legs dropped).
+    fn canonical_anchors(inp: &AnchorInputs) -> Vec<(String, GenBlock)> {
+        let g_blk = blk(inp);
+        let g_bal = bal(inp);
+        let g_ic = ic(inp);
+        let g_icbal = ic_bal(inp);
+
+        // Degeneracy detection, as in §5.1.
+        let memory_constrained = g_blk
+            .rows()
+            .iter()
+            .zip(&inp.capacity_rows)
+            .any(|(r, c)| r > c);
+        let cpu_uniform = {
+            let min = inp.ns_per_row.iter().copied().fold(f64::MAX, f64::min);
+            let max = inp.ns_per_row.iter().copied().fold(0.0, f64::max);
+            max <= min * 1.02
+        };
+
+        let (g_ic, g_icbal, g_bal) = match (memory_constrained, cpu_uniform) {
+            (true, true) => (g_ic.clone(), g_ic, g_blk.clone()),
+            (false, false) => (g_blk.clone(), g_bal.clone(), g_bal),
+            (false, true) => (g_blk.clone(), g_blk.clone(), g_blk.clone()),
+            (true, false) => (g_ic, g_icbal, g_bal),
+        };
+
+        let mut raw = vec![
+            ("Blk".to_string(), g_blk.clone()),
+            ("I-C".to_string(), g_ic),
+            ("I-C/Bal".to_string(), g_icbal),
+            ("Bal".to_string(), g_bal),
+            ("Blk".to_string(), g_blk.clone()),
+        ];
+        // A collapsed anchor keeps its canonical name: anything equal
+        // to Blk *is* Blk.
+        for (label, g) in &mut raw {
+            if *g == g_blk {
+                *label = "Blk".to_string();
+            }
+        }
+        raw
+    }
+
+    /// Build the *canonical* five-anchor path (`Blk`, `I-C`, `I-C/Bal`,
+    /// `Bal`, `Blk`), keeping every leg even when its endpoints
+    /// coincide. Use this when results from different architectures
+    /// must be aggregated on one x-axis (Figure 9): `at(0.25)` is
+    /// always the I-C anchor.
+    #[must_use]
+    pub fn full(inp: &AnchorInputs) -> Self {
+        SpectrumPath {
+            anchors: Self::canonical_anchors(inp),
+            total_rows: inp.total_rows,
+        }
+    }
+
+    /// Build the (possibly collapsed) anchor path for `inp`: legs whose
+    /// endpoints coincide are dropped, which is what search algorithms
+    /// want.
+    #[must_use]
+    pub fn new(inp: &AnchorInputs) -> Self {
+        let raw = Self::canonical_anchors(inp);
+        let mut anchors: Vec<(String, GenBlock)> = Vec::with_capacity(raw.len());
+        for (label, g) in raw {
+            if anchors.last().map(|(_, last)| last) != Some(&g) {
+                anchors.push((label, g));
+            }
+        }
+        SpectrumPath {
+            anchors,
+            total_rows: inp.total_rows,
+        }
+    }
+
+    /// The anchor distributions with their labels.
+    #[must_use]
+    pub fn anchors(&self) -> &[(String, GenBlock)] {
+        &self.anchors
+    }
+
+    /// Number of legs (anchor-to-anchor segments).
+    #[must_use]
+    pub fn legs(&self) -> usize {
+        self.anchors.len().saturating_sub(1)
+    }
+
+    /// Interpolate a distribution at parameter `t ∈ [0, 1]` along the
+    /// path (component-wise linear between anchors, re-apportioned to
+    /// preserve the row total and the one-row minimum).
+    #[must_use]
+    pub fn at(&self, t: f64) -> GenBlock {
+        let t = t.clamp(0.0, 1.0);
+        if self.legs() == 0 {
+            return self.anchors[0].1.clone();
+        }
+        let scaled = t * self.legs() as f64;
+        let leg = (scaled.floor() as usize).min(self.legs() - 1);
+        let f = scaled - leg as f64;
+        let a = &self.anchors[leg].1;
+        let b = &self.anchors[leg + 1].1;
+        if f <= 0.0 {
+            return a.clone();
+        }
+        if f >= 1.0 {
+            return b.clone();
+        }
+        let weights: Vec<f64> = a
+            .rows()
+            .iter()
+            .zip(b.rows())
+            .map(|(&x, &y)| (1.0 - f) * x as f64 + f * y as f64)
+            .collect();
+        GenBlock::apportion(self.total_rows, &weights)
+    }
+
+    /// Sample the whole path: every anchor plus `steps_per_leg - 1`
+    /// interior points per leg, labeled for plotting.
+    #[must_use]
+    pub fn sample(&self, steps_per_leg: usize) -> Vec<SpectrumPoint> {
+        let steps = steps_per_leg.max(1);
+        let mut out = Vec::new();
+        if self.legs() == 0 {
+            out.push(SpectrumPoint {
+                label: self.anchors[0].0.clone(),
+                frac: 0.0,
+                dist: self.anchors[0].1.clone(),
+            });
+            return out;
+        }
+        for leg in 0..self.legs() {
+            let (from_label, from) = &self.anchors[leg];
+            let to_label = &self.anchors[leg + 1].0;
+            out.push(SpectrumPoint {
+                label: from_label.clone(),
+                frac: leg as f64 / self.legs() as f64,
+                dist: from.clone(),
+            });
+            for s in 1..steps {
+                let f = s as f64 / steps as f64;
+                let t = (leg as f64 + f) / self.legs() as f64;
+                out.push(SpectrumPoint {
+                    label: format!("{from_label}>{to_label} {s}/{steps}"),
+                    frac: t,
+                    dist: self.at(t),
+                });
+            }
+        }
+        let last = self.anchors.last().expect("nonempty");
+        out.push(SpectrumPoint {
+            label: last.0.clone(),
+            frac: 1.0,
+            dist: last.1.clone(),
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constrained_hetero() -> AnchorInputs {
+        AnchorInputs {
+            total_rows: 128,
+            ns_per_row: vec![1.0, 2.0, 1.0, 0.5],
+            capacity_rows: vec![16, 64, 64, 64],
+        }
+    }
+
+    #[test]
+    fn full_path_has_four_legs() {
+        let p = SpectrumPath::new(&constrained_hetero());
+        assert_eq!(p.legs(), 4);
+        assert_eq!(p.anchors()[0].0, "Blk");
+        assert_eq!(p.anchors()[4].0, "Blk");
+    }
+
+    #[test]
+    fn uniform_cpu_collapses_bal() {
+        let inp = AnchorInputs {
+            total_rows: 128,
+            ns_per_row: vec![1.0; 4],
+            capacity_rows: vec![16, 64, 64, 64],
+        };
+        let p = SpectrumPath::new(&inp);
+        // Blk -> I-C -> Blk (Bal == Blk, I-C/Bal == I-C).
+        assert_eq!(p.legs(), 2);
+        assert!(p.anchors().iter().any(|(l, _)| l == "I-C"));
+        assert!(p.anchors().iter().all(|(l, _)| l != "Bal"));
+    }
+
+    #[test]
+    fn unconstrained_memory_collapses_ic() {
+        let inp = AnchorInputs {
+            total_rows: 128,
+            ns_per_row: vec![1.0, 2.0, 1.0, 0.5],
+            capacity_rows: vec![1000; 4],
+        };
+        let p = SpectrumPath::new(&inp);
+        // Blk -> Bal -> Blk.
+        assert_eq!(p.legs(), 2);
+        assert!(p.anchors().iter().all(|(l, _)| l != "I-C"));
+    }
+
+    #[test]
+    fn fully_homogeneous_is_a_single_point() {
+        let inp = AnchorInputs {
+            total_rows: 128,
+            ns_per_row: vec![1.0; 4],
+            capacity_rows: vec![1000; 4],
+        };
+        let p = SpectrumPath::new(&inp);
+        assert_eq!(p.legs(), 0);
+        assert_eq!(p.sample(4).len(), 1);
+    }
+
+    #[test]
+    fn interpolation_preserves_totals() {
+        let p = SpectrumPath::new(&constrained_hetero());
+        for k in 0..=20 {
+            let g = p.at(k as f64 / 20.0);
+            assert_eq!(g.total(), 128);
+            assert!(g.rows().iter().all(|&r| r >= 1));
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact_anchors() {
+        let p = SpectrumPath::new(&constrained_hetero());
+        assert_eq!(&p.at(0.0), &p.anchors()[0].1);
+        assert_eq!(&p.at(1.0), &p.anchors()[4].1);
+        assert_eq!(&p.at(0.25), &p.anchors()[1].1);
+    }
+
+    #[test]
+    fn full_path_always_has_four_legs() {
+        // Even on a fully homogeneous machine, the canonical path keeps
+        // all five anchors (they just coincide).
+        let inp = AnchorInputs {
+            total_rows: 128,
+            ns_per_row: vec![1.0; 4],
+            capacity_rows: vec![1000; 4],
+        };
+        let p = SpectrumPath::full(&inp);
+        assert_eq!(p.legs(), 4);
+        assert_eq!(&p.at(0.25), &p.anchors()[1].1);
+        // All anchors equal Blk here.
+        for (_, g) in p.anchors() {
+            assert_eq!(g, &p.anchors()[0].1);
+        }
+    }
+
+    #[test]
+    fn sample_counts_points() {
+        let p = SpectrumPath::new(&constrained_hetero());
+        // 4 legs x 3 steps: 4 anchors + 4x2 interiors + final = 13.
+        let pts = p.sample(3);
+        assert_eq!(pts.len(), 13);
+        assert_eq!(pts[0].label, "Blk");
+        assert_eq!(pts[12].label, "Blk");
+        // Fractions are nondecreasing.
+        for w in pts.windows(2) {
+            assert!(w[0].frac <= w[1].frac);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Collective operations over the binomial tree, plus the *analytical
+//! twins* of the same schedules.
+//!
+//! The executable collectives (`reduce`, `bcast`, `allreduce`,
+//! `barrier`) are built from point-to-point sends and receives, exactly
+//! the MPICH binomial algorithms. The analytical functions
+//! (`model_reduce`, `model_bcast`, `model_allreduce`) replay the same
+//! schedule over per-node "ready" timestamps with the microbenchmarked
+//! per-hop costs — they are what the MHETA model in `mheta-core` uses
+//! to predict reduction sections, so the model and the execution share
+//! one schedule by construction (the paper defers reduction modeling to
+//! the dissertation \[25\]; this is our concrete realization).
+
+use mheta_sim::SimResult;
+
+use crate::comm::Comm;
+use crate::hooks::Recorder;
+
+/// Tag used by reduction-phase messages.
+pub const TAG_REDUCE: u32 = 0x4000_0001;
+/// Tag used by broadcast-phase messages.
+pub const TAG_BCAST: u32 = 0x4000_0002;
+
+/// Elementwise combine operation for reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    fn combine(self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len());
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a += b;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.max(*b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.min(*b);
+                }
+            }
+        }
+    }
+}
+
+/// Binomial-tree reduction to rank 0. On return, `data` on rank 0 holds
+/// the combined result; other ranks' buffers are unspecified.
+pub fn reduce<R: Recorder>(
+    comm: &mut Comm<'_, R>,
+    op: ReduceOp,
+    data: &mut [f64],
+) -> SimResult<()> {
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut mask = 1usize;
+    while mask < size {
+        if rank & mask == 0 {
+            let child = rank | mask;
+            if child < size {
+                let v = comm.recv_f64s(child, TAG_REDUCE)?;
+                op.combine(data, &v);
+            }
+        } else {
+            let parent = rank & !mask;
+            comm.send_f64s(parent, TAG_REDUCE, data)?;
+            break;
+        }
+        mask <<= 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree broadcast from rank 0 into `data` on every rank.
+pub fn bcast<R: Recorder>(comm: &mut Comm<'_, R>, data: &mut [f64]) -> SimResult<()> {
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut mask = 1usize;
+    while mask < size {
+        if rank & mask != 0 {
+            let parent = rank - mask;
+            let v = comm.recv_f64s(parent, TAG_BCAST)?;
+            data.copy_from_slice(&v);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forwarding pass: a node sends at every mask strictly below the
+    // level it received at (rank 0's level is the tree root).
+    let level = if rank == 0 {
+        size.next_power_of_two()
+    } else {
+        rank & rank.wrapping_neg() // lowest set bit
+    };
+    let mut m = level >> 1;
+    while m > 0 {
+        let dst = rank + m;
+        if dst < size {
+            comm.send_f64s(dst, TAG_BCAST, data)?;
+        }
+        m >>= 1;
+    }
+    Ok(())
+}
+
+/// Reduction followed by broadcast: every rank ends with the combined
+/// value in `data`.
+pub fn allreduce<R: Recorder>(
+    comm: &mut Comm<'_, R>,
+    op: ReduceOp,
+    data: &mut [f64],
+) -> SimResult<()> {
+    reduce(comm, op, data)?;
+    bcast(comm, data)
+}
+
+/// Synchronize all ranks (an empty allreduce).
+pub fn barrier<R: Recorder>(comm: &mut Comm<'_, R>) -> SimResult<()> {
+    let mut token = [0.0f64; 1];
+    allreduce(comm, ReduceOp::Sum, &mut token)
+}
+
+// ---- analytical twins --------------------------------------------------
+
+/// Per-hop communication costs used by the analytical schedules, in
+/// fractional nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopCost {
+    /// Sender-side overhead `o_s`.
+    pub o_s: f64,
+    /// Receiver-side overhead `o_r`.
+    pub o_r: f64,
+    /// In-flight transfer time `alpha + bytes * beta`.
+    pub transfer: f64,
+}
+
+/// Replay the binomial reduce-to-0 schedule over per-node ready times.
+/// Returns each node's clock after its role in the reduction completes
+/// (after its send, for non-roots; after the last receive, for root).
+#[must_use]
+pub fn model_reduce(ready: &[f64], cost: HopCost) -> Vec<f64> {
+    let size = ready.len();
+    let mut clock = ready.to_vec();
+    // Arrival time of each non-root's single send to its parent.
+    let mut arrival = vec![0.0f64; size];
+    // Children have numerically larger ranks, so process descending.
+    for r in (0..size).rev() {
+        let lowbit = if r == 0 {
+            size.next_power_of_two()
+        } else {
+            r & r.wrapping_neg()
+        };
+        let mut mask = 1usize;
+        while mask < lowbit && mask < size {
+            let child = r | mask;
+            if child < size && child != r {
+                clock[r] = (clock[r]).max(arrival[child]) + cost.o_r;
+            }
+            mask <<= 1;
+        }
+        if r != 0 {
+            clock[r] += cost.o_s;
+            arrival[r] = clock[r] + cost.transfer;
+        }
+    }
+    clock
+}
+
+/// Replay the binomial broadcast-from-0 schedule over per-node ready
+/// times. Returns each node's clock after its receives and forwards.
+#[must_use]
+pub fn model_bcast(ready: &[f64], cost: HopCost) -> Vec<f64> {
+    let size = ready.len();
+    let mut clock = ready.to_vec();
+    let mut arrival = vec![f64::NEG_INFINITY; size];
+    // Parents have numerically smaller ranks, so process ascending.
+    for r in 0..size {
+        if r != 0 {
+            clock[r] = clock[r].max(arrival[r]) + cost.o_r;
+        }
+        let level = if r == 0 {
+            size.next_power_of_two()
+        } else {
+            r & r.wrapping_neg()
+        };
+        let mut m = level >> 1;
+        while m > 0 {
+            let dst = r + m;
+            if dst < size {
+                clock[r] += cost.o_s;
+                arrival[dst] = clock[r] + cost.transfer;
+            }
+            m >>= 1;
+        }
+    }
+    clock
+}
+
+/// Replay reduce + broadcast (the allreduce used for global reductions
+/// in the benchmark applications).
+#[must_use]
+pub fn model_allreduce(ready: &[f64], cost: HopCost) -> Vec<f64> {
+    model_bcast(&model_reduce(ready, cost), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ExecMode;
+    use crate::hooks::NullRecorder;
+    use mheta_sim::{run_cluster, ClusterSpec};
+
+    fn quiet(n: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::homogeneous(n);
+        s.noise.amplitude = 0.0;
+        s
+    }
+
+    fn run_allreduce(n: usize, op: ReduceOp) -> Vec<Vec<f64>> {
+        let spec = quiet(n);
+        run_cluster(&spec, false, |ctx| {
+            let mut rec = NullRecorder;
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            let mut v = vec![comm.rank() as f64 + 1.0, -(comm.rank() as f64)];
+            allreduce(&mut comm, op, &mut v)?;
+            Ok(v)
+        })
+        .unwrap()
+        .results
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for n in 1..=9 {
+            let results = run_allreduce(n, ReduceOp::Sum);
+            let expect_a: f64 = (1..=n).map(|r| r as f64).sum();
+            let expect_b: f64 = -(0..n).map(|r| r as f64).sum::<f64>();
+            for (r, v) in results.iter().enumerate() {
+                assert!(
+                    (v[0] - expect_a).abs() < 1e-9 && (v[1] - expect_b).abs() < 1e-9,
+                    "n={n} rank {r}: got {v:?}, want [{expect_a}, {expect_b}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let results = run_allreduce(7, ReduceOp::Max);
+        for v in &results {
+            assert_eq!(v[0], 7.0);
+            assert_eq!(v[1], 0.0);
+        }
+        let results = run_allreduce(7, ReduceOp::Min);
+        for v in &results {
+            assert_eq!(v[0], 1.0);
+            assert_eq!(v[1], -6.0);
+        }
+    }
+
+    #[test]
+    fn reduce_leaves_result_at_root() {
+        let spec = quiet(5);
+        let run = run_cluster(&spec, false, |ctx| {
+            let mut rec = NullRecorder;
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            let mut v = vec![1.0];
+            reduce(&mut comm, ReduceOp::Sum, &mut v)?;
+            Ok(v[0])
+        })
+        .unwrap();
+        assert_eq!(run.results[0], 5.0);
+    }
+
+    #[test]
+    fn barrier_completes_on_all_sizes() {
+        for n in [1, 2, 3, 8] {
+            let spec = quiet(n);
+            run_cluster(&spec, false, |ctx| {
+                let mut rec = NullRecorder;
+                let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+                barrier(&mut comm)
+            })
+            .unwrap();
+        }
+    }
+
+    /// The analytical twins must match the executed schedule exactly
+    /// when noise is off.
+    #[test]
+    fn model_allreduce_matches_execution() {
+        for n in [2usize, 3, 4, 5, 8] {
+            let spec = quiet(n);
+            // Stagger the ranks' start times with compute.
+            let run = run_cluster(&spec, false, |ctx| {
+                let mut rec = NullRecorder;
+                ctx.compute(100.0 * (ctx.rank() as f64 + 1.0), u64::MAX);
+                let ready = ctx.now().as_nanos() as f64;
+                let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+                let mut v = vec![1.0];
+                allreduce(&mut comm, ReduceOp::Sum, &mut v)?;
+                Ok((ready, ctx.now().as_nanos() as f64))
+            })
+            .unwrap();
+            let ready: Vec<f64> = run.results.iter().map(|r| r.0).collect();
+            let actual: Vec<f64> = run.results.iter().map(|r| r.1).collect();
+            let cost = HopCost {
+                o_s: spec.net.send_overhead_ns,
+                o_r: spec.net.recv_overhead_ns,
+                transfer: spec.net.transfer_ns(8),
+            };
+            let predicted = model_allreduce(&ready, cost);
+            for r in 0..n {
+                assert!(
+                    (predicted[r] - actual[r]).abs() < 2.0,
+                    "n={n} rank {r}: model {} vs actual {}",
+                    predicted[r],
+                    actual[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_reduce_root_dominates_ready_times() {
+        let ready = vec![0.0, 1e6, 2e6, 3e6];
+        let cost = HopCost {
+            o_s: 1e3,
+            o_r: 1e3,
+            transfer: 5e4,
+        };
+        let out = model_reduce(&ready, cost);
+        // Root cannot finish before the latest contributor's value
+        // could possibly arrive.
+        assert!(out[0] >= 3e6 + cost.o_s + cost.transfer + cost.o_r);
+    }
+
+    #[test]
+    fn model_bcast_single_node_is_identity() {
+        let cost = HopCost {
+            o_s: 1.0,
+            o_r: 1.0,
+            transfer: 1.0,
+        };
+        assert_eq!(model_bcast(&[42.0], cost), vec![42.0]);
+        assert_eq!(model_reduce(&[42.0], cost), vec![42.0]);
+    }
+}

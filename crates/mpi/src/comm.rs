@@ -1,0 +1,473 @@
+//! The per-rank communicator: typed messaging, explicit file I/O, and
+//! structural scope markers, all routed through MPI-Jack style hooks.
+
+use mheta_sim::{Prefetch, RankCtx, SimDur, SimResult, VarId};
+
+use crate::hooks::{HookEvent, OpInfo, OpKind, Recorder, Scope, ScopeKind};
+use crate::msg;
+
+/// How the communicator executes I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Production semantics: prefetches are asynchronous.
+    #[default]
+    Normal,
+    /// The instrumented iteration of §4.1.1: prefetch issues become
+    /// blocking reads and waits become no-ops (Figure 5), and — when
+    /// `force_ooc` is set — applications treat every distributed
+    /// variable as out of core so I/O costs exist for all of them.
+    Instrument {
+        /// Force all distributed variables through the out-of-core path.
+        force_ooc: bool,
+    },
+}
+
+/// A pending asynchronous read issued through [`Comm::prefetch`].
+#[derive(Debug)]
+pub struct PrefetchToken {
+    var: VarId,
+    inner: TokenInner,
+}
+
+#[derive(Debug)]
+enum TokenInner {
+    /// Real asynchronous read in flight.
+    Async(Prefetch),
+    /// Instrument mode: the read already completed synchronously.
+    Completed(Vec<f64>),
+}
+
+/// Rank-local communicator handle. Owns the structural scope state and
+/// dispatches every operation through the recorder's hooks.
+pub struct Comm<'a, R: Recorder> {
+    ctx: &'a mut RankCtx,
+    rec: &'a mut R,
+    scope: Scope,
+    mode: ExecMode,
+}
+
+impl<'a, R: Recorder> Comm<'a, R> {
+    /// Wrap a rank context with a recorder and execution mode.
+    pub fn new(ctx: &'a mut RankCtx, rec: &'a mut R, mode: ExecMode) -> Self {
+        Comm {
+            ctx,
+            rec,
+            scope: Scope::default(),
+            mode,
+        }
+    }
+
+    /// This rank's index.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// Cluster size.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.ctx.size()
+    }
+
+    /// Execution mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// True when applications must treat distributed variables as out
+    /// of core (instrumented iteration, §4.1.1).
+    #[must_use]
+    pub fn force_ooc(&self) -> bool {
+        matches!(self.mode, ExecMode::Instrument { force_ooc: true })
+    }
+
+    /// Direct access to the underlying rank context (clock, disk,
+    /// memory tracker).
+    pub fn ctx(&mut self) -> &mut RankCtx {
+        self.ctx
+    }
+
+    /// Immutable access to the rank context.
+    #[must_use]
+    pub fn ctx_ref(&self) -> &RankCtx {
+        self.ctx
+    }
+
+    /// Current structural scope.
+    #[must_use]
+    pub fn scope(&self) -> Scope {
+        self.scope
+    }
+
+    // ---- structural markers -------------------------------------------------
+
+    fn scope_event(&mut self, enter: bool, kind: ScopeKind, id: u32) {
+        let at = self.ctx.now();
+        let ev = if enter {
+            HookEvent::ScopeEnter { kind, id, at }
+        } else {
+            HookEvent::ScopeExit { kind, id, at }
+        };
+        self.rec.record(&ev);
+    }
+
+    /// Mark the start of outer iteration `i`.
+    pub fn begin_iteration(&mut self, i: u32) {
+        self.scope_event(true, ScopeKind::Iteration, i);
+    }
+
+    /// Mark the end of outer iteration `i`.
+    pub fn end_iteration(&mut self, i: u32) {
+        self.scope_event(false, ScopeKind::Iteration, i);
+    }
+
+    /// Mark the start of parallel section `p`; resets tile and stage.
+    pub fn begin_section(&mut self, p: u32) {
+        self.scope = Scope {
+            section: p,
+            tile: 0,
+            stage: 0,
+        };
+        self.scope_event(true, ScopeKind::Section, p);
+    }
+
+    /// Mark the end of parallel section `p`.
+    pub fn end_section(&mut self, p: u32) {
+        self.scope_event(false, ScopeKind::Section, p);
+    }
+
+    /// Mark the start of tile `t` within the current section.
+    pub fn begin_tile(&mut self, t: u32) {
+        self.scope.tile = t;
+        self.scope.stage = 0;
+        self.scope_event(true, ScopeKind::Tile, t);
+    }
+
+    /// Mark the end of tile `t`.
+    pub fn end_tile(&mut self, t: u32) {
+        self.scope_event(false, ScopeKind::Tile, t);
+    }
+
+    /// Mark the start of stage `s` within the current tile.
+    pub fn begin_stage(&mut self, s: u32) {
+        self.scope.stage = s;
+        self.scope_event(true, ScopeKind::Stage, s);
+    }
+
+    /// Mark the end of stage `s`.
+    pub fn end_stage(&mut self, s: u32) {
+        self.scope_event(false, ScopeKind::Stage, s);
+    }
+
+    // ---- computation --------------------------------------------------------
+
+    /// Perform `work_units` of computation over `ws_bytes` of working
+    /// set. Not hooked: MHETA derives stage computation as stage time
+    /// minus I/O time (§4.1.1).
+    pub fn compute(&mut self, work_units: f64, ws_bytes: u64) -> SimDur {
+        self.ctx.compute(work_units, ws_bytes)
+    }
+
+    // ---- messaging ----------------------------------------------------------
+
+    fn op_event(&mut self, info: OpInfo, start: mheta_sim::SimTime) {
+        let end = self.ctx.now();
+        self.rec.record(&HookEvent::Op { info, start, end });
+    }
+
+    /// Send a slice of `f64` to `to`.
+    pub fn send_f64s(&mut self, to: usize, tag: u32, data: &[f64]) -> SimResult<()> {
+        let start = self.ctx.now();
+        let payload = msg::encode_f64s(data);
+        let bytes = payload.len() as u64;
+        self.ctx.send(to, tag, payload)?;
+        self.op_event(
+            OpInfo {
+                kind: OpKind::Send,
+                var: None,
+                peer: Some(to),
+                bytes,
+                elems: data.len(),
+                scope: self.scope,
+                blocked: SimDur::ZERO,
+            },
+            start,
+        );
+        Ok(())
+    }
+
+    /// Receive a slice of `f64` from `from`.
+    pub fn recv_f64s(&mut self, from: usize, tag: u32) -> SimResult<Vec<f64>> {
+        let start = self.ctx.now();
+        let payload = self.ctx.recv(from, tag)?;
+        let end = self.ctx.now();
+        let data = msg::decode_f64s(&payload);
+        // Blocked time is end − start − o_r; the recorder only needs
+        // the interval, but we surface the transport-level stall too.
+        let blocked = end.saturating_since(start);
+        self.op_event(
+            OpInfo {
+                kind: OpKind::Recv,
+                var: None,
+                peer: Some(from),
+                bytes: payload.len() as u64,
+                elems: data.len(),
+                scope: self.scope,
+                blocked,
+            },
+            start,
+        );
+        Ok(data)
+    }
+
+    /// Send a single scalar.
+    pub fn send_scalar(&mut self, to: usize, tag: u32, x: f64) -> SimResult<()> {
+        self.send_f64s(to, tag, std::slice::from_ref(&x))
+    }
+
+    /// Receive a single scalar.
+    pub fn recv_scalar(&mut self, from: usize, tag: u32) -> SimResult<f64> {
+        let v = self.recv_f64s(from, tag)?;
+        debug_assert_eq!(v.len(), 1, "scalar message carried {} values", v.len());
+        Ok(v[0])
+    }
+
+    // ---- explicit file I/O ---------------------------------------------------
+
+    /// Synchronously read `out.len()` elements of `var` at `offset`
+    /// from the local disk.
+    pub fn file_read(&mut self, var: VarId, offset: usize, out: &mut [f64]) -> SimResult<()> {
+        let start = self.ctx.now();
+        self.ctx.disk_read(var, offset, out)?;
+        self.op_event(
+            OpInfo {
+                kind: OpKind::FileRead,
+                var: Some(var),
+                peer: None,
+                bytes: (out.len() * 8) as u64,
+                elems: out.len(),
+                scope: self.scope,
+                blocked: SimDur::ZERO,
+            },
+            start,
+        );
+        Ok(())
+    }
+
+    /// Synchronously write `data` to `var` at `offset` on the local disk.
+    pub fn file_write(&mut self, var: VarId, offset: usize, data: &[f64]) -> SimResult<()> {
+        let start = self.ctx.now();
+        self.ctx.disk_write(var, offset, data)?;
+        self.op_event(
+            OpInfo {
+                kind: OpKind::FileWrite,
+                var: Some(var),
+                peer: None,
+                bytes: (data.len() * 8) as u64,
+                elems: data.len(),
+                scope: self.scope,
+                blocked: SimDur::ZERO,
+            },
+            start,
+        );
+        Ok(())
+    }
+
+    /// Issue an asynchronous read (prefetch). In instrumented mode this
+    /// becomes a blocking read (Figure 5) so its full latency is
+    /// measurable from the hooks.
+    pub fn prefetch(&mut self, var: VarId, offset: usize, len: usize) -> SimResult<PrefetchToken> {
+        let start = self.ctx.now();
+        let inner = match self.mode {
+            ExecMode::Normal => TokenInner::Async(self.ctx.prefetch_issue(var, offset, len)?),
+            ExecMode::Instrument { .. } => {
+                let mut buf = vec![0.0; len];
+                self.ctx.disk_read(var, offset, &mut buf)?;
+                TokenInner::Completed(buf)
+            }
+        };
+        self.op_event(
+            OpInfo {
+                kind: OpKind::PrefetchIssue,
+                var: Some(var),
+                peer: None,
+                bytes: (len * 8) as u64,
+                elems: len,
+                scope: self.scope,
+                blocked: SimDur::ZERO,
+            },
+            start,
+        );
+        Ok(PrefetchToken { var, inner })
+    }
+
+    /// Wait for a prefetch. In instrumented mode this is a no-op
+    /// (Figure 5): the data was already delivered by the transformed
+    /// issue.
+    pub fn wait(&mut self, token: PrefetchToken) -> Vec<f64> {
+        let start = self.ctx.now();
+        let var = token.var;
+        let (data, blocked) = match token.inner {
+            TokenInner::Async(p) => self.ctx.prefetch_wait(p),
+            TokenInner::Completed(data) => (data, SimDur::ZERO),
+        };
+        self.op_event(
+            OpInfo {
+                kind: OpKind::PrefetchWait,
+                var: Some(var),
+                peer: None,
+                bytes: (data.len() * 8) as u64,
+                elems: data.len(),
+                scope: self.scope,
+                blocked,
+            },
+            start,
+        );
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::VecRecorder;
+    use mheta_sim::{run_cluster, ClusterSpec};
+
+    fn quiet(n: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::homogeneous(n);
+        s.noise.amplitude = 0.0;
+        s
+    }
+
+    #[test]
+    fn scope_markers_flow_to_recorder() {
+        let spec = quiet(1);
+        let run = run_cluster(&spec, false, |ctx| {
+            let mut rec = VecRecorder::default();
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            comm.begin_section(2);
+            comm.begin_stage(1);
+            assert_eq!(comm.scope(), Scope { section: 2, tile: 0, stage: 1 });
+            comm.end_stage(1);
+            comm.end_section(2);
+            Ok(rec.events.len())
+        })
+        .unwrap();
+        assert_eq!(run.results[0], 4);
+    }
+
+    #[test]
+    fn typed_send_recv_roundtrip_records_ops() {
+        let spec = quiet(2);
+        let run = run_cluster(&spec, false, |ctx| {
+            let mut rec = VecRecorder::default();
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            if comm.rank() == 0 {
+                comm.send_f64s(1, 9, &[1.0, 2.0, 3.0])?;
+                Ok((vec![], rec.events.len()))
+            } else {
+                let v = comm.recv_f64s(0, 9)?;
+                Ok((v, rec.events.len()))
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1].0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(run.results[0].1, 1);
+        assert_eq!(run.results[1].1, 1);
+    }
+
+    #[test]
+    fn instrument_mode_prefetch_is_blocking_and_wait_free() {
+        let spec = quiet(1);
+        let run = run_cluster(&spec, false, |ctx| {
+            ctx.disk.create(7, 64);
+            let mut rec = VecRecorder::default();
+            let mut comm =
+                Comm::new(ctx, &mut rec, ExecMode::Instrument { force_ooc: true });
+            let before = comm.ctx_ref().now();
+            let tok = comm.prefetch(7, 0, 64)?;
+            let after_issue = comm.ctx_ref().now();
+            let data = comm.wait(tok);
+            let after_wait = comm.ctx_ref().now();
+            assert_eq!(data.len(), 64);
+            // Issue charged like a blocking read; wait advanced nothing.
+            assert!(after_issue > before);
+            assert_eq!(after_wait, after_issue);
+            Ok(())
+        })
+        .unwrap();
+        drop(run);
+    }
+
+    #[test]
+    fn normal_mode_wait_blocks_for_latency() {
+        let spec = quiet(1);
+        run_cluster(&spec, false, |ctx| {
+            ctx.disk.create(7, 1024);
+            let mut rec = VecRecorder::default();
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            let tok = comm.prefetch(7, 0, 1024)?;
+            let data = comm.wait(tok);
+            assert_eq!(data.len(), 1024);
+            // The wait op must show blocked time (no overlap compute).
+            let blocked = rec.events.iter().find_map(|e| match e {
+                HookEvent::Op { info, .. } if info.kind == OpKind::PrefetchWait => {
+                    Some(info.blocked)
+                }
+                _ => None,
+            });
+            assert!(blocked.unwrap() > SimDur::ZERO);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn force_ooc_only_in_instrument_mode() {
+        let spec = quiet(1);
+        run_cluster(&spec, false, |ctx| {
+            let mut rec = VecRecorder::default();
+            let comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            assert!(!comm.force_ooc());
+            let _ = comm;
+            let comm =
+                Comm::new(ctx, &mut rec, ExecMode::Instrument { force_ooc: true });
+            assert!(comm.force_ooc());
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn file_ops_record_var_ids() {
+        let spec = quiet(1);
+        run_cluster(&spec, false, |ctx| {
+            ctx.disk.create(3, 16);
+            let mut rec = VecRecorder::default();
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            comm.begin_section(1);
+            comm.begin_stage(0);
+            comm.file_write(3, 0, &[2.0; 16])?;
+            let mut buf = [0.0; 16];
+            comm.file_read(3, 0, &mut buf)?;
+            comm.end_stage(0);
+            comm.end_section(1);
+            let io_ops: Vec<_> = rec
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    HookEvent::Op { info, .. } => Some(info),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(io_ops.len(), 2);
+            assert!(io_ops.iter().all(|i| i.var == Some(3)));
+            assert!(io_ops
+                .iter()
+                .all(|i| i.scope == Scope { section: 1, tile: 0, stage: 0 }));
+            Ok(())
+        })
+        .unwrap();
+    }
+}

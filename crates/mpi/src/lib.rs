@@ -1,0 +1,31 @@
+//! # mheta-mpi — message passing and explicit I/O over the simulator
+//!
+//! An MPI-flavoured layer over [`mheta_sim`]: typed point-to-point
+//! messaging, binomial-tree collectives, explicit file I/O with
+//! asynchronous prefetch, and — crucially for MHETA — an MPI-Jack style
+//! interposition mechanism ([`hooks`]) that lets an instrumented
+//! iteration observe every operation's variable, peers, sizes, and
+//! virtual-clock timestamps without touching application code beyond
+//! the structural begin/end markers.
+//!
+//! The collectives module also exposes *analytical twins* of its
+//! schedules ([`collectives::model_reduce`] et al.); the MHETA model
+//! uses those to predict reduction time with the exact tree the
+//! execution uses.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod collectives;
+pub mod comm;
+pub mod hooks;
+pub mod msg;
+pub mod runner;
+
+pub use collectives::{
+    allreduce, barrier, bcast, model_allreduce, model_bcast, model_reduce, reduce, HopCost,
+    ReduceOp, TAG_BCAST, TAG_REDUCE,
+};
+pub use comm::{Comm, ExecMode, PrefetchToken};
+pub use hooks::{HookEvent, NullRecorder, OpInfo, OpKind, Recorder, Scope, ScopeKind, VecRecorder};
+pub use runner::{run_app, AppRun, RunOptions};

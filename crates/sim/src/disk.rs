@@ -1,0 +1,273 @@
+//! Rank-local disk storage and memory accounting.
+//!
+//! Each node of the emulated cluster owns a local disk (Figure 2).
+//! [`DiskStore`] is the *functional* side: it actually holds the
+//! out-of-core local arrays (OCLAs) as `f64` vectors so applications
+//! compute real results. The *timing* side (seek overheads, per-byte
+//! latencies) is charged by the rank context in `engine`, which calls
+//! into this store for the data movement itself.
+
+use std::collections::HashMap;
+
+use crate::error::{SimError, SimResult};
+
+/// Identifier of an application variable (array), shared between the
+/// application, the instrumentation layer, and the MHETA model.
+pub type VarId = u32;
+
+/// One node's local disk: a set of named `f64` arrays.
+#[derive(Debug, Default, Clone)]
+pub struct DiskStore {
+    vars: HashMap<VarId, Vec<f64>>,
+}
+
+impl DiskStore {
+    /// Empty disk.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create (or replace) a variable with `len` zeroed elements.
+    pub fn create(&mut self, var: VarId, len: usize) {
+        self.vars.insert(var, vec![0.0; len]);
+    }
+
+    /// Create (or replace) a variable from existing data.
+    pub fn store(&mut self, var: VarId, data: Vec<f64>) {
+        self.vars.insert(var, data);
+    }
+
+    /// Remove a variable, returning its data if present.
+    pub fn remove(&mut self, var: VarId) -> Option<Vec<f64>> {
+        self.vars.remove(&var)
+    }
+
+    /// Element count of a stored variable.
+    pub fn extent(&self, var: VarId, rank: usize) -> SimResult<usize> {
+        self.vars
+            .get(&var)
+            .map(Vec::len)
+            .ok_or(SimError::UnknownVariable { var, rank })
+    }
+
+    /// True if the variable exists on this disk.
+    #[must_use]
+    pub fn contains(&self, var: VarId) -> bool {
+        self.vars.contains_key(&var)
+    }
+
+    /// Copy `out.len()` elements starting at `offset` into `out`.
+    pub fn read(
+        &self,
+        var: VarId,
+        offset: usize,
+        out: &mut [f64],
+        rank: usize,
+    ) -> SimResult<()> {
+        let data = self
+            .vars
+            .get(&var)
+            .ok_or(SimError::UnknownVariable { var, rank })?;
+        let end = offset
+            .checked_add(out.len())
+            .filter(|&e| e <= data.len())
+            .ok_or(SimError::OutOfBounds {
+                var,
+                offset,
+                len: out.len(),
+                extent: data.len(),
+            })?;
+        out.copy_from_slice(&data[offset..end]);
+        Ok(())
+    }
+
+    /// Copy `input` into the variable starting at `offset`.
+    pub fn write(
+        &mut self,
+        var: VarId,
+        offset: usize,
+        input: &[f64],
+        rank: usize,
+    ) -> SimResult<()> {
+        let data = self
+            .vars
+            .get_mut(&var)
+            .ok_or(SimError::UnknownVariable { var, rank })?;
+        let extent = data.len();
+        let end = offset
+            .checked_add(input.len())
+            .filter(|&e| e <= extent)
+            .ok_or(SimError::OutOfBounds {
+                var,
+                offset,
+                len: input.len(),
+                extent,
+            })?;
+        data[offset..end].copy_from_slice(input);
+        Ok(())
+    }
+
+    /// Immutable view of a whole variable (test/verification helper; a
+    /// real disk would never hand out a zero-cost view).
+    pub fn view(&self, var: VarId, rank: usize) -> SimResult<&[f64]> {
+        self.vars
+            .get(&var)
+            .map(Vec::as_slice)
+            .ok_or(SimError::UnknownVariable { var, rank })
+    }
+}
+
+/// Tracks a node's in-memory footprint against its configured capacity.
+///
+/// Applications size their in-core local arrays (ICLAs) from the node's
+/// memory capacity; the tracker turns accounting mistakes (ICLA larger
+/// than memory) into hard errors instead of silently nonsensical
+/// timings.
+#[derive(Debug, Clone)]
+pub struct MemTracker {
+    capacity: u64,
+    in_use: u64,
+    high_water: u64,
+    rank: usize,
+}
+
+impl MemTracker {
+    /// New tracker for a node with `capacity` bytes of memory.
+    #[must_use]
+    pub fn new(capacity: u64, rank: usize) -> Self {
+        MemTracker {
+            capacity,
+            in_use: 0,
+            high_water: 0,
+            rank,
+        }
+    }
+
+    /// Reserve `bytes`; errors if the node's memory would be exceeded.
+    pub fn alloc(&mut self, bytes: u64) -> SimResult<()> {
+        let new = self.in_use + bytes;
+        if new > self.capacity {
+            return Err(SimError::MemoryExceeded {
+                rank: self.rank,
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use = new;
+        self.high_water = self.high_water.max(new);
+        Ok(())
+    }
+
+    /// Release `bytes` (saturating; double-frees clamp to zero).
+    pub fn free(&mut self, bytes: u64) {
+        self.in_use = self.in_use.saturating_sub(bytes);
+    }
+
+    /// Bytes currently reserved.
+    #[must_use]
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Peak reservation over the tracker's lifetime.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_write_roundtrip() {
+        let mut d = DiskStore::new();
+        d.create(1, 8);
+        d.write(1, 2, &[1.0, 2.0, 3.0], 0).unwrap();
+        let mut buf = [0.0; 4];
+        d.read(1, 1, &mut buf, 0).unwrap();
+        assert_eq!(buf, [0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        let d = DiskStore::new();
+        let mut buf = [0.0; 1];
+        assert!(matches!(
+            d.read(9, 0, &mut buf, 3),
+            Err(SimError::UnknownVariable { var: 9, rank: 3 })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_read_errors() {
+        let mut d = DiskStore::new();
+        d.create(1, 4);
+        let mut buf = [0.0; 3];
+        assert!(matches!(
+            d.read(1, 2, &mut buf, 0),
+            Err(SimError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_write_errors() {
+        let mut d = DiskStore::new();
+        d.create(1, 4);
+        assert!(d.write(1, 3, &[1.0, 2.0], 0).is_err());
+        // Exact fit is fine.
+        assert!(d.write(1, 2, &[1.0, 2.0], 0).is_ok());
+    }
+
+    #[test]
+    fn offset_overflow_is_caught() {
+        let mut d = DiskStore::new();
+        d.create(1, 4);
+        let mut buf = [0.0; 2];
+        assert!(d.read(1, usize::MAX - 1, &mut buf, 0).is_err());
+    }
+
+    #[test]
+    fn store_replaces_data() {
+        let mut d = DiskStore::new();
+        d.store(5, vec![1.0, 2.0]);
+        assert_eq!(d.extent(5, 0).unwrap(), 2);
+        d.store(5, vec![9.0; 10]);
+        assert_eq!(d.extent(5, 0).unwrap(), 10);
+    }
+
+    #[test]
+    fn mem_tracker_enforces_capacity() {
+        let mut m = MemTracker::new(100, 0);
+        m.alloc(60).unwrap();
+        assert!(m.alloc(50).is_err());
+        m.alloc(40).unwrap();
+        assert_eq!(m.in_use(), 100);
+        assert_eq!(m.available(), 0);
+        m.free(30);
+        assert_eq!(m.in_use(), 70);
+        assert_eq!(m.high_water(), 100);
+    }
+
+    #[test]
+    fn mem_tracker_free_saturates() {
+        let mut m = MemTracker::new(10, 0);
+        m.free(5);
+        assert_eq!(m.in_use(), 0);
+    }
+}

@@ -1,0 +1,854 @@
+//! The virtual-time execution engine.
+//!
+//! Each simulated rank runs as a real OS thread executing the actual
+//! application code (so numerical results are real), but *time* is a
+//! per-rank virtual clock advanced by the cost model:
+//!
+//! * `compute(work, ws)` — advances the local clock by
+//!   `work · ns_per_unit / cpu_power`, scaled by the cache-tier factor
+//!   and the deterministic noise stream;
+//! * disk operations — seek overhead + bytes × per-byte latency;
+//! * `send` — charges the sender-side overhead and deposits the message
+//!   in the kernel mailbox stamped with its *arrival* time
+//!   (`sender_clock + o_s + α + bytes·β`);
+//! * `recv` — blocks (on a real condvar) until a matching message is
+//!   present, then sets `clock = max(clock, arrival) + o_r`.
+//!
+//! Because message matching is by `(src, dst, tag)` FIFO order and the
+//! application is deterministic, the resulting virtual timelines are
+//! reproducible regardless of host scheduling — a conservative
+//! rendezvous simulation in the style of LogP simulators.
+//!
+//! Deadlock of the *simulated* program (every live rank blocked in a
+//! receive) is detected and surfaced as [`SimError::Deadlock`] rather
+//! than hanging the host process.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::ClusterSpec;
+use crate::disk::{DiskStore, MemTracker, VarId};
+use crate::error::{SimError, SimResult};
+use crate::noise::NoiseStream;
+use crate::time::{SimDur, SimTime};
+use crate::trace::{Event, EventKind, RankTrace};
+
+/// Wall-clock backstop: if a rank waits this long in real time, the run
+/// is declared deadlocked even if the counting detector missed it.
+const WAIT_BACKSTOP: Duration = Duration::from_secs(120);
+
+/// Raw message payload. The MPI layer serializes typed data into this.
+pub type Payload = Vec<u8>;
+
+#[derive(Debug)]
+struct InFlight {
+    payload: Payload,
+    arrival: SimTime,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct KernelState {
+    mailboxes: HashMap<(usize, usize, u32), VecDeque<InFlight>>,
+    /// Ranks that have not yet called `finish`.
+    active: usize,
+    /// Ranks currently parked in `recv`.
+    blocked: usize,
+    /// What each parked rank is waiting for: rank → (src, tag).
+    waiting: HashMap<usize, (usize, u32)>,
+    /// Set when the simulated program can make no further progress.
+    deadlocked: Option<String>,
+}
+
+impl KernelState {
+    /// True if any parked rank's awaited mailbox already holds a
+    /// message — i.e. the system can still make progress even though
+    /// every live rank is currently counted as blocked.
+    fn any_satisfiable(&self) -> bool {
+        self.waiting.iter().any(|(&rank, &(src, tag))| {
+            self.mailboxes
+                .get(&(src, rank, tag))
+                .is_some_and(|q| !q.is_empty())
+        })
+    }
+}
+
+/// Shared kernel for one cluster run.
+pub struct SimKernel {
+    spec: ClusterSpec,
+    state: Mutex<KernelState>,
+    cvar: Condvar,
+}
+
+impl SimKernel {
+    /// Build a kernel for `spec`; validates the configuration.
+    pub fn new(spec: ClusterSpec) -> SimResult<Arc<Self>> {
+        spec.validate()?;
+        let n = spec.len();
+        Ok(Arc::new(SimKernel {
+            spec,
+            state: Mutex::new(KernelState {
+                active: n,
+                ..KernelState::default()
+            }),
+            cvar: Condvar::new(),
+        }))
+    }
+
+    /// The cluster configuration this kernel simulates.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Create the execution context for `rank`. Call exactly once per
+    /// rank, from the thread that will run it.
+    pub fn rank_ctx(self: &Arc<Self>, rank: usize, tracing: bool) -> SimResult<RankCtx> {
+        if rank >= self.spec.len() {
+            return Err(SimError::InvalidRank {
+                rank,
+                size: self.spec.len(),
+            });
+        }
+        Ok(RankCtx {
+            rank,
+            now: SimTime::ZERO,
+            kernel: Arc::clone(self),
+            noise: NoiseStream::new(&self.spec.noise, self.spec.seed, rank),
+            disk: DiskStore::new(),
+            mem: MemTracker::new(self.spec.nodes[rank].memory_bytes, rank),
+            events: tracing.then(Vec::new),
+            prefetches: HashMap::new(),
+            next_prefetch: 0,
+            read_bytes: HashMap::new(),
+            finished: false,
+        })
+    }
+
+    fn declare_deadlock(state: &mut KernelState, detail: String) {
+        if state.deadlocked.is_none() {
+            state.deadlocked = Some(detail);
+        }
+    }
+}
+
+/// Handle to an in-flight asynchronous (prefetch) disk read.
+///
+/// The data is captured eagerly (the rank is the sole writer of its own
+/// disk, so the copy is equivalent to completing at wait time) but the
+/// virtual completion instant is what `wait` synchronizes with.
+#[derive(Debug)]
+pub struct Prefetch {
+    id: u64,
+    var: VarId,
+    /// The elements that the disk will have delivered by `completion`.
+    pub data: Vec<f64>,
+}
+
+/// Per-rank execution context: virtual clock, local disk, memory
+/// tracker, noise stream, and the kernel endpoint for messaging.
+pub struct RankCtx {
+    rank: usize,
+    now: SimTime,
+    kernel: Arc<SimKernel>,
+    noise: NoiseStream,
+    /// This node's local disk contents.
+    pub disk: DiskStore,
+    mem: MemTracker,
+    events: Option<Vec<Event>>,
+    prefetches: HashMap<u64, SimTime>,
+    next_prefetch: u64,
+    /// Cumulative bytes read per variable, for the warm-read model.
+    read_bytes: HashMap<VarId, u64>,
+    finished: bool,
+}
+
+impl RankCtx {
+    /// This rank's index.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.kernel.spec.len()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cluster configuration.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.kernel.spec
+    }
+
+    /// This node's hardware spec.
+    #[must_use]
+    pub fn node(&self) -> &crate::config::NodeSpec {
+        &self.kernel.spec.nodes[self.rank]
+    }
+
+    /// The memory tracker for this node.
+    #[must_use]
+    pub fn mem(&mut self) -> &mut MemTracker {
+        &mut self.mem
+    }
+
+    fn record(&mut self, start: SimTime, kind: EventKind) {
+        if let Some(events) = &mut self.events {
+            events.push(Event {
+                start,
+                end: self.now,
+                kind,
+            });
+        }
+    }
+
+    /// Advance the clock by a raw duration (used by higher layers for
+    /// costs they model themselves, e.g. hook bookkeeping).
+    pub fn charge(&mut self, d: SimDur) {
+        self.now += d;
+    }
+
+    /// Perform `work_units` of computation over a working set of
+    /// `ws_bytes` bytes. Returns the charged duration.
+    ///
+    /// The cache-tier factor is applied here and *only* here — MHETA
+    /// never sees it, reproducing the paper's first limitation (§5.4).
+    pub fn compute(&mut self, work_units: f64, ws_bytes: u64) -> SimDur {
+        let start = self.now;
+        let node = &self.kernel.spec.nodes[self.rank];
+        let cache_factor = if ws_bytes <= node.cache_bytes {
+            node.cache_speedup
+        } else {
+            1.0
+        };
+        let cost =
+            work_units * self.kernel.spec.compute_ns_per_unit / node.cpu_power * cache_factor;
+        let d = SimDur::from_nanos_f64(self.noise.perturb(cost));
+        self.now += d;
+        self.record(start, EventKind::Compute { work_units });
+        d
+    }
+
+    /// Warm-read factor for `var`: 1.0 until the variable has been
+    /// fully traversed once, then the node's `warm_read_factor`
+    /// (sequential re-reads hit OS read-ahead and buffer cache).
+    fn read_warmth(&mut self, var: VarId, bytes: u64) -> f64 {
+        let extent_bytes = self
+            .disk
+            .extent(var, self.rank)
+            .map(|e| (e * 8) as u64)
+            .unwrap_or(u64::MAX);
+        let seen = self.read_bytes.entry(var).or_insert(0);
+        let warm = *seen >= extent_bytes;
+        *seen = seen.saturating_add(bytes);
+        if warm {
+            self.kernel.spec.nodes[self.rank].warm_read_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Synchronous disk read: seek + per-byte latency, then the data.
+    /// Returns the charged duration.
+    pub fn disk_read(
+        &mut self,
+        var: VarId,
+        offset: usize,
+        out: &mut [f64],
+    ) -> SimResult<SimDur> {
+        let start = self.now;
+        self.disk.read(var, offset, out, self.rank)?;
+        let bytes = (out.len() * 8) as u64;
+        let warmth = self.read_warmth(var, bytes);
+        let node = &self.kernel.spec.nodes[self.rank];
+        let cost = node.io_read_seek_ns + bytes as f64 * node.io_read_ns_per_byte * warmth;
+        let d = SimDur::from_nanos_f64(self.noise.perturb(cost));
+        self.now += d;
+        self.record(start, EventKind::DiskRead { var, bytes });
+        Ok(d)
+    }
+
+    /// Synchronous disk write. Returns the charged duration.
+    pub fn disk_write(
+        &mut self,
+        var: VarId,
+        offset: usize,
+        input: &[f64],
+    ) -> SimResult<SimDur> {
+        let start = self.now;
+        self.disk.write(var, offset, input, self.rank)?;
+        let bytes = (input.len() * 8) as u64;
+        let node = &self.kernel.spec.nodes[self.rank];
+        let cost = node.io_write_seek_ns + bytes as f64 * node.io_write_ns_per_byte;
+        let d = SimDur::from_nanos_f64(self.noise.perturb(cost));
+        self.now += d;
+        self.record(start, EventKind::DiskWrite { var, bytes });
+        Ok(d)
+    }
+
+    /// Issue an asynchronous (prefetch) read of `len` elements of `var`
+    /// starting at `offset`. Charges the seek/issue overhead to the CPU
+    /// timeline; the transfer latency proceeds concurrently and is
+    /// reconciled by [`RankCtx::prefetch_wait`] (Figure 4 of the paper).
+    pub fn prefetch_issue(
+        &mut self,
+        var: VarId,
+        offset: usize,
+        len: usize,
+    ) -> SimResult<Prefetch> {
+        let start = self.now;
+        let mut data = vec![0.0; len];
+        self.disk.read(var, offset, &mut data, self.rank)?;
+        let bytes = (len * 8) as u64;
+        let warmth = self.read_warmth(var, bytes);
+        let node = &self.kernel.spec.nodes[self.rank];
+        let overhead = SimDur::from_nanos_f64(self.noise.perturb(node.io_read_seek_ns));
+        self.now += overhead;
+        let latency = SimDur::from_nanos_f64(
+            self.noise.perturb(bytes as f64 * node.io_read_ns_per_byte * warmth),
+        );
+        let completion = self.now + latency;
+        let id = self.next_prefetch;
+        self.next_prefetch += 1;
+        self.prefetches.insert(id, completion);
+        self.record(start, EventKind::PrefetchIssue { var, bytes });
+        Ok(Prefetch { id, var, data })
+    }
+
+    /// Block until a previously issued prefetch completes; returns the
+    /// data and the duration actually spent stalled.
+    pub fn prefetch_wait(&mut self, p: Prefetch) -> (Vec<f64>, SimDur) {
+        let start = self.now;
+        let completion = self
+            .prefetches
+            .remove(&p.id)
+            .expect("prefetch handle is unique and unconsumed");
+        let blocked = completion.saturating_since(self.now);
+        self.now = self.now.max(completion);
+        self.record(
+            start,
+            EventKind::PrefetchWait {
+                var: p.var,
+                blocked_ns: blocked.as_nanos(),
+            },
+        );
+        (p.data, blocked)
+    }
+
+    /// Send `payload` to rank `to` with `tag`. Charges the sender-side
+    /// overhead; the message arrives at
+    /// `clock_after_overhead + α + bytes·β`. Buffered: never blocks.
+    pub fn send(&mut self, to: usize, tag: u32, payload: Payload) -> SimResult<()> {
+        if to >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: to,
+                size: self.size(),
+            });
+        }
+        let start = self.now;
+        let bytes = payload.len() as u64;
+        let net = &self.kernel.spec.net;
+        let overhead = SimDur::from_nanos_f64(self.noise.perturb(net.send_overhead_ns));
+        self.now += overhead;
+        let transfer = SimDur::from_nanos_f64(self.noise.perturb(net.transfer_ns(bytes)));
+        let arrival = self.now + transfer;
+        {
+            let mut st = self.kernel.state.lock();
+            st.mailboxes
+                .entry((self.rank, to, tag))
+                .or_default()
+                .push_back(InFlight {
+                    payload,
+                    arrival,
+                    bytes,
+                });
+        }
+        self.kernel.cvar.notify_all();
+        self.record(start, EventKind::Send { to, tag, bytes });
+        Ok(())
+    }
+
+    /// Receive the next message from rank `from` with `tag`. Blocks the
+    /// host thread until the matching send has been posted; advances the
+    /// virtual clock to `max(clock, arrival) + o_r`.
+    pub fn recv(&mut self, from: usize, tag: u32) -> SimResult<Payload> {
+        if from >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: from,
+                size: self.size(),
+            });
+        }
+        let start = self.now;
+        let msg = {
+            let mut st = self.kernel.state.lock();
+            loop {
+                if let Some(q) = st.mailboxes.get_mut(&(from, self.rank, tag)) {
+                    if let Some(m) = q.pop_front() {
+                        break m;
+                    }
+                }
+                if let Some(d) = &st.deadlocked {
+                    return Err(SimError::Deadlock { detail: d.clone() });
+                }
+                st.blocked += 1;
+                st.waiting.insert(self.rank, (from, tag));
+                if st.blocked == st.active && !st.any_satisfiable() {
+                    let detail = format!(
+                        "all {} live ranks blocked; rank {} waiting on ({from}, tag {tag})",
+                        st.active, self.rank
+                    );
+                    SimKernel::declare_deadlock(&mut st, detail.clone());
+                    st.blocked -= 1;
+                    st.waiting.remove(&self.rank);
+                    self.kernel.cvar.notify_all();
+                    return Err(SimError::Deadlock { detail });
+                }
+                let timed_out = self
+                    .kernel
+                    .cvar
+                    .wait_for(&mut st, WAIT_BACKSTOP)
+                    .timed_out();
+                st.blocked -= 1;
+                st.waiting.remove(&self.rank);
+                if timed_out {
+                    let detail = format!(
+                        "rank {} timed out waiting on ({from}, tag {tag})",
+                        self.rank
+                    );
+                    SimKernel::declare_deadlock(&mut st, detail.clone());
+                    self.kernel.cvar.notify_all();
+                    return Err(SimError::Deadlock { detail });
+                }
+            }
+        };
+        let net = &self.kernel.spec.net;
+        let o_r = SimDur::from_nanos_f64(self.noise.perturb(net.recv_overhead_ns));
+        let blocked = msg.arrival.saturating_since(self.now);
+        self.now = self.now.max(msg.arrival) + o_r;
+        self.record(
+            start,
+            EventKind::Recv {
+                from,
+                tag,
+                bytes: msg.bytes,
+                blocked_ns: blocked.as_nanos(),
+            },
+        );
+        Ok(msg.payload)
+    }
+
+    /// Non-blocking probe: is a message from `from` with `tag` already
+    /// posted (regardless of its virtual arrival time)?
+    #[must_use]
+    pub fn probe(&self, from: usize, tag: u32) -> bool {
+        let st = self.kernel.state.lock();
+        st.mailboxes
+            .get(&(from, self.rank, tag))
+            .is_some_and(|q| !q.is_empty())
+    }
+
+    /// Mark this rank finished and extract its trace. Must be the last
+    /// call on the context.
+    pub fn finish(mut self) -> RankTrace {
+        self.mark_finished();
+        RankTrace {
+            rank: self.rank,
+            events: self.events.take().unwrap_or_default(),
+            finish: self.now,
+        }
+    }
+
+    fn mark_finished(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let mut st = self.kernel.state.lock();
+        st.active -= 1;
+        if st.active > 0 && st.blocked == st.active && !st.any_satisfiable() {
+            let detail = format!(
+                "rank {} finished leaving all {} remaining ranks blocked",
+                self.rank, st.active
+            );
+            SimKernel::declare_deadlock(&mut st, detail);
+        }
+        drop(st);
+        self.kernel.cvar.notify_all();
+    }
+}
+
+impl Drop for RankCtx {
+    fn drop(&mut self) {
+        // A context dropped by a panic unwinding must still release its
+        // slot so sibling ranks detect the dead peer instead of hanging.
+        self.mark_finished();
+    }
+}
+
+/// Outcome of running a program over the whole cluster.
+#[derive(Debug)]
+pub struct ClusterRun<T> {
+    /// Per-rank application results, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank traces (empty event lists when tracing was off).
+    pub traces: Vec<RankTrace>,
+}
+
+impl<T> ClusterRun<T> {
+    /// The simulated makespan: the latest finishing rank's clock.
+    #[must_use]
+    pub fn makespan(&self) -> SimTime {
+        self.traces
+            .iter()
+            .map(|t| t.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// Run `f` once per rank, each on its own thread, against a fresh kernel
+/// for `spec`. Returns per-rank results and traces.
+///
+/// Panics in rank bodies are converted to a panic of the caller with the
+/// offending rank identified; simulated deadlocks surface as `Err`.
+pub fn run_cluster<T, F>(spec: &ClusterSpec, tracing: bool, f: F) -> SimResult<ClusterRun<T>>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> SimResult<T> + Sync,
+{
+    let kernel = SimKernel::new(spec.clone())?;
+    let n = spec.len();
+    let mut slots: Vec<Option<SimResult<(T, RankTrace)>>> = (0..n).map(|_| None).collect();
+
+    scoped_fanout(&kernel, tracing, &f, &mut slots)?;
+
+    let mut results = Vec::with_capacity(n);
+    let mut traces = Vec::with_capacity(n);
+    for (rank, slot) in slots.into_iter().enumerate() {
+        let (value, trace) = slot
+            .unwrap_or_else(|| panic!("rank {rank} produced no result"))?;
+        results.push(value);
+        traces.push(trace);
+    }
+    Ok(ClusterRun { results, traces })
+}
+
+// std::thread::scope-based fan-out; kept separate so `run_cluster` reads
+// as policy and this as mechanism.
+fn scoped_fanout<T, F>(
+    kernel: &Arc<SimKernel>,
+    tracing: bool,
+    f: &F,
+    slots: &mut [Option<SimResult<(T, RankTrace)>>],
+) -> SimResult<()>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> SimResult<T> + Sync,
+{
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(slots.len());
+        for (rank, slot) in slots.iter_mut().enumerate() {
+            let kernel = Arc::clone(kernel);
+            handles.push((
+                rank,
+                scope.spawn(move || {
+                    let mut ctx = kernel.rank_ctx(rank, tracing)?;
+                    let value = f(&mut ctx)?;
+                    Ok::<_, SimError>((value, ctx.finish()))
+                }),
+                slot,
+            ));
+        }
+        for (rank, handle, slot) in handles {
+            match handle.join() {
+                Ok(res) => *slot = Some(res),
+                Err(p) => {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    panic!("simulated rank {rank} panicked: {msg}");
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_spec(n: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::homogeneous(n);
+        s.noise.amplitude = 0.0;
+        s
+    }
+
+    #[test]
+    fn compute_advances_clock_by_cost_model() {
+        let spec = quiet_spec(1);
+        let expect = 100.0 * spec.compute_ns_per_unit;
+        let run = run_cluster(&spec, false, |ctx| {
+            ctx.compute(100.0, u64::MAX); // never fits cache
+            Ok(ctx.now().as_nanos())
+        })
+        .unwrap();
+        assert_eq!(run.results[0] as f64, expect);
+    }
+
+    #[test]
+    fn cache_fit_speeds_up_compute() {
+        let spec = quiet_spec(1);
+        let run = run_cluster(&spec, false, |ctx| {
+            let slow = ctx.compute(100.0, u64::MAX);
+            let fast = ctx.compute(100.0, 1);
+            Ok((slow, fast))
+        })
+        .unwrap();
+        let (slow, fast) = run.results[0];
+        assert!(fast < slow);
+        let ratio = fast.as_nanos_f64() / slow.as_nanos_f64();
+        assert!((ratio - spec.nodes[0].cache_speedup).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_power_divides_compute_time() {
+        let mut spec = quiet_spec(2);
+        spec.nodes[1].cpu_power = 2.0;
+        let run = run_cluster(&spec, false, |ctx| {
+            Ok(ctx.compute(1000.0, u64::MAX).as_nanos_f64())
+        })
+        .unwrap();
+        assert!((run.results[0] / run.results[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_roundtrip_carries_payload_and_time() {
+        let spec = quiet_spec(2);
+        let run = run_cluster(&spec, true, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute(500.0, u64::MAX);
+                ctx.send(1, 7, vec![1, 2, 3, 4])?;
+                Ok(vec![])
+            } else {
+                ctx.recv(0, 7)
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], vec![1, 2, 3, 4]);
+        // Receiver clock >= sender compute + o_s + transfer + o_r.
+        let net = &spec.net;
+        let min_ns = 500.0 * spec.compute_ns_per_unit
+            + net.send_overhead_ns
+            + net.transfer_ns(4)
+            + net.recv_overhead_ns;
+        assert!(run.traces[1].finish.as_nanos() as f64 >= min_ns - 1.0);
+    }
+
+    #[test]
+    fn fifo_ordering_per_channel() {
+        let spec = quiet_spec(2);
+        let run = run_cluster(&spec, false, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10u8 {
+                    ctx.send(1, 0, vec![i])?;
+                }
+                Ok(vec![])
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..10 {
+                    got.push(ctx.recv(0, 0)?[0]);
+                }
+                Ok(got)
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        let spec = quiet_spec(2);
+        let run = run_cluster(&spec, false, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![10])?;
+                ctx.send(1, 2, vec![20])?;
+                Ok((0, 0))
+            } else {
+                // Receive in the opposite order of sending.
+                let b = ctx.recv(0, 2)?[0];
+                let a = ctx.recv(0, 1)?[0];
+                Ok((a, b))
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], (10, 20));
+    }
+
+    #[test]
+    fn deadlock_detected_not_hung() {
+        let spec = quiet_spec(2);
+        let err = run_cluster(&spec, false, |ctx| {
+            // Both ranks receive first: classic deadlock.
+            let peer = 1 - ctx.rank();
+            ctx.recv(peer, 0)?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn finished_sender_leaves_receiver_deadlocked() {
+        let spec = quiet_spec(2);
+        let err = run_cluster(&spec, false, |ctx| {
+            if ctx.rank() == 0 {
+                Ok(()) // exits immediately without sending
+            } else {
+                ctx.recv(0, 0)?;
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn disk_roundtrip_charges_time() {
+        let spec = quiet_spec(1);
+        let run = run_cluster(&spec, true, |ctx| {
+            ctx.disk.create(1, 100);
+            ctx.disk_write(1, 0, &[3.5; 100])?;
+            let mut buf = [0.0; 100];
+            ctx.disk_read(1, 0, &mut buf)?;
+            assert_eq!(buf[99], 3.5);
+            Ok(ctx.now().as_nanos())
+        })
+        .unwrap();
+        let node = &spec.nodes[0];
+        let expect = node.io_write_seek_ns
+            + 800.0 * node.io_write_ns_per_byte
+            + node.io_read_seek_ns
+            + 800.0 * node.io_read_ns_per_byte;
+        assert_eq!(run.results[0] as f64, expect);
+    }
+
+    #[test]
+    fn prefetch_overlaps_computation() {
+        let spec = quiet_spec(1);
+        let run = run_cluster(&spec, false, |ctx| {
+            ctx.disk.create(1, 1000);
+            // Sync baseline.
+            let mut buf = vec![0.0; 1000];
+            let sync_cost = ctx.disk_read(1, 0, &mut buf)?;
+            // Prefetch with fully covering computation.
+            let before = ctx.now();
+            let p = ctx.prefetch_issue(1, 0, 1000)?;
+            ctx.compute(1e7, u64::MAX); // long overlap
+            let (_, blocked) = ctx.prefetch_wait(p);
+            let async_cost = ctx.now() - before;
+            Ok((sync_cost, async_cost, blocked))
+        })
+        .unwrap();
+        let (sync_cost, async_cost, blocked) = run.results[0];
+        assert_eq!(blocked, SimDur::ZERO, "long compute masks the latency");
+        // The async path should cost roughly the compute + seek only,
+        // i.e. strictly less than compute + full sync read.
+        assert!(async_cost.as_nanos_f64() < 1e7 * spec.compute_ns_per_unit + sync_cost.as_nanos_f64());
+    }
+
+    #[test]
+    fn prefetch_without_overlap_costs_full_latency() {
+        let spec = quiet_spec(1);
+        let run = run_cluster(&spec, false, |ctx| {
+            ctx.disk.create(1, 1000);
+            let p = ctx.prefetch_issue(1, 0, 1000)?;
+            let (_, blocked) = ctx.prefetch_wait(p);
+            Ok(blocked)
+        })
+        .unwrap();
+        let node = &spec.nodes[0];
+        let expect = 8000.0 * node.io_read_ns_per_byte;
+        assert_eq!(run.results[0].as_nanos_f64(), expect);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut spec = ClusterSpec::homogeneous(4);
+        spec.noise.amplitude = 0.05;
+        let body = |ctx: &mut RankCtx| {
+            ctx.compute(123.0, u64::MAX);
+            let peer = ctx.rank() ^ 1;
+            ctx.send(peer, 0, vec![ctx.rank() as u8])?;
+            ctx.recv(peer, 0)?;
+            Ok(ctx.now())
+        };
+        let a = run_cluster(&spec, false, body).unwrap();
+        let b = run_cluster(&spec, false, body).unwrap();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn makespan_is_max_rank_finish() {
+        let spec = quiet_spec(3);
+        let run = run_cluster(&spec, false, |ctx| {
+            ctx.compute(100.0 * (ctx.rank() as f64 + 1.0), u64::MAX);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(run.makespan(), run.traces[2].finish);
+    }
+
+    #[test]
+    fn probe_sees_posted_messages() {
+        let spec = quiet_spec(2);
+        run_cluster(&spec, false, |ctx| {
+            if ctx.rank() == 0 {
+                // Post tag 6 first so that once tag 5 is received the
+                // tag-6 message is guaranteed to be in the mailbox.
+                ctx.send(1, 6, vec![2])?;
+                ctx.send(1, 5, vec![1])?;
+            } else {
+                ctx.recv(0, 5)?;
+                assert!(ctx.probe(0, 6));
+                assert!(!ctx.probe(0, 7));
+                ctx.recv(0, 6)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn traces_are_monotone() {
+        let spec = quiet_spec(2);
+        let run = run_cluster(&spec, true, |ctx| {
+            ctx.disk.create(1, 10);
+            ctx.compute(10.0, u64::MAX);
+            ctx.disk_write(1, 0, &[1.0; 10])?;
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, 0, vec![0])?;
+            ctx.recv(peer, 0)?;
+            Ok(())
+        })
+        .unwrap();
+        for t in &run.traces {
+            assert!(t.is_monotone(), "rank {} trace not monotone", t.rank);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the cluster simulator.
+
+use std::fmt;
+
+/// Errors surfaced by the simulator substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum SimError {
+    /// A rank index was out of range for the cluster.
+    InvalidRank { rank: usize, size: usize },
+    /// A disk variable was accessed before being created.
+    UnknownVariable { var: u32, rank: usize },
+    /// A disk access fell outside the stored variable's extent.
+    OutOfBounds {
+        var: u32,
+        offset: usize,
+        len: usize,
+        extent: usize,
+    },
+    /// Every live rank is blocked waiting for a message or barrier that
+    /// can never arrive: the simulated program has deadlocked.
+    Deadlock { detail: String },
+    /// A rank's memory tracker was over-subscribed beyond the node's
+    /// configured capacity.
+    MemoryExceeded {
+        rank: usize,
+        requested: u64,
+        in_use: u64,
+        capacity: u64,
+    },
+    /// Cluster configuration failed validation.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for cluster of {size} nodes")
+            }
+            SimError::UnknownVariable { var, rank } => {
+                write!(f, "variable {var} not present on node {rank}'s disk")
+            }
+            SimError::OutOfBounds {
+                var,
+                offset,
+                len,
+                extent,
+            } => write!(
+                f,
+                "disk access [{offset}, {}) out of bounds for variable {var} of extent {extent}",
+                offset + len
+            ),
+            SimError::Deadlock { detail } => write!(f, "simulated deadlock: {detail}"),
+            SimError::MemoryExceeded {
+                rank,
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "node {rank} memory exceeded: requested {requested} B with {in_use} B in use \
+                 of {capacity} B capacity"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid cluster config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidRank { rank: 9, size: 8 };
+        assert!(e.to_string().contains("rank 9"));
+        let e = SimError::OutOfBounds {
+            var: 3,
+            offset: 10,
+            len: 5,
+            extent: 12,
+        };
+        assert!(e.to_string().contains("[10, 15)"));
+        let e = SimError::MemoryExceeded {
+            rank: 1,
+            requested: 100,
+            in_use: 50,
+            capacity: 120,
+        };
+        assert!(e.to_string().contains("node 1"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic multiplicative cost noise.
+//!
+//! Each rank owns an independent noise stream seeded from the cluster's
+//! master seed and its rank index, so a run is reproducible regardless
+//! of OS thread interleaving. The paper observes that perturbations in
+//! the instrumented iteration bound MHETA's best-case accuracy (§5.2.1);
+//! this stream is what produces those perturbations here.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::NoiseSpec;
+
+/// A per-rank deterministic noise source.
+#[derive(Debug, Clone)]
+pub struct NoiseStream {
+    rng: SmallRng,
+    amplitude: f64,
+}
+
+impl NoiseStream {
+    /// Create the stream for `rank` under the given master `seed`.
+    #[must_use]
+    pub fn new(spec: &NoiseSpec, seed: u64, rank: usize) -> Self {
+        // SplitMix-style mixing so nearby (seed, rank) pairs decorrelate.
+        let mut z = seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        NoiseStream {
+            rng: SmallRng::seed_from_u64(z),
+            amplitude: spec.amplitude,
+        }
+    }
+
+    /// Next multiplicative factor, uniform in `[1 - a, 1 + a]`. With
+    /// amplitude 0 this always returns exactly 1.0 (and still advances
+    /// the RNG so enabling noise does not shift later draws).
+    pub fn factor(&mut self) -> f64 {
+        let u: f64 = self.rng.gen::<f64>();
+        if self.amplitude == 0.0 {
+            1.0
+        } else {
+            1.0 + self.amplitude * (2.0 * u - 1.0)
+        }
+    }
+
+    /// Apply noise to a cost in fractional nanoseconds.
+    pub fn perturb(&mut self, cost_ns: f64) -> f64 {
+        cost_ns * self.factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(a: f64) -> NoiseSpec {
+        NoiseSpec { amplitude: a }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_rank() {
+        let mut a = NoiseStream::new(&spec(0.05), 42, 3);
+        let mut b = NoiseStream::new(&spec(0.05), 42, 3);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn ranks_decorrelated() {
+        let mut a = NoiseStream::new(&spec(0.05), 42, 0);
+        let mut b = NoiseStream::new(&spec(0.05), 42, 1);
+        let same = (0..100).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 5, "rank streams should differ, {same} collisions");
+    }
+
+    #[test]
+    fn factors_within_bounds() {
+        let mut s = NoiseStream::new(&spec(0.08), 7, 2);
+        for _ in 0..1000 {
+            let f = s.factor();
+            assert!((0.92..=1.08).contains(&f), "factor {f} out of bounds");
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_exactly_one() {
+        let mut s = NoiseStream::new(&spec(0.0), 7, 2);
+        for _ in 0..100 {
+            assert_eq!(s.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_is_near_one() {
+        let mut s = NoiseStream::new(&spec(0.1), 1, 0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| s.factor()).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.005, "mean {mean} too far from 1");
+    }
+}

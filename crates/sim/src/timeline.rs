@@ -1,0 +1,189 @@
+//! Plain-text timeline (Gantt) rendering of rank traces.
+//!
+//! Turns the per-rank [`RankTrace`]s of a traced run into an aligned
+//! character timeline — one row per rank, one column per time bucket —
+//! showing what each node spent its virtual time on. Invaluable for
+//! eyeballing pipeline fill, reduction trees, and I/O phases:
+//!
+//! ```text
+//! rank 0 CCCCCCCCDDDDDD..ss..rr
+//! rank 1 ....rrCCCCCCCCDDDDss..
+//! ```
+//!
+//! Legend: `C` compute, `D` disk, `P` prefetch wait, `s` send, `r`
+//! receive overhead, `.` blocked/idle, space = finished.
+
+use crate::time::SimTime;
+use crate::trace::{EventKind, RankTrace};
+
+/// Symbol for an event kind.
+fn symbol(kind: &EventKind) -> char {
+    match kind {
+        EventKind::Compute { .. } => 'C',
+        EventKind::DiskRead { .. } => 'D',
+        EventKind::DiskWrite { .. } => 'W',
+        EventKind::PrefetchIssue { .. } => 'p',
+        EventKind::PrefetchWait { .. } => 'P',
+        EventKind::Send { .. } => 's',
+        EventKind::Recv { .. } => 'r',
+    }
+}
+
+/// Render the traces as a text timeline of `width` columns covering
+/// `[0, max finish]`. Each cell shows the dominant activity in its
+/// bucket; `.` marks time spent blocked or between events, and spaces
+/// follow a rank's finish.
+#[must_use]
+pub fn render(traces: &[RankTrace], width: usize) -> String {
+    let width = width.max(10);
+    let end = traces
+        .iter()
+        .map(|t| t.finish)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .as_nanos() as f64;
+    if end <= 0.0 {
+        return String::from("(empty timeline)\n");
+    }
+    let bucket = end / width as f64;
+
+    let mut out = String::new();
+    for t in traces {
+        let mut row = vec![' '; width];
+        let finish_col =
+            (((t.finish.as_nanos() as f64) / bucket).ceil() as usize).min(width);
+        // Idle/blocked baseline up to the finish.
+        for cell in row.iter_mut().take(finish_col) {
+            *cell = '.';
+        }
+        // Paint events; later events overwrite earlier ones in shared
+        // buckets, which biases toward the most recent activity.
+        for ev in &t.events {
+            let c0 = ((ev.start.as_nanos() as f64) / bucket) as usize;
+            let c1 = (((ev.end.as_nanos() as f64) / bucket).ceil() as usize).max(c0 + 1);
+            let sym = symbol(&ev.kind);
+            for cell in row.iter_mut().take(c1.min(width)).skip(c0.min(width)) {
+                *cell = sym;
+            }
+            // Recv cells that were mostly blocking show as '.' again if
+            // the blocked share dominates the bucket.
+            if let EventKind::Recv { blocked_ns, .. } = ev.kind {
+                let blocked_cols = (blocked_ns as f64 / bucket) as usize;
+                for cell in row
+                    .iter_mut()
+                    .take((c0 + blocked_cols).min(width))
+                    .skip(c0.min(width))
+                {
+                    *cell = '.';
+                }
+            }
+        }
+        out.push_str(&format!("rank {:>2} |{}|\n", t.rank, row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "legend: C compute, D read, W write, p issue, P wait, s send, r recv, . idle/blocked  (span {:.3}s)\n",
+        end / 1e9
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Event;
+
+    fn ev(s: u64, e: u64, kind: EventKind) -> Event {
+        Event {
+            start: SimTime(s),
+            end: SimTime(e),
+            kind,
+        }
+    }
+
+    fn compute(s: u64, e: u64) -> Event {
+        ev(s, e, EventKind::Compute { work_units: 1.0 })
+    }
+
+    #[test]
+    fn renders_one_row_per_rank() {
+        let traces = vec![
+            RankTrace {
+                rank: 0,
+                events: vec![compute(0, 500)],
+                finish: SimTime(1000),
+            },
+            RankTrace {
+                rank: 1,
+                events: vec![compute(500, 1000)],
+                finish: SimTime(1000),
+            },
+        ];
+        let s = render(&traces, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // two ranks + legend
+        assert!(lines[0].starts_with("rank  0"));
+        // Rank 0 computes in the first half, idles in the second.
+        assert!(lines[0].contains("CCCCCCCCCC.........."));
+        assert!(lines[1].contains("..........CCCCCCCCCC"));
+    }
+
+    #[test]
+    fn blocked_recv_shows_as_idle_then_recv() {
+        let traces = vec![RankTrace {
+            rank: 0,
+            events: vec![ev(
+                0,
+                1000,
+                EventKind::Recv {
+                    from: 1,
+                    tag: 0,
+                    bytes: 8,
+                    blocked_ns: 900,
+                },
+            )],
+            finish: SimTime(1000),
+        }];
+        let s = render(&traces, 10);
+        // Mostly blocked: dots dominate, receive overhead at the end.
+        let row = s.lines().next().unwrap();
+        assert!(row.matches('.').count() >= 8, "{row}");
+        assert!(row.contains('r'), "{row}");
+    }
+
+    #[test]
+    fn empty_traces_do_not_panic() {
+        assert!(render(&[], 40).contains("empty"));
+        let zero = vec![RankTrace {
+            rank: 0,
+            events: vec![],
+            finish: SimTime::ZERO,
+        }];
+        assert!(render(&zero, 40).contains("empty"));
+    }
+
+    #[test]
+    fn disk_and_send_symbols_appear() {
+        let traces = vec![RankTrace {
+            rank: 0,
+            events: vec![
+                ev(0, 250, EventKind::DiskRead { var: 1, bytes: 8 }),
+                ev(250, 500, EventKind::DiskWrite { var: 1, bytes: 8 }),
+                ev(
+                    500,
+                    750,
+                    EventKind::Send {
+                        to: 1,
+                        tag: 0,
+                        bytes: 8,
+                    },
+                ),
+                compute(750, 1000),
+            ],
+            finish: SimTime(1000),
+        }];
+        let s = render(&traces, 20);
+        for sym in ['D', 'W', 's', 'C'] {
+            assert!(s.contains(sym), "missing {sym} in {s}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-rank execution traces.
+//!
+//! Traces record what each simulated rank did and when, on its virtual
+//! clock. The MPI layer's interposition hooks provide the *semantic*
+//! attribution (which parallel section / tile / stage an operation
+//! belongs to); this trace is the raw operational record used by tests
+//! and debugging output.
+
+use crate::time::SimTime;
+
+/// What a traced interval was spent doing.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum EventKind {
+    /// Local computation of `work_units` units of application work.
+    Compute { work_units: f64 },
+    /// Synchronous disk read of `bytes` of variable `var`.
+    DiskRead { var: u32, bytes: u64 },
+    /// Synchronous disk write of `bytes` of variable `var`.
+    DiskWrite { var: u32, bytes: u64 },
+    /// Asynchronous (prefetch) read issue.
+    PrefetchIssue { var: u32, bytes: u64 },
+    /// Blocking wait for a previously issued prefetch; `blocked_ns` is
+    /// the portion of the interval actually spent stalled on the disk.
+    PrefetchWait { var: u32, blocked_ns: u64 },
+    /// Message send; the interval covers the sender-side overhead only.
+    Send { to: usize, tag: u32, bytes: u64 },
+    /// Message receive; `blocked_ns` is the time spent waiting for the
+    /// message to arrive before the receive overhead was charged.
+    Recv {
+        from: usize,
+        tag: u32,
+        bytes: u64,
+        blocked_ns: u64,
+    },
+}
+
+/// One traced interval on a rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time at which the operation began.
+    pub start: SimTime,
+    /// Virtual time at which the operation completed.
+    pub end: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The complete trace of one rank for one run.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    /// Rank index.
+    pub rank: usize,
+    /// Events in program order (which is also virtual-time order).
+    pub events: Vec<Event>,
+    /// The rank's virtual clock when it finished.
+    pub finish: SimTime,
+}
+
+impl RankTrace {
+    /// Total virtual time this rank spent blocked (in receives and
+    /// prefetch waits).
+    #[must_use]
+    pub fn total_blocked_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Recv { blocked_ns, .. }
+                | EventKind::PrefetchWait { blocked_ns, .. } => blocked_ns,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved to/from this rank's local disk.
+    #[must_use]
+    pub fn total_disk_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::DiskRead { bytes, .. }
+                | EventKind::DiskWrite { bytes, .. }
+                | EventKind::PrefetchIssue { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total message payload bytes sent by this rank.
+    #[must_use]
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Send { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Check the internal consistency of the trace: events must be
+    /// non-overlapping and ordered on the virtual clock.
+    #[must_use]
+    pub fn is_monotone(&self) -> bool {
+        let mut prev_end = SimTime::ZERO;
+        for e in &self.events {
+            if e.start < prev_end || e.end < e.start {
+                return false;
+            }
+            prev_end = e.end;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: u64, e: u64, kind: EventKind) -> Event {
+        Event {
+            start: SimTime(s),
+            end: SimTime(e),
+            kind,
+        }
+    }
+
+    #[test]
+    fn monotone_trace_accepted() {
+        let t = RankTrace {
+            rank: 0,
+            events: vec![
+                ev(0, 5, EventKind::Compute { work_units: 1.0 }),
+                ev(5, 9, EventKind::DiskRead { var: 1, bytes: 64 }),
+            ],
+            finish: SimTime(9),
+        };
+        assert!(t.is_monotone());
+        assert_eq!(t.total_disk_bytes(), 64);
+    }
+
+    #[test]
+    fn overlapping_trace_rejected() {
+        let t = RankTrace {
+            rank: 0,
+            events: vec![
+                ev(0, 5, EventKind::Compute { work_units: 1.0 }),
+                ev(4, 9, EventKind::Compute { work_units: 1.0 }),
+            ],
+            finish: SimTime(9),
+        };
+        assert!(!t.is_monotone());
+    }
+
+    #[test]
+    fn blocked_time_sums_recv_and_prefetch() {
+        let t = RankTrace {
+            rank: 1,
+            events: vec![
+                ev(
+                    0,
+                    10,
+                    EventKind::Recv {
+                        from: 0,
+                        tag: 7,
+                        bytes: 8,
+                        blocked_ns: 6,
+                    },
+                ),
+                ev(
+                    10,
+                    20,
+                    EventKind::PrefetchWait {
+                        var: 2,
+                        blocked_ns: 3,
+                    },
+                ),
+            ],
+            finish: SimTime(20),
+        };
+        assert_eq!(t.total_blocked_ns(), 9);
+    }
+
+    #[test]
+    fn sent_bytes_counts_only_sends() {
+        let t = RankTrace {
+            rank: 2,
+            events: vec![
+                ev(
+                    0,
+                    1,
+                    EventKind::Send {
+                        to: 3,
+                        tag: 0,
+                        bytes: 100,
+                    },
+                ),
+                ev(1, 2, EventKind::DiskWrite { var: 9, bytes: 50 }),
+            ],
+            finish: SimTime(2),
+        };
+        assert_eq!(t.total_sent_bytes(), 100);
+        assert_eq!(t.total_disk_bytes(), 50);
+    }
+}

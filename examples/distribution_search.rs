@@ -1,0 +1,64 @@
+//! Use MHETA as the evaluation function inside the four distribution
+//! search algorithms of the companion work — the system the paper
+//! positions MHETA for ("an effective tool when searching for the most
+//! effective distribution on a heterogeneous cluster").
+//!
+//! ```text
+//! cargo run --release --example distribution_search
+//! ```
+
+use mheta::dist::{
+    gbs_search, genetic_search, random_search, simulated_annealing, AnnealingConfig, GbsConfig,
+    GeneticConfig, RandomConfig,
+};
+use mheta::prelude::*;
+
+fn main() {
+    let spec = presets::io();
+    let bench = Benchmark::Cg(Cg::default());
+    let iters = 6;
+
+    println!("searching distributions for {} on {}...", bench.name(), spec.name);
+    let model = build_model(&bench, &spec, false).expect("model assembly");
+    let inputs = anchor_inputs(&model);
+    let path = SpectrumPath::new(&inputs);
+    let total = bench.total_rows();
+    let n = spec.len();
+    let blk = GenBlock::block(total, n);
+
+    let baseline = run_measured(&bench, &spec, &blk, iters, false)
+        .expect("baseline run")
+        .secs;
+    println!("baseline Blk actually runs in {baseline:.2}s\n");
+
+    let outcomes = [
+        ("GBS (spectrum)", gbs_search(&path, &model, GbsConfig::default())),
+        (
+            "genetic",
+            genetic_search(total, n, std::slice::from_ref(&blk), &model, GeneticConfig::default()),
+        ),
+        (
+            "simulated annealing",
+            simulated_annealing(&blk, &model, AnnealingConfig::default()),
+        ),
+        ("random", random_search(total, n, &model, RandomConfig::default())),
+    ];
+
+    println!(
+        "{:<20} {:>6} {:>12} {:>12} {:>9}",
+        "algorithm", "evals", "predicted", "actual", "speedup"
+    );
+    for (name, outcome) in outcomes {
+        let actual = run_measured(&bench, &spec, &outcome.best, iters, false)
+            .expect("candidate run")
+            .secs;
+        println!(
+            "{:<20} {:>6} {:>11.2}s {:>11.2}s {:>8.2}x",
+            name,
+            outcome.evaluations,
+            outcome.score_ns * f64::from(iters) / 1e9,
+            actual,
+            baseline / actual
+        );
+    }
+}

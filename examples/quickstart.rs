@@ -1,0 +1,57 @@
+//! Quickstart: build a MHETA model for Jacobi iteration on one of the
+//! paper's hybrid architectures, predict a few distributions, and
+//! check the predictions against the simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mheta::prelude::*;
+
+fn main() {
+    // One of the paper's Table 1 architectures: four nodes with varying
+    // CPU power, four with low I/O latency and small memories.
+    let spec = presets::hy1();
+    let bench = Benchmark::Jacobi(Jacobi::default());
+    let iters = 10;
+
+    println!("building the MHETA model for {} on {}...", bench.name(), spec.name);
+    println!("  (microbenchmarks + one instrumented iteration under Blk)");
+    let model = build_model(&bench, &spec, false).expect("model assembly");
+
+    // The four anchor distributions of the paper's Figure 8.
+    let inputs = anchor_inputs(&model);
+    let path = SpectrumPath::full(&inputs);
+
+    println!("\n{:<10} {:>12} {:>12} {:>8}   distribution", "anchor", "predicted", "actual", "diff");
+    for (label, dist) in path.anchors() {
+        let predicted = model.predict(dist.rows()).expect("valid dist").app_secs(iters);
+        let actual = run_measured(&bench, &spec, dist, iters, false)
+            .expect("run")
+            .secs;
+        println!(
+            "{:<10} {:>11.3}s {:>11.3}s {:>7.2}%   {}",
+            label,
+            predicted,
+            actual,
+            percent_difference(predicted, actual),
+            dist
+        );
+    }
+
+    // Evaluate one hand-rolled distribution.
+    let custom = GenBlock::new(vec![120, 130, 150, 180, 47, 47, 47, 47]).expect("valid");
+    let p = model.predict(custom.rows()).expect("valid dist");
+    println!(
+        "\ncustom {} -> predicted {:.3}s per app run ({} iterations)",
+        custom,
+        p.app_secs(iters),
+        iters
+    );
+    println!(
+        "slowest node breakdown: compute {:.1}ms, I/O {:.1}ms, comm {:.1}ms per iteration",
+        p.breakdown[0].compute_ns / 1e6,
+        p.breakdown[0].io_ns / 1e6,
+        p.breakdown[0].comm_ns / 1e6
+    );
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the prediction engine itself: for arbitrary
+//! valid distributions the model must stay finite, positive,
+//! deterministic, and sane (more rows on a node never makes that
+//! node's predicted work smaller).
+
+use mheta::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared model (building it per proptest case would dominate).
+fn shared_model() -> &'static (Mheta, usize) {
+    static MODEL: OnceLock<(Mheta, usize)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let mut spec = ClusterSpec::homogeneous(4);
+        spec.nodes[1].cpu_power = 0.5;
+        spec.nodes[2].memory_bytes = 4 * 1024;
+        let bench = Benchmark::Jacobi(Jacobi::small());
+        let model = build_model(&bench, &spec, false).expect("model builds");
+        (model, bench.total_rows())
+    })
+}
+
+fn arb_distribution(total: usize, n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1.0f64..100.0, n..=n)
+        .prop_map(move |w| GenBlock::apportion(total, &w).rows().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictions_are_finite_positive_and_deterministic(
+        rows in arb_distribution(64, 4),
+    ) {
+        let (model, _) = shared_model();
+        let a = model.predict(&rows).unwrap();
+        let b = model.predict(&rows).unwrap();
+        prop_assert!(a.iteration_ns.is_finite() && a.iteration_ns > 0.0);
+        prop_assert_eq!(a.per_node_ns.clone(), b.per_node_ns);
+        for nb in &a.breakdown {
+            prop_assert!(nb.compute_ns >= 0.0 && nb.io_ns >= 0.0 && nb.comm_ns >= 0.0);
+        }
+        // The slowest node bounds the iteration.
+        let max = a.per_node_ns.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!((a.iteration_ns - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_rows_to_a_node_never_shrinks_its_stage_work(
+        base in arb_distribution(64, 4),
+        extra in 1usize..16,
+    ) {
+        let (model, _) = shared_model();
+        prop_assume!(base[1] > extra);
+        let mut more = base.clone();
+        more[0] += extra;
+        more[1] -= extra;
+        // Node 0's compute+I/O (breakdown without comm) must not
+        // decrease when it owns more rows.
+        let a = model.predict(&base).unwrap();
+        let b = model.predict(&more).unwrap();
+        let work_a = a.breakdown[0].compute_ns + a.breakdown[0].io_ns;
+        let work_b = b.breakdown[0].compute_ns + b.breakdown[0].io_ns;
+        prop_assert!(
+            work_b + 1e-6 >= work_a,
+            "node 0 with {} rows does less work than with {} rows ({work_b} < {work_a})",
+            more[0], base[0]
+        );
+    }
+
+    #[test]
+    fn invalid_distributions_are_rejected_not_mispredicted(
+        rows in proptest::collection::vec(1usize..40, 4..=4),
+    ) {
+        let (model, total) = shared_model();
+        let sum: usize = rows.iter().sum();
+        let result = model.predict(&rows);
+        if sum == *total {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}
+
+#[test]
+fn ooc_plans_scale_sanely_with_memory() {
+    use mheta::core::plan_node;
+    // Increasing memory never increases N_io.
+    let row_bytes = [(1u32, 160.0)];
+    let mut last_n_io = u64::MAX;
+    for mem in [1_000u64, 2_000, 4_000, 8_000, 16_000, 32_000] {
+        let plan = plan_node(mem, 100.0, 100, &row_bytes)[&1];
+        assert!(plan.n_io <= last_n_io, "N_io grew with memory");
+        last_n_io = plan.n_io;
+    }
+    assert_eq!(last_n_io, 0, "ample memory is in-core");
+}

@@ -1,0 +1,98 @@
+//! Reproducibility: the whole stack — simulator, applications,
+//! instrumentation, model — must be bit-deterministic for a given
+//! seed, regardless of host thread scheduling, and must respond to
+//! seed changes.
+
+use mheta::prelude::*;
+
+fn hybrid(seed: u64) -> ClusterSpec {
+    let mut spec = ClusterSpec::homogeneous(4);
+    spec.nodes[0].cpu_power = 0.6;
+    spec.nodes[3].memory_bytes = 4 * 1024;
+    spec.noise.amplitude = 0.03;
+    spec.seed = seed;
+    spec
+}
+
+#[test]
+fn measured_runs_are_bit_identical_across_repeats() {
+    let spec = hybrid(42);
+    for bench in Benchmark::small_four() {
+        let dist = GenBlock::block(bench.total_rows(), 4);
+        let a = run_measured(&bench, &spec, &dist, 3, false).unwrap();
+        let b = run_measured(&bench, &spec, &dist, 3, false).unwrap();
+        assert_eq!(a.secs, b.secs, "{} timing not deterministic", bench.name());
+        assert_eq!(a.check, b.check, "{} result not deterministic", bench.name());
+        assert_eq!(a.per_rank_secs, b.per_rank_secs);
+    }
+}
+
+#[test]
+fn different_seeds_change_timings_but_not_results() {
+    let bench = Benchmark::Jacobi(Jacobi::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let a = run_measured(&bench, &hybrid(1), &dist, 3, false).unwrap();
+    let b = run_measured(&bench, &hybrid(2), &dist, 3, false).unwrap();
+    assert_ne!(a.secs, b.secs, "noise seed should perturb timings");
+    assert_eq!(a.check, b.check, "numerics are seed-independent");
+}
+
+#[test]
+fn model_building_is_deterministic() {
+    let spec = hybrid(7);
+    let bench = Benchmark::Cg(Cg::small());
+    let m1 = build_model(&bench, &spec, false).unwrap();
+    let m2 = build_model(&bench, &spec, false).unwrap();
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let p1 = m1.predict(dist.rows()).unwrap();
+    let p2 = m2.predict(dist.rows()).unwrap();
+    assert_eq!(p1.per_node_ns, p2.per_node_ns);
+}
+
+#[test]
+fn noise_amplitude_bounds_run_to_run_spread() {
+    // With noise on, two different seeds stay within a few percent of
+    // each other — noise is a perturbation, not chaos.
+    let bench = Benchmark::Lanczos(Lanczos::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let times: Vec<f64> = (0..5)
+        .map(|s| {
+            run_measured(&bench, &hybrid(100 + s), &dist, 2, false)
+                .unwrap()
+                .secs
+        })
+        .collect();
+    let min = times.iter().copied().fold(f64::MAX, f64::min);
+    let max = times.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max / min < 1.10,
+        "5 seeds spread more than 10%: {times:?}"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_virtual_time() {
+    use mheta::mpi::{run_app, ExecMode, NullRecorder, RunOptions};
+    let spec = hybrid(9);
+    let bench = Benchmark::Rna(Rna::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let run_with = |tracing: bool| {
+        let dist = dist.clone();
+        let bench = match &bench {
+            Benchmark::Rna(r) => r.clone(),
+            _ => unreachable!(),
+        };
+        run_app(
+            &spec,
+            RunOptions {
+                tracing,
+                mode: ExecMode::Normal,
+            },
+            |_| NullRecorder,
+            move |comm| bench.run(comm, &dist, 2),
+        )
+        .unwrap()
+        .makespan()
+    };
+    assert_eq!(run_with(false), run_with(true));
+}
