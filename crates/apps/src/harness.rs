@@ -215,11 +215,7 @@ pub fn build_model(bench: &Benchmark, spec: &ClusterSpec, prefetch: bool) -> Sim
 pub fn anchor_inputs(model: &Mheta) -> AnchorInputs {
     let structure = model.structure();
     let n = model.arch().len();
-    let total_row_bytes: f64 = structure
-        .footprint_row_bytes()
-        .iter()
-        .map(|(_, b)| b)
-        .sum();
+    let total_row_bytes: f64 = structure.footprint_row_bytes().iter().map(|(_, b)| b).sum();
     // Sum per-row compute across every (section, tile, stage).
     let mut ns_per_row = vec![0.0f64; n];
     for section in &structure.sections {

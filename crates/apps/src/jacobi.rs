@@ -433,7 +433,12 @@ mod tests {
         let spec = quiet(4);
         let r1 = run_jacobi(&spec, GenBlock::block(64, 4), 2, false);
         let r2 = run_jacobi(&spec, GenBlock::block(64, 4), 10, false);
-        assert!(r2[0].check < r1[0].check, "{} !< {}", r2[0].check, r1[0].check);
+        assert!(
+            r2[0].check < r1[0].check,
+            "{} !< {}",
+            r2[0].check,
+            r1[0].check
+        );
     }
 
     #[test]

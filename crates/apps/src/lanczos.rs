@@ -39,10 +39,7 @@ pub struct Lanczos {
 
 impl Default for Lanczos {
     fn default() -> Self {
-        Lanczos {
-            n: 640,
-            seed: 0x1a,
-        }
+        Lanczos { n: 640, seed: 0x1a }
     }
 }
 
@@ -217,7 +214,11 @@ impl Lanczos {
 
             // Track the invariant: v_next . v (should be ~0).
             ortho = ortho.max(
-                next.iter().zip(&v_full).map(|(a, b)| a * b).sum::<f64>().abs(),
+                next.iter()
+                    .zip(&v_full)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    .abs(),
             );
             v_full = next;
             beta = beta_new;

@@ -274,8 +274,7 @@ impl Multigrid {
                     comm.file_read(VAR_FINE, s * cols, &mut fbuf[..l * cols])?;
                     for i in 0..l {
                         for cc in 0..ccols {
-                            cbuf[i * ccols + cc] = fbuf
-                                [i * cols + 4 * cc..i * cols + 4 * cc + 4]
+                            cbuf[i * ccols + cc] = fbuf[i * cols + 4 * cc..i * cols + 4 * cc + 4]
                                 .iter()
                                 .sum::<f64>()
                                 / 4.0;
@@ -300,8 +299,7 @@ impl Multigrid {
                         for c in 0..ccols {
                             let left = if c > 0 { orig[c - 1] } else { orig[c] };
                             let right = if c + 1 < ccols { orig[c + 1] } else { orig[c] };
-                            let smoothed =
-                                (1.0 - OMEGA) * orig[c] + OMEGA * 0.5 * (left + right);
+                            let smoothed = (1.0 - OMEGA) * orig[c] + OMEGA * 0.5 * (left + right);
                             row[c] = smoothed - orig[c]; // the correction
                             corr_sum += row[c].abs();
                         }

@@ -231,12 +231,12 @@ impl Rna {
         let mut out_msg = vec![0.0; tc + 1];
 
         let do_rows = |comm: &mut Comm<'_, R>,
-                           old: &mut [f64],
-                           rows: std::ops::Range<usize>,
-                           above: &mut Vec<f64>,
-                           corner: &mut f64,
-                           left_carry: &mut [f64],
-                           sum: &mut f64| {
+                       old: &mut [f64],
+                       rows: std::ops::Range<usize>,
+                       above: &mut Vec<f64>,
+                       corner: &mut f64,
+                       left_carry: &mut [f64],
+                       sum: &mut f64| {
             let base = rows.start;
             for i in rows {
                 let old_row = &mut old[(i - base) * tc..(i - base + 1) * tc];

@@ -27,26 +27,41 @@ fn bench_search(c: &mut Criterion) {
     });
     group.bench_function("genetic", |b| {
         b.iter(|| {
-            genetic_search(total, n, std::slice::from_ref(&blk), &model, GeneticConfig {
-                max_evals: 64,
-                ..GeneticConfig::default()
-            })
+            genetic_search(
+                total,
+                n,
+                std::slice::from_ref(&blk),
+                &model,
+                GeneticConfig {
+                    max_evals: 64,
+                    ..GeneticConfig::default()
+                },
+            )
         })
     });
     group.bench_function("annealing", |b| {
         b.iter(|| {
-            simulated_annealing(&blk, &model, AnnealingConfig {
-                max_evals: 64,
-                ..AnnealingConfig::default()
-            })
+            simulated_annealing(
+                &blk,
+                &model,
+                AnnealingConfig {
+                    max_evals: 64,
+                    ..AnnealingConfig::default()
+                },
+            )
         })
     });
     group.bench_function("random", |b| {
         b.iter(|| {
-            random_search(total, n, &model, RandomConfig {
-                max_evals: 64,
-                ..RandomConfig::default()
-            })
+            random_search(
+                total,
+                n,
+                &model,
+                RandomConfig {
+                    max_evals: 64,
+                    ..RandomConfig::default()
+                },
+            )
         })
     });
     group.finish();

@@ -15,5 +15,10 @@ fn main() {
     let flags = Flags::from_env();
     let steps = flags.usize_or("--steps", 3);
     let paper_iters = flags.has("--paper-iters");
-    figures::run_configs(&[presets::hy1(), presets::hy2()], &flags, steps, paper_iters);
+    figures::run_configs(
+        &[presets::hy1(), presets::hy2()],
+        &flags,
+        steps,
+        paper_iters,
+    );
 }

@@ -28,7 +28,10 @@ use mheta_sim::presets;
 fn print_series(title: &str, labels: &[(String, f64)], per_label: &BTreeMap<usize, Vec<f64>>) {
     println!("\n{title}");
     println!("{}", "-".repeat(title.len()));
-    println!("{:<16} {:>7} {:>7} {:>7}  (n)", "distribution", "MIN%", "AVG%", "MAX%");
+    println!(
+        "{:<16} {:>7} {:>7} {:>7}  (n)",
+        "distribution", "MIN%", "AVG%", "MAX%"
+    );
     let mut all: Vec<f64> = Vec::new();
     for (i, (label, _)) in labels.iter().enumerate() {
         let vals = per_label.get(&i).cloned().unwrap_or_default();
@@ -69,9 +72,7 @@ fn main() {
         select_apps(&flags)
     };
 
-    println!(
-        "Figure 9: percent difference of actual and predicted execution times"
-    );
+    println!("Figure 9: percent difference of actual and predicted execution times");
     println!(
         "({} architectures x {} application(s){}, {} spectrum points each)",
         archs.len(),
@@ -113,11 +114,7 @@ fn main() {
 
     if flags.has("--per-app") {
         for (app, series) in &per_app {
-            print_series(
-                &format!("{app} only (Fig. 9 bottom)"),
-                &labels,
-                series,
-            );
+            print_series(&format!("{app} only (Fig. 9 bottom)"), &labels, series);
         }
     }
 }

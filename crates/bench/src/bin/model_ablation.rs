@@ -21,12 +21,7 @@ use mheta_core::{PredictOptions, ReductionModel};
 use mheta_dist::SpectrumPath;
 use mheta_sim::{presets, ClusterSpec};
 
-fn sweep_with(
-    bench: &Benchmark,
-    spec: &ClusterSpec,
-    iters: u32,
-    opts: PredictOptions,
-) -> Vec<f64> {
+fn sweep_with(bench: &Benchmark, spec: &ClusterSpec, iters: u32, opts: PredictOptions) -> Vec<f64> {
     let model = build_model(bench, spec, false).expect("model builds");
     let inp = anchor_inputs(&model);
     let path = SpectrumPath::full(&inp);
@@ -50,7 +45,10 @@ fn main() {
     let paper_iters = flags.has("--paper-iters");
     let spec = presets::hy1();
 
-    println!("=== Ablation 1+2: wait modeling and reduction schedule (on {}) ===", spec.name);
+    println!(
+        "=== Ablation 1+2: wait modeling and reduction schedule (on {}) ===",
+        spec.name
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>12}   (mean error over 13 spectrum points)",
         "app", "full", "no waits", "flat reduce"
@@ -85,7 +83,10 @@ fn main() {
         );
     }
 
-    println!("\n=== Ablation 3: noise sensitivity (Jacobi on {}) ===", spec.name);
+    println!(
+        "\n=== Ablation 3: noise sensitivity (Jacobi on {}) ===",
+        spec.name
+    );
     println!("{:>10} {:>10} {:>10}", "amplitude", "avg err%", "max err%");
     let bench = Benchmark::paper_four().remove(0);
     let iters = experiment_iters(&bench, paper_iters);
@@ -96,11 +97,20 @@ fn main() {
         println!("{amplitude:>10.2} {:>9.2}% {:>9.2}%", stats.avg, stats.max);
     }
 
-    println!("\n=== Ablation 4: unmodeled simulator effects (Jacobi on {}) ===", spec.name);
-    println!("{:<34} {:>10} {:>10}", "simulator variant", "avg err%", "max err%");
+    println!(
+        "\n=== Ablation 4: unmodeled simulator effects (Jacobi on {}) ===",
+        spec.name
+    );
+    println!(
+        "{:<34} {:>10} {:>10}",
+        "simulator variant", "avg err%", "max err%"
+    );
     type Mutator = Box<dyn Fn(&mut ClusterSpec)>;
     let variants: Vec<(&str, Mutator)> = vec![
-        ("full simulator (default)", Box::new(|_s: &mut ClusterSpec| {})),
+        (
+            "full simulator (default)",
+            Box::new(|_s: &mut ClusterSpec| {}),
+        ),
         (
             "no cache-tier speedup",
             Box::new(|s: &mut ClusterSpec| {

@@ -47,7 +47,10 @@ fn main() {
         let act_pf = run_measured(&bench, &spec, &blk, iters, true)
             .expect("prefetch run")
             .secs;
-        let pred_eq2 = model_pf.predict(blk.rows()).expect("predict").app_secs(iters);
+        let pred_eq2 = model_pf
+            .predict(blk.rows())
+            .expect("predict")
+            .app_secs(iters);
         // Ablation: predict the *prefetch* run with the synchronous
         // model (Eq. 1 I/O terms).
         let pred_eq1 = model_sync

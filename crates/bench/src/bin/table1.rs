@@ -12,7 +12,11 @@ fn main() {
     println!("Table 1: Four sample configurations of the emulated architectures");
     println!("==================================================================");
     for spec in [presets::dc(), presets::io(), presets::hy1(), presets::hy2()] {
-        println!("\n{}: {}", spec.name, presets::table1_description(&spec.name));
+        println!(
+            "\n{}: {}",
+            spec.name,
+            presets::table1_description(&spec.name)
+        );
         println!(
             "  {:>4} {:>9} {:>10} {:>12} {:>12}",
             "node", "cpu_power", "memory", "read ns/B", "seek ms"

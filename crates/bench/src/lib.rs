@@ -203,7 +203,6 @@ pub fn select_apps(flags: &Flags) -> Vec<Benchmark> {
     }
 }
 
-
 /// Rendering of the Figure 10 / Figure 11 predicted-vs-actual series.
 pub mod figures {
     use super::{bar, canonical_sweep, experiment_iters, select_apps, Flags};
@@ -238,7 +237,7 @@ pub mod figures {
                     .min_by(|a, b| a.1.act_secs.total_cmp(&b.1.act_secs))
                     .map(|(i, _)| i)
                     .expect("points nonempty");
-    
+
                 println!(
                     "\n{} on {} ({} iterations): predicted (P) vs actual (A), seconds",
                     bench.name(),

@@ -40,6 +40,17 @@ fn usize_in(s: &str) -> Result<usize, ModelError> {
         .map_err(|e| ModelError::Dimension(format!("bad integer field '{s}': {e}")))
 }
 
+/// Attach the file section and 1-based line number to a parse error, so
+/// a truncated or hand-edited model file points at the offending line.
+fn at_line(section: &str, lineno: usize, err: ModelError) -> ModelError {
+    match err {
+        ModelError::Dimension(msg) => {
+            ModelError::Dimension(format!("[{section}] line {lineno}: {msg}"))
+        }
+        other => other,
+    }
+}
+
 /// Write a [`ProgramStructure`] in the MHETA file format.
 #[must_use]
 pub fn structure_to_string(s: &ProgramStructure) -> String {
@@ -97,6 +108,93 @@ fn parse_ids(s: &str) -> Result<Vec<u32>, ModelError> {
         .collect()
 }
 
+/// Parse one `key = rest` line of the `[structure]` section into `s`.
+fn structure_line(
+    s: &mut ProgramStructure,
+    key: &str,
+    rest: &str,
+    line: &str,
+) -> Result<(), ModelError> {
+    match key {
+        "name" => s.name = rest.to_string(),
+        "var" => {
+            let (fields, name) = match rest.split_once('#') {
+                Some((f, n)) => (f.trim(), n.trim().to_string()),
+                None => (rest, String::new()),
+            };
+            let t: Vec<&str> = fields.split_whitespace().collect();
+            if t.len() != 7 {
+                return Err(ModelError::Dimension(format!(
+                    "bad var line '{line}': expected 7 fields, got {}",
+                    t.len()
+                )));
+            }
+            s.variables.push(Variable {
+                id: usize_in(t[0])? as u32,
+                name,
+                elem_bytes: usize_in(t[1])? as u64,
+                read_only: t[2] == "1",
+                distributed: t[3] == "1",
+                resident: t[4] == "1",
+                total_rows: usize_in(t[5])?,
+                elems_per_row: f64_in(t[6])?,
+            });
+        }
+        "section" => {
+            let t: Vec<&str> = rest.split_whitespace().collect();
+            if t.len() != 4 {
+                return Err(ModelError::Dimension(format!(
+                    "bad section line '{line}': expected 4 fields, got {}",
+                    t.len()
+                )));
+            }
+            let msg_elems = usize_in(t[3])?;
+            let comm = match t[2] {
+                "none" => CommPattern::None,
+                "nn" => CommPattern::NearestNeighbor { msg_elems },
+                "pipe" => CommPattern::Pipelined { msg_elems },
+                "reduce" => CommPattern::Reduction { msg_elems },
+                other => {
+                    return Err(ModelError::Dimension(format!(
+                        "unknown comm pattern '{other}'"
+                    )))
+                }
+            };
+            s.sections.push(SectionSpec {
+                id: usize_in(t[0])? as u32,
+                tiles: usize_in(t[1])? as u32,
+                stages: vec![],
+                comm,
+            });
+        }
+        "stage" => {
+            let t: Vec<&str> = rest.split_whitespace().collect();
+            if t.len() != 5 {
+                return Err(ModelError::Dimension(format!(
+                    "bad stage line '{line}': expected 5 fields, got {}",
+                    t.len()
+                )));
+            }
+            let reads = parse_ids(t[3].trim_start_matches("r:"))?;
+            let writes = parse_ids(t[4].trim_start_matches("w:"))?;
+            let stage = StageSpec {
+                id: usize_in(t[0])? as u32,
+                reads,
+                writes,
+                prefetch: t[1] == "1",
+                row_fraction: f64_in(t[2])?,
+            };
+            s.sections
+                .last_mut()
+                .ok_or_else(|| ModelError::Dimension("stage line before any section".into()))?
+                .stages
+                .push(stage);
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Parse a [`ProgramStructure`] from the MHETA file format.
 pub fn structure_from_str(text: &str) -> Result<ProgramStructure, ModelError> {
     let mut s = ProgramStructure {
@@ -104,82 +202,13 @@ pub fn structure_from_str(text: &str) -> Result<ProgramStructure, ModelError> {
         sections: vec![],
         variables: vec![],
     };
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         let Some((key, rest)) = line.split_once('=') else {
             continue;
         };
-        let (key, rest) = (key.trim(), rest.trim());
-        match key {
-            "name" => s.name = rest.to_string(),
-            "var" => {
-                let (fields, name) = match rest.split_once('#') {
-                    Some((f, n)) => (f.trim(), n.trim().to_string()),
-                    None => (rest, String::new()),
-                };
-                let t: Vec<&str> = fields.split_whitespace().collect();
-                if t.len() != 7 {
-                    return Err(ModelError::Dimension(format!("bad var line '{line}'")));
-                }
-                s.variables.push(Variable {
-                    id: usize_in(t[0])? as u32,
-                    name,
-                    elem_bytes: usize_in(t[1])? as u64,
-                    read_only: t[2] == "1",
-                    distributed: t[3] == "1",
-                    resident: t[4] == "1",
-                    total_rows: usize_in(t[5])?,
-                    elems_per_row: f64_in(t[6])?,
-                });
-            }
-            "section" => {
-                let t: Vec<&str> = rest.split_whitespace().collect();
-                if t.len() != 4 {
-                    return Err(ModelError::Dimension(format!("bad section line '{line}'")));
-                }
-                let msg_elems = usize_in(t[3])?;
-                let comm = match t[2] {
-                    "none" => CommPattern::None,
-                    "nn" => CommPattern::NearestNeighbor { msg_elems },
-                    "pipe" => CommPattern::Pipelined { msg_elems },
-                    "reduce" => CommPattern::Reduction { msg_elems },
-                    other => {
-                        return Err(ModelError::Dimension(format!(
-                            "unknown comm pattern '{other}'"
-                        )))
-                    }
-                };
-                s.sections.push(SectionSpec {
-                    id: usize_in(t[0])? as u32,
-                    tiles: usize_in(t[1])? as u32,
-                    stages: vec![],
-                    comm,
-                });
-            }
-            "stage" => {
-                let t: Vec<&str> = rest.split_whitespace().collect();
-                if t.len() != 5 {
-                    return Err(ModelError::Dimension(format!("bad stage line '{line}'")));
-                }
-                let reads = parse_ids(t[3].trim_start_matches("r:"))?;
-                let writes = parse_ids(t[4].trim_start_matches("w:"))?;
-                let stage = StageSpec {
-                    id: usize_in(t[0])? as u32,
-                    reads,
-                    writes,
-                    prefetch: t[1] == "1",
-                    row_fraction: f64_in(t[2])?,
-                };
-                s.sections
-                    .last_mut()
-                    .ok_or_else(|| {
-                        ModelError::Dimension("stage line before any section".into())
-                    })?
-                    .stages
-                    .push(stage);
-            }
-            _ => {}
-        }
+        structure_line(&mut s, key.trim(), rest.trim(), line)
+            .map_err(|e| at_line("structure", idx + 1, e))?;
     }
     s.validate().map_err(ModelError::Structure)?;
     Ok(s)
@@ -214,46 +243,77 @@ pub fn arch_to_string(a: &ArchParams) -> String {
     out
 }
 
+/// Parse one `key = rest` line of the `[arch]` section into the
+/// accumulator tuple `(name, comm, disks, memory)`.
+fn arch_line(
+    acc: (
+        &mut String,
+        &mut Option<CommParams>,
+        &mut Vec<DiskParams>,
+        &mut Vec<u64>,
+    ),
+    key: &str,
+    rest: &str,
+    line: &str,
+) -> Result<(), ModelError> {
+    let (name, comm, disks, memory) = acc;
+    match key {
+        "name" => *name = rest.to_string(),
+        "comm" => {
+            let t: Vec<&str> = rest.split_whitespace().collect();
+            if t.len() != 4 {
+                return Err(ModelError::Dimension(format!(
+                    "bad comm line '{line}': expected 4 fields, got {}",
+                    t.len()
+                )));
+            }
+            *comm = Some(CommParams {
+                o_s: f64_in(t[0])?,
+                o_r: f64_in(t[1])?,
+                alpha: f64_in(t[2])?,
+                beta: f64_in(t[3])?,
+            });
+        }
+        "disk" => {
+            let t: Vec<&str> = rest.split_whitespace().collect();
+            if t.len() != 6 {
+                return Err(ModelError::Dimension(format!(
+                    "bad disk line '{line}': expected 6 fields, got {}",
+                    t.len()
+                )));
+            }
+            disks.push(DiskParams {
+                o_read: f64_in(t[1])?,
+                o_write: f64_in(t[2])?,
+                read_ns_per_byte: f64_in(t[3])?,
+                write_ns_per_byte: f64_in(t[4])?,
+            });
+            memory.push(usize_in(t[5])? as u64);
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Parse [`ArchParams`] from the MHETA file format.
 pub fn arch_from_str(text: &str) -> Result<ArchParams, ModelError> {
     let mut name = String::new();
     let mut comm = None;
     let mut disks = Vec::new();
     let mut memory = Vec::new();
-    for line in text.lines() {
-        let Some((key, rest)) = line.trim().split_once('=') else {
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let Some((key, rest)) = line.split_once('=') else {
             continue;
         };
         let (key, rest) = (key.trim(), rest.trim());
-        match key {
-            "name" => name = rest.to_string(),
-            "comm" => {
-                let t: Vec<&str> = rest.split_whitespace().collect();
-                if t.len() != 4 {
-                    return Err(ModelError::Dimension(format!("bad comm line '{line}'")));
-                }
-                comm = Some(CommParams {
-                    o_s: f64_in(t[0])?,
-                    o_r: f64_in(t[1])?,
-                    alpha: f64_in(t[2])?,
-                    beta: f64_in(t[3])?,
-                });
-            }
-            "disk" => {
-                let t: Vec<&str> = rest.split_whitespace().collect();
-                if t.len() != 6 {
-                    return Err(ModelError::Dimension(format!("bad disk line '{line}'")));
-                }
-                disks.push(DiskParams {
-                    o_read: f64_in(t[1])?,
-                    o_write: f64_in(t[2])?,
-                    read_ns_per_byte: f64_in(t[3])?,
-                    write_ns_per_byte: f64_in(t[4])?,
-                });
-                memory.push(usize_in(t[5])? as u64);
-            }
-            _ => {}
-        }
+        arch_line(
+            (&mut name, &mut comm, &mut disks, &mut memory),
+            key,
+            rest,
+            line,
+        )
+        .map_err(|e| at_line("arch", idx + 1, e))?;
     }
     Ok(ArchParams {
         name,
@@ -304,63 +364,83 @@ pub fn profile_to_string(p: &InstrumentedProfile) -> String {
     out
 }
 
+/// Parse one `key = rest` line of the `[profile]` section into the
+/// rows vector and per-rank node map.
+fn profile_line(
+    rows: &mut Vec<usize>,
+    nodes: &mut HashMap<usize, NodeProfile>,
+    key: &str,
+    rest: &str,
+    line: &str,
+) -> Result<(), ModelError> {
+    let t: Vec<&str> = rest.split_whitespace().collect();
+    match key {
+        "rows" => {
+            *rows = t.iter().map(|s| usize_in(s)).collect::<Result<_, _>>()?;
+        }
+        "compute" => {
+            if t.len() != 5 {
+                return Err(ModelError::Dimension(format!(
+                    "bad compute line '{line}': expected 5 fields, got {}",
+                    t.len()
+                )));
+            }
+            let rank = usize_in(t[0])?;
+            let scope = Scope {
+                section: usize_in(t[1])? as u32,
+                tile: usize_in(t[2])? as u32,
+                stage: usize_in(t[3])? as u32,
+            };
+            nodes
+                .entry(rank)
+                .or_insert_with(|| NodeProfile {
+                    rank,
+                    ..NodeProfile::default()
+                })
+                .compute_ns_per_row
+                .insert(scope, f64_in(t[4])?);
+        }
+        "read" | "write" | "send" => {
+            if t.len() != 3 {
+                return Err(ModelError::Dimension(format!(
+                    "bad {key} line '{line}': expected 3 fields, got {}",
+                    t.len()
+                )));
+            }
+            let rank = usize_in(t[0])?;
+            let id = usize_in(t[1])? as u32;
+            let node = nodes.entry(rank).or_insert_with(|| NodeProfile {
+                rank,
+                ..NodeProfile::default()
+            });
+            match key {
+                "read" => {
+                    node.read_ns_per_elem.insert(id, f64_in(t[2])?);
+                }
+                "write" => {
+                    node.write_ns_per_elem.insert(id, f64_in(t[2])?);
+                }
+                _ => {
+                    node.section_send_bytes.insert(id, usize_in(t[2])? as u64);
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Parse an [`InstrumentedProfile`] from the MHETA file format.
 pub fn profile_from_str(text: &str) -> Result<InstrumentedProfile, ModelError> {
     let mut rows: Vec<usize> = Vec::new();
     let mut nodes: HashMap<usize, NodeProfile> = HashMap::new();
-    for line in text.lines() {
-        let Some((key, rest)) = line.trim().split_once('=') else {
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let Some((key, rest)) = line.split_once('=') else {
             continue;
         };
-        let (key, rest) = (key.trim(), rest.trim());
-        let t: Vec<&str> = rest.split_whitespace().collect();
-        match key {
-            "rows" => {
-                rows = t.iter().map(|s| usize_in(s)).collect::<Result<_, _>>()?;
-            }
-            "compute" => {
-                if t.len() != 5 {
-                    return Err(ModelError::Dimension(format!("bad compute line '{line}'")));
-                }
-                let rank = usize_in(t[0])?;
-                let scope = Scope {
-                    section: usize_in(t[1])? as u32,
-                    tile: usize_in(t[2])? as u32,
-                    stage: usize_in(t[3])? as u32,
-                };
-                nodes
-                    .entry(rank)
-                    .or_insert_with(|| NodeProfile {
-                        rank,
-                        ..NodeProfile::default()
-                    })
-                    .compute_ns_per_row
-                    .insert(scope, f64_in(t[4])?);
-            }
-            "read" | "write" | "send" => {
-                if t.len() != 3 {
-                    return Err(ModelError::Dimension(format!("bad {key} line '{line}'")));
-                }
-                let rank = usize_in(t[0])?;
-                let id = usize_in(t[1])? as u32;
-                let node = nodes.entry(rank).or_insert_with(|| NodeProfile {
-                    rank,
-                    ..NodeProfile::default()
-                });
-                match key {
-                    "read" => {
-                        node.read_ns_per_elem.insert(id, f64_in(t[2])?);
-                    }
-                    "write" => {
-                        node.write_ns_per_elem.insert(id, f64_in(t[2])?);
-                    }
-                    _ => {
-                        node.section_send_bytes.insert(id, usize_in(t[2])? as u64);
-                    }
-                }
-            }
-            _ => {}
-        }
+        profile_line(&mut rows, &mut nodes, key.trim(), rest.trim(), line)
+            .map_err(|e| at_line("profile", idx + 1, e))?;
     }
     let mut out: Vec<NodeProfile> = (0..rows.len())
         .map(|rank| {
@@ -404,9 +484,7 @@ mod tests {
                 SectionSpec {
                     id: 0,
                     tiles: 4,
-                    stages: vec![
-                        StageSpec::new(0, vec![1], vec![1], false).with_row_fraction(0.25)
-                    ],
+                    stages: vec![StageSpec::new(0, vec![1], vec![1], false).with_row_fraction(0.25)],
                     comm: CommPattern::Pipelined { msg_elems: 33 },
                 },
                 SectionSpec {
@@ -495,7 +573,10 @@ mod tests {
             p.nodes[0].compute_ns_per_row
         );
         assert_eq!(back.nodes[0].read_ns_per_elem, p.nodes[0].read_ns_per_elem);
-        assert_eq!(back.nodes[0].section_send_bytes, p.nodes[0].section_send_bytes);
+        assert_eq!(
+            back.nodes[0].section_send_bytes,
+            p.nodes[0].section_send_bytes
+        );
     }
 
     #[test]
@@ -506,6 +587,41 @@ mod tests {
         assert!(profile_from_str("compute = 0 1").is_err());
         // Missing comm line.
         assert!(arch_from_str("name = x").is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_section_and_line() {
+        // Line 3 of a structure text is malformed.
+        let err = structure_from_str("[structure]\nname = x\nvar = 1 2\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("[structure] line 3"), "{msg}");
+        assert!(msg.contains("expected 7 fields"), "{msg}");
+
+        // A corrupted hex field names its line too.
+        let err = arch_from_str("name = a\n\ncomm = zz 0 0 0\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("[arch] line 3"), "{msg}");
+        assert!(msg.contains("bad f64 field"), "{msg}");
+
+        let err = profile_from_str("rows = 4 4\ncompute = 0 1\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("[profile] line 2"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_file_points_at_last_line() {
+        let full = structure_to_string(&sample_structure());
+        // Chop the file mid-way through its final stage line, as an
+        // interrupted write would.
+        let cut = full.trim_end().len() - 8;
+        let truncated = &full[..cut];
+        let err = structure_from_str(truncated).unwrap_err();
+        let msg = err.to_string();
+        let last = truncated.lines().count();
+        assert!(
+            msg.contains(&format!("line {last}")),
+            "error should name line {last}: {msg}"
+        );
     }
 
     #[test]

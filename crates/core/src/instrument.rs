@@ -108,6 +108,10 @@ pub fn build_node_profile(
                     OpKind::Recv => {}
                 }
             }
+            // Retries are resilience noise, not steady-state cost: the
+            // instrumented iteration must not fold injected-fault
+            // backoffs into the per-element latencies the model fits.
+            HookEvent::Retry { .. } => {}
         }
     }
 
@@ -119,8 +123,7 @@ pub fn build_node_profile(
         if rows == 0 || acc.occurrences == 0 {
             continue;
         }
-        let per_occurrence =
-            (acc.wall_ns - acc.io_ns).max(0.0) / f64::from(acc.occurrences);
+        let per_occurrence = (acc.wall_ns - acc.io_ns).max(0.0) / f64::from(acc.occurrences);
         profile
             .compute_ns_per_row
             .insert(scope, per_occurrence / rows as f64);

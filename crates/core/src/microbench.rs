@@ -104,7 +104,9 @@ pub fn measure_disk(spec: &ClusterSpec) -> SimResult<Vec<DiskParams>> {
                 // the microbenchmark characterizes the raw disk, not
                 // the OS cache.
                 ctx.disk.create(probe_var, *elems);
-                read[si] += ctx.disk_read(probe_var, 0, &mut buf[..*elems])?.as_nanos_f64();
+                read[si] += ctx
+                    .disk_read(probe_var, 0, &mut buf[..*elems])?
+                    .as_nanos_f64();
                 write[si] += ctx.disk_write(probe_var, 0, &buf[..*elems])?.as_nanos_f64();
                 ctx.disk.remove(probe_var);
                 probe_var -= 1;
@@ -120,8 +122,7 @@ pub fn measure_disk(spec: &ClusterSpec) -> SimResult<Vec<DiskParams>> {
             let fit = |small: f64, large: f64| {
                 let small = small / REPS as f64;
                 let large = large / REPS as f64;
-                let per_byte =
-                    (large - small) / ((LARGE_ELEMS - SMALL_ELEMS) as f64 * 8.0);
+                let per_byte = (large - small) / ((LARGE_ELEMS - SMALL_ELEMS) as f64 * 8.0);
                 let seek = (small - SMALL_ELEMS as f64 * 8.0 * per_byte).max(0.0);
                 (seek, per_byte.max(0.0))
             };
@@ -163,9 +164,21 @@ mod tests {
     fn comm_params_recover_ground_truth_without_noise() {
         let spec = quiet(2);
         let m = measure_comm(&spec).unwrap();
-        assert!((m.o_s - spec.net.send_overhead_ns).abs() < 1.0, "o_s {}", m.o_s);
-        assert!((m.o_r - spec.net.recv_overhead_ns).abs() < 1.0, "o_r {}", m.o_r);
-        assert!((m.beta - spec.net.ns_per_byte).abs() < 0.01, "beta {}", m.beta);
+        assert!(
+            (m.o_s - spec.net.send_overhead_ns).abs() < 1.0,
+            "o_s {}",
+            m.o_s
+        );
+        assert!(
+            (m.o_r - spec.net.recv_overhead_ns).abs() < 1.0,
+            "o_r {}",
+            m.o_r
+        );
+        assert!(
+            (m.beta - spec.net.ns_per_byte).abs() < 0.01,
+            "beta {}",
+            m.beta
+        );
         assert!(
             (m.alpha - spec.net.latency_ns).abs() < spec.net.latency_ns * 0.02,
             "alpha {} vs {}",

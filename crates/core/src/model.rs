@@ -143,11 +143,7 @@ impl Mheta {
                     let dist_reads = stage
                         .reads
                         .iter()
-                        .filter(|v| {
-                            structure
-                                .variable(**v)
-                                .is_some_and(|var| var.distributed)
-                        })
+                        .filter(|v| structure.variable(**v).is_some_and(|var| var.distributed))
                         .count();
                     if dist_reads > 1 {
                         return Err(ModelError::Dimension(format!(
@@ -229,9 +225,8 @@ impl Mheta {
             )));
         }
 
-        let plans: Vec<HashMap<VarId, VarPlan>> = (0..n)
-            .map(|i| self.node_plans(i, rows[i]))
-            .collect();
+        let plans: Vec<HashMap<VarId, VarPlan>> =
+            (0..n).map(|i| self.node_plans(i, rows[i])).collect();
 
         // Two passes over the section chain: the first develops the
         // steady-state clock skew between nodes (pipeline fill, bcast
@@ -241,7 +236,14 @@ impl Mheta {
         let mut clock = vec![0.0f64; n];
         let mut warmup_breakdown = vec![NodeBreakdown::default(); n];
         for section in &self.structure.sections {
-            self.advance_section(section, rows, &plans, &mut clock, &mut warmup_breakdown, opts);
+            self.advance_section(
+                section,
+                rows,
+                &plans,
+                &mut clock,
+                &mut warmup_breakdown,
+                opts,
+            );
         }
         let after_warmup = clock.clone();
         let mut breakdown = vec![NodeBreakdown::default(); n];
@@ -298,8 +300,7 @@ impl Mheta {
             // OCLA elements, so the ragged final chunk is not billed as
             // a full pass (equivalently: L_r uses the mean chunk size).
             let n_io = plan.n_io as f64;
-            let ocla_elems =
-                plan.ocla_rows as f64 * var.elems_per_row * stage.row_fraction;
+            let ocla_elems = plan.ocla_rows as f64 * var.elems_per_row * stage.row_fraction;
             let mean_chunk_elems = ocla_elems / n_io;
             let l_r = self
                 .profile
@@ -328,8 +329,7 @@ impl Mheta {
             if plan.in_core || plan.n_io == 0 {
                 continue;
             }
-            let ocla_elems =
-                plan.ocla_rows as f64 * var.elems_per_row * stage.row_fraction;
+            let ocla_elems = plan.ocla_rows as f64 * var.elems_per_row * stage.row_fraction;
             let l_w = self
                 .profile
                 .write_ns_per_elem(rank, v)
@@ -400,8 +400,7 @@ impl Mheta {
                 let mut arrival_from_left = vec![f64::NEG_INFINITY; n];
                 let mut arrival_from_right = vec![f64::NEG_INFINITY; n];
                 for i in 0..n {
-                    let t_s =
-                        self.tile_time(i, rows[i], section, 0, &plans[i], &mut breakdown[i]);
+                    let t_s = self.tile_time(i, rows[i], section, 0, &plans[i], &mut breakdown[i]);
                     ready[i] = clock[i] + t_s;
                     let mut t = ready[i];
                     if i > 0 {
@@ -480,14 +479,8 @@ impl Mheta {
                             t += comm.o_r;
                             comm_time += t - before;
                         }
-                        t += self.tile_time(
-                            i,
-                            rows[i],
-                            section,
-                            tile,
-                            &plans[i],
-                            &mut breakdown[i],
-                        );
+                        t +=
+                            self.tile_time(i, rows[i], section, tile, &plans[i], &mut breakdown[i]);
                         if i + 1 < n {
                             t += comm.o_s;
                             comm_time += comm.o_s;
@@ -595,7 +588,13 @@ mod tests {
         }
     }
 
-    fn profile_uniform(n: usize, rows_each: usize, cpr: f64, l_r: f64, l_w: f64) -> InstrumentedProfile {
+    fn profile_uniform(
+        n: usize,
+        rows_each: usize,
+        cpr: f64,
+        l_r: f64,
+        l_w: f64,
+    ) -> InstrumentedProfile {
         let nodes = (0..n)
             .map(|rank| {
                 let mut p = NodeProfile {
@@ -757,8 +756,16 @@ mod tests {
         // node1 never waits (its message arrives early), spending
         // 3000 + o_s + o_r = 3030 per iteration; node0 is bound by
         // node1's cadence, also 3030.
-        assert!((p.per_node_ns[0] - 3_030.0).abs() < 1e-9, "{}", p.per_node_ns[0]);
-        assert!((p.per_node_ns[1] - 3_030.0).abs() < 1e-9, "{}", p.per_node_ns[1]);
+        assert!(
+            (p.per_node_ns[0] - 3_030.0).abs() < 1e-9,
+            "{}",
+            p.per_node_ns[0]
+        );
+        assert!(
+            (p.per_node_ns[1] - 3_030.0).abs() < 1e-9,
+            "{}",
+            p.per_node_ns[1]
+        );
         assert!((p.iteration_ns - 3_030.0).abs() < 1e-9);
     }
 
@@ -791,9 +798,21 @@ mod tests {
         // The tail node's own busy time (o_r + work) is less than its
         // producer's cadence, so it is bound by node 1's cycle.
         let expect2 = expect1;
-        assert!((p.per_node_ns[0] - expect0).abs() < 1e-9, "{}", p.per_node_ns[0]);
-        assert!((p.per_node_ns[1] - expect1).abs() < 1e-9, "{}", p.per_node_ns[1]);
-        assert!((p.per_node_ns[2] - expect2).abs() < 1e-9, "{}", p.per_node_ns[2]);
+        assert!(
+            (p.per_node_ns[0] - expect0).abs() < 1e-9,
+            "{}",
+            p.per_node_ns[0]
+        );
+        assert!(
+            (p.per_node_ns[1] - expect1).abs() < 1e-9,
+            "{}",
+            p.per_node_ns[1]
+        );
+        assert!(
+            (p.per_node_ns[2] - expect2).abs() < 1e-9,
+            "{}",
+            p.per_node_ns[2]
+        );
         assert!(p.iteration_ns >= expect0);
     }
 

@@ -79,7 +79,9 @@ pub fn plan_node(
             .collect();
     }
     let avail = (memory_bytes as f64 - overhead_bytes).max(0.0);
-    let icla_rows = ((avail / total_row_bytes).floor() as usize).max(1).min(my_rows);
+    let icla_rows = ((avail / total_row_bytes).floor() as usize)
+        .max(1)
+        .min(my_rows);
     let n_io = (my_rows as u64).div_ceil(icla_rows as u64);
     row_bytes
         .iter()

@@ -295,9 +295,7 @@ impl ProgramStructure {
                 ));
             }
             for st in &s.stages {
-                if !(st.row_fraction.is_finite()
-                    && st.row_fraction > 0.0
-                    && st.row_fraction <= 1.0)
+                if !(st.row_fraction.is_finite() && st.row_fraction > 0.0 && st.row_fraction <= 1.0)
                 {
                     return Err(format!(
                         "{}: section {} stage {} has row_fraction {} outside (0, 1]",

@@ -36,7 +36,13 @@ impl AnchorInputs {
     fn speeds(&self) -> Vec<f64> {
         self.ns_per_row
             .iter()
-            .map(|&c| if c > 0.0 && c.is_finite() { 1.0 / c } else { 1.0 })
+            .map(|&c| {
+                if c > 0.0 && c.is_finite() {
+                    1.0 / c
+                } else {
+                    1.0
+                }
+            })
             .collect()
     }
 }
@@ -65,7 +71,11 @@ pub fn ic(inp: &AnchorInputs) -> GenBlock {
     let mut remaining = inp.total_rows - n;
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| inp.capacity_rows[b].cmp(&inp.capacity_rows[a]).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        inp.capacity_rows[b]
+            .cmp(&inp.capacity_rows[a])
+            .then(a.cmp(&b))
+    });
 
     for &i in &order {
         if remaining == 0 {
@@ -103,9 +113,7 @@ pub fn ic_bal(inp: &AnchorInputs) -> GenBlock {
     let speeds = inp.speeds();
     let mut rows = vec![1usize; n];
     let mut remaining = inp.total_rows - n;
-    let mut open: Vec<usize> = (0..n)
-        .filter(|&i| inp.capacity_rows[i] > rows[i])
-        .collect();
+    let mut open: Vec<usize> = (0..n).filter(|&i| inp.capacity_rows[i] > rows[i]).collect();
 
     // Water-fill: hand out rows by speed among nodes with headroom,
     // capping at in-core capacity, until rows run out or all nodes cap.

@@ -4,23 +4,54 @@
 //! four different algorithms … to determine an effective distribution
 //! \[26\]"); the trait indirection lets tests plug in synthetic
 //! fitness landscapes.
+//!
+//! Evaluation is *fallible*: when the model (or a measured run behind
+//! it) fails — bad profile data, an injected fault, a crashed rank —
+//! the search must not abort. [`Evaluator::try_eval_ns`] surfaces the
+//! error; the provided [`Evaluator::eval_ns`] converts it into an
+//! infinite penalty score so every search simply never selects the
+//! failed candidate. [`CountingEvaluator`] additionally retries failed
+//! evaluations and keeps failure/retry tallies for [`SearchOutcome`].
+//!
+//! [`SearchOutcome`]: crate::search::SearchOutcome
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::fmt;
 
 use mheta_core::Mheta;
 
+/// Why one evaluation failed. Carries a human-readable message from
+/// the underlying model or measurement machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
 /// Anything that can score a distribution; lower is better.
 pub trait Evaluator {
-    /// Predicted (or measured) iteration time for `rows`, ns. Returns
-    /// `f64::INFINITY` for invalid distributions.
-    fn eval_ns(&self, rows: &[usize]) -> f64;
+    /// Predicted (or measured) iteration time for `rows`, ns, or why
+    /// the evaluation could not produce one.
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError>;
+
+    /// Infallible view: failed evaluations score `f64::INFINITY`, the
+    /// penalty fitness that keeps a search moving past faulty
+    /// candidates without ever selecting them.
+    fn eval_ns(&self, rows: &[usize]) -> f64 {
+        self.try_eval_ns(rows).unwrap_or(f64::INFINITY)
+    }
 }
 
 impl Evaluator for Mheta {
-    fn eval_ns(&self, rows: &[usize]) -> f64 {
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
         self.predict(rows)
             .map(|p| p.iteration_ns)
-            .unwrap_or(f64::INFINITY)
+            .map_err(|e| EvalError(e.to_string()))
     }
 }
 
@@ -28,38 +59,104 @@ impl<F> Evaluator for F
 where
     F: Fn(&[usize]) -> f64,
 {
-    fn eval_ns(&self, rows: &[usize]) -> f64 {
-        self(rows)
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
+        Ok(self(rows))
+    }
+}
+
+/// Adapter turning a `Result`-returning closure into an [`Evaluator`];
+/// the natural way to plug a fallible measured run (or a fault-
+/// injecting test fixture) into a search.
+pub struct FallibleFn<F>(pub F);
+
+impl<F> Evaluator for FallibleFn<F>
+where
+    F: Fn(&[usize]) -> Result<f64, EvalError>,
+{
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
+        (self.0)(rows)
     }
 }
 
 /// Wraps an evaluator and counts calls — the "number of MHETA
-/// evaluations" axis of the search-algorithm comparison.
+/// evaluations" axis of the search-algorithm comparison — and, when
+/// configured with [`CountingEvaluator::with_retries`], transparently
+/// retries failed evaluations before letting the penalty score
+/// through.
 pub struct CountingEvaluator<'a, E: Evaluator + ?Sized> {
     inner: &'a E,
     count: Cell<usize>,
+    failed: Cell<usize>,
+    retried: Cell<usize>,
+    last_error: RefCell<Option<EvalError>>,
+    /// Attempts per logical evaluation (1 = no retry).
+    attempts: u32,
 }
 
 impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
-    /// Wrap `inner`.
+    /// Wrap `inner` with no retries.
     pub fn new(inner: &'a E) -> Self {
+        Self::with_retries(inner, 1)
+    }
+
+    /// Wrap `inner`, allowing up to `attempts` tries per evaluation
+    /// (clamped to at least one).
+    pub fn with_retries(inner: &'a E, attempts: u32) -> Self {
         CountingEvaluator {
             inner,
             count: Cell::new(0),
+            failed: Cell::new(0),
+            retried: Cell::new(0),
+            last_error: RefCell::new(None),
+            attempts: attempts.max(1),
         }
     }
 
-    /// Evaluations performed so far.
+    /// Logical evaluations performed so far (retries of the same
+    /// candidate count once — they spend wall-clock, not budget).
     #[must_use]
     pub fn count(&self) -> usize {
         self.count.get()
     }
+
+    /// Evaluations that still failed after all retry attempts.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.failed.get()
+    }
+
+    /// Failed attempts that were absorbed by a retry.
+    #[must_use]
+    pub fn retries(&self) -> usize {
+        self.retried.get()
+    }
+
+    /// The most recent failure observed, if any.
+    #[must_use]
+    pub fn last_error(&self) -> Option<EvalError> {
+        self.last_error.borrow().clone()
+    }
 }
 
 impl<E: Evaluator + ?Sized> Evaluator for CountingEvaluator<'_, E> {
-    fn eval_ns(&self, rows: &[usize]) -> f64 {
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
         self.count.set(self.count.get() + 1);
-        self.inner.eval_ns(rows)
+        let mut attempt = 1;
+        loop {
+            match self.inner.try_eval_ns(rows) {
+                Ok(score) => return Ok(score),
+                Err(e) if attempt < self.attempts => {
+                    self.retried.set(self.retried.get() + 1);
+                    *self.last_error.borrow_mut() = Some(e);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.failed.set(self.failed.get() + 1);
+                    *self.last_error.borrow_mut() = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
     }
 }
 
@@ -71,6 +168,7 @@ mod tests {
     fn closures_are_evaluators() {
         let f = |rows: &[usize]| rows[0] as f64;
         assert_eq!(f.eval_ns(&[7, 1]), 7.0);
+        assert_eq!(f.try_eval_ns(&[7, 1]), Ok(7.0));
     }
 
     #[test]
@@ -81,5 +179,62 @@ mod tests {
             c.eval_ns(&[1]);
         }
         assert_eq!(c.count(), 5);
+        assert_eq!(c.failed(), 0);
+        assert_eq!(c.retries(), 0);
+        assert!(c.last_error().is_none());
+    }
+
+    #[test]
+    fn failures_become_infinite_penalty() {
+        let f = FallibleFn(|_: &[usize]| Err(EvalError("rank 2 died".into())));
+        let c = CountingEvaluator::new(&f);
+        assert_eq!(c.eval_ns(&[1, 2]), f64::INFINITY);
+        assert_eq!(c.failed(), 1);
+        assert_eq!(c.retries(), 0);
+        assert_eq!(c.last_error().unwrap().0, "rank 2 died");
+    }
+
+    #[test]
+    fn retries_absorb_intermittent_failures() {
+        // Fails on every odd-numbered attempt.
+        let calls = Cell::new(0u32);
+        let f = FallibleFn(|rows: &[usize]| {
+            calls.set(calls.get() + 1);
+            if calls.get() % 2 == 1 {
+                Err(EvalError("transient".into()))
+            } else {
+                Ok(rows[0] as f64)
+            }
+        });
+        let c = CountingEvaluator::with_retries(&f, 2);
+        assert_eq!(c.try_eval_ns(&[9]), Ok(9.0));
+        assert_eq!(c.count(), 1, "retry does not spend budget");
+        assert_eq!(c.retries(), 1);
+        assert_eq!(c.failed(), 0);
+        assert_eq!(c.last_error().unwrap().0, "transient");
+    }
+
+    #[test]
+    fn exhausted_retries_count_as_failed() {
+        let f = FallibleFn(|_: &[usize]| Err(EvalError("persistent".into())));
+        let c = CountingEvaluator::with_retries(&f, 3);
+        assert!(c.try_eval_ns(&[1]).is_err());
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.retries(), 2, "two absorbed attempts");
+        assert_eq!(c.failed(), 1, "one final failure");
+    }
+
+    #[test]
+    fn zero_attempts_clamps_to_one() {
+        let f = |_: &[usize]| 4.0;
+        let c = CountingEvaluator::with_retries(&f, 0);
+        assert_eq!(c.eval_ns(&[1]), 4.0);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn eval_error_displays_message() {
+        let e = EvalError("profile missing".into());
+        assert_eq!(e.to_string(), "evaluation failed: profile missing");
     }
 }

@@ -65,10 +65,7 @@ pub fn transfer_plan(old: &GenBlock, new: &GenBlock) -> Vec<Transfer> {
 /// Rows that actually change owner (excludes `from == to`).
 #[must_use]
 pub fn rows_moved(plan: &[Transfer]) -> usize {
-    plan.iter()
-        .filter(|t| t.from != t.to)
-        .map(|t| t.rows)
-        .sum()
+    plan.iter().filter(|t| t.from != t.to).map(|t| t.rows).sum()
 }
 
 /// Predict the wall time of executing `transfer_plan(old, new)` for
@@ -110,12 +107,9 @@ pub fn predict_cost_ns(model: &Mheta, old: &GenBlock, new: &GenBlock) -> f64 {
                 + bytes * disk_from.write_ns_per_byte;
         } else {
             // Sender: read + send overhead. Receiver: recv + write.
-            node_ns[t.from] +=
-                disk_from.o_read + bytes * disk_from.read_ns_per_byte + comm.o_s;
-            node_ns[t.to] +=
-                comm.o_r + disk_to.o_write + bytes * disk_to.write_ns_per_byte;
-            incoming_transfer[t.to] =
-                incoming_transfer[t.to].max(comm.transfer_ns(bytes as u64));
+            node_ns[t.from] += disk_from.o_read + bytes * disk_from.read_ns_per_byte + comm.o_s;
+            node_ns[t.to] += comm.o_r + disk_to.o_write + bytes * disk_to.write_ns_per_byte;
+            incoming_transfer[t.to] = incoming_transfer[t.to].max(comm.transfer_ns(bytes as u64));
         }
     }
     (0..n)

@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fitness::{CountingEvaluator, Evaluator};
 use crate::genblock::GenBlock;
-use crate::search::{move_rows, SearchOutcome};
+use crate::search::{move_rows, outcome, SearchOutcome};
 
 /// Tuning for [`simulated_annealing`].
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +18,9 @@ pub struct AnnealingConfig {
     pub cooling: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Attempts per evaluation (1 = fail fast; see
+    /// [`CountingEvaluator::with_retries`]).
+    pub eval_retries: u32,
 }
 
 impl Default for AnnealingConfig {
@@ -27,6 +30,7 @@ impl Default for AnnealingConfig {
             initial_temp_frac: 0.1,
             cooling: 0.97,
             seed: 0xA11EA1,
+            eval_retries: 1,
         }
     }
 }
@@ -37,7 +41,7 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
     eval: &E,
     cfg: AnnealingConfig,
 ) -> SearchOutcome {
-    let counter = CountingEvaluator::new(eval);
+    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = start.len();
     let total = start.total();
@@ -62,6 +66,12 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
             rng.gen::<f64>() < p
         };
         if accept {
+            // A failed (infinite-penalty) start leaves `temp` infinite;
+            // rescale it from the first finite score we accept so the
+            // Metropolis criterion regains its intended selectivity.
+            if !temp.is_finite() && score.is_finite() {
+                temp = (score * cfg.initial_temp_frac).max(1.0);
+            }
             current = cand;
             current_score = score;
             if score < best_score {
@@ -72,11 +82,11 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
         temp *= cfg.cooling;
     }
 
-    SearchOutcome {
-        best: GenBlock::new(best).expect("moves preserve the invariant"),
-        score_ns: best_score,
-        evaluations: counter.count(),
-    }
+    outcome(
+        &counter,
+        GenBlock::new(best).expect("moves preserve the invariant"),
+        best_score,
+    )
 }
 
 #[cfg(test)]
@@ -129,5 +139,30 @@ mod tests {
         let b = simulated_annealing(&start, &f, AnnealingConfig::default());
         assert_eq!(a.best, b.best);
         assert_eq!(a.score_ns, b.score_ns);
+    }
+
+    #[test]
+    fn survives_failing_evaluations_even_at_the_start() {
+        use crate::fitness::{EvalError, FallibleFn};
+        use std::cell::Cell;
+
+        // The very first evaluation fails (infinite initial
+        // temperature), then every fourth: annealing must recover,
+        // rescale its temperature, and still improve on a late score.
+        let target = quadratic(vec![40, 8, 8, 8]);
+        let calls = Cell::new(0usize);
+        let f = FallibleFn(|rows: &[usize]| {
+            calls.set(calls.get() + 1);
+            if calls.get() % 4 == 1 {
+                Err(EvalError("injected".into()))
+            } else {
+                Ok(target(rows))
+            }
+        });
+        let out = simulated_annealing(&GenBlock::block(64, 4), &f, AnnealingConfig::default());
+        assert!(out.failed_evals > 0);
+        assert!(out.score_ns.is_finite(), "never recovered from faults");
+        assert_eq!(out.best.total(), 64);
+        assert_eq!(out.last_failure.unwrap().0, "injected");
     }
 }

@@ -9,7 +9,7 @@
 //! anchor.
 
 use crate::fitness::{CountingEvaluator, Evaluator};
-use crate::search::SearchOutcome;
+use crate::search::{outcome, SearchOutcome};
 use crate::spectrum::SpectrumPath;
 
 /// Tuning for [`gbs_search`].
@@ -19,6 +19,9 @@ pub struct GbsConfig {
     pub max_evals: usize,
     /// Stop when the bracket is narrower than this fraction of a leg.
     pub tolerance: f64,
+    /// Attempts per evaluation (1 = fail fast; see
+    /// [`CountingEvaluator::with_retries`]).
+    pub eval_retries: u32,
 }
 
 impl Default for GbsConfig {
@@ -26,6 +29,7 @@ impl Default for GbsConfig {
         GbsConfig {
             max_evals: 64,
             tolerance: 0.02,
+            eval_retries: 1,
         }
     }
 }
@@ -36,7 +40,7 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
     eval: &E,
     cfg: GbsConfig,
 ) -> SearchOutcome {
-    let counter = CountingEvaluator::new(eval);
+    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
     let legs = path.legs().max(1) as f64;
 
     struct Best {
@@ -96,11 +100,7 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
         }
     }
 
-    SearchOutcome {
-        best: path.at(best.t),
-        score_ns: best.score,
-        evaluations: counter.count(),
-    }
+    outcome(&counter, path.at(best.t), best.score)
 }
 
 #[cfg(test)]
@@ -145,6 +145,7 @@ mod tests {
             GbsConfig {
                 max_evals: 7,
                 tolerance: 1e-6,
+                ..Default::default()
             },
         );
         assert!(out.evaluations <= 9, "evals {}", out.evaluations);
@@ -164,5 +165,46 @@ mod tests {
         };
         let out = gbs_search(&p, &f, GbsConfig::default());
         assert_eq!(out.score_ns, 0.0);
+    }
+
+    #[test]
+    fn survives_failing_evaluations() {
+        use crate::fitness::{EvalError, FallibleFn};
+        use std::cell::Cell;
+
+        let p = path();
+        let target = p.at(0.5);
+        let calls = Cell::new(0usize);
+        let f = FallibleFn(|rows: &[usize]| {
+            calls.set(calls.get() + 1);
+            if calls.get().is_multiple_of(3) {
+                return Err(EvalError("injected".into()));
+            }
+            Ok(rows
+                .iter()
+                .zip(target.rows())
+                .map(|(&a, &b)| {
+                    let d = a as f64 - b as f64;
+                    d * d
+                })
+                .sum())
+        });
+        let out = gbs_search(&p, &f, GbsConfig::default());
+        assert!(out.failed_evals > 0);
+        assert!(out.score_ns.is_finite());
+        assert_eq!(out.last_failure.unwrap().0, "injected");
+
+        // With retries the same fault pattern is fully absorbed.
+        calls.set(0);
+        let out = gbs_search(
+            &p,
+            &f,
+            GbsConfig {
+                eval_retries: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.failed_evals, 0);
+        assert!(out.retried_evals > 0);
     }
 }

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fitness::{CountingEvaluator, Evaluator};
 use crate::genblock::GenBlock;
-use crate::search::{move_rows, SearchOutcome};
+use crate::search::{move_rows, outcome, SearchOutcome};
 
 /// Tuning for [`genetic_search`].
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +22,9 @@ pub struct GeneticConfig {
     pub mutation_rate: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Attempts per evaluation (1 = fail fast; see
+    /// [`CountingEvaluator::with_retries`]).
+    pub eval_retries: u32,
 }
 
 impl Default for GeneticConfig {
@@ -31,6 +34,7 @@ impl Default for GeneticConfig {
             population: 16,
             mutation_rate: 0.4,
             seed: 0x6E6E6E,
+            eval_retries: 1,
         }
     }
 }
@@ -45,7 +49,7 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
     cfg: GeneticConfig,
 ) -> SearchOutcome {
     assert!(total >= n, "need at least one row per node");
-    let counter = CountingEvaluator::new(eval);
+    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     let random_individual = |rng: &mut SmallRng| {
@@ -76,7 +80,11 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
         let pick = |rng: &mut SmallRng, pop: &[(Vec<usize>, f64)]| {
             let a = rng.gen_range(0..pop.len());
             let b = rng.gen_range(0..pop.len());
-            if pop[a].1 <= pop[b].1 { a } else { b }
+            if pop[a].1 <= pop[b].1 {
+                a
+            } else {
+                b
+            }
         };
         let pa = pick(&mut rng, &pop);
         let pb = pick(&mut rng, &pop);
@@ -114,11 +122,11 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
         }
     }
 
-    SearchOutcome {
-        best: GenBlock::new(best.0).expect("apportion/moves preserve invariant"),
-        score_ns: best.1,
-        evaluations: counter.count(),
-    }
+    outcome(
+        &counter,
+        GenBlock::new(best.0).expect("apportion/moves preserve invariant"),
+        best.1,
+    )
 }
 
 #[cfg(test)]
@@ -140,7 +148,13 @@ mod tests {
     #[test]
     fn converges_toward_target() {
         let f = quadratic(vec![40, 8, 8, 8]);
-        let out = genetic_search(64, 4, &[GenBlock::block(64, 4)], &f, GeneticConfig::default());
+        let out = genetic_search(
+            64,
+            4,
+            &[GenBlock::block(64, 4)],
+            &f,
+            GeneticConfig::default(),
+        );
         let blk_score = f(GenBlock::block(64, 4).rows());
         assert!(out.score_ns < blk_score);
         assert_eq!(out.best.total(), 64);
@@ -150,10 +164,16 @@ mod tests {
     #[test]
     fn respects_budget() {
         let f = |_: &[usize]| 1.0;
-        let out = genetic_search(64, 4, &[], &f, GeneticConfig {
-            max_evals: 20,
-            ..Default::default()
-        });
+        let out = genetic_search(
+            64,
+            4,
+            &[],
+            &f,
+            GeneticConfig {
+                max_evals: 20,
+                ..Default::default()
+            },
+        );
         assert!(out.evaluations <= 20);
     }
 
@@ -178,8 +198,43 @@ mod tests {
                 1.0
             }
         };
-        let out =
-            genetic_search(64, 4, std::slice::from_ref(&seed), &f, GeneticConfig::default());
+        let out = genetic_search(
+            64,
+            4,
+            std::slice::from_ref(&seed),
+            &f,
+            GeneticConfig::default(),
+        );
         assert_eq!(out.best, seed);
+    }
+
+    #[test]
+    fn survives_failing_evaluations() {
+        use crate::fitness::{EvalError, FallibleFn};
+        use std::cell::Cell;
+
+        // Failures hit the initial population as well as children;
+        // penalized individuals must be bred out, not crash the search.
+        let target = quadratic(vec![40, 8, 8, 8]);
+        let calls = Cell::new(0usize);
+        let f = FallibleFn(|rows: &[usize]| {
+            calls.set(calls.get() + 1);
+            if calls.get().is_multiple_of(3) {
+                Err(EvalError("injected".into()))
+            } else {
+                Ok(target(rows))
+            }
+        });
+        let out = genetic_search(
+            64,
+            4,
+            &[GenBlock::block(64, 4)],
+            &f,
+            GeneticConfig::default(),
+        );
+        assert!(out.failed_evals > 0);
+        assert!(out.score_ns.is_finite());
+        assert_eq!(out.best.total(), 64);
+        assert_eq!(out.last_failure.unwrap().0, "injected");
     }
 }

@@ -16,6 +16,7 @@ pub use gbs::{gbs_search, GbsConfig};
 pub use genetic::{genetic_search, GeneticConfig};
 pub use random::{random_search, RandomConfig};
 
+use crate::fitness::{CountingEvaluator, EvalError, Evaluator};
 use crate::genblock::GenBlock;
 
 /// What a search run produced.
@@ -27,17 +28,37 @@ pub struct SearchOutcome {
     pub score_ns: f64,
     /// How many evaluator calls were spent.
     pub evaluations: usize,
+    /// Evaluations that failed even after retries (the candidate got
+    /// an infinite penalty score and the search moved on).
+    pub failed_evals: usize,
+    /// Failed attempts that a retry absorbed.
+    pub retried_evals: usize,
+    /// The most recent evaluation failure, if any occurred.
+    pub last_failure: Option<EvalError>,
+}
+
+/// Assemble a [`SearchOutcome`] from a finished search's counting
+/// evaluator plus the best candidate it found. Shared by all four
+/// search algorithms so the resilience tallies can never drift apart.
+pub(crate) fn outcome<E: Evaluator + ?Sized>(
+    counter: &CountingEvaluator<'_, E>,
+    best: GenBlock,
+    score_ns: f64,
+) -> SearchOutcome {
+    SearchOutcome {
+        best,
+        score_ns,
+        evaluations: counter.count(),
+        failed_evals: counter.failed(),
+        retried_evals: counter.retries(),
+        last_failure: counter.last_error(),
+    }
 }
 
 /// Mutate `rows` by moving up to `max_move` rows from one node to
 /// another, respecting the one-row minimum. Shared by the annealing
 /// and genetic searches.
-pub(crate) fn move_rows(
-    rows: &mut [usize],
-    from: usize,
-    to: usize,
-    amount: usize,
-) -> bool {
+pub(crate) fn move_rows(rows: &mut [usize], from: usize, to: usize, amount: usize) -> bool {
     if from == to || rows[from] <= 1 {
         return false;
     }

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fitness::{CountingEvaluator, Evaluator};
 use crate::genblock::GenBlock;
-use crate::search::SearchOutcome;
+use crate::search::{outcome, SearchOutcome};
 
 /// Tuning for [`random_search`].
 #[derive(Debug, Clone, Copy)]
@@ -15,6 +15,9 @@ pub struct RandomConfig {
     pub max_evals: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Attempts per evaluation (1 = fail fast; see
+    /// [`CountingEvaluator::with_retries`]).
+    pub eval_retries: u32,
 }
 
 impl Default for RandomConfig {
@@ -22,6 +25,7 @@ impl Default for RandomConfig {
         RandomConfig {
             max_evals: 200,
             seed: 0x7A9D0,
+            eval_retries: 1,
         }
     }
 }
@@ -34,7 +38,7 @@ pub fn random_search<E: Evaluator + ?Sized>(
     cfg: RandomConfig,
 ) -> SearchOutcome {
     assert!(total >= n, "need at least one row per node");
-    let counter = CountingEvaluator::new(eval);
+    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Always include Blk as the first sample: it is the obvious default.
@@ -51,11 +55,7 @@ pub fn random_search<E: Evaluator + ?Sized>(
         }
     }
 
-    SearchOutcome {
-        best,
-        score_ns: best_score,
-        evaluations: counter.count(),
-    }
+    outcome(&counter, best, best_score)
 }
 
 #[cfg(test)]
@@ -75,15 +75,89 @@ mod tests {
     #[test]
     fn respects_budget_and_determinism() {
         let f = |rows: &[usize]| rows[1] as f64;
-        let a = random_search(64, 4, &f, RandomConfig {
-            max_evals: 30,
-            seed: 1,
-        });
-        let b = random_search(64, 4, &f, RandomConfig {
-            max_evals: 30,
-            seed: 1,
-        });
+        let a = random_search(
+            64,
+            4,
+            &f,
+            RandomConfig {
+                max_evals: 30,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = random_search(
+            64,
+            4,
+            &f,
+            RandomConfig {
+                max_evals: 30,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         assert!(a.evaluations <= 30);
         assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn survives_failing_evaluations() {
+        use crate::fitness::{EvalError, FallibleFn};
+        use std::cell::Cell;
+
+        // Every third evaluation fails; the search must finish, report
+        // the failures, and still return a finite best score.
+        let calls = Cell::new(0usize);
+        let f = FallibleFn(|rows: &[usize]| {
+            calls.set(calls.get() + 1);
+            if calls.get().is_multiple_of(3) {
+                Err(EvalError("injected".into()))
+            } else {
+                Ok(rows[0] as f64)
+            }
+        });
+        let out = random_search(
+            64,
+            4,
+            &f,
+            RandomConfig {
+                max_evals: 30,
+                ..Default::default()
+            },
+        );
+        assert!(out.failed_evals > 0);
+        assert_eq!(out.retried_evals, 0);
+        assert_eq!(out.last_failure.unwrap().0, "injected");
+        assert!(out.score_ns.is_finite());
+        assert_eq!(out.best.total(), 64);
+    }
+
+    #[test]
+    fn retries_reduce_failures() {
+        use crate::fitness::{EvalError, FallibleFn};
+        use std::cell::Cell;
+
+        // Failures strike single attempts, so a second attempt always
+        // succeeds: with eval_retries = 2 nothing fails outright.
+        let calls = Cell::new(0usize);
+        let f = FallibleFn(|rows: &[usize]| {
+            calls.set(calls.get() + 1);
+            if calls.get().is_multiple_of(3) {
+                Err(EvalError("injected".into()))
+            } else {
+                Ok(rows[0] as f64)
+            }
+        });
+        let out = random_search(
+            64,
+            4,
+            &f,
+            RandomConfig {
+                max_evals: 30,
+                eval_retries: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.failed_evals, 0);
+        assert!(out.retried_evals > 0);
     }
 }

@@ -1,10 +1,56 @@
 //! The per-rank communicator: typed messaging, explicit file I/O, and
 //! structural scope markers, all routed through MPI-Jack style hooks.
 
-use mheta_sim::{Prefetch, RankCtx, SimDur, SimResult, VarId};
+use mheta_sim::{Prefetch, RankCtx, SimDur, SimError, SimResult, VarId};
 
 use crate::hooks::{HookEvent, OpInfo, OpKind, Recorder, Scope, ScopeKind};
 use crate::msg;
+
+/// Retry-with-exponential-backoff policy for transient disk faults.
+///
+/// Every synchronous read, write, and prefetch issue that fails with
+/// [`SimError::TransientIo`] is retried up to `max_attempts` times in
+/// total; before attempt `k+1` the rank's virtual clock is charged
+/// `base_backoff * multiplier^(k-1)`. All other errors surface
+/// immediately — only transient faults are worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff charged after the first failed attempt.
+    pub base_backoff: SimDur,
+    /// Growth factor applied to the backoff per additional failure.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDur::from_micros_f64(50.0),
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast: a single attempt, no retries.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDur::ZERO,
+            multiplier: 1.0,
+        }
+    }
+
+    /// Backoff to charge after failed attempt number `attempt` (1-based).
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> SimDur {
+        let exp = attempt.saturating_sub(1).min(62);
+        self.base_backoff * self.multiplier.powi(exp as i32)
+    }
+}
 
 /// How the communicator executes I/O.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,16 +90,68 @@ pub struct Comm<'a, R: Recorder> {
     rec: &'a mut R,
     scope: Scope,
     mode: ExecMode,
+    retry: RetryPolicy,
 }
 
 impl<'a, R: Recorder> Comm<'a, R> {
-    /// Wrap a rank context with a recorder and execution mode.
+    /// Wrap a rank context with a recorder and execution mode. I/O
+    /// retries default to [`RetryPolicy::default`], so applications
+    /// absorb occasional transient disk faults without code changes;
+    /// on a fault-free cluster the policy never triggers.
     pub fn new(ctx: &'a mut RankCtx, rec: &'a mut R, mode: ExecMode) -> Self {
         Comm {
             ctx,
             rec,
             scope: Scope::default(),
             mode,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Builder-style override of the retry policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the retry policy in place.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Run `op`, absorbing transient I/O faults per the retry policy.
+    /// Each absorbed fault charges its backoff to the virtual clock and
+    /// reports a [`HookEvent::Retry`] through the recorder.
+    fn io_with_retry<T>(
+        &mut self,
+        kind: OpKind,
+        var: VarId,
+        mut op: impl FnMut(&mut RankCtx) -> SimResult<T>,
+    ) -> SimResult<T> {
+        let mut attempt = 1;
+        loop {
+            match op(self.ctx) {
+                Err(SimError::TransientIo { .. }) if attempt < self.retry.max_attempts => {
+                    let backoff = self.retry.backoff_for(attempt);
+                    self.ctx.charge(backoff);
+                    self.rec.record(&HookEvent::Retry {
+                        kind,
+                        var: Some(var),
+                        attempt,
+                        backoff,
+                        at: self.ctx.now(),
+                    });
+                    attempt += 1;
+                }
+                done => return done,
+            }
         }
     }
 
@@ -239,7 +337,7 @@ impl<'a, R: Recorder> Comm<'a, R> {
     /// from the local disk.
     pub fn file_read(&mut self, var: VarId, offset: usize, out: &mut [f64]) -> SimResult<()> {
         let start = self.ctx.now();
-        self.ctx.disk_read(var, offset, out)?;
+        self.io_with_retry(OpKind::FileRead, var, |ctx| ctx.disk_read(var, offset, out))?;
         self.op_event(
             OpInfo {
                 kind: OpKind::FileRead,
@@ -258,7 +356,9 @@ impl<'a, R: Recorder> Comm<'a, R> {
     /// Synchronously write `data` to `var` at `offset` on the local disk.
     pub fn file_write(&mut self, var: VarId, offset: usize, data: &[f64]) -> SimResult<()> {
         let start = self.ctx.now();
-        self.ctx.disk_write(var, offset, data)?;
+        self.io_with_retry(OpKind::FileWrite, var, |ctx| {
+            ctx.disk_write(var, offset, data)
+        })?;
         self.op_event(
             OpInfo {
                 kind: OpKind::FileWrite,
@@ -280,10 +380,16 @@ impl<'a, R: Recorder> Comm<'a, R> {
     pub fn prefetch(&mut self, var: VarId, offset: usize, len: usize) -> SimResult<PrefetchToken> {
         let start = self.ctx.now();
         let inner = match self.mode {
-            ExecMode::Normal => TokenInner::Async(self.ctx.prefetch_issue(var, offset, len)?),
+            ExecMode::Normal => {
+                TokenInner::Async(self.io_with_retry(OpKind::PrefetchIssue, var, |ctx| {
+                    ctx.prefetch_issue(var, offset, len)
+                })?)
+            }
             ExecMode::Instrument { .. } => {
                 let mut buf = vec![0.0; len];
-                self.ctx.disk_read(var, offset, &mut buf)?;
+                self.io_with_retry(OpKind::PrefetchIssue, var, |ctx| {
+                    ctx.disk_read(var, offset, &mut buf)
+                })?;
                 TokenInner::Completed(buf)
             }
         };
@@ -348,7 +454,14 @@ mod tests {
             let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
             comm.begin_section(2);
             comm.begin_stage(1);
-            assert_eq!(comm.scope(), Scope { section: 2, tile: 0, stage: 1 });
+            assert_eq!(
+                comm.scope(),
+                Scope {
+                    section: 2,
+                    tile: 0,
+                    stage: 1
+                }
+            );
             comm.end_stage(1);
             comm.end_section(2);
             Ok(rec.events.len())
@@ -383,8 +496,7 @@ mod tests {
         let run = run_cluster(&spec, false, |ctx| {
             ctx.disk.create(7, 64);
             let mut rec = VecRecorder::default();
-            let mut comm =
-                Comm::new(ctx, &mut rec, ExecMode::Instrument { force_ooc: true });
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Instrument { force_ooc: true });
             let before = comm.ctx_ref().now();
             let tok = comm.prefetch(7, 0, 64)?;
             let after_issue = comm.ctx_ref().now();
@@ -431,12 +543,114 @@ mod tests {
             let comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
             assert!(!comm.force_ooc());
             let _ = comm;
-            let comm =
-                Comm::new(ctx, &mut rec, ExecMode::Instrument { force_ooc: true });
+            let comm = Comm::new(ctx, &mut rec, ExecMode::Instrument { force_ooc: true });
             assert!(comm.force_ooc());
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(2), p.backoff_for(1) * 2u64);
+        assert_eq!(p.backoff_for(3), p.backoff_for(1) * 4u64);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_reported() {
+        let mut spec = quiet(1);
+        spec.faults.disk_read_fault_rate = 0.5;
+        spec.seed = 11;
+        run_cluster(&spec, false, |ctx| {
+            ctx.disk.create(3, 32);
+            let mut rec = VecRecorder::default();
+            let mut comm =
+                Comm::new(ctx, &mut rec, ExecMode::Normal).with_retry_policy(RetryPolicy {
+                    max_attempts: 16,
+                    ..RetryPolicy::default()
+                });
+            let before = comm.ctx_ref().now();
+            let mut buf = [0.0; 32];
+            // Enough reads that a 50% fault rate must trip at least once.
+            for _ in 0..24 {
+                comm.file_read(3, 0, &mut buf)?;
+            }
+            let after = comm.ctx_ref().now();
+            // Move `comm` out of scope so `rec` can be inspected.
+            let _ = comm;
+            let retries: Vec<_> = rec
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    HookEvent::Retry {
+                        kind, var, backoff, ..
+                    } => Some((*kind, *var, *backoff)),
+                    _ => None,
+                })
+                .collect();
+            assert!(!retries.is_empty(), "no retries at 50% fault rate");
+            assert!(retries
+                .iter()
+                .all(|(k, v, b)| *k == OpKind::FileRead && *v == Some(3) && *b > SimDur::ZERO));
+            // Backoff and failed attempts were charged to the clock.
+            assert!(after > before);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn retries_converge_to_fault_free_data() {
+        let mut faulty = quiet(1);
+        faulty.faults.disk_read_fault_rate = 0.4;
+        faulty.faults.disk_write_fault_rate = 0.4;
+        faulty.seed = 5;
+        let data: Vec<f64> = (0..64).map(f64::from).collect();
+        let run = run_cluster(&faulty, false, |ctx| {
+            ctx.disk.create(1, 64);
+            let mut rec = VecRecorder::default();
+            let mut comm =
+                Comm::new(ctx, &mut rec, ExecMode::Normal).with_retry_policy(RetryPolicy {
+                    max_attempts: 32,
+                    ..RetryPolicy::default()
+                });
+            let wr: Vec<f64> = (0..64).map(f64::from).collect();
+            comm.file_write(1, 0, &wr)?;
+            let mut buf = vec![0.0; 64];
+            comm.file_read(1, 0, &mut buf)?;
+            Ok(buf)
+        })
+        .unwrap();
+        // Numerics are unaffected by absorbed faults.
+        assert_eq!(run.results[0], data);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_transient_io() {
+        let mut spec = quiet(1);
+        spec.faults.disk_read_fault_rate = 0.97;
+        spec.seed = 3;
+        let run = run_cluster(&spec, false, |ctx| {
+            ctx.disk.create(3, 8);
+            let mut rec = VecRecorder::default();
+            let mut comm =
+                Comm::new(ctx, &mut rec, ExecMode::Normal).with_retry_policy(RetryPolicy::none());
+            let mut buf = [0.0; 8];
+            // With no retries and a 97% fault rate, some read in this
+            // run must fail; surface the first error.
+            for _ in 0..8 {
+                comm.file_read(3, 0, &mut buf)?;
+            }
+            Ok(())
+        });
+        match run {
+            Err(SimError::TransientIo {
+                rank: 0, var: 3, ..
+            }) => {}
+            other => panic!("expected TransientIo, got {other:?}"),
+        }
     }
 
     #[test]
@@ -463,9 +677,12 @@ mod tests {
                 .collect();
             assert_eq!(io_ops.len(), 2);
             assert!(io_ops.iter().all(|i| i.var == Some(3)));
-            assert!(io_ops
-                .iter()
-                .all(|i| i.scope == Scope { section: 1, tile: 0, stage: 0 }));
+            assert!(io_ops.iter().all(|i| i.scope
+                == Scope {
+                    section: 1,
+                    tile: 0,
+                    stage: 0
+                }));
             Ok(())
         })
         .unwrap();

@@ -111,6 +111,22 @@ pub enum HookEvent {
         /// Virtual time it completed.
         end: SimTime,
     },
+    /// A transient I/O fault was absorbed by the communicator's retry
+    /// policy: the failed attempt's cost and the backoff delay have
+    /// been charged to the rank's clock, and the operation is about to
+    /// be retried.
+    Retry {
+        /// The operation being retried.
+        kind: OpKind,
+        /// Variable involved, for I/O ops.
+        var: Option<VarId>,
+        /// Which attempt just failed (1 = first try).
+        attempt: u32,
+        /// Backoff charged before the next attempt.
+        backoff: SimDur,
+        /// Virtual time after the backoff.
+        at: SimTime,
+    },
 }
 
 /// A sink for hook events — the "arbitrary code" MPI-Jack lets a user

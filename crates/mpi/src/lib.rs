@@ -26,6 +26,6 @@ pub use collectives::{
     allreduce, barrier, bcast, model_allreduce, model_bcast, model_reduce, reduce, HopCost,
     ReduceOp, TAG_BCAST, TAG_REDUCE,
 };
-pub use comm::{Comm, ExecMode, PrefetchToken};
+pub use comm::{Comm, ExecMode, PrefetchToken, RetryPolicy};
 pub use hooks::{HookEvent, NullRecorder, OpInfo, OpKind, Recorder, Scope, ScopeKind, VecRecorder};
 pub use runner::{run_app, AppRun, RunOptions};

@@ -108,10 +108,7 @@ mod tests {
         for rec in &run.recorders {
             // Every rank saw at least section enter/exit plus some ops.
             assert!(rec.events.len() >= 3);
-            assert!(rec
-                .events
-                .iter()
-                .any(|e| matches!(e, HookEvent::Op { .. })));
+            assert!(rec.events.iter().any(|e| matches!(e, HookEvent::Op { .. })));
         }
     }
 

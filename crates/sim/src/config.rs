@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{SimError, SimResult};
+use crate::fault::FaultSpec;
 
 /// One node of the heterogeneous cluster (Figure 2 of the paper).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,9 +53,9 @@ impl Default for NodeSpec {
         NodeSpec {
             cpu_power: 1.0,
             memory_bytes: 512 * 1024,
-            io_read_seek_ns: 5.0e6,         // 5 ms seek
-            io_write_seek_ns: 6.0e6,        // 6 ms seek
-            io_read_ns_per_byte: 500.0,     // synthetic out-of-core scale
+            io_read_seek_ns: 5.0e6,     // 5 ms seek
+            io_write_seek_ns: 6.0e6,    // 6 ms seek
+            io_read_ns_per_byte: 500.0, // synthetic out-of-core scale
             io_write_ns_per_byte: 550.0,
             cache_bytes: 64 * 1024,
             cache_speedup: 0.93,
@@ -162,6 +163,22 @@ pub struct ClusterSpec {
     /// Master RNG seed; every run of the same program on the same spec
     /// and seed is bit-identical.
     pub seed: u64,
+    /// Deterministic fault-injection plan. Disabled by default; see
+    /// [`crate::fault`].
+    #[serde(default)]
+    pub faults: FaultSpec,
+    /// Host wall-clock backstop, in milliseconds, for any blocking wait
+    /// (receive, barrier). If a rank's OS thread waits longer than this
+    /// in *real* time, the wait is abandoned with
+    /// [`SimError::Timeout`] instead of hanging the process.
+    #[serde(default = "default_wait_timeout_ms")]
+    pub wait_timeout_ms: u64,
+}
+
+/// Default blocking-wait backstop: generous enough that only a genuine
+/// hang (never legitimate simulation work) can trip it.
+fn default_wait_timeout_ms() -> u64 {
+    120_000
 }
 
 impl ClusterSpec {
@@ -175,6 +192,8 @@ impl ClusterSpec {
             compute_ns_per_unit: 2_000.0,
             noise: NoiseSpec::default(),
             seed: 0x4d48_4554_4121,
+            faults: FaultSpec::default(),
+            wait_timeout_ms: default_wait_timeout_ms(),
         }
     }
 
@@ -256,11 +275,18 @@ impl ClusterSpec {
                 "compute_ns_per_unit must be positive".into(),
             ));
         }
-        if !(self.noise.amplitude.is_finite()
-            && (0.0..1.0).contains(&self.noise.amplitude))
-        {
+        if !(self.noise.amplitude.is_finite() && (0.0..1.0).contains(&self.noise.amplitude)) {
+            return Err(SimError::InvalidConfig(format!(
+                "noise amplitude must be in [0, 1) — a multiplicative half-width; \
+                 amplitudes ≥ 1.0 would allow nonpositive cost factors — got {}",
+                self.noise.amplitude
+            )));
+        }
+        self.faults.validate()?;
+        if self.wait_timeout_ms == 0 {
             return Err(SimError::InvalidConfig(
-                "noise amplitude must be in [0, 1)".into(),
+                "wait_timeout_ms must be positive (it is the hang backstop for blocking waits)"
+                    .into(),
             ));
         }
         Ok(())
@@ -313,9 +339,29 @@ mod tests {
     fn noise_amplitude_bounds() {
         let mut c = ClusterSpec::homogeneous(2);
         c.noise.amplitude = 1.0;
-        assert!(c.validate().is_err());
+        let err = c.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("amplitude") && err.to_string().contains('1'),
+            "{err}"
+        );
         c.noise.amplitude = 0.0;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_spec_validated_through_cluster() {
+        let mut c = ClusterSpec::homogeneous(2);
+        c.faults.msg_resend_rate = 2.0;
+        assert!(c.validate().is_err());
+        c.faults.msg_resend_rate = 0.1;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_wait_timeout_rejected() {
+        let mut c = ClusterSpec::homogeneous(2);
+        c.wait_timeout_ms = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

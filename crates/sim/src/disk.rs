@@ -58,13 +58,7 @@ impl DiskStore {
     }
 
     /// Copy `out.len()` elements starting at `offset` into `out`.
-    pub fn read(
-        &self,
-        var: VarId,
-        offset: usize,
-        out: &mut [f64],
-        rank: usize,
-    ) -> SimResult<()> {
+    pub fn read(&self, var: VarId, offset: usize, out: &mut [f64], rank: usize) -> SimResult<()> {
         let data = self
             .vars
             .get(&var)
@@ -129,6 +123,7 @@ pub struct MemTracker {
     capacity: u64,
     in_use: u64,
     high_water: u64,
+    pressure: u64,
     rank: usize,
 }
 
@@ -140,24 +135,47 @@ impl MemTracker {
             capacity,
             in_use: 0,
             high_water: 0,
+            pressure: 0,
             rank,
         }
     }
 
-    /// Reserve `bytes`; errors if the node's memory would be exceeded.
+    /// Reserve `bytes`; errors if the node's memory — less any injected
+    /// pressure — would be exceeded.
     pub fn alloc(&mut self, bytes: u64) -> SimResult<()> {
         let new = self.in_use + bytes;
-        if new > self.capacity {
+        if new > self.effective_capacity() {
             return Err(SimError::MemoryExceeded {
                 rank: self.rank,
                 requested: bytes,
                 in_use: self.in_use,
-                capacity: self.capacity,
+                capacity: self.effective_capacity(),
             });
         }
         self.in_use = new;
         self.high_water = self.high_water.max(new);
         Ok(())
+    }
+
+    /// Impose `bytes` of external memory pressure (fault injection: a
+    /// co-located job stealing memory). Pressure shrinks the effective
+    /// capacity seen by [`Self::alloc`] and [`Self::available`] but does
+    /// not touch existing reservations; it is clamped to the configured
+    /// capacity.
+    pub fn set_pressure(&mut self, bytes: u64) {
+        self.pressure = bytes.min(self.capacity);
+    }
+
+    /// Currently injected memory pressure, bytes.
+    #[must_use]
+    pub fn pressure(&self) -> u64 {
+        self.pressure
+    }
+
+    /// Capacity minus injected pressure.
+    #[must_use]
+    pub fn effective_capacity(&self) -> u64 {
+        self.capacity - self.pressure
     }
 
     /// Release `bytes` (saturating; double-frees clamp to zero).
@@ -183,10 +201,12 @@ impl MemTracker {
         self.capacity
     }
 
-    /// Bytes still available.
+    /// Bytes still available under the effective capacity (saturating:
+    /// a pressure spike can push the effective capacity below the
+    /// current reservation).
     #[must_use]
     pub fn available(&self) -> u64 {
-        self.capacity - self.in_use
+        self.effective_capacity().saturating_sub(self.in_use)
     }
 }
 
@@ -269,5 +289,63 @@ mod tests {
         let mut m = MemTracker::new(10, 0);
         m.free(5);
         assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn mem_tracker_exact_capacity_boundary() {
+        let mut m = MemTracker::new(100, 2);
+        // Filling to exactly the capacity succeeds...
+        m.alloc(100).unwrap();
+        assert_eq!(m.available(), 0);
+        // ...but one more byte fails, reporting the precise state.
+        let err = m.alloc(1).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MemoryExceeded {
+                rank: 2,
+                requested: 1,
+                in_use: 100,
+                capacity: 100,
+            }
+        );
+        // A failed alloc must not perturb the accounting.
+        assert_eq!(m.in_use(), 100);
+        assert_eq!(m.high_water(), 100);
+        // Freeing the exact amount returns to empty; high-water sticks.
+        m.free(100);
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.available(), 100);
+        assert_eq!(m.high_water(), 100);
+    }
+
+    #[test]
+    fn mem_tracker_zero_sized_allocs_are_free() {
+        let mut m = MemTracker::new(10, 0);
+        m.alloc(0).unwrap();
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.high_water(), 0);
+        m.alloc(10).unwrap();
+        m.alloc(0).unwrap(); // still fine at full capacity
+        assert_eq!(m.in_use(), 10);
+    }
+
+    #[test]
+    fn mem_tracker_pressure_shrinks_effective_capacity() {
+        let mut m = MemTracker::new(100, 1);
+        m.alloc(40).unwrap();
+        m.set_pressure(50);
+        assert_eq!(m.effective_capacity(), 50);
+        assert_eq!(m.available(), 10);
+        // Request that fits raw capacity but not pressured capacity.
+        let err = m.alloc(20).unwrap_err();
+        assert!(matches!(err, SimError::MemoryExceeded { capacity: 50, .. }));
+        // Pressure beyond capacity clamps; available saturates at zero.
+        m.set_pressure(1_000);
+        assert_eq!(m.pressure(), 100);
+        assert_eq!(m.available(), 0);
+        // Clearing pressure restores the full node.
+        m.set_pressure(0);
+        m.alloc(20).unwrap();
+        assert_eq!(m.in_use(), 60);
     }
 }

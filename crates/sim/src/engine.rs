@@ -33,13 +33,10 @@ use parking_lot::{Condvar, Mutex};
 use crate::config::ClusterSpec;
 use crate::disk::{DiskStore, MemTracker, VarId};
 use crate::error::{SimError, SimResult};
+use crate::fault::{FaultKind, FaultPlan, RankFaults};
 use crate::noise::NoiseStream;
 use crate::time::{SimDur, SimTime};
 use crate::trace::{Event, EventKind, RankTrace};
-
-/// Wall-clock backstop: if a rank waits this long in real time, the run
-/// is declared deadlocked even if the counting detector missed it.
-const WAIT_BACKSTOP: Duration = Duration::from_secs(120);
 
 /// Raw message payload. The MPI layer serializes typed data into this.
 pub type Payload = Vec<u8>;
@@ -119,6 +116,8 @@ impl SimKernel {
             now: SimTime::ZERO,
             kernel: Arc::clone(self),
             noise: NoiseStream::new(&self.spec.noise, self.spec.seed, rank),
+            faults: FaultPlan::new(&self.spec.faults, self.spec.seed).rank(rank),
+            last_slow_window: None,
             disk: DiskStore::new(),
             mem: MemTracker::new(self.spec.nodes[rank].memory_bytes, rank),
             events: tracing.then(Vec::new),
@@ -156,6 +155,10 @@ pub struct RankCtx {
     now: SimTime,
     kernel: Arc<SimKernel>,
     noise: NoiseStream,
+    faults: RankFaults,
+    /// Last slowdown window recorded in the trace, so each window entry
+    /// is logged exactly once.
+    last_slow_window: Option<u64>,
     /// This node's local disk contents.
     pub disk: DiskStore,
     mem: MemTracker,
@@ -198,19 +201,35 @@ impl RankCtx {
         &self.kernel.spec.nodes[self.rank]
     }
 
-    /// The memory tracker for this node.
+    /// The memory tracker for this node, with any injected
+    /// memory-pressure spike for the current virtual instant applied.
     #[must_use]
     pub fn mem(&mut self) -> &mut MemTracker {
+        let p = self.faults.pressure_at(self.now);
+        if p != self.mem.pressure() {
+            self.mem.set_pressure(p);
+            if p > 0 {
+                let t = self.now;
+                self.record_span(
+                    t,
+                    t,
+                    EventKind::Fault {
+                        fault: FaultKind::MemPressure { bytes: p },
+                    },
+                );
+            }
+        }
         &mut self.mem
     }
 
     fn record(&mut self, start: SimTime, kind: EventKind) {
+        let end = self.now;
+        self.record_span(start, end, kind);
+    }
+
+    fn record_span(&mut self, start: SimTime, end: SimTime, kind: EventKind) {
         if let Some(events) = &mut self.events {
-            events.push(Event {
-                start,
-                end: self.now,
-                kind,
-            });
+            events.push(Event { start, end, kind });
         }
     }
 
@@ -233,8 +252,29 @@ impl RankCtx {
         } else {
             1.0
         };
-        let cost =
-            work_units * self.kernel.spec.compute_ns_per_unit / node.cpu_power * cache_factor;
+        // Injected background-load slowdown: a window-entry fault event
+        // is recorded once per window, and the whole computation is
+        // scaled by the window's factor.
+        let slow_factor = match self.faults.slowdown_at(start) {
+            Some((win, factor)) => {
+                if self.last_slow_window != Some(win) {
+                    self.last_slow_window = Some(win);
+                    self.record_span(
+                        start,
+                        start,
+                        EventKind::Fault {
+                            fault: FaultKind::Slowdown { factor },
+                        },
+                    );
+                }
+                factor
+            }
+            None => 1.0,
+        };
+        let cost = work_units * self.kernel.spec.compute_ns_per_unit
+            / self.kernel.spec.nodes[self.rank].cpu_power
+            * cache_factor
+            * slow_factor;
         let d = SimDur::from_nanos_f64(self.noise.perturb(cost));
         self.now += d;
         self.record(start, EventKind::Compute { work_units });
@@ -262,14 +302,17 @@ impl RankCtx {
 
     /// Synchronous disk read: seek + per-byte latency, then the data.
     /// Returns the charged duration.
-    pub fn disk_read(
-        &mut self,
-        var: VarId,
-        offset: usize,
-        out: &mut [f64],
-    ) -> SimResult<SimDur> {
+    pub fn disk_read(&mut self, var: VarId, offset: usize, out: &mut [f64]) -> SimResult<SimDur> {
         let start = self.now;
         self.disk.read(var, offset, out, self.rank)?;
+        if let Some(attempt) = self.faults.read_attempt(var) {
+            return Err(self.fail_disk_attempt(
+                start,
+                FaultKind::ReadFault { var, attempt },
+                var,
+                attempt,
+            ));
+        }
         let bytes = (out.len() * 8) as u64;
         let warmth = self.read_warmth(var, bytes);
         let node = &self.kernel.spec.nodes[self.rank];
@@ -280,15 +323,44 @@ impl RankCtx {
         Ok(d)
     }
 
-    /// Synchronous disk write. Returns the charged duration.
-    pub fn disk_write(
+    /// Charge and record a transiently failed disk attempt: the wasted
+    /// seek is paid on the virtual clock, the fault lands in the trace,
+    /// and the caller gets a typed, retryable error. The warm-read
+    /// counters are deliberately untouched — a failed attempt delivers
+    /// no bytes.
+    fn fail_disk_attempt(
         &mut self,
+        start: SimTime,
+        fault: FaultKind,
         var: VarId,
-        offset: usize,
-        input: &[f64],
-    ) -> SimResult<SimDur> {
+        attempt: u32,
+    ) -> SimError {
+        let seek = match fault {
+            FaultKind::WriteFault { .. } => self.kernel.spec.nodes[self.rank].io_write_seek_ns,
+            _ => self.kernel.spec.nodes[self.rank].io_read_seek_ns,
+        };
+        let d = SimDur::from_nanos_f64(self.noise.perturb(seek));
+        self.now += d;
+        self.record(start, EventKind::Fault { fault });
+        SimError::TransientIo {
+            rank: self.rank,
+            var,
+            attempt,
+        }
+    }
+
+    /// Synchronous disk write. Returns the charged duration.
+    pub fn disk_write(&mut self, var: VarId, offset: usize, input: &[f64]) -> SimResult<SimDur> {
         let start = self.now;
         self.disk.write(var, offset, input, self.rank)?;
+        if let Some(attempt) = self.faults.write_attempt(var) {
+            return Err(self.fail_disk_attempt(
+                start,
+                FaultKind::WriteFault { var, attempt },
+                var,
+                attempt,
+            ));
+        }
         let bytes = (input.len() * 8) as u64;
         let node = &self.kernel.spec.nodes[self.rank];
         let cost = node.io_write_seek_ns + bytes as f64 * node.io_write_ns_per_byte;
@@ -302,22 +374,26 @@ impl RankCtx {
     /// starting at `offset`. Charges the seek/issue overhead to the CPU
     /// timeline; the transfer latency proceeds concurrently and is
     /// reconciled by [`RankCtx::prefetch_wait`] (Figure 4 of the paper).
-    pub fn prefetch_issue(
-        &mut self,
-        var: VarId,
-        offset: usize,
-        len: usize,
-    ) -> SimResult<Prefetch> {
+    pub fn prefetch_issue(&mut self, var: VarId, offset: usize, len: usize) -> SimResult<Prefetch> {
         let start = self.now;
         let mut data = vec![0.0; len];
         self.disk.read(var, offset, &mut data, self.rank)?;
+        if let Some(attempt) = self.faults.read_attempt(var) {
+            return Err(self.fail_disk_attempt(
+                start,
+                FaultKind::ReadFault { var, attempt },
+                var,
+                attempt,
+            ));
+        }
         let bytes = (len * 8) as u64;
         let warmth = self.read_warmth(var, bytes);
         let node = &self.kernel.spec.nodes[self.rank];
         let overhead = SimDur::from_nanos_f64(self.noise.perturb(node.io_read_seek_ns));
         self.now += overhead;
         let latency = SimDur::from_nanos_f64(
-            self.noise.perturb(bytes as f64 * node.io_read_ns_per_byte * warmth),
+            self.noise
+                .perturb(bytes as f64 * node.io_read_ns_per_byte * warmth),
         );
         let completion = self.now + latency;
         let id = self.next_prefetch;
@@ -361,9 +437,26 @@ impl RankCtx {
         let bytes = payload.len() as u64;
         let net = &self.kernel.spec.net;
         let overhead = SimDur::from_nanos_f64(self.noise.perturb(net.send_overhead_ns));
+        let transfer_ns = net.transfer_ns(bytes);
         self.now += overhead;
-        let transfer = SimDur::from_nanos_f64(self.noise.perturb(net.transfer_ns(bytes)));
-        let arrival = self.now + transfer;
+        let transfer = SimDur::from_nanos_f64(self.noise.perturb(transfer_ns));
+        // Injected delivery fault: the message is dropped `resends`
+        // times and retransmitted, so it arrives late by that many
+        // extra in-flight transfers. The sender's own clock is not
+        // delayed (buffered send), matching a NIC-level retransmit.
+        let resends = self.faults.msg_resends();
+        let arrival = if resends > 0 {
+            self.record_span(
+                start,
+                start,
+                EventKind::Fault {
+                    fault: FaultKind::MessageResend { to, tag, resends },
+                },
+            );
+            self.now + transfer * u64::from(resends + 1)
+        } else {
+            self.now + transfer
+        };
         {
             let mut st = self.kernel.state.lock();
             st.mailboxes
@@ -415,21 +508,28 @@ impl RankCtx {
                     self.kernel.cvar.notify_all();
                     return Err(SimError::Deadlock { detail });
                 }
+                let waited_ms = self.kernel.spec.wait_timeout_ms;
                 let timed_out = self
                     .kernel
                     .cvar
-                    .wait_for(&mut st, WAIT_BACKSTOP)
+                    .wait_for(&mut st, Duration::from_millis(waited_ms))
                     .timed_out();
                 st.blocked -= 1;
                 st.waiting.remove(&self.rank);
                 if timed_out {
                     let detail = format!(
-                        "rank {} timed out waiting on ({from}, tag {tag})",
-                        self.rank
+                        "blocking receive from ({from}, tag {tag}) exceeded the \
+                         {waited_ms} ms wall-clock backstop"
                     );
+                    // Poison the kernel so peers unblock instead of
+                    // waiting on a rank that is about to exit.
                     SimKernel::declare_deadlock(&mut st, detail.clone());
                     self.kernel.cvar.notify_all();
-                    return Err(SimError::Deadlock { detail });
+                    return Err(SimError::Timeout {
+                        rank: self.rank,
+                        waited_ms,
+                        detail,
+                    });
                 }
             }
         };
@@ -537,8 +637,7 @@ where
     let mut results = Vec::with_capacity(n);
     let mut traces = Vec::with_capacity(n);
     for (rank, slot) in slots.into_iter().enumerate() {
-        let (value, trace) = slot
-            .unwrap_or_else(|| panic!("rank {rank} produced no result"))?;
+        let (value, trace) = slot.unwrap_or_else(|| panic!("rank {rank} produced no result"))?;
         results.push(value);
         traces.push(trace);
     }
@@ -768,7 +867,9 @@ mod tests {
         assert_eq!(blocked, SimDur::ZERO, "long compute masks the latency");
         // The async path should cost roughly the compute + seek only,
         // i.e. strictly less than compute + full sync read.
-        assert!(async_cost.as_nanos_f64() < 1e7 * spec.compute_ns_per_unit + sync_cost.as_nanos_f64());
+        assert!(
+            async_cost.as_nanos_f64() < 1e7 * spec.compute_ns_per_unit + sync_cost.as_nanos_f64()
+        );
     }
 
     #[test]
@@ -832,6 +933,169 @@ mod tests {
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn disk_fault_surfaces_transient_io_not_panic() {
+        let mut spec = quiet_spec(1);
+        spec.faults.disk_read_fault_rate = 0.999;
+        let err = run_cluster(&spec, true, |ctx| {
+            ctx.disk.create(1, 16);
+            let mut buf = [0.0; 16];
+            // With a ~1.0 fault rate the first read attempt fails.
+            ctx.disk_read(1, 0, &mut buf)?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::TransientIo {
+                    rank: 0,
+                    var: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn failed_disk_attempt_charges_time_and_records_fault() {
+        let mut spec = quiet_spec(1);
+        spec.faults.disk_read_fault_rate = 0.999;
+        let run = run_cluster(&spec, true, |ctx| {
+            ctx.disk.create(1, 16);
+            let mut buf = [0.0; 16];
+            // Swallow the failure so the rank still finishes cleanly.
+            let res = ctx.disk_read(1, 0, &mut buf);
+            assert!(res.is_err());
+            Ok(ctx.now().as_nanos())
+        })
+        .unwrap();
+        let node_seek = ClusterSpec::homogeneous(1).nodes[0].io_read_seek_ns;
+        assert_eq!(run.results[0] as f64, node_seek, "wasted seek charged");
+        assert_eq!(run.traces[0].fault_count(), 1);
+        assert!(matches!(
+            run.traces[0].faults()[0],
+            FaultKind::ReadFault { var: 1, attempt: 1 }
+        ));
+    }
+
+    #[test]
+    fn slowdown_windows_inflate_compute_time() {
+        let clean = quiet_spec(1);
+        let mut slow = clean.clone();
+        slow.faults.slowdown_rate = 0.5;
+        slow.faults.slowdown_factor = 2.0;
+        slow.faults.slowdown_period_ns = 1.0e5;
+        let body = |ctx: &mut RankCtx| {
+            for _ in 0..200 {
+                ctx.compute(100.0, u64::MAX);
+            }
+            Ok(())
+        };
+        let a = run_cluster(&clean, true, body).unwrap();
+        let b = run_cluster(&slow, true, body).unwrap();
+        assert!(
+            b.makespan() > a.makespan(),
+            "slowdown windows must cost time: {} vs {}",
+            b.makespan(),
+            a.makespan()
+        );
+        assert!(
+            b.traces[0]
+                .faults()
+                .iter()
+                .any(|f| matches!(f, FaultKind::Slowdown { .. })),
+            "window entries must be traced"
+        );
+        assert_eq!(a.traces[0].fault_count(), 0, "clean run has no faults");
+    }
+
+    #[test]
+    fn message_resends_delay_arrival_and_are_traced() {
+        let clean = quiet_spec(2);
+        let mut lossy = clean.clone();
+        lossy.faults.msg_resend_rate = 0.6;
+        let body = |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                for _ in 0..20 {
+                    ctx.send(1, 0, vec![0u8; 1024])?;
+                }
+            } else {
+                for _ in 0..20 {
+                    ctx.recv(0, 0)?;
+                }
+            }
+            Ok(())
+        };
+        let a = run_cluster(&clean, true, body).unwrap();
+        let b = run_cluster(&lossy, true, body).unwrap();
+        assert!(b.makespan() > a.makespan(), "resends must delay delivery");
+        assert!(
+            b.traces[0]
+                .faults()
+                .iter()
+                .any(|f| matches!(f, FaultKind::MessageResend { to: 1, .. })),
+            "resends must be traced on the sender"
+        );
+    }
+
+    #[test]
+    fn mem_pressure_spikes_reach_the_tracker() {
+        let mut spec = quiet_spec(1);
+        spec.faults.mem_pressure_rate = 0.8;
+        spec.faults.mem_pressure_bytes = 4096;
+        spec.faults.slowdown_period_ns = 1.0e5;
+        let run = run_cluster(&spec, true, |ctx| {
+            let mut seen = 0u64;
+            for _ in 0..100 {
+                ctx.charge(SimDur::from_nanos(100_000));
+                seen = seen.max(ctx.mem().pressure());
+            }
+            Ok(seen)
+        })
+        .unwrap();
+        assert_eq!(run.results[0], 4096, "pressure spike must be visible");
+        assert!(
+            run.traces[0]
+                .faults()
+                .iter()
+                .any(|f| matches!(f, FaultKind::MemPressure { bytes: 4096 })),
+            "pressure transitions must be traced"
+        );
+    }
+
+    #[test]
+    fn recv_backstop_surfaces_timeout() {
+        let mut spec = quiet_spec(2);
+        spec.wait_timeout_ms = 50;
+        let err = run_cluster(&spec, false, |ctx| {
+            if ctx.rank() == 0 {
+                // Keep the host thread busy past the backstop without
+                // ever blocking in the simulator, so the counting
+                // deadlock detector cannot fire first.
+                std::thread::sleep(Duration::from_millis(400));
+                ctx.send(1, 0, vec![1])?;
+                Ok(())
+            } else {
+                ctx.recv(0, 0)?;
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Timeout {
+                    rank: 1,
+                    waited_ms: 50,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

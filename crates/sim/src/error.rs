@@ -30,6 +30,16 @@ pub enum SimError {
     },
     /// Cluster configuration failed validation.
     InvalidConfig(String),
+    /// An injected transient disk I/O failure; retryable. `attempt` is
+    /// the 1-based count of consecutive failures on this variable.
+    TransientIo { rank: usize, var: u32, attempt: u32 },
+    /// A blocking wait exceeded the configured wall-clock backstop
+    /// (`ClusterSpec::wait_timeout_ms`).
+    Timeout {
+        rank: usize,
+        waited_ms: u64,
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +73,15 @@ impl fmt::Display for SimError {
                  of {capacity} B capacity"
             ),
             SimError::InvalidConfig(msg) => write!(f, "invalid cluster config: {msg}"),
+            SimError::TransientIo { rank, var, attempt } => write!(
+                f,
+                "transient I/O fault on node {rank}, variable {var} (consecutive attempt {attempt})"
+            ),
+            SimError::Timeout {
+                rank,
+                waited_ms,
+                detail,
+            } => write!(f, "rank {rank} timed out after {waited_ms} ms: {detail}"),
         }
     }
 }
@@ -94,5 +113,71 @@ mod tests {
             capacity: 120,
         };
         assert!(e.to_string().contains("node 1"));
+    }
+
+    /// Every variant's `Display` must carry its distinguishing fields;
+    /// these strings end up in test failures and operator logs.
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(SimError, Vec<&str>)> = vec![
+            (
+                SimError::InvalidRank { rank: 9, size: 8 },
+                vec!["rank 9", "8 nodes"],
+            ),
+            (
+                SimError::UnknownVariable { var: 4, rank: 2 },
+                vec!["variable 4", "node 2"],
+            ),
+            (
+                SimError::OutOfBounds {
+                    var: 3,
+                    offset: 10,
+                    len: 5,
+                    extent: 12,
+                },
+                vec!["[10, 15)", "variable 3", "extent 12"],
+            ),
+            (
+                SimError::Deadlock {
+                    detail: "all ranks blocked".into(),
+                },
+                vec!["deadlock", "all ranks blocked"],
+            ),
+            (
+                SimError::MemoryExceeded {
+                    rank: 1,
+                    requested: 100,
+                    in_use: 50,
+                    capacity: 120,
+                },
+                vec!["node 1", "100 B", "50 B", "120 B"],
+            ),
+            (
+                SimError::InvalidConfig("bad amplitude".into()),
+                vec!["invalid cluster config", "bad amplitude"],
+            ),
+            (
+                SimError::TransientIo {
+                    rank: 5,
+                    var: 7,
+                    attempt: 3,
+                },
+                vec!["transient", "node 5", "variable 7", "attempt 3"],
+            ),
+            (
+                SimError::Timeout {
+                    rank: 2,
+                    waited_ms: 250,
+                    detail: "waiting on (0, tag 9)".into(),
+                },
+                vec!["rank 2", "250 ms", "tag 9"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let s = err.to_string();
+            for needle in needles {
+                assert!(s.contains(needle), "{s:?} missing {needle:?}");
+            }
+        }
     }
 }

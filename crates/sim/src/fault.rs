@@ -1,0 +1,482 @@
+//! Deterministic fault injection.
+//!
+//! Real heterogeneous clusters do not merely jitter: disks return
+//! transient errors, background load steals CPU for a while, NICs drop
+//! and retransmit packets, and co-located jobs squeeze application
+//! memory. The paper's accuracy claim (§5.2.1) silently assumes the
+//! instrumented iteration is representative of the rest of the run;
+//! this module provides the controlled counter-examples.
+//!
+//! Everything here is **deterministic**: a [`FaultPlan`] is derived
+//! from the cluster's master seed exactly like
+//! [`crate::noise::NoiseStream`], so the same seed produces the same
+//! fault schedule and therefore byte-identical virtual timelines,
+//! regardless of host-thread interleaving. Per-operation faults (disk
+//! failures, message drops) come from a per-rank RNG stream consumed in
+//! program order; time-window faults (node slowdowns, memory-pressure
+//! spikes) are *stateless* functions of virtual time, so they can be
+//! queried at arbitrary instants without perturbing the stream.
+//!
+//! The engine records every injected fault as an
+//! [`crate::trace::EventKind::Fault`] event; the MPI layer's
+//! `RetryPolicy` (in `mheta-mpi`) turns transient disk failures back
+//! into successful operations at the cost of simulated time.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+use crate::time::SimTime;
+
+/// What kind of fault was injected; carried by
+/// [`crate::trace::EventKind::Fault`] trace events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A disk read attempt failed transiently (the `attempt`-th
+    /// consecutive failure for this variable).
+    ReadFault {
+        /// Variable being read.
+        var: u32,
+        /// 1-based consecutive failure count.
+        attempt: u32,
+    },
+    /// A disk write attempt failed transiently.
+    WriteFault {
+        /// Variable being written.
+        var: u32,
+        /// 1-based consecutive failure count.
+        attempt: u32,
+    },
+    /// The node entered a background-load slowdown window: compute
+    /// costs are multiplied by `factor` until the window ends.
+    Slowdown {
+        /// Cost multiplier (≥ 1.0) applied while the window is active.
+        factor: f64,
+    },
+    /// A message was dropped and retransmitted `resends` times; the
+    /// receiver sees the extra transfer latency.
+    MessageResend {
+        /// Destination rank of the affected message.
+        to: usize,
+        /// Message tag.
+        tag: u32,
+        /// Number of extra transmissions.
+        resends: u32,
+    },
+    /// A memory-pressure spike reserved `bytes` of the node's memory
+    /// for the duration of the window.
+    MemPressure {
+        /// Bytes stolen from the application.
+        bytes: u64,
+    },
+}
+
+/// Fault-injection configuration, part of
+/// [`ClusterSpec`](crate::config::ClusterSpec). All rates are
+/// probabilities in `[0, 1)`; the default disables every fault class,
+/// which leaves timelines byte-identical to a fault-free build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability that any single disk read attempt fails transiently.
+    pub disk_read_fault_rate: f64,
+    /// Probability that any single disk write attempt fails transiently.
+    pub disk_write_fault_rate: f64,
+    /// Per-transmission probability that a message is dropped and must
+    /// be resent (geometric; capped at [`MAX_RESENDS`]).
+    pub msg_resend_rate: f64,
+    /// Fraction of virtual time each node spends inside a slowdown
+    /// window (background load).
+    pub slowdown_rate: f64,
+    /// Compute-cost multiplier (≥ 1.0) while a slowdown window is
+    /// active.
+    pub slowdown_factor: f64,
+    /// Scheduling granularity of the time-window faults, fractional
+    /// nanoseconds. Each period is independently degraded or not.
+    pub slowdown_period_ns: f64,
+    /// Fraction of virtual time each node spends under a
+    /// memory-pressure spike.
+    pub mem_pressure_rate: f64,
+    /// Bytes reserved away from the application while a pressure spike
+    /// is active.
+    pub mem_pressure_bytes: u64,
+}
+
+/// Upper bound on consecutive retransmissions of one message, so a
+/// pathological rate cannot stall the simulation.
+pub const MAX_RESENDS: u32 = 4;
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            disk_read_fault_rate: 0.0,
+            disk_write_fault_rate: 0.0,
+            msg_resend_rate: 0.0,
+            slowdown_rate: 0.0,
+            slowdown_factor: 1.5,
+            slowdown_period_ns: 1.0e6, // 1 ms windows
+            mem_pressure_rate: 0.0,
+            mem_pressure_bytes: 0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// True when at least one fault class can fire.
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.disk_read_fault_rate > 0.0
+            || self.disk_write_fault_rate > 0.0
+            || self.msg_resend_rate > 0.0
+            || self.slowdown_rate > 0.0
+            || (self.mem_pressure_rate > 0.0 && self.mem_pressure_bytes > 0)
+    }
+
+    /// Validate rates and factors; called from
+    /// [`ClusterSpec::validate`](crate::config::ClusterSpec::validate).
+    pub fn validate(&self) -> SimResult<()> {
+        for (label, rate) in [
+            ("disk_read_fault_rate", self.disk_read_fault_rate),
+            ("disk_write_fault_rate", self.disk_write_fault_rate),
+            ("msg_resend_rate", self.msg_resend_rate),
+            ("slowdown_rate", self.slowdown_rate),
+            ("mem_pressure_rate", self.mem_pressure_rate),
+        ] {
+            if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
+                return Err(SimError::InvalidConfig(format!(
+                    "fault {label} must be in [0, 1), got {rate}"
+                )));
+            }
+        }
+        if !(self.slowdown_factor.is_finite() && self.slowdown_factor >= 1.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "fault slowdown_factor must be ≥ 1.0 and finite, got {}",
+                self.slowdown_factor
+            )));
+        }
+        if !(self.slowdown_period_ns.is_finite() && self.slowdown_period_ns > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "fault slowdown_period_ns must be positive and finite, got {}",
+                self.slowdown_period_ns
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64-style stateless mix, keyed differently from the noise
+/// stream so fault draws and noise draws are decorrelated.
+fn mix(seed: u64, rank: u64, salt: u64, k: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(rank.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(salt)
+        .wrapping_add(k.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash value.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const SLOWDOWN_SALT: u64 = 0x51_0d0e_57a1;
+const MEM_SALT: u64 = 0x0003_e39b_2e55;
+const RNG_SALT: u64 = 0x0fa1_757a_27ed;
+
+/// Derives per-rank fault schedules from a [`FaultSpec`] and the
+/// cluster's master seed. Mirrors the role `NoiseSpec` + `NoiseStream`
+/// play for benign jitter: `FaultPlan::new(spec, seed).rank(r)` is a
+/// pure function, so two runs with the same seed get the same faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Build a plan for a whole cluster.
+    #[must_use]
+    pub fn new(spec: &FaultSpec, seed: u64) -> Self {
+        FaultPlan {
+            spec: spec.clone(),
+            seed,
+        }
+    }
+
+    /// The spec this plan was built from.
+    #[must_use]
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The deterministic fault schedule for one rank.
+    #[must_use]
+    pub fn rank(&self, rank: usize) -> RankFaults {
+        RankFaults::new(&self.spec, self.seed, rank)
+    }
+}
+
+/// Per-rank deterministic fault schedule.
+///
+/// Per-operation draws (disk faults, message resends) consume a private
+/// `SmallRng` stream in the rank's deterministic program order;
+/// time-window faults (slowdown, memory pressure) are stateless hashes
+/// of `(seed, rank, window index)` so they can be sampled at any
+/// virtual instant without disturbing the stream.
+#[derive(Debug, Clone)]
+pub struct RankFaults {
+    spec: FaultSpec,
+    seed: u64,
+    rank: usize,
+    rng: SmallRng,
+    read_streak: HashMap<u32, u32>,
+    write_streak: HashMap<u32, u32>,
+}
+
+impl RankFaults {
+    /// Build the schedule for `rank` under `spec` and master `seed`.
+    #[must_use]
+    pub fn new(spec: &FaultSpec, seed: u64, rank: usize) -> Self {
+        let rng_seed = mix(seed, rank as u64, RNG_SALT, 0);
+        RankFaults {
+            spec: spec.clone(),
+            seed,
+            rank,
+            rng: SmallRng::seed_from_u64(rng_seed),
+            read_streak: HashMap::new(),
+            write_streak: HashMap::new(),
+        }
+    }
+
+    /// True when at least one fault class can fire on this rank.
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.spec.any_enabled()
+    }
+
+    /// Draw the fate of a disk-read attempt on `var`. Returns
+    /// `Some(attempt)` — the 1-based consecutive failure count — when
+    /// the attempt fails transiently, `None` when it succeeds (which
+    /// also resets the failure streak for `var`).
+    pub fn read_attempt(&mut self, var: u32) -> Option<u32> {
+        let rate = self.spec.disk_read_fault_rate;
+        Self::attempt(&mut self.rng, &mut self.read_streak, rate, var)
+    }
+
+    /// Draw the fate of a disk-write attempt on `var`; see
+    /// [`Self::read_attempt`].
+    pub fn write_attempt(&mut self, var: u32) -> Option<u32> {
+        let rate = self.spec.disk_write_fault_rate;
+        Self::attempt(&mut self.rng, &mut self.write_streak, rate, var)
+    }
+
+    fn attempt(
+        rng: &mut SmallRng,
+        streak: &mut HashMap<u32, u32>,
+        rate: f64,
+        var: u32,
+    ) -> Option<u32> {
+        if rate <= 0.0 {
+            return None;
+        }
+        if rng.gen::<f64>() < rate {
+            let n = streak.entry(var).or_insert(0);
+            *n += 1;
+            Some(*n)
+        } else {
+            streak.remove(&var);
+            None
+        }
+    }
+
+    /// Draw how many times an outgoing message is dropped and resent
+    /// (0 = delivered first try). Geometric in the resend rate, capped
+    /// at [`MAX_RESENDS`].
+    pub fn msg_resends(&mut self) -> u32 {
+        let rate = self.spec.msg_resend_rate;
+        if rate <= 0.0 {
+            return 0;
+        }
+        let mut resends = 0;
+        while resends < MAX_RESENDS && self.rng.gen::<f64>() < rate {
+            resends += 1;
+        }
+        resends
+    }
+
+    /// If virtual instant `t` falls inside an active slowdown window,
+    /// returns `(window index, factor)`; the engine uses the index to
+    /// record each window entry exactly once.
+    #[must_use]
+    pub fn slowdown_at(&self, t: SimTime) -> Option<(u64, f64)> {
+        let rate = self.spec.slowdown_rate;
+        if rate <= 0.0 {
+            return None;
+        }
+        let win = self.window_index(t);
+        let h = mix(self.seed, self.rank as u64, SLOWDOWN_SALT, win);
+        (unit(h) < rate).then_some((win, self.spec.slowdown_factor))
+    }
+
+    /// Bytes of injected memory pressure active at virtual instant `t`
+    /// (0 when no spike is active).
+    #[must_use]
+    pub fn pressure_at(&self, t: SimTime) -> u64 {
+        let rate = self.spec.mem_pressure_rate;
+        if rate <= 0.0 || self.spec.mem_pressure_bytes == 0 {
+            return 0;
+        }
+        let win = self.window_index(t);
+        let h = mix(self.seed, self.rank as u64, MEM_SALT, win);
+        if unit(h) < rate {
+            self.spec.mem_pressure_bytes
+        } else {
+            0
+        }
+    }
+
+    fn window_index(&self, t: SimTime) -> u64 {
+        let period = self.spec.slowdown_period_ns.max(1.0);
+        (t.as_nanos() as f64 / period) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_spec() -> FaultSpec {
+        FaultSpec {
+            disk_read_fault_rate: 0.3,
+            disk_write_fault_rate: 0.2,
+            msg_resend_rate: 0.25,
+            slowdown_rate: 0.4,
+            slowdown_factor: 1.5,
+            slowdown_period_ns: 1.0e6,
+            mem_pressure_rate: 0.3,
+            mem_pressure_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn default_spec_is_inert_and_valid() {
+        let spec = FaultSpec::default();
+        assert!(!spec.any_enabled());
+        spec.validate().unwrap();
+        let mut rf = FaultPlan::new(&spec, 42).rank(0);
+        for var in 0..50 {
+            assert_eq!(rf.read_attempt(var), None);
+            assert_eq!(rf.write_attempt(var), None);
+            assert_eq!(rf.msg_resends(), 0);
+        }
+        assert_eq!(rf.slowdown_at(SimTime(123_456)), None);
+        assert_eq!(rf.pressure_at(SimTime(123_456)), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let spec = busy_spec();
+        let mut a = FaultPlan::new(&spec, 7).rank(3);
+        let mut b = FaultPlan::new(&spec, 7).rank(3);
+        for i in 0..200u32 {
+            assert_eq!(a.read_attempt(i % 5), b.read_attempt(i % 5));
+            assert_eq!(a.write_attempt(i % 3), b.write_attempt(i % 3));
+            assert_eq!(a.msg_resends(), b.msg_resends());
+            let t = SimTime(u64::from(i) * 250_000);
+            assert_eq!(a.slowdown_at(t), b.slowdown_at(t));
+            assert_eq!(a.pressure_at(t), b.pressure_at(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_or_ranks_diverge() {
+        let spec = busy_spec();
+        let schedule = |seed: u64, rank: usize| -> Vec<bool> {
+            let mut rf = FaultPlan::new(&spec, seed).rank(rank);
+            (0..256).map(|_| rf.read_attempt(0).is_some()).collect()
+        };
+        assert_ne!(schedule(1, 0), schedule(2, 0));
+        assert_ne!(schedule(1, 0), schedule(1, 1));
+    }
+
+    #[test]
+    fn window_faults_are_order_independent() {
+        let spec = busy_spec();
+        let rf = FaultPlan::new(&spec, 99).rank(1);
+        let times: Vec<SimTime> = (0..64).map(|i| SimTime(i * 700_000)).collect();
+        let fwd: Vec<_> = times.iter().map(|&t| rf.slowdown_at(t)).collect();
+        let rev: Vec<_> = times.iter().rev().map(|&t| rf.slowdown_at(t)).collect();
+        assert_eq!(fwd, rev.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn window_hit_fraction_tracks_rate() {
+        let mut spec = busy_spec();
+        spec.slowdown_rate = 0.3;
+        let rf = FaultPlan::new(&spec, 5).rank(0);
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|i| rf.slowdown_at(SimTime(i * 1_000_000)).is_some())
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "hit fraction {frac}");
+    }
+
+    #[test]
+    fn failure_streaks_count_consecutive_failures() {
+        let spec = FaultSpec {
+            disk_read_fault_rate: 0.999,
+            ..Default::default()
+        };
+        let mut rf = FaultPlan::new(&spec, 11).rank(0);
+        assert_eq!(rf.read_attempt(7), Some(1));
+        assert_eq!(rf.read_attempt(7), Some(2));
+        assert_eq!(rf.read_attempt(7), Some(3));
+        // An independent variable has its own streak.
+        assert_eq!(rf.read_attempt(8), Some(1));
+    }
+
+    #[test]
+    fn resends_are_capped() {
+        let spec = FaultSpec {
+            msg_resend_rate: 0.999,
+            ..Default::default()
+        };
+        let mut rf = FaultPlan::new(&spec, 3).rank(0);
+        for _ in 0..32 {
+            assert!(rf.msg_resends() <= MAX_RESENDS);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let spec = FaultSpec {
+            disk_read_fault_rate: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("disk_read_fault_rate")
+        ));
+        let spec = FaultSpec {
+            slowdown_factor: 0.5,
+            ..Default::default()
+        };
+        assert!(spec.validate().is_err());
+        let spec = FaultSpec {
+            slowdown_period_ns: 0.0,
+            ..Default::default()
+        };
+        assert!(spec.validate().is_err());
+        let spec = FaultSpec {
+            mem_pressure_rate: f64::NAN,
+            ..Default::default()
+        };
+        assert!(spec.validate().is_err());
+    }
+}

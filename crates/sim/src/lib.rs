@@ -46,6 +46,7 @@ pub mod config;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod noise;
 pub mod presets;
 pub mod time;
@@ -56,6 +57,7 @@ pub use config::{ClusterSpec, NetSpec, NodeSpec, NoiseSpec};
 pub use disk::{DiskStore, MemTracker, VarId};
 pub use engine::{run_cluster, ClusterRun, Payload, Prefetch, RankCtx, SimKernel};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, RankFaults};
 pub use time::{SimDur, SimTime};
 pub use timeline::render as render_timeline;
 pub use trace::{Event, EventKind, RankTrace};

@@ -11,6 +11,13 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::NoiseSpec;
 
+/// Smallest multiplicative factor [`NoiseStream::factor`] will return.
+/// Config validation rejects amplitudes ≥ 1.0, but streams can be built
+/// from unvalidated specs; without the floor a large amplitude could
+/// yield a zero or negative factor and make virtual durations vanish or
+/// run backwards.
+pub const MIN_NOISE_FACTOR: f64 = 1e-3;
+
 /// A per-rank deterministic noise source.
 #[derive(Debug, Clone)]
 pub struct NoiseStream {
@@ -23,8 +30,7 @@ impl NoiseStream {
     #[must_use]
     pub fn new(spec: &NoiseSpec, seed: u64, rank: usize) -> Self {
         // SplitMix-style mixing so nearby (seed, rank) pairs decorrelate.
-        let mut z = seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1));
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
@@ -34,15 +40,16 @@ impl NoiseStream {
         }
     }
 
-    /// Next multiplicative factor, uniform in `[1 - a, 1 + a]`. With
-    /// amplitude 0 this always returns exactly 1.0 (and still advances
-    /// the RNG so enabling noise does not shift later draws).
+    /// Next multiplicative factor, uniform in `[1 - a, 1 + a]` and
+    /// clamped below by [`MIN_NOISE_FACTOR`]. With amplitude 0 this
+    /// always returns exactly 1.0 (and still advances the RNG so
+    /// enabling noise does not shift later draws).
     pub fn factor(&mut self) -> f64 {
         let u: f64 = self.rng.gen::<f64>();
         if self.amplitude == 0.0 {
             1.0
         } else {
-            1.0 + self.amplitude * (2.0 * u - 1.0)
+            (1.0 + self.amplitude * (2.0 * u - 1.0)).max(MIN_NOISE_FACTOR)
         }
     }
 
@@ -91,6 +98,17 @@ mod tests {
         let mut s = NoiseStream::new(&spec(0.0), 7, 2);
         for _ in 0..100 {
             assert_eq!(s.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn oversized_amplitude_never_goes_nonpositive() {
+        // Validation rejects amplitude ≥ 1.0, but a stream built from a
+        // raw spec must still never produce a factor ≤ 0.
+        let mut s = NoiseStream::new(&spec(5.0), 13, 0);
+        for _ in 0..10_000 {
+            let f = s.factor();
+            assert!(f >= MIN_NOISE_FACTOR, "factor {f} below floor");
         }
     }
 

@@ -20,6 +20,7 @@
 //! phenomena the paper studies.
 
 use crate::config::{ClusterSpec, NodeSpec};
+use crate::fault::FaultSpec;
 
 /// Nodes per emulated cluster, as in the paper's testbed.
 pub const CLUSTER_NODES: usize = 8;
@@ -239,7 +240,9 @@ pub fn seventeen_architectures() -> Vec<ClusterSpec> {
     let mut nodes = base_nodes();
     for (i, n) in nodes.iter_mut().enumerate() {
         n.cpu_power = 0.7 + 0.2 * i as f64;
-        n.memory_bytes = BASE_MEMORY.saturating_sub(56 * 1024 * i as u64).max(SMALL_MEMORY);
+        n.memory_bytes = BASE_MEMORY
+            .saturating_sub(56 * 1024 * i as u64)
+            .max(SMALL_MEMORY);
     }
     archs.push(cluster("A17-inverted", nodes));
 
@@ -254,11 +257,7 @@ pub fn seventeen_architectures() -> Vec<ClusterSpec> {
 pub fn twelve_prefetch_architectures() -> Vec<ClusterSpec> {
     let picked: Vec<ClusterSpec> = seventeen_architectures()
         .into_iter()
-        .filter(|a| {
-            a.nodes
-                .iter()
-                .any(|n| n.memory_bytes <= 2 * SMALL_MEMORY)
-        })
+        .filter(|a| a.nodes.iter().any(|n| n.memory_bytes <= 2 * SMALL_MEMORY))
         .collect();
     assert!(
         picked.len() >= 12,
@@ -266,6 +265,44 @@ pub fn twelve_prefetch_architectures() -> Vec<ClusterSpec> {
         picked.len()
     );
     picked.into_iter().take(12).collect()
+}
+
+/// A moderate, deterministic fault profile for robustness experiments:
+/// occasional transient disk errors, rare message retransmits, and
+/// background-load windows on a 1 ms grain. Rates are low enough that
+/// retry-enabled runs always converge, high enough that every fault
+/// class fires in a typical application run.
+#[must_use]
+pub fn standard_fault_profile() -> FaultSpec {
+    FaultSpec {
+        disk_read_fault_rate: 0.05,
+        disk_write_fault_rate: 0.03,
+        msg_resend_rate: 0.02,
+        slowdown_rate: 0.10,
+        slowdown_factor: 1.5,
+        slowdown_period_ns: 1.0e6,
+        mem_pressure_rate: 0.05,
+        mem_pressure_bytes: SMALL_MEMORY / 4,
+    }
+}
+
+/// `base` with the given fault profile applied; the name gains a
+/// `+flt` suffix so result tables distinguish degraded runs.
+#[must_use]
+pub fn with_faults(mut base: ClusterSpec, faults: FaultSpec) -> ClusterSpec {
+    base.name = format!("{}+flt", base.name);
+    base.faults = faults;
+    base
+}
+
+/// Faulty variants of the four Table 1 configurations, each under the
+/// [`standard_fault_profile`].
+#[must_use]
+pub fn faulty_four() -> Vec<ClusterSpec> {
+    [dc(), io(), hy1(), hy2()]
+        .into_iter()
+        .map(|a| with_faults(a, standard_fault_profile()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -288,6 +325,19 @@ mod tests {
             .map(|a| a.name)
             .collect();
         assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn faulty_presets_validate_and_are_marked() {
+        for a in faulty_four() {
+            a.validate().unwrap_or_else(|e| panic!("{}: {e}", a.name));
+            assert!(a.name.ends_with("+flt"), "name {} not marked", a.name);
+            assert!(a.faults.any_enabled());
+        }
+        // Plain presets stay fault-free.
+        for a in seventeen_architectures() {
+            assert!(!a.faults.any_enabled(), "{} unexpectedly faulty", a.name);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn symbol(kind: &EventKind) -> char {
         EventKind::PrefetchWait { .. } => 'P',
         EventKind::Send { .. } => 's',
         EventKind::Recv { .. } => 'r',
+        EventKind::Fault { .. } => 'F',
     }
 }
 
@@ -50,8 +51,7 @@ pub fn render(traces: &[RankTrace], width: usize) -> String {
     let mut out = String::new();
     for t in traces {
         let mut row = vec![' '; width];
-        let finish_col =
-            (((t.finish.as_nanos() as f64) / bucket).ceil() as usize).min(width);
+        let finish_col = (((t.finish.as_nanos() as f64) / bucket).ceil() as usize).min(width);
         // Idle/blocked baseline up to the finish.
         for cell in row.iter_mut().take(finish_col) {
             *cell = '.';
@@ -78,10 +78,14 @@ pub fn render(traces: &[RankTrace], width: usize) -> String {
                 }
             }
         }
-        out.push_str(&format!("rank {:>2} |{}|\n", t.rank, row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "rank {:>2} |{}|\n",
+            t.rank,
+            row.iter().collect::<String>()
+        ));
     }
     out.push_str(&format!(
-        "legend: C compute, D read, W write, p issue, P wait, s send, r recv, . idle/blocked  (span {:.3}s)\n",
+        "legend: C compute, D read, W write, p issue, P wait, s send, r recv, F fault, . idle/blocked  (span {:.3}s)\n",
         end / 1e9
     ));
     out

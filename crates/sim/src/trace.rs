@@ -6,6 +6,7 @@
 //! belongs to); this trace is the raw operational record used by tests
 //! and debugging output.
 
+use crate::fault::FaultKind;
 use crate::time::SimTime;
 
 /// What a traced interval was spent doing.
@@ -33,6 +34,11 @@ pub enum EventKind {
         bytes: u64,
         blocked_ns: u64,
     },
+    /// An injected fault (see [`crate::fault`]). The interval covers
+    /// any virtual time the fault itself consumed (e.g. the wasted seek
+    /// of a failed disk attempt); instantaneous faults such as window
+    /// entries are recorded as zero-length events.
+    Fault { fault: FaultKind },
 }
 
 /// One traced interval on a rank's virtual timeline.
@@ -65,8 +71,9 @@ impl RankTrace {
         self.events
             .iter()
             .map(|e| match e.kind {
-                EventKind::Recv { blocked_ns, .. }
-                | EventKind::PrefetchWait { blocked_ns, .. } => blocked_ns,
+                EventKind::Recv { blocked_ns, .. } | EventKind::PrefetchWait { blocked_ns, .. } => {
+                    blocked_ns
+                }
                 _ => 0,
             })
             .sum()
@@ -96,6 +103,27 @@ impl RankTrace {
                 _ => 0,
             })
             .sum()
+    }
+
+    /// Number of injected-fault events recorded on this rank.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Fault { .. }))
+            .count()
+    }
+
+    /// The injected faults recorded on this rank, in program order.
+    #[must_use]
+    pub fn faults(&self) -> Vec<FaultKind> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Fault { fault } => Some(fault),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Check the internal consistency of the trace: events must be
@@ -201,5 +229,39 @@ mod tests {
         };
         assert_eq!(t.total_sent_bytes(), 100);
         assert_eq!(t.total_disk_bytes(), 50);
+    }
+
+    #[test]
+    fn fault_events_are_counted_and_listed() {
+        let t = RankTrace {
+            rank: 0,
+            events: vec![
+                ev(0, 5, EventKind::Compute { work_units: 1.0 }),
+                ev(
+                    5,
+                    5,
+                    EventKind::Fault {
+                        fault: FaultKind::Slowdown { factor: 1.5 },
+                    },
+                ),
+                ev(
+                    5,
+                    9,
+                    EventKind::Fault {
+                        fault: FaultKind::ReadFault { var: 2, attempt: 1 },
+                    },
+                ),
+            ],
+            finish: SimTime(9),
+        };
+        assert!(t.is_monotone(), "zero-length fault events stay monotone");
+        assert_eq!(t.fault_count(), 2);
+        assert_eq!(
+            t.faults(),
+            vec![
+                FaultKind::Slowdown { factor: 1.5 },
+                FaultKind::ReadFault { var: 2, attempt: 1 },
+            ]
+        );
     }
 }

@@ -18,7 +18,11 @@ fn main() {
     let bench = Benchmark::Cg(Cg::default());
     let iters = 6;
 
-    println!("searching distributions for {} on {}...", bench.name(), spec.name);
+    println!(
+        "searching distributions for {} on {}...",
+        bench.name(),
+        spec.name
+    );
     let model = build_model(&bench, &spec, false).expect("model assembly");
     let inputs = anchor_inputs(&model);
     let path = SpectrumPath::new(&inputs);
@@ -32,16 +36,28 @@ fn main() {
     println!("baseline Blk actually runs in {baseline:.2}s\n");
 
     let outcomes = [
-        ("GBS (spectrum)", gbs_search(&path, &model, GbsConfig::default())),
+        (
+            "GBS (spectrum)",
+            gbs_search(&path, &model, GbsConfig::default()),
+        ),
         (
             "genetic",
-            genetic_search(total, n, std::slice::from_ref(&blk), &model, GeneticConfig::default()),
+            genetic_search(
+                total,
+                n,
+                std::slice::from_ref(&blk),
+                &model,
+                GeneticConfig::default(),
+            ),
         ),
         (
             "simulated annealing",
             simulated_annealing(&blk, &model, AnnealingConfig::default()),
         ),
-        ("random", random_search(total, n, &model, RandomConfig::default())),
+        (
+            "random",
+            random_search(total, n, &model, RandomConfig::default()),
+        ),
     ];
 
     println!(

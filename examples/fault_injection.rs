@@ -1,0 +1,186 @@
+//! Fault injection end to end: deterministic fault schedules, the
+//! retry/backoff I/O layer, fault visibility in traces and hooks,
+//! degradation of MHETA's accuracy under rising fault rates, and
+//! searches that tolerate failing evaluations.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+
+use std::cell::Cell;
+
+use mheta::dist::{random_search, EvalError, Evaluator, FallibleFn, RandomConfig};
+use mheta::mpi::{
+    run_app, ExecMode, HookEvent, NullRecorder, RetryPolicy, RunOptions, VecRecorder,
+};
+use mheta::prelude::*;
+use mheta::sim::{FaultKind, FaultSpec, SimError};
+
+fn main() {
+    let mut spec = ClusterSpec::homogeneous(4);
+    spec.noise.amplitude = 0.0;
+    spec.seed = 7;
+    let bench = Benchmark::Jacobi(Jacobi::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let iters = 4;
+
+    // ---- 1. Faults cost time but never correctness. -----------------
+    let clean = run_measured(&bench, &spec, &dist, iters, false).expect("clean run");
+    let mut faulty_spec = spec.clone();
+    faulty_spec.faults = presets::standard_fault_profile();
+    let faulty = run_measured(&bench, &faulty_spec, &dist, iters, false).expect("faulty run");
+    println!("Jacobi under the standard fault profile:");
+    println!("  clean : {:>9.6} s  check {:e}", clean.secs, clean.check);
+    println!("  faulty: {:>9.6} s  check {:e}", faulty.secs, faulty.check);
+    assert_eq!(clean.check, faulty.check, "retries must hide every fault");
+    assert!(faulty.secs > clean.secs);
+    println!(
+        "  -> identical numerics, +{:.1}% virtual time\n",
+        100.0 * (faulty.secs - clean.secs) / clean.secs
+    );
+
+    // ---- 2. Every injected fault is visible in traces and hooks. ----
+    let mut io_spec = spec.clone();
+    io_spec.faults = FaultSpec {
+        disk_read_fault_rate: 0.25,
+        disk_write_fault_rate: 0.15,
+        msg_resend_rate: 0.25,
+        slowdown_rate: 0.40,
+        slowdown_factor: 1.5,
+        slowdown_period_ns: 1.0e4,
+        ..FaultSpec::default()
+    };
+    let run = run_app(
+        &io_spec,
+        RunOptions {
+            tracing: true,
+            mode: ExecMode::Normal,
+        },
+        |_| VecRecorder::default(),
+        |comm| {
+            comm.set_retry_policy(RetryPolicy {
+                max_attempts: 16,
+                ..RetryPolicy::default()
+            });
+            let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+            comm.ctx().disk.create(1, data.len());
+            for round in 0..12u32 {
+                comm.file_write(1, 0, &data)?;
+                let mut out = vec![0.0; 256];
+                comm.file_read(1, 0, &mut out)?;
+                comm.compute(2_000.0, u64::MAX);
+                let to = (comm.rank() + 1) % comm.size();
+                let from = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.send_f64s(to, round, &data[..32])?;
+                let _ = comm.recv_f64s(from, round)?;
+            }
+            Ok(())
+        },
+    )
+    .expect("faulty I/O app");
+
+    let faults: Vec<FaultKind> = run.traces.iter().flat_map(|t| t.faults()).collect();
+    let count = |p: fn(&FaultKind) -> bool| faults.iter().filter(|f| p(f)).count();
+    let retries: usize = run
+        .recorders
+        .iter()
+        .map(|r| {
+            r.events
+                .iter()
+                .filter(|e| matches!(e, HookEvent::Retry { .. }))
+                .count()
+        })
+        .sum();
+    println!("fault events recorded in the rank traces:");
+    println!(
+        "  read faults {}, write faults {}, resends {}, slowdowns {}",
+        count(|f| matches!(f, FaultKind::ReadFault { .. })),
+        count(|f| matches!(f, FaultKind::WriteFault { .. })),
+        count(|f| matches!(f, FaultKind::MessageResend { .. })),
+        count(|f| matches!(f, FaultKind::Slowdown { .. })),
+    );
+    println!("  retry hook events observed by the MPI-Jack layer: {retries}\n");
+
+    // ---- 3. Exhausted retries surface a typed error. ----------------
+    let mut hostile = spec.clone();
+    hostile.faults.disk_read_fault_rate = 0.97;
+    let err = run_app(
+        &hostile,
+        RunOptions::default(),
+        |_| NullRecorder,
+        |comm| {
+            comm.set_retry_policy(RetryPolicy::none());
+            comm.ctx().disk.create(5, 8);
+            comm.file_write(5, 0, &[1.0; 8])?;
+            let mut out = [0.0; 8];
+            comm.file_read(5, 0, &mut out)?;
+            Ok(())
+        },
+    )
+    .expect_err("no retries + 97% fault rate must fail");
+    assert!(matches!(err, SimError::TransientIo { .. }));
+    println!("with RetryPolicy::none() the app fails loudly:\n  {err}\n");
+
+    // ---- 4. Model error degrades smoothly with the fault rate. ------
+    let model = build_model(&bench, &spec, false).expect("model");
+    let predicted = model.predict(dist.rows()).expect("predict").app_secs(iters);
+    println!("prediction error vs background slowdown rate:");
+    for rate in [0.0, 0.15, 0.30, 0.45] {
+        let mut s = spec.clone();
+        s.faults.slowdown_rate = rate;
+        s.faults.slowdown_factor = 1.6;
+        s.faults.slowdown_period_ns = 1.0e5;
+        let actual = run_measured(&bench, &s, &dist, iters, false)
+            .expect("run")
+            .secs;
+        println!(
+            "  rate {:>4.2}: actual {:>9.6} s, error {:>5.1}%",
+            rate,
+            actual,
+            percent_difference(predicted, actual)
+        );
+    }
+    println!();
+
+    // ---- 5. Searches tolerate failing evaluations. ------------------
+    let calls = Cell::new(0usize);
+    let flaky = FallibleFn(|rows: &[usize]| {
+        calls.set(calls.get() + 1);
+        if calls.get().is_multiple_of(5) {
+            Err(EvalError("injected model failure".into()))
+        } else {
+            model.try_eval_ns(rows)
+        }
+    });
+    let out = random_search(
+        bench.total_rows(),
+        4,
+        &flaky,
+        RandomConfig {
+            max_evals: 60,
+            ..Default::default()
+        },
+    );
+    println!("random search with a 20% evaluator failure rate:");
+    println!(
+        "  {} evals, {} failed, best {:.3} ms",
+        out.evaluations,
+        out.failed_evals,
+        out.score_ns / 1.0e6
+    );
+    calls.set(0);
+    let out = random_search(
+        bench.total_rows(),
+        4,
+        &flaky,
+        RandomConfig {
+            max_evals: 60,
+            eval_retries: 2,
+            ..Default::default()
+        },
+    );
+    println!(
+        "  with eval_retries = 2: {} failed, {} retried",
+        out.failed_evals, out.retried_evals
+    );
+}

@@ -21,7 +21,10 @@ fn main() {
     let total_iters = 60u32;
     let switch_after = 6u32;
 
-    println!("Jacobi on {}, {} iterations total.\n", spec.name, total_iters);
+    println!(
+        "Jacobi on {}, {} iterations total.\n",
+        spec.name, total_iters
+    );
 
     // -- The runtime's decision procedure ---------------------------------
     let model = build_model(&bench, &spec, false).expect("model");

@@ -22,9 +22,15 @@ fn main() {
     }
     let dist = GenBlock::block(bench.total_rows(), 8);
 
-    println!("grid {}x{} over 8 nodes with shrinking memory, Blk distribution\n", 768, 192);
+    println!(
+        "grid {}x{} over 8 nodes with shrinking memory, Blk distribution\n",
+        768, 192
+    );
 
-    for (label, prefetch) in [("synchronous reads (Eq. 1)", false), ("prefetching (Eq. 2)", true)] {
+    for (label, prefetch) in [
+        ("synchronous reads (Eq. 1)", false),
+        ("prefetching (Eq. 2)", true),
+    ] {
         let model = build_model(&bench, &spec, prefetch).expect("model");
         let predicted = model.predict(dist.rows()).expect("predict");
         let measured = run_measured(&bench, &spec, &dist, iters, prefetch).expect("run");

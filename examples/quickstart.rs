@@ -15,7 +15,11 @@ fn main() {
     let bench = Benchmark::Jacobi(Jacobi::default());
     let iters = 10;
 
-    println!("building the MHETA model for {} on {}...", bench.name(), spec.name);
+    println!(
+        "building the MHETA model for {} on {}...",
+        bench.name(),
+        spec.name
+    );
     println!("  (microbenchmarks + one instrumented iteration under Blk)");
     let model = build_model(&bench, &spec, false).expect("model assembly");
 
@@ -23,9 +27,15 @@ fn main() {
     let inputs = anchor_inputs(&model);
     let path = SpectrumPath::full(&inputs);
 
-    println!("\n{:<10} {:>12} {:>12} {:>8}   distribution", "anchor", "predicted", "actual", "diff");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>8}   distribution",
+        "anchor", "predicted", "actual", "diff"
+    );
     for (label, dist) in path.anchors() {
-        let predicted = model.predict(dist.rows()).expect("valid dist").app_secs(iters);
+        let predicted = model
+            .predict(dist.rows())
+            .expect("valid dist")
+            .app_secs(iters);
         let actual = run_measured(&bench, &spec, dist, iters, false)
             .expect("run")
             .secs;

@@ -55,8 +55,8 @@ pub use mheta_sim as sim;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use mheta_apps::{
-        anchor_inputs, build_model, percent_difference, run_instrumented, run_measured,
-        Benchmark, Cg, Jacobi, Lanczos, Multigrid, Rna,
+        anchor_inputs, build_model, percent_difference, run_instrumented, run_measured, Benchmark,
+        Cg, Jacobi, Lanczos, Multigrid, Rna,
     };
     pub use mheta_core::{Mheta, Prediction, ProgramStructure};
     pub use mheta_dist::{AnchorInputs, GenBlock, SpectrumPath};

@@ -50,12 +50,14 @@ fn jacobi_ooc_issues_exactly_n_io_reads_and_writes_per_iteration() {
     assert!(n_io >= 2, "test premise: node 0 must chunk");
 
     let rec = &run.recorders[0];
-    let reads = count(rec, |e| {
-        matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileRead)
-    });
-    let writes = count(rec, |e| {
-        matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileWrite)
-    });
+    let reads = count(
+        rec,
+        |e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileRead),
+    );
+    let writes = count(
+        rec,
+        |e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileWrite),
+    );
     // Per iteration: N_io chunk reads and N_io writes (final row folded
     // into the last chunk's flush). No compulsory load (OOC).
     assert_eq!(reads, n_io * iters as usize, "reads per iteration");
@@ -79,15 +81,18 @@ fn jacobi_prefetch_issues_cover_all_but_first_chunk() {
     )
     .unwrap();
     let rec = &run.recorders[0];
-    let sync_reads = count(rec, |e| {
-        matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileRead)
-    });
-    let issues = count(rec, |e| {
-        matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::PrefetchIssue)
-    });
-    let waits = count(rec, |e| {
-        matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::PrefetchWait)
-    });
+    let sync_reads = count(
+        rec,
+        |e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileRead),
+    );
+    let issues = count(
+        rec,
+        |e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::PrefetchIssue),
+    );
+    let waits = count(
+        rec,
+        |e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::PrefetchWait),
+    );
     // Figure 6: the first chunk is a synchronous read, every subsequent
     // chunk a prefetch with a matching wait.
     assert_eq!(sync_reads, 2, "one sync read per iteration");
@@ -117,9 +122,7 @@ fn rna_receives_before_stages_and_sends_after() {
     let mut pipeline_recvs = 0;
     for (i, ev) in rec.events.iter().enumerate() {
         match ev {
-            HookEvent::Op { info, .. }
-                if info.kind == OpKind::Recv && info.peer == Some(0) =>
-            {
+            HookEvent::Op { info, .. } if info.kind == OpKind::Recv && info.peer == Some(0) => {
                 last_recv_idx = Some(i);
                 pipeline_recvs += 1;
             }

@@ -2,8 +2,8 @@
 //! invariants that must hold for *any* weights, capacities, and
 //! distributions, not just the ones the experiments happen to visit.
 
-use mheta::dist::{AnchorInputs, GenBlock, SpectrumPath};
 use mheta::dist::{bal, blk, ic, ic_bal};
+use mheta::dist::{AnchorInputs, GenBlock, SpectrumPath};
 use proptest::prelude::*;
 
 fn arb_weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -115,7 +115,11 @@ proptest! {
                 .map(|(&a, &b)| (a as f64 - b as f64).powi(2))
                 .sum()
         };
-        let r = random_search(total, n, &fitness, RandomConfig { max_evals: 40, seed });
+        let r = random_search(total, n, &fitness, RandomConfig {
+            max_evals: 40,
+            seed,
+            ..RandomConfig::default()
+        });
         prop_assert!(r.evaluations <= 40);
         prop_assert_eq!(r.best.total(), total);
         let a = simulated_annealing(

@@ -11,10 +11,16 @@ use mheta::sim::NodeSpec;
 fn small_hybrid() -> ClusterSpec {
     let mut spec = ClusterSpec::homogeneous(4);
     spec.name = "TEST-HY".into();
-    spec.nodes[0] = NodeSpec::default().with_cpu_power(0.5).with_memory(64 * 1024);
+    spec.nodes[0] = NodeSpec::default()
+        .with_cpu_power(0.5)
+        .with_memory(64 * 1024);
     spec.nodes[1] = NodeSpec::default().with_memory(4 * 1024); // OOC
-    spec.nodes[2] = NodeSpec::default().with_io_factor(2.0).with_memory(64 * 1024);
-    spec.nodes[3] = NodeSpec::default().with_cpu_power(2.0).with_memory(64 * 1024);
+    spec.nodes[2] = NodeSpec::default()
+        .with_io_factor(2.0)
+        .with_memory(64 * 1024);
+    spec.nodes[3] = NodeSpec::default()
+        .with_cpu_power(2.0)
+        .with_memory(64 * 1024);
     spec
 }
 
@@ -22,8 +28,8 @@ fn small_hybrid() -> ClusterSpec {
 fn model_tracks_actual_across_spectrum_for_all_apps() {
     let spec = small_hybrid();
     for bench in Benchmark::small_four() {
-        let model = build_model(&bench, &spec, false)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let model =
+            build_model(&bench, &spec, false).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
         let inputs = anchor_inputs(&model);
         let path = SpectrumPath::full(&inputs);
         let iters = 3;
@@ -51,12 +57,19 @@ fn prefetch_pipeline_works_end_to_end() {
     let dist = GenBlock::block(bench.total_rows(), 4);
     let iters = 4;
     let predicted = model.predict(dist.rows()).unwrap().app_secs(iters);
-    let actual = run_measured(&bench, &spec, &dist, iters, true).unwrap().secs;
+    let actual = run_measured(&bench, &spec, &dist, iters, true)
+        .unwrap()
+        .secs;
     let diff = percent_difference(predicted, actual);
-    assert!(diff < 15.0, "prefetch: {predicted:.4}s vs {actual:.4}s ({diff:.1}%)");
+    assert!(
+        diff < 15.0,
+        "prefetch: {predicted:.4}s vs {actual:.4}s ({diff:.1}%)"
+    );
 
     // Prefetching must not be slower than synchronous streaming.
-    let sync = run_measured(&bench, &spec, &dist, iters, false).unwrap().secs;
+    let sync = run_measured(&bench, &spec, &dist, iters, false)
+        .unwrap()
+        .secs;
     assert!(actual <= sync * 1.02, "prefetch {actual} vs sync {sync}");
 }
 
@@ -109,8 +122,12 @@ fn instrumented_iteration_records_structure() {
                 ..
             }
         )));
-        assert!(has(&|e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileRead)));
-        assert!(has(&|e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::Send)));
+        assert!(has(
+            &|e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::FileRead)
+        ));
+        assert!(has(
+            &|e| matches!(e, HookEvent::Op { info, .. } if info.kind == OpKind::Send)
+        ));
     }
 }
 
@@ -146,15 +163,21 @@ fn saved_model_predicts_identically_after_reload() {
     let b = reloaded.predict(dist.rows()).unwrap();
     assert_eq!(a.per_node_ns, b.per_node_ns, "bit-exact after reload");
     // And the file is human-readable text with the expected sections.
-    for marker in ["[structure]", "[arch]", "[profile]", "section =", "compute ="] {
+    for marker in [
+        "[structure]",
+        "[arch]",
+        "[profile]",
+        "section =",
+        "compute =",
+    ] {
         assert!(text.contains(marker), "missing {marker}");
     }
 }
 
 #[test]
 fn redistribution_cost_model_tracks_execution() {
-    use mheta::apps::redistribute_var;
     use mheta::apps::jacobi::VAR_U;
+    use mheta::apps::redistribute_var;
     use mheta::dist::predict_cost_ns;
     use mheta::mpi::{run_app, ExecMode, NullRecorder, RunOptions};
 

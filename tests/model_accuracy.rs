@@ -65,7 +65,10 @@ fn average_accuracy_is_paper_grade() {
     let avg = all.iter().sum::<f64>() / all.len() as f64;
     let max = all.iter().copied().fold(0.0f64, f64::max);
     // Paper: ~2% average error, up to ~17% worst points.
-    assert!(avg < 6.0, "average error {avg:.2}% exceeds paper-grade bound");
+    assert!(
+        avg < 6.0,
+        "average error {avg:.2}% exceeds paper-grade bound"
+    );
     assert!(max < 25.0, "worst-case error {max:.2}% is out of family");
 }
 

@@ -22,7 +22,12 @@ fn measured_runs_are_bit_identical_across_repeats() {
         let a = run_measured(&bench, &spec, &dist, 3, false).unwrap();
         let b = run_measured(&bench, &spec, &dist, 3, false).unwrap();
         assert_eq!(a.secs, b.secs, "{} timing not deterministic", bench.name());
-        assert_eq!(a.check, b.check, "{} result not deterministic", bench.name());
+        assert_eq!(
+            a.check,
+            b.check,
+            "{} result not deterministic",
+            bench.name()
+        );
         assert_eq!(a.per_rank_secs, b.per_rank_secs);
     }
 }
@@ -64,10 +69,7 @@ fn noise_amplitude_bounds_run_to_run_spread() {
         .collect();
     let min = times.iter().copied().fold(f64::MAX, f64::min);
     let max = times.iter().copied().fold(0.0f64, f64::max);
-    assert!(
-        max / min < 1.10,
-        "5 seeds spread more than 10%: {times:?}"
-    );
+    assert!(max / min < 1.10, "5 seeds spread more than 10%: {times:?}");
 }
 
 #[test]

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to a package registry, so the
+//! workspace vendors the subset it uses for message payload framing:
+//! [`BytesMut`] as a growable write buffer, [`BufMut`] little-endian
+//! put methods, and [`Buf`] little-endian get methods implemented for
+//! `&[u8]` cursors.
+
+#![allow(clippy::all)]
+
+use std::ops::Deref;
+
+/// Growable byte buffer (facade over `Vec<u8>`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+/// Write-side buffer operations (little-endian numeric puts).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-side cursor operations (little-endian numeric gets).
+///
+/// Getters panic if fewer bytes remain than the value needs, matching
+/// the upstream crate's contract.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy exactly `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut b = BytesMut::with_capacity(24);
+        for x in [0.0, -1.5, std::f64::consts::PI] {
+            b.put_f64_le(x);
+        }
+        let v = b.to_vec();
+        let mut cur: &[u8] = &v;
+        let mut out = Vec::new();
+        while cur.has_remaining() {
+            out.push(cur.get_f64_le());
+        }
+        assert_eq!(out, vec![0.0, -1.5, std::f64::consts::PI]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn short_read_panics() {
+        let mut cur: &[u8] = &[1, 2, 3];
+        let _ = cur.get_f64_le();
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `parking_lot` crate, backed by `std::sync`.
+//!
+//! The build environment has no access to a package registry, so the
+//! workspace vendors the small API subset it uses: non-poisoning
+//! [`Mutex`] / [`Condvar`] with `parking_lot`-style signatures
+//! (`lock()` returns a guard directly, `wait_for` takes `&mut` guard).
+//! Poisoned std locks are transparently recovered — a panicking rank
+//! thread must not cascade lock poisoning into the simulation kernel,
+//! which reports the panic through its own channel.
+
+#![allow(clippy::all)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+/// Mutual exclusion primitive (non-poisoning facade over `std::sync::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T>(sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<'a, T> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Result of a timed wait; see [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable with `parking_lot`-style `&mut` guard signatures.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.replace_guard(guard, |inner| {
+            (
+                self.0.wait(inner).unwrap_or_else(PoisonError::into_inner),
+                (),
+            )
+        });
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        self.replace_guard(guard, |inner| {
+            let (inner, res) = self
+                .0
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            (inner, WaitTimeoutResult(res.timed_out()))
+        })
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Run `f` on the guard's inner `std` guard by value, restoring the
+    /// (possibly re-acquired) guard afterwards. `f` must not panic
+    /// between taking and returning the guard; the closures above only
+    /// call `std` wait functions and recover poisoned results, so every
+    /// path hands a guard back.
+    fn replace_guard<'a, T, R>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(sync::MutexGuard<'a, T>) -> (sync::MutexGuard<'a, T>, R),
+    ) -> R {
+        // SAFETY: `inner` is moved out of `*guard` and a replacement is
+        // unconditionally written back before returning, so the guard
+        // is never observed in a moved-from state. The closure cannot
+        // panic in between (it recovers PoisonError instead).
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let (inner, out) = f(inner);
+            std::ptr::write(&mut guard.0, inner);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let t0 = Instant::now();
+        let res = c.wait_for(&mut g, Duration::from_millis(20));
+        assert!(res.timed_out());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*pair2;
+            *m.lock() = true;
+            c.notify_all();
+        });
+        let (m, c) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            let res = c.wait_for(&mut g, Duration::from_secs(5));
+            assert!(!res.timed_out(), "waiter should be woken, not time out");
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on configuration
+//! structs so they remain serde-compatible for downstream users, but
+//! nothing in-tree actually serializes. This stand-in provides marker
+//! traits and re-exports no-op derive macros from the vendored
+//! `serde_derive`, which is all dependency resolution and compilation
+//! need without registry access.
+
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

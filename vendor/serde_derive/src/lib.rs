@@ -1,0 +1,48 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config structs
+//! for API compatibility but never actually serializes anything, so
+//! these derives only need to (a) register the inert `#[serde(...)]`
+//! helper attribute and (b) emit a trait impl. No registry access is
+//! required: the macros are written against the plain `proc_macro`
+//! API, without syn/quote.
+
+#![allow(clippy::all)]
+
+use proc_macro::TokenStream;
+
+/// Extract the identifier that follows the struct/enum keyword, plus a
+/// conservative `impl` generics clause for simple `<T, U>` parameter
+/// lists (sufficient for this workspace, which derives only on
+/// non-generic types).
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tok) = tokens.next() {
+        let s = tok.to_string();
+        if s == "struct" || s == "enum" {
+            return tokens.next().map(|t| t.to_string());
+        }
+    }
+    None
+}
+
+fn impl_marker(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker("::serde::Serialize", input)
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker("::serde::Deserialize", input)
+}
