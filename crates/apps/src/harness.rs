@@ -14,8 +14,8 @@
 
 use mheta_core::{build_profile, measure_arch, Mheta, ProgramStructure};
 use mheta_dist::{AnchorInputs, GenBlock};
-use mheta_mpi::{run_app, ExecMode, NullRecorder, RunOptions, Scope, VecRecorder};
-use mheta_sim::{ClusterSpec, SimResult};
+use mheta_mpi::{run_app, ExecMode, HookEvent, NullRecorder, RunOptions, Scope, VecRecorder};
+use mheta_sim::{ClusterSpec, RankTrace, SimResult};
 
 use crate::app::RankResult;
 use crate::cg::Cg;
@@ -141,6 +141,24 @@ pub struct Measured {
     pub check: f64,
 }
 
+fn measured_from(results: &[RankResult]) -> Measured {
+    let t0 = results
+        .iter()
+        .map(|r| r.t0_ns)
+        .max()
+        .expect("nonempty cluster");
+    let t1 = results
+        .iter()
+        .map(|r| r.t1_ns)
+        .max()
+        .expect("nonempty cluster");
+    Measured {
+        secs: (t1 - t0) as f64 / 1e9,
+        per_rank_secs: results.iter().map(RankResult::secs).collect(),
+        check: results[0].check,
+    }
+}
+
 /// Run a benchmark for real and time its iteration loop.
 pub fn run_measured(
     bench: &Benchmark,
@@ -158,22 +176,47 @@ pub fn run_measured(
         |_| NullRecorder,
         |comm| bench.dispatch(comm, dist, iters, prefetch),
     )?;
-    let t0 = run
-        .results
-        .iter()
-        .map(|r| r.t0_ns)
-        .max()
-        .expect("nonempty cluster");
-    let t1 = run
-        .results
-        .iter()
-        .map(|r| r.t1_ns)
-        .max()
-        .expect("nonempty cluster");
-    Ok(Measured {
-        secs: (t1 - t0) as f64 / 1e9,
-        per_rank_secs: run.results.iter().map(RankResult::secs).collect(),
-        check: run.results[0].check,
+    Ok(measured_from(&run.results))
+}
+
+/// Result of an observed run: the timing plus the raw artifacts the
+/// observability layer (`mheta-obs`) consumes — per-rank operational
+/// traces and MPI-Jack hook-event streams.
+#[derive(Debug)]
+pub struct Observed {
+    /// The run's timing and check value, as [`run_measured`] reports.
+    pub measured: Measured,
+    /// Per-rank operational traces (tracing enabled).
+    pub traces: Vec<RankTrace>,
+    /// Per-rank hook-event streams (scopes, operations, retries).
+    pub hooks: Vec<Vec<HookEvent>>,
+}
+
+/// Run a benchmark for real with full observability: operational
+/// tracing *and* MPI-Jack hooks enabled, execution otherwise identical
+/// to [`run_measured`] (normal mode — no forced I/O, prefetches stay
+/// asynchronous). Costs the recording overhead, so use [`run_measured`]
+/// when only the timing matters.
+pub fn run_observed(
+    bench: &Benchmark,
+    spec: &ClusterSpec,
+    dist: &GenBlock,
+    iters: u32,
+    prefetch: bool,
+) -> SimResult<Observed> {
+    let run = run_app(
+        spec,
+        RunOptions {
+            tracing: true,
+            mode: ExecMode::Normal,
+        },
+        |_| VecRecorder::default(),
+        |comm| bench.dispatch(comm, dist, iters, prefetch),
+    )?;
+    Ok(Observed {
+        measured: measured_from(&run.results),
+        traces: run.traces,
+        hooks: run.recorders.into_iter().map(|r| r.events).collect(),
     })
 }
 

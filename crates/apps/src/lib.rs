@@ -33,8 +33,8 @@ pub mod rna;
 pub use app::RankResult;
 pub use cg::Cg;
 pub use harness::{
-    anchor_inputs, build_model, percent_difference, run_instrumented, run_measured, Benchmark,
-    Measured,
+    anchor_inputs, build_model, percent_difference, run_instrumented, run_measured, run_observed,
+    Benchmark, Measured, Observed,
 };
 pub use jacobi::Jacobi;
 pub use lanczos::Lanczos;

@@ -10,6 +10,10 @@
 //! ```text
 //! cargo run --release -p mheta-bench --bin search_compare
 //! ```
+//!
+//! Pass `--telemetry <dir>` to also write each (configuration,
+//! application) pair's convergence curves as JSON and CSV (see
+//! `mheta_obs::telemetry`).
 
 use mheta_apps::{anchor_inputs, build_model, run_measured};
 use mheta_bench::{experiment_iters, select_apps, Flags};
@@ -17,12 +21,17 @@ use mheta_dist::{
     gbs_search, genetic_search, random_search, simulated_annealing, AnnealingConfig, GbsConfig,
     GenBlock, GeneticConfig, RandomConfig, SearchOutcome, SpectrumPath,
 };
+use mheta_obs::telemetry;
 use mheta_sim::presets;
 
 fn main() {
     let flags = Flags::from_env();
     let budget = flags.usize_or("--budget", 64);
     let paper_iters = flags.has("--paper-iters");
+    let telemetry_dir = flags.value("--telemetry").map(str::to_string);
+    if let Some(dir) = &telemetry_dir {
+        std::fs::create_dir_all(dir).expect("create telemetry dir");
+    }
 
     println!("Distribution search comparison (budget {budget} MHETA evaluations)");
     println!(
@@ -93,6 +102,22 @@ fn main() {
                     ),
                 ),
             ];
+
+            if let Some(dir) = &telemetry_dir {
+                let runs: Vec<(&str, &SearchOutcome)> =
+                    searches.iter().map(|(n, o)| (*n, o)).collect();
+                let stem = format!("{}_{}", spec.name, bench.name().to_lowercase());
+                std::fs::write(
+                    format!("{dir}/search_{stem}.json"),
+                    telemetry::searches_json(&runs),
+                )
+                .expect("write telemetry json");
+                std::fs::write(
+                    format!("{dir}/convergence_{stem}.csv"),
+                    telemetry::convergence_csv(&runs),
+                )
+                .expect("write convergence csv");
+            }
 
             for (name, outcome) in searches {
                 let act = run_measured(&bench, &spec, &outcome.best, iters, false)

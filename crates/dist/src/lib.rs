@@ -24,6 +24,6 @@ pub use genblock::{GenBlock, GenBlockError};
 pub use redistribution::{predict_cost_ns, rows_moved, switch_benefit_ns, transfer_plan, Transfer};
 pub use search::{
     gbs_search, genetic_search, random_search, simulated_annealing, AnnealingConfig, GbsConfig,
-    GeneticConfig, RandomConfig, SearchOutcome,
+    GeneticConfig, IterPoint, RandomConfig, SearchOutcome,
 };
 pub use spectrum::{SpectrumPath, SpectrumPoint};

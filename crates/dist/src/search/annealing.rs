@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fitness::{CountingEvaluator, Evaluator};
 use crate::genblock::GenBlock;
-use crate::search::{move_rows, outcome, SearchOutcome};
+use crate::search::{move_rows, outcome, History, SearchOutcome};
 
 /// Tuning for [`simulated_annealing`].
 #[derive(Debug, Clone, Copy)]
@@ -42,12 +42,14 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
     cfg: AnnealingConfig,
 ) -> SearchOutcome {
     let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = start.len();
     let total = start.total();
 
     let mut current = start.rows().to_vec();
     let mut current_score = counter.eval_ns(&current);
+    history.observe(&counter, current_score);
     let mut best = current.clone();
     let mut best_score = current_score;
     let mut temp = (current_score * cfg.initial_temp_frac).max(1.0);
@@ -61,6 +63,7 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
             continue;
         }
         let score = counter.eval_ns(&cand);
+        history.observe(&counter, score);
         let accept = score <= current_score || {
             let p = (-(score - current_score) / temp).exp();
             rng.gen::<f64>() < p
@@ -84,6 +87,7 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
 
     outcome(
         &counter,
+        history,
         GenBlock::new(best).expect("moves preserve the invariant"),
         best_score,
     )

@@ -9,7 +9,7 @@
 //! anchor.
 
 use crate::fitness::{CountingEvaluator, Evaluator};
-use crate::search::{outcome, SearchOutcome};
+use crate::search::{outcome, History, SearchOutcome};
 use crate::spectrum::SpectrumPath;
 
 /// Tuning for [`gbs_search`].
@@ -41,6 +41,7 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
     cfg: GbsConfig,
 ) -> SearchOutcome {
     let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let mut history = History::new();
     let legs = path.legs().max(1) as f64;
 
     struct Best {
@@ -54,11 +55,13 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
     fn consider<E: Evaluator + ?Sized>(
         path: &SpectrumPath,
         counter: &CountingEvaluator<'_, E>,
+        history: &mut History,
         best: &mut Best,
         t: f64,
     ) -> f64 {
         let g = path.at(t);
         let s = counter.eval_ns(g.rows());
+        history.observe(counter, s);
         if s < best.score {
             best.score = s;
             best.t = t;
@@ -71,7 +74,7 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
         if counter.count() >= cfg.max_evals {
             break;
         }
-        consider(path, &counter, &mut best, i as f64 / legs);
+        consider(path, &counter, &mut history, &mut best, i as f64 / legs);
     }
 
     // Refine around the best anchor with golden-section search on the
@@ -82,25 +85,25 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
     let (mut a, mut b) = (lo, hi);
     let mut c = b - phi * (b - a);
     let mut d = a + phi * (b - a);
-    let mut fc = consider(path, &counter, &mut best, c);
-    let mut fd = consider(path, &counter, &mut best, d);
+    let mut fc = consider(path, &counter, &mut history, &mut best, c);
+    let mut fd = consider(path, &counter, &mut history, &mut best, d);
     while (b - a) > cfg.tolerance / legs && counter.count() < cfg.max_evals {
         if fc <= fd {
             b = d;
             d = c;
             fd = fc;
             c = b - phi * (b - a);
-            fc = consider(path, &counter, &mut best, c);
+            fc = consider(path, &counter, &mut history, &mut best, c);
         } else {
             a = c;
             c = d;
             fc = fd;
             d = a + phi * (b - a);
-            fd = consider(path, &counter, &mut best, d);
+            fd = consider(path, &counter, &mut history, &mut best, d);
         }
     }
 
-    outcome(&counter, path.at(best.t), best.score)
+    outcome(&counter, history, path.at(best.t), best.score)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fitness::{CountingEvaluator, Evaluator};
 use crate::genblock::GenBlock;
-use crate::search::{move_rows, outcome, SearchOutcome};
+use crate::search::{move_rows, outcome, History, SearchOutcome};
 
 /// Tuning for [`genetic_search`].
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +50,7 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
 ) -> SearchOutcome {
     assert!(total >= n, "need at least one row per node");
     let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     let random_individual = |rng: &mut SmallRng| {
@@ -61,11 +62,13 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
     for s in seeds.iter().take(cfg.population) {
         let rows = s.rows().to_vec();
         let score = counter.eval_ns(&rows);
+        history.observe(&counter, score);
         pop.push((rows, score));
     }
     while pop.len() < cfg.population {
         let g = random_individual(&mut rng);
         let score = counter.eval_ns(g.rows());
+        history.observe(&counter, score);
         pop.push((g.rows().to_vec(), score));
     }
 
@@ -107,6 +110,7 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
         }
 
         let score = counter.eval_ns(&child);
+        history.observe(&counter, score);
         if score < best.1 {
             best = (child.clone(), score);
         }
@@ -124,6 +128,7 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
 
     outcome(
         &counter,
+        history,
         GenBlock::new(best.0).expect("apportion/moves preserve invariant"),
         best.1,
     )

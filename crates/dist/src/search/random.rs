@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fitness::{CountingEvaluator, Evaluator};
 use crate::genblock::GenBlock;
-use crate::search::{outcome, SearchOutcome};
+use crate::search::{outcome, History, SearchOutcome};
 
 /// Tuning for [`random_search`].
 #[derive(Debug, Clone, Copy)]
@@ -39,23 +39,26 @@ pub fn random_search<E: Evaluator + ?Sized>(
 ) -> SearchOutcome {
     assert!(total >= n, "need at least one row per node");
     let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Always include Blk as the first sample: it is the obvious default.
     let mut best = GenBlock::block(total, n);
     let mut best_score = counter.eval_ns(best.rows());
+    history.observe(&counter, best_score);
 
     while counter.count() < cfg.max_evals {
         let weights: Vec<f64> = (0..n).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
         let g = GenBlock::apportion(total, &weights);
         let score = counter.eval_ns(g.rows());
+        history.observe(&counter, score);
         if score < best_score {
             best_score = score;
             best = g;
         }
     }
 
-    outcome(&counter, best, best_score)
+    outcome(&counter, history, best, best_score)
 }
 
 #[cfg(test)]

@@ -17,11 +17,16 @@
 //! it as stage duration minus the I/O time inside the stage (§4.1.1),
 //! and the profile builder in `mheta-core` does the same.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
 use mheta_sim::{SimDur, SimTime, VarId};
 
 /// Position in the program's static structure: which parallel section,
 /// tile, and stage an operation occurred in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Scope {
     /// Parallel-section index (PID in the paper's Figure 3).
     pub section: u32,
@@ -34,6 +39,7 @@ pub struct Scope {
 
 /// Which structural bracket a scope event marks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum ScopeKind {
     /// One outer iteration of the application's convergence loop.
     Iteration,
@@ -47,6 +53,7 @@ pub enum ScopeKind {
 
 /// The kind of intercepted operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum OpKind {
     /// Message send (`MPI_Send`).
     Send,
@@ -64,6 +71,7 @@ pub enum OpKind {
 
 /// Everything the pre/post hook pair learns about one operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct OpInfo {
     /// Operation kind.
     pub kind: OpKind,
@@ -83,6 +91,7 @@ pub struct OpInfo {
 
 /// One event delivered to a recorder.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum HookEvent {
     /// A structural bracket opened.
     ScopeEnter {
@@ -146,6 +155,12 @@ impl Recorder for NullRecorder {
 }
 
 /// Retains every event verbatim; useful for tests and debugging.
+///
+/// A `VecRecorder` belongs to exactly one rank thread (`record` takes
+/// `&mut self`, so the borrow checker enforces this): the runner builds
+/// one per rank and hands the filled recorders back after the run. To
+/// share a single sink across every rank thread instead, use
+/// [`SharedEventLog`].
 #[derive(Debug, Default)]
 pub struct VecRecorder {
     /// All events in program order.
@@ -155,6 +170,83 @@ pub struct VecRecorder {
 impl Recorder for VecRecorder {
     fn record(&mut self, ev: &HookEvent) {
         self.events.push(ev.clone());
+    }
+}
+
+/// A thread-safe hook-event sink shared by every rank of a run —
+/// the lock-guarded alternative to collecting one [`VecRecorder`] per
+/// rank and merging afterwards.
+///
+/// Clone the log, then hand each rank a [`SharedEventLog::recorder`];
+/// all of them append into the same rank-tagged vector. The *global*
+/// interleaving across ranks depends on host thread scheduling and is
+/// therefore **not** deterministic, but each rank's subsequence is —
+/// consumers that need determinism should use [`SharedEventLog::per_rank`],
+/// which restores the per-rank program order.
+#[derive(Debug, Default, Clone)]
+pub struct SharedEventLog {
+    inner: Arc<Mutex<Vec<(usize, HookEvent)>>>,
+}
+
+impl SharedEventLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder that appends rank-tagged events to this log.
+    #[must_use]
+    pub fn recorder(&self, rank: usize) -> SharedVecRecorder {
+        SharedVecRecorder {
+            rank,
+            log: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drain the log in arrival order (nondeterministic across ranks).
+    #[must_use]
+    pub fn take(&self) -> Vec<(usize, HookEvent)> {
+        std::mem::take(&mut *self.inner.lock())
+    }
+
+    /// Drain the log into deterministic per-rank event sequences.
+    /// `ranks` is the communicator size; events from ranks at or beyond
+    /// it are discarded.
+    #[must_use]
+    pub fn per_rank(&self, ranks: usize) -> Vec<Vec<HookEvent>> {
+        let mut out = vec![Vec::new(); ranks];
+        for (rank, ev) in self.take() {
+            if let Some(slot) = out.get_mut(rank) {
+                slot.push(ev);
+            }
+        }
+        out
+    }
+}
+
+/// One rank's handle onto a [`SharedEventLog`].
+#[derive(Debug, Clone)]
+pub struct SharedVecRecorder {
+    rank: usize,
+    log: Arc<Mutex<Vec<(usize, HookEvent)>>>,
+}
+
+impl Recorder for SharedVecRecorder {
+    fn record(&mut self, ev: &HookEvent) {
+        self.log.lock().push((self.rank, ev.clone()));
     }
 }
 
@@ -183,6 +275,33 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn shared_log_collects_across_handles_and_splits_per_rank() {
+        let log = SharedEventLog::new();
+        let mut r0 = log.recorder(0);
+        let mut r1 = log.recorder(1);
+        r0.record(&HookEvent::ScopeEnter {
+            kind: ScopeKind::Iteration,
+            id: 0,
+            at: SimTime(0),
+        });
+        r1.record(&HookEvent::ScopeEnter {
+            kind: ScopeKind::Iteration,
+            id: 0,
+            at: SimTime(3),
+        });
+        r0.record(&HookEvent::ScopeExit {
+            kind: ScopeKind::Iteration,
+            id: 0,
+            at: SimTime(7),
+        });
+        assert_eq!(log.len(), 3);
+        let per_rank = log.per_rank(2);
+        assert_eq!(per_rank[0].len(), 2);
+        assert_eq!(per_rank[1].len(), 1);
+        assert!(log.is_empty(), "per_rank drains the log");
     }
 
     #[test]

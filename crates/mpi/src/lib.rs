@@ -27,5 +27,8 @@ pub use collectives::{
     ReduceOp, TAG_BCAST, TAG_REDUCE,
 };
 pub use comm::{Comm, ExecMode, PrefetchToken, RetryPolicy};
-pub use hooks::{HookEvent, NullRecorder, OpInfo, OpKind, Recorder, Scope, ScopeKind, VecRecorder};
+pub use hooks::{
+    HookEvent, NullRecorder, OpInfo, OpKind, Recorder, Scope, ScopeKind, SharedEventLog,
+    SharedVecRecorder, VecRecorder,
+};
 pub use runner::{run_app, AppRun, RunOptions};

@@ -1,0 +1,593 @@
+//! Cross-rank critical-path analysis.
+//!
+//! The makespan of a run is decided by one *chain* of operations: the
+//! slowest rank's finish depends on its last compute/disk interval,
+//! which may depend on a message whose sender was itself stalled on a
+//! prefetch, and so on back to t = 0. This module reconstructs that
+//! chain from the per-rank [`RankTrace`]s by walking the happens-before
+//! edges the simulator's rendezvous semantics imply:
+//!
+//! * a receive that *blocked* was waiting for the matching send — the
+//!   path jumps to the sender rank at the moment the send completed
+//!   (FIFO channels make the match the k-th send for the k-th receive
+//!   per `(src, dst, tag)`);
+//! * a prefetch wait that *blocked* was waiting for the disk — the path
+//!   follows the transfer back to the issue that started it (FIFO per
+//!   `(rank, var)`);
+//! * everything else (compute, synchronous I/O, overheads, faults,
+//!   idle gaps) simply extends the chain backward on the same rank.
+//!
+//! The resulting segments form a contiguous partition of
+//! `[0, makespan]` in virtual time, so their durations sum to the
+//! makespan *exactly* — an invariant the integration tests assert to
+//! the nanosecond. Attribution by [`SegmentKind`] then says what the
+//! run's end-to-end time was actually spent on, which is the question
+//! the paper's heterogeneous-redistribution argument (§5) turns on:
+//! moving rows helps only if the critical path is compute- or
+//! disk-dominated on the loaded node.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use mheta_sim::{EventKind, RankTrace, SimDur, SimTime};
+use serde::Serialize;
+
+/// What a span of the critical path was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum SegmentKind {
+    /// Local computation.
+    Compute,
+    /// Synchronous disk I/O (reads, writes, prefetch issue overhead).
+    Disk,
+    /// An in-progress asynchronous disk transfer the path waited on.
+    DiskTransfer,
+    /// Communication overhead (send/receive processing on the CPU).
+    Comm,
+    /// A message in flight between ranks.
+    InFlight,
+    /// Blocked with no reconstructable cause (unmatched wait).
+    Blocked,
+    /// An injected fault's direct cost.
+    Fault,
+    /// The rank on the path was idle (clock advanced without a traced
+    /// event — e.g. retry backoff).
+    Idle,
+}
+
+impl SegmentKind {
+    /// Stable lowercase label for reports and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SegmentKind::Compute => "compute",
+            SegmentKind::Disk => "disk",
+            SegmentKind::DiskTransfer => "disk_transfer",
+            SegmentKind::Comm => "comm",
+            SegmentKind::InFlight => "in_flight",
+            SegmentKind::Blocked => "blocked",
+            SegmentKind::Fault => "fault",
+            SegmentKind::Idle => "idle",
+        }
+    }
+}
+
+/// One span of the critical path: `[start, end]` on `rank`'s virtual
+/// clock, spent on `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PathSegment {
+    /// Rank the span is attributed to.
+    pub rank: usize,
+    /// Span start (virtual time).
+    pub start: SimTime,
+    /// Span end (virtual time).
+    pub end: SimTime,
+    /// Attribution.
+    pub kind: SegmentKind,
+}
+
+impl PathSegment {
+    /// Span length.
+    #[must_use]
+    pub fn dur(&self) -> SimDur {
+        self.end - self.start
+    }
+}
+
+/// The reconstructed critical path of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct CriticalPath {
+    /// Path segments in forward virtual-time order; contiguous from
+    /// `SimTime::ZERO` to the makespan.
+    pub segments: Vec<PathSegment>,
+    /// The run's makespan (max rank finish time).
+    pub makespan: SimDur,
+    /// The rank whose finish time set the makespan (the walk's origin).
+    pub slowest_rank: usize,
+}
+
+/// Per-send bookkeeping: completion time of the k-th send on a
+/// `(src, dst, tag)` channel, in program order.
+type SendLog = HashMap<(usize, usize, u32), Vec<SimTime>>;
+/// Completion time of the k-th prefetch issue per `(rank, var)`.
+type IssueLog = HashMap<(usize, u32), Vec<SimTime>>;
+
+impl CriticalPath {
+    /// Reconstruct the critical path from a run's per-rank traces
+    /// (tracing must have been enabled on the run).
+    ///
+    /// Returns an empty path for an empty trace set.
+    #[must_use]
+    pub fn compute(traces: &[RankTrace]) -> CriticalPath {
+        let Some(slowest) = traces.iter().max_by_key(|t| (t.finish, t.rank)) else {
+            return CriticalPath {
+                segments: Vec::new(),
+                makespan: SimDur::ZERO,
+                slowest_rank: 0,
+            };
+        };
+        let makespan = slowest.finish - SimTime::ZERO;
+
+        let by_rank: BTreeMap<usize, &RankTrace> = traces.iter().map(|t| (t.rank, t)).collect();
+
+        // FIFO match tables, built forward so the backward walk can
+        // resolve ordinal k in O(1).
+        let mut sends: SendLog = HashMap::new();
+        let mut issues: IssueLog = HashMap::new();
+        // events[i]'s FIFO ordinal on its channel (receives and waits).
+        let mut ordinals: HashMap<usize, Vec<usize>> = HashMap::new();
+        for t in traces {
+            let mut recv_seen: HashMap<(usize, u32), usize> = HashMap::new();
+            let mut wait_seen: HashMap<u32, usize> = HashMap::new();
+            let ords = ordinals
+                .entry(t.rank)
+                .or_insert_with(|| vec![0; t.events.len()]);
+            for (i, ev) in t.events.iter().enumerate() {
+                match ev.kind {
+                    EventKind::Send { to, tag, .. } => {
+                        sends.entry((t.rank, to, tag)).or_default().push(ev.end);
+                    }
+                    EventKind::PrefetchIssue {
+                        var, latency_ns, ..
+                    } => {
+                        issues
+                            .entry((t.rank, var))
+                            .or_default()
+                            .push(ev.end + SimDur::from_nanos(latency_ns));
+                    }
+                    EventKind::Recv { from, tag, .. } => {
+                        let k = recv_seen.entry((from, tag)).or_insert(0);
+                        ords[i] = *k;
+                        *k += 1;
+                    }
+                    EventKind::PrefetchWait { var, .. } => {
+                        let k = wait_seen.entry(var).or_insert(0);
+                        ords[i] = *k;
+                        *k += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut segments = Vec::new();
+        let mut rank = slowest.rank;
+        let mut t = slowest.finish;
+        // Each step either moves `t` strictly backward or hops ranks at
+        // the same instant; the budget bounds pathological zero-cost
+        // configurations (all overheads zero) that could hop in place.
+        let mut budget =
+            4 * traces.iter().map(|tr| tr.events.len() + 1).sum::<usize>() + 4 * traces.len();
+
+        while t > SimTime::ZERO && budget > 0 {
+            budget -= 1;
+            let trace = by_rank[&rank];
+            // Latest non-zero-length event ending at or before `t`.
+            let upto = trace.events.partition_point(|e| e.end <= t);
+            let found = trace.events[..upto]
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, e)| e.end > e.start);
+            let Some((idx, ev)) = found else {
+                // Nothing earlier on this rank: idle back to the epoch.
+                push(&mut segments, rank, SimTime::ZERO, t, SegmentKind::Idle);
+                break;
+            };
+            if ev.end < t {
+                // Gap: the clock advanced without a traced interval
+                // (charge() / retry backoff) or the rank just finished
+                // earlier than `t`.
+                push(&mut segments, rank, ev.end, t, SegmentKind::Idle);
+                t = ev.end;
+                continue;
+            }
+            // `ev` ends exactly at `t`.
+            match ev.kind {
+                EventKind::Recv {
+                    from,
+                    tag,
+                    blocked_ns,
+                    ..
+                } if blocked_ns > 0 => {
+                    // end = arrival + o_r, blocked = arrival - start.
+                    let arrival = ev.start + SimDur::from_nanos(blocked_ns);
+                    let k = ordinals[&rank][idx];
+                    let matched = sends
+                        .get(&(from, rank, tag))
+                        .and_then(|v| v.get(k))
+                        .copied()
+                        .filter(|_| by_rank.contains_key(&from));
+                    match matched {
+                        Some(send_end) if send_end <= arrival => {
+                            push(&mut segments, rank, arrival, ev.end, SegmentKind::Comm);
+                            push(
+                                &mut segments,
+                                from,
+                                send_end,
+                                arrival,
+                                SegmentKind::InFlight,
+                            );
+                            rank = from;
+                            t = send_end;
+                        }
+                        _ => {
+                            // Unmatched (truncated trace): account the
+                            // stall without crossing ranks.
+                            push(&mut segments, rank, ev.start, ev.end, SegmentKind::Blocked);
+                            t = ev.start;
+                        }
+                    }
+                }
+                EventKind::Recv { .. } => {
+                    // Message had already arrived: pure overhead.
+                    push(&mut segments, rank, ev.start, ev.end, SegmentKind::Comm);
+                    t = ev.start;
+                }
+                EventKind::PrefetchWait { var, blocked_ns } if blocked_ns > 0 => {
+                    // The wait ended when the transfer completed; the
+                    // transfer window is [end - latency, end], i.e. it
+                    // started the instant the k-th matching issue
+                    // returned. Verify the FIFO match by completion
+                    // time before following it.
+                    let k = ordinals[&rank][idx];
+                    let matched =
+                        issues.get(&(rank, var)).and_then(|v| v.get(k)).copied() == Some(ev.end);
+                    let latency = issues_latency(trace, k, var);
+                    let xfer_start = SimTime(ev.end.as_nanos().saturating_sub(latency));
+                    if matched && xfer_start < ev.end {
+                        push(
+                            &mut segments,
+                            rank,
+                            xfer_start,
+                            ev.end,
+                            SegmentKind::DiskTransfer,
+                        );
+                        t = xfer_start;
+                    } else {
+                        // Unmatched (truncated trace): account the
+                        // stall without leaving the wait interval.
+                        push(&mut segments, rank, ev.start, ev.end, SegmentKind::Blocked);
+                        t = ev.start;
+                    }
+                }
+                EventKind::PrefetchWait { .. } => {
+                    // Non-blocked waits are zero-length and filtered
+                    // above; a nonzero one would be overhead on disk.
+                    push(&mut segments, rank, ev.start, ev.end, SegmentKind::Disk);
+                    t = ev.start;
+                }
+                EventKind::Compute { .. } => {
+                    push(&mut segments, rank, ev.start, ev.end, SegmentKind::Compute);
+                    t = ev.start;
+                }
+                EventKind::DiskRead { .. }
+                | EventKind::DiskWrite { .. }
+                | EventKind::PrefetchIssue { .. } => {
+                    push(&mut segments, rank, ev.start, ev.end, SegmentKind::Disk);
+                    t = ev.start;
+                }
+                EventKind::Send { .. } => {
+                    push(&mut segments, rank, ev.start, ev.end, SegmentKind::Comm);
+                    t = ev.start;
+                }
+                EventKind::Fault { .. } => {
+                    push(&mut segments, rank, ev.start, ev.end, SegmentKind::Fault);
+                    t = ev.start;
+                }
+            }
+        }
+        if t > SimTime::ZERO && budget == 0 {
+            // Budget exhausted (degenerate zero-cost configuration):
+            // close the partition so the sum invariant still holds.
+            push(&mut segments, rank, SimTime::ZERO, t, SegmentKind::Blocked);
+        }
+
+        segments.reverse();
+        CriticalPath {
+            segments,
+            makespan,
+            slowest_rank: slowest.rank,
+        }
+    }
+
+    /// Sum of all segment durations. Equals [`CriticalPath::makespan`]
+    /// exactly (the segments partition `[0, makespan]`).
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.segments.iter().map(|s| s.dur().as_nanos()).sum()
+    }
+
+    /// Total path time per segment kind, in ns.
+    #[must_use]
+    pub fn by_kind(&self) -> BTreeMap<SegmentKind, u64> {
+        let mut out = BTreeMap::new();
+        for s in &self.segments {
+            *out.entry(s.kind).or_insert(0) += s.dur().as_nanos();
+        }
+        out
+    }
+
+    /// The kind the path spends the most time on (ties broken by the
+    /// declaration order of [`SegmentKind`], deterministically). `None`
+    /// for an empty path.
+    #[must_use]
+    pub fn dominant_kind(&self) -> Option<SegmentKind> {
+        self.by_kind()
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(k, _)| k)
+    }
+
+    /// Total path time attributed to `rank`, in ns.
+    #[must_use]
+    pub fn rank_share_ns(&self, rank: usize) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.rank == rank)
+            .map(|s| s.dur().as_nanos())
+            .sum()
+    }
+
+    /// Number of times the path crosses from one rank to another.
+    #[must_use]
+    pub fn rank_hops(&self) -> usize {
+        self.segments
+            .windows(2)
+            .filter(|w| w[0].rank != w[1].rank)
+            .count()
+    }
+
+    /// Human-readable summary: makespan, per-kind attribution with
+    /// percentages, and path shape.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let total = self.makespan.as_nanos();
+        let _ = writeln!(
+            out,
+            "critical path: {} segments, {} rank hop(s), makespan {:.6} s (rank {})",
+            self.segments.len(),
+            self.rank_hops(),
+            self.makespan.as_secs_f64(),
+            self.slowest_rank,
+        );
+        let mut kinds: Vec<(SegmentKind, u64)> = self.by_kind().into_iter().collect();
+        kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (kind, ns) in kinds {
+            let pct = if total > 0 {
+                100.0 * ns as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {:<13} {:>14} ns  {:>5.1}%", kind.label(), ns, pct);
+        }
+        if let Some(dom) = self.dominant_kind() {
+            let _ = writeln!(out, "  dominant: {}", dom.label());
+        }
+        out
+    }
+}
+
+/// Latency of the k-th prefetch issue of `var` on `trace`, in ns.
+fn issues_latency(trace: &RankTrace, k: usize, var: u32) -> u64 {
+    trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::PrefetchIssue {
+                var: v, latency_ns, ..
+            } if v == var => Some(latency_ns),
+            _ => None,
+        })
+        .nth(k)
+        .unwrap_or(0)
+}
+
+fn push(
+    segments: &mut Vec<PathSegment>,
+    rank: usize,
+    start: SimTime,
+    end: SimTime,
+    kind: SegmentKind,
+) {
+    if end > start {
+        segments.push(PathSegment {
+            rank,
+            start,
+            end,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheta_sim::Event;
+
+    fn ev(s: u64, e: u64, kind: EventKind) -> Event {
+        Event {
+            start: SimTime(s),
+            end: SimTime(e),
+            kind,
+        }
+    }
+
+    fn assert_partition(path: &CriticalPath) {
+        assert_eq!(path.total_ns(), path.makespan.as_nanos());
+        let mut t = SimTime::ZERO;
+        for s in &path.segments {
+            assert_eq!(s.start, t, "segments are contiguous");
+            assert!(s.end > s.start);
+            t = s.end;
+        }
+        assert_eq!(t.as_nanos(), path.makespan.as_nanos());
+    }
+
+    #[test]
+    fn single_rank_compute_path() {
+        let traces = vec![RankTrace {
+            rank: 0,
+            events: vec![
+                ev(0, 70, EventKind::Compute { work_units: 1.0 }),
+                ev(70, 100, EventKind::DiskRead { var: 0, bytes: 8 }),
+            ],
+            finish: SimTime(100),
+        }];
+        let path = CriticalPath::compute(&traces);
+        assert_partition(&path);
+        assert_eq!(path.slowest_rank, 0);
+        assert_eq!(path.dominant_kind(), Some(SegmentKind::Compute));
+        assert_eq!(path.by_kind()[&SegmentKind::Disk], 30);
+    }
+
+    #[test]
+    fn blocked_recv_jumps_to_sender() {
+        // Rank 0 computes 100 then sends (overhead 10); latency 5.
+        // Rank 1 computes 20 then blocks in recv until arrival 115,
+        // recv overhead 10 -> end 125.
+        let traces = vec![
+            RankTrace {
+                rank: 0,
+                events: vec![
+                    ev(0, 100, EventKind::Compute { work_units: 1.0 }),
+                    ev(
+                        100,
+                        110,
+                        EventKind::Send {
+                            to: 1,
+                            tag: 3,
+                            bytes: 64,
+                        },
+                    ),
+                ],
+                finish: SimTime(110),
+            },
+            RankTrace {
+                rank: 1,
+                events: vec![
+                    ev(0, 20, EventKind::Compute { work_units: 1.0 }),
+                    ev(
+                        20,
+                        125,
+                        EventKind::Recv {
+                            from: 0,
+                            tag: 3,
+                            bytes: 64,
+                            blocked_ns: 95, // arrival at 115
+                        },
+                    ),
+                ],
+                finish: SimTime(125),
+            },
+        ];
+        let path = CriticalPath::compute(&traces);
+        assert_partition(&path);
+        assert_eq!(path.slowest_rank, 1);
+        assert_eq!(path.rank_hops(), 1);
+        let kinds = path.by_kind();
+        // Sender compute 100 + send overhead 10, in-flight 5, recv
+        // overhead 10.
+        assert_eq!(kinds[&SegmentKind::Compute], 100);
+        assert_eq!(kinds[&SegmentKind::Comm], 20);
+        assert_eq!(kinds[&SegmentKind::InFlight], 5);
+        assert_eq!(path.dominant_kind(), Some(SegmentKind::Compute));
+        // The receiver's own 20 ns of compute is NOT on the path.
+        assert_eq!(path.rank_share_ns(0), 115);
+    }
+
+    #[test]
+    fn blocked_prefetch_wait_follows_the_transfer() {
+        // Issue at [10, 15] (seek), latency 85 -> completes at 100.
+        // Compute 40 overlaps; wait blocks from 55 to 100.
+        let traces = vec![RankTrace {
+            rank: 0,
+            events: vec![
+                ev(0, 10, EventKind::Compute { work_units: 1.0 }),
+                ev(
+                    10,
+                    15,
+                    EventKind::PrefetchIssue {
+                        var: 7,
+                        bytes: 4096,
+                        latency_ns: 85,
+                    },
+                ),
+                ev(15, 55, EventKind::Compute { work_units: 1.0 }),
+                ev(
+                    55,
+                    100,
+                    EventKind::PrefetchWait {
+                        var: 7,
+                        blocked_ns: 45,
+                    },
+                ),
+            ],
+            finish: SimTime(100),
+        }];
+        let path = CriticalPath::compute(&traces);
+        assert_partition(&path);
+        let kinds = path.by_kind();
+        // Transfer window [15, 100] dominates; before it: compute 10 +
+        // issue seek 5.
+        assert_eq!(kinds[&SegmentKind::DiskTransfer], 85);
+        assert_eq!(kinds[&SegmentKind::Compute], 10);
+        assert_eq!(kinds[&SegmentKind::Disk], 5);
+        assert_eq!(path.dominant_kind(), Some(SegmentKind::DiskTransfer));
+    }
+
+    #[test]
+    fn clock_gaps_become_idle() {
+        let traces = vec![RankTrace {
+            rank: 0,
+            events: vec![ev(0, 30, EventKind::Compute { work_units: 1.0 })],
+            // charge() advanced the clock to 50 with no trace event.
+            finish: SimTime(50),
+        }];
+        let path = CriticalPath::compute(&traces);
+        assert_partition(&path);
+        assert_eq!(path.by_kind()[&SegmentKind::Idle], 20);
+    }
+
+    #[test]
+    fn empty_traces_yield_empty_path() {
+        let path = CriticalPath::compute(&[]);
+        assert_eq!(path.total_ns(), 0);
+        assert!(path.segments.is_empty());
+        assert_eq!(path.dominant_kind(), None);
+    }
+
+    #[test]
+    fn report_mentions_dominant_kind() {
+        let traces = vec![RankTrace {
+            rank: 2,
+            events: vec![ev(0, 10, EventKind::Compute { work_units: 1.0 })],
+            finish: SimTime(10),
+        }];
+        let path = CriticalPath::compute(&traces);
+        let report = path.report();
+        assert!(report.contains("dominant: compute"));
+        assert!(report.contains("rank 2"));
+    }
+}

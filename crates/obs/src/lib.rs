@@ -1,0 +1,34 @@
+//! Observability for MHETA runs.
+//!
+//! The simulator (`mheta-sim`) and the MPI-Jack layer (`mheta-mpi`)
+//! already *record* everything that happens on a run's virtual clocks —
+//! per-rank traces and hook-event streams. This crate turns those
+//! records into answers:
+//!
+//! * [`metrics`] — per-rank virtual-time breakdowns (compute / disk /
+//!   comm / blocked / fault / idle, plus prefetch overlap), counters,
+//!   and latency histograms, with deterministic JSON export;
+//! * [`perfetto`] — Chrome trace-event JSON that loads directly in
+//!   `ui.perfetto.dev`, one process per rank with simulator events and
+//!   nested MPI-Jack scopes on separate tracks;
+//! * [`critical_path`] — reconstruction of the cross-rank chain of
+//!   operations that decided the makespan, with attribution by cost
+//!   kind (the segments partition `[0, makespan]` exactly);
+//! * [`telemetry`] — convergence curves from the four distribution
+//!   searches in `mheta-dist`, as JSON and CSV.
+//!
+//! Everything here is read-only over the run artifacts and emits
+//! byte-deterministic output for a fixed seed, so exports can be
+//! golden-file tested.
+
+#![warn(missing_docs)]
+
+pub mod critical_path;
+pub mod metrics;
+pub mod perfetto;
+pub mod telemetry;
+
+pub use critical_path::{CriticalPath, PathSegment, SegmentKind};
+pub use metrics::{Histogram, Metrics, RankBreakdown};
+pub use perfetto::{perfetto_json, perfetto_trace};
+pub use telemetry::{convergence_csv, search_value, searches_json, searches_value};

@@ -1,0 +1,396 @@
+//! Chrome trace-event (Perfetto) JSON export.
+//!
+//! Converts a run's [`RankTrace`]s and hook-event streams into the
+//! [trace-event format] that `ui.perfetto.dev` and `chrome://tracing`
+//! load directly:
+//!
+//! * each **rank** becomes a process (`pid = rank`) with two tracks:
+//!   `tid 0` carries the raw simulator events (compute, disk, comm),
+//!   `tid 1` carries the semantic MPI-Jack scopes (iteration →
+//!   section → tile → stage) as nested slices plus the intercepted
+//!   operations and retries;
+//! * every slice is a complete event (`"ph": "X"`) with microsecond
+//!   `ts`/`dur` derived from the virtual-time nanoseconds, so the
+//!   export is self-contained and deterministic — no pairing of
+//!   begin/end events is left to the viewer.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Output is byte-deterministic for a fixed seed: ranks are walked in
+//! order, object keys are fixed, and floats render with Rust's
+//! shortest-round-trip formatting.
+
+use mheta_mpi::{HookEvent, ScopeKind};
+use mheta_sim::{EventKind, RankTrace, SimTime};
+use serde::Value;
+
+/// Microseconds for a trace-event `ts`/`dur` field from integer
+/// nanoseconds. f64 division is IEEE-exact per input, so rendering is
+/// deterministic across platforms.
+fn us(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1000.0)
+}
+
+fn metadata(pid: usize, tid: Option<usize>, what: &str, name: String) -> Value {
+    let mut pairs = vec![
+        ("name", Value::Str(what.to_string())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::UInt(pid as u64)),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid", Value::UInt(tid as u64)));
+    }
+    pairs.push(("args", Value::object(vec![("name", Value::Str(name))])));
+    Value::object(pairs)
+}
+
+/// A complete slice (`ph: "X"`).
+fn slice(
+    name: &str,
+    cat: &str,
+    pid: usize,
+    tid: usize,
+    start: SimTime,
+    end: SimTime,
+    args: Value,
+) -> Value {
+    Value::object(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str(cat.to_string())),
+        ("ph", Value::Str("X".into())),
+        ("ts", us(start.as_nanos())),
+        ("dur", us((end - start).as_nanos())),
+        ("pid", Value::UInt(pid as u64)),
+        ("tid", Value::UInt(tid as u64)),
+        ("args", args),
+    ])
+}
+
+fn sim_event(rank: usize, ev: &mheta_sim::Event) -> Value {
+    let (name, args) = match &ev.kind {
+        EventKind::Compute { work_units } => (
+            "compute",
+            Value::object(vec![("work_units", Value::Float(*work_units))]),
+        ),
+        EventKind::DiskRead { var, bytes } => (
+            "disk_read",
+            Value::object(vec![
+                ("var", Value::UInt(u64::from(*var))),
+                ("bytes", Value::UInt(*bytes)),
+            ]),
+        ),
+        EventKind::DiskWrite { var, bytes } => (
+            "disk_write",
+            Value::object(vec![
+                ("var", Value::UInt(u64::from(*var))),
+                ("bytes", Value::UInt(*bytes)),
+            ]),
+        ),
+        EventKind::PrefetchIssue {
+            var,
+            bytes,
+            latency_ns,
+        } => (
+            "prefetch_issue",
+            Value::object(vec![
+                ("var", Value::UInt(u64::from(*var))),
+                ("bytes", Value::UInt(*bytes)),
+                ("latency_us", us(*latency_ns)),
+            ]),
+        ),
+        EventKind::PrefetchWait { var, blocked_ns } => (
+            "prefetch_wait",
+            Value::object(vec![
+                ("var", Value::UInt(u64::from(*var))),
+                ("blocked_us", us(*blocked_ns)),
+            ]),
+        ),
+        EventKind::Send { to, tag, bytes } => (
+            "send",
+            Value::object(vec![
+                ("to", Value::UInt(*to as u64)),
+                ("tag", Value::UInt(u64::from(*tag))),
+                ("bytes", Value::UInt(*bytes)),
+            ]),
+        ),
+        EventKind::Recv {
+            from,
+            tag,
+            bytes,
+            blocked_ns,
+        } => (
+            "recv",
+            Value::object(vec![
+                ("from", Value::UInt(*from as u64)),
+                ("tag", Value::UInt(u64::from(*tag))),
+                ("bytes", Value::UInt(*bytes)),
+                ("blocked_us", us(*blocked_ns)),
+            ]),
+        ),
+        EventKind::Fault { fault } => (
+            "fault",
+            Value::object(vec![("fault", Value::Str(format!("{fault:?}")))]),
+        ),
+    };
+    slice(name, "sim", rank, 0, ev.start, ev.end, args)
+}
+
+fn scope_label(kind: ScopeKind, id: u32) -> String {
+    let k = match kind {
+        ScopeKind::Iteration => "iteration",
+        ScopeKind::Section => "section",
+        ScopeKind::Tile => "tile",
+        ScopeKind::Stage => "stage",
+    };
+    format!("{k} {id}")
+}
+
+/// Convert one rank's hook events into complete slices on `tid 1` by
+/// pairing scope enter/exit brackets on a stack. Unbalanced exits are
+/// ignored; unclosed brackets at the end of the stream are closed at
+/// the last seen timestamp so the export stays loadable.
+fn hook_slices(rank: usize, events: &[HookEvent], out: &mut Vec<Value>) {
+    let mut stack: Vec<(ScopeKind, u32, SimTime)> = Vec::new();
+    let mut last = SimTime::ZERO;
+    for ev in events {
+        match ev {
+            HookEvent::ScopeEnter { kind, id, at } => {
+                last = last.max(*at);
+                stack.push((*kind, *id, *at));
+            }
+            HookEvent::ScopeExit { kind, id, at } => {
+                last = last.max(*at);
+                // Pop to the matching bracket (tolerates skipped exits).
+                if let Some(pos) = stack.iter().rposition(|(k, i, _)| k == kind && i == id) {
+                    let opened: Vec<_> = stack.drain(pos..).collect();
+                    for (k, i, started) in opened.into_iter().rev() {
+                        out.push(slice(
+                            &scope_label(k, i),
+                            "scope",
+                            rank,
+                            1,
+                            started,
+                            *at,
+                            Value::object(vec![]),
+                        ));
+                    }
+                }
+            }
+            HookEvent::Op { info, start, end } => {
+                last = last.max(*end);
+                let mut args = vec![
+                    ("section", Value::UInt(u64::from(info.scope.section))),
+                    ("tile", Value::UInt(u64::from(info.scope.tile))),
+                    ("stage", Value::UInt(u64::from(info.scope.stage))),
+                    ("bytes", Value::UInt(info.bytes)),
+                ];
+                if let Some(var) = info.var {
+                    args.push(("var", Value::UInt(u64::from(var))));
+                }
+                if let Some(peer) = info.peer {
+                    args.push(("peer", Value::UInt(peer as u64)));
+                }
+                args.push(("blocked_us", us(info.blocked.as_nanos())));
+                out.push(slice(
+                    &format!("op:{:?}", info.kind),
+                    "op",
+                    rank,
+                    1,
+                    *start,
+                    *end,
+                    Value::object(args),
+                ));
+            }
+            HookEvent::Retry {
+                kind,
+                attempt,
+                backoff,
+                at,
+                ..
+            } => {
+                last = last.max(*at);
+                out.push(slice(
+                    &format!("retry:{kind:?}"),
+                    "retry",
+                    rank,
+                    1,
+                    *at,
+                    *at,
+                    Value::object(vec![
+                        ("attempt", Value::UInt(u64::from(*attempt))),
+                        ("backoff_us", us(backoff.as_nanos())),
+                    ]),
+                ));
+            }
+        }
+    }
+    // Close any brackets left open at the end of the stream.
+    while let Some((k, i, started)) = stack.pop() {
+        out.push(slice(
+            &scope_label(k, i),
+            "scope",
+            rank,
+            1,
+            started,
+            last.max(started),
+            Value::object(vec![]),
+        ));
+    }
+}
+
+/// Build the trace-event document for one run.
+///
+/// `traces` are the per-rank simulator traces (tracing must have been
+/// enabled); `hooks` holds each rank's hook-event stream and may be
+/// empty (`&[]`) for runs without instrumentation.
+#[must_use]
+pub fn perfetto_trace(traces: &[RankTrace], hooks: &[Vec<HookEvent>]) -> Value {
+    let mut events = Vec::new();
+    for trace in traces {
+        events.push(metadata(
+            trace.rank,
+            None,
+            "process_name",
+            format!("rank {}", trace.rank),
+        ));
+        events.push(metadata(
+            trace.rank,
+            Some(0),
+            "thread_name",
+            "sim events".into(),
+        ));
+        if hooks.get(trace.rank).is_some_and(|h| !h.is_empty()) {
+            events.push(metadata(
+                trace.rank,
+                Some(1),
+                "thread_name",
+                "mpi hooks".into(),
+            ));
+        }
+        for ev in &trace.events {
+            events.push(sim_event(trace.rank, ev));
+        }
+        if let Some(rank_hooks) = hooks.get(trace.rank) {
+            hook_slices(trace.rank, rank_hooks, &mut events);
+        }
+    }
+    Value::object(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+}
+
+/// [`perfetto_trace`] rendered as a compact JSON string, ready to be
+/// written to a `.perfetto.json` file and loaded in `ui.perfetto.dev`.
+#[must_use]
+pub fn perfetto_json(traces: &[RankTrace], hooks: &[Vec<HookEvent>]) -> String {
+    perfetto_trace(traces, hooks).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheta_sim::Event;
+
+    fn small_trace() -> RankTrace {
+        RankTrace {
+            rank: 0,
+            events: vec![
+                Event {
+                    start: SimTime(0),
+                    end: SimTime(1500),
+                    kind: EventKind::Compute { work_units: 3.0 },
+                },
+                Event {
+                    start: SimTime(1500),
+                    end: SimTime(2000),
+                    kind: EventKind::Send {
+                        to: 1,
+                        tag: 7,
+                        bytes: 64,
+                    },
+                },
+            ],
+            finish: SimTime(2000),
+        }
+    }
+
+    #[test]
+    fn document_shape_and_units() {
+        let doc = perfetto_trace(&[small_trace()], &[]);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // process_name + thread_name metadata + 2 slices.
+        assert_eq!(events.len(), 4);
+        let compute = &events[2];
+        assert_eq!(compute.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(compute.get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(compute.get("dur").unwrap().as_f64(), Some(1.5));
+        assert_eq!(compute.get("pid").unwrap().as_u64(), Some(0));
+        assert_eq!(compute.get("tid").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn scopes_become_nested_slices() {
+        let hooks = vec![vec![
+            HookEvent::ScopeEnter {
+                kind: ScopeKind::Section,
+                id: 0,
+                at: SimTime(0),
+            },
+            HookEvent::ScopeEnter {
+                kind: ScopeKind::Stage,
+                id: 1,
+                at: SimTime(100),
+            },
+            HookEvent::ScopeExit {
+                kind: ScopeKind::Stage,
+                id: 1,
+                at: SimTime(900),
+            },
+            HookEvent::ScopeExit {
+                kind: ScopeKind::Section,
+                id: 0,
+                at: SimTime(1000),
+            },
+        ]];
+        let doc = perfetto_trace(&[small_trace()], &hooks);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let scopes: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("scope"))
+            .collect();
+        assert_eq!(scopes.len(), 2);
+        assert_eq!(scopes[0].get("name").unwrap().as_str(), Some("stage 1"));
+        assert_eq!(scopes[1].get("name").unwrap().as_str(), Some("section 0"));
+        // The stage slice is contained in the section slice.
+        let (s_ts, s_dur) = (
+            scopes[1].get("ts").unwrap().as_f64().unwrap(),
+            scopes[1].get("dur").unwrap().as_f64().unwrap(),
+        );
+        let (t_ts, t_dur) = (
+            scopes[0].get("ts").unwrap().as_f64().unwrap(),
+            scopes[0].get("dur").unwrap().as_f64().unwrap(),
+        );
+        assert!(t_ts >= s_ts && t_ts + t_dur <= s_ts + s_dur);
+    }
+
+    #[test]
+    fn unclosed_scopes_are_closed_at_stream_end() {
+        let hooks = vec![vec![HookEvent::ScopeEnter {
+            kind: ScopeKind::Iteration,
+            id: 4,
+            at: SimTime(10),
+        }]];
+        let doc = perfetto_trace(&[small_trace()], &hooks);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("iteration 4")));
+    }
+
+    #[test]
+    fn export_is_byte_deterministic() {
+        let t = vec![small_trace()];
+        assert_eq!(perfetto_json(&t, &[]), perfetto_json(&t, &[]));
+    }
+}

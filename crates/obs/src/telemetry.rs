@@ -1,0 +1,151 @@
+//! Search telemetry export.
+//!
+//! The four distribution searches in `mheta-dist` record a convergence
+//! curve (one [`IterPoint`] per evaluator call) alongside their
+//! resilience tallies. This module renders those curves as JSON (for
+//! programmatic consumption) and CSV (for plotting), in the shape the
+//! search-comparison paper \[26\] reports: best-so-far and running-mean
+//! fitness against evaluations spent.
+//!
+//! [`IterPoint`]: mheta_dist::IterPoint
+
+use std::fmt::Write as _;
+
+use mheta_dist::SearchOutcome;
+use serde::{Serialize, Value};
+
+/// One search's outcome as a JSON value: best distribution, score,
+/// evaluation/failure/retry tallies, and the full convergence curve.
+#[must_use]
+pub fn search_value(name: &str, out: &SearchOutcome) -> Value {
+    Value::object(vec![
+        ("search", Value::Str(name.to_string())),
+        (
+            "best_rows",
+            Value::Array(
+                out.best
+                    .rows()
+                    .iter()
+                    .map(|&r| Value::UInt(r as u64))
+                    .collect(),
+            ),
+        ),
+        ("score_ns", Value::Float(out.score_ns)),
+        ("evaluations", Value::UInt(out.evaluations as u64)),
+        ("failed_evals", Value::UInt(out.failed_evals as u64)),
+        ("retried_evals", Value::UInt(out.retried_evals as u64)),
+        (
+            "last_failure",
+            match &out.last_failure {
+                Some(e) => Value::Str(e.to_string()),
+                None => Value::Null,
+            },
+        ),
+        ("history", out.history.to_value()),
+    ])
+}
+
+/// A set of named search outcomes as one JSON document:
+/// `{"searches": [...]}` with one [`search_value`] entry each.
+#[must_use]
+pub fn searches_value(runs: &[(&str, &SearchOutcome)]) -> Value {
+    Value::object(vec![(
+        "searches",
+        Value::Array(
+            runs.iter()
+                .map(|(name, out)| search_value(name, out))
+                .collect(),
+        ),
+    )])
+}
+
+/// [`searches_value`] rendered as indented JSON.
+#[must_use]
+pub fn searches_json(runs: &[(&str, &SearchOutcome)]) -> String {
+    searches_value(runs).to_json_pretty()
+}
+
+/// Convergence curves as long-format CSV, one row per evaluation:
+/// `search,evals,best_ns,mean_ns,failed,retried`. Non-finite fitness
+/// values (the pre-first-success `INFINITY` sentinel) render as `inf`.
+#[must_use]
+pub fn convergence_csv(runs: &[(&str, &SearchOutcome)]) -> String {
+    let mut out = String::from("search,evals,best_ns,mean_ns,failed,retried\n");
+    for (name, run) in runs {
+        for p in &run.history {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                name,
+                p.evals,
+                csv_f64(p.best_ns),
+                csv_f64(p.mean_ns),
+                p.failed,
+                p.retried,
+            );
+        }
+    }
+    out
+}
+
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheta_dist::{random_search, RandomConfig};
+
+    fn outcome() -> SearchOutcome {
+        let f = |rows: &[usize]| rows[0] as f64;
+        random_search(64, 4, &f, RandomConfig::default())
+    }
+
+    #[test]
+    fn search_value_includes_curve_and_tallies() {
+        let out = outcome();
+        let v = search_value("random", &out);
+        assert_eq!(v.get("search").unwrap().as_str(), Some("random"));
+        let hist = v.get("history").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), out.evaluations);
+        let last = hist.last().unwrap();
+        assert_eq!(last.get("best_ns").unwrap().as_f64(), Some(out.score_ns));
+        assert_eq!(
+            v.get("best_rows").unwrap().as_array().unwrap().len(),
+            out.best.len()
+        );
+        assert_eq!(v.get("last_failure"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_eval() {
+        let out = outcome();
+        let csv = convergence_csv(&[("random", &out)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "search,evals,best_ns,mean_ns,failed,retried");
+        assert_eq!(lines.len(), 1 + out.evaluations);
+        assert!(lines[1].starts_with("random,1,"));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let a = outcome();
+        let b = outcome();
+        assert_eq!(
+            searches_json(&[("random", &a)]),
+            searches_json(&[("random", &b)]),
+            "seeded searches export identically"
+        );
+    }
+
+    #[test]
+    fn non_finite_fitness_renders_as_inf() {
+        assert_eq!(csv_f64(f64::INFINITY), "inf");
+        assert_eq!(csv_f64(2.5), "2.5");
+    }
+}

@@ -6,13 +6,12 @@
 //! model multiplies and sums in `f64` and rounds once when charging a
 //! rank's virtual clock.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{SimError, SimResult};
 use crate::fault::FaultSpec;
 
 /// One node of the heterogeneous cluster (Figure 2 of the paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeSpec {
     /// Relative CPU power; 1.0 is the baseline node. A node with power
     /// 2.0 performs a unit of work in half the baseline time. The paper
@@ -93,7 +92,8 @@ impl NodeSpec {
 
 /// Uniform interconnect parameters (LogP-style: overheads, latency, and
 /// inverse bandwidth).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetSpec {
     /// Sender-side overhead `o_s`, ns: CPU time to prepare and copy the
     /// message into a system buffer.
@@ -131,7 +131,8 @@ impl NetSpec {
 /// run-to-run perturbations that make the paper's instrumented iteration
 /// imperfect (§5.2.1 reports up to 1% error even at the instrumented
 /// distribution).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseSpec {
     /// Half-width of the multiplicative uniform perturbation: each cost
     /// is scaled by a factor drawn from `[1 - amplitude, 1 + amplitude]`.
@@ -146,7 +147,8 @@ impl Default for NoiseSpec {
 }
 
 /// The whole emulated cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClusterSpec {
     /// Human-readable name (e.g. "DC", "IO", "HY1").
     pub name: String,
@@ -165,13 +167,13 @@ pub struct ClusterSpec {
     pub seed: u64,
     /// Deterministic fault-injection plan. Disabled by default; see
     /// [`crate::fault`].
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub faults: FaultSpec,
     /// Host wall-clock backstop, in milliseconds, for any blocking wait
     /// (receive, barrier). If a rank's OS thread waits longer than this
     /// in *real* time, the wait is abandoned with
     /// [`SimError::Timeout`] instead of hanging the process.
-    #[serde(default = "default_wait_timeout_ms")]
+    #[cfg_attr(feature = "serde", serde(default = "default_wait_timeout_ms"))]
     pub wait_timeout_ms: u64,
 }
 

@@ -399,7 +399,14 @@ impl RankCtx {
         let id = self.next_prefetch;
         self.next_prefetch += 1;
         self.prefetches.insert(id, completion);
-        self.record(start, EventKind::PrefetchIssue { var, bytes });
+        self.record(
+            start,
+            EventKind::PrefetchIssue {
+                var,
+                bytes,
+                latency_ns: latency.as_nanos(),
+            },
+        );
         Ok(Prefetch { id, var, data })
     }
 

@@ -24,16 +24,15 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use crate::error::{SimError, SimResult};
 use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// What kind of fault was injected; carried by
 /// [`crate::trace::EventKind::Fault`] trace events.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum FaultKind {
     /// A disk read attempt failed transiently (the `attempt`-th
     /// consecutive failure for this variable).
@@ -78,7 +77,8 @@ pub enum FaultKind {
 /// [`ClusterSpec`](crate::config::ClusterSpec). All rates are
 /// probabilities in `[0, 1)`; the default disables every fault class,
 /// which leaves timelines byte-identical to a fault-free build.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaultSpec {
     /// Probability that any single disk read attempt fails transiently.
     pub disk_read_fault_rate: f64,

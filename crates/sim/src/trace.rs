@@ -11,6 +11,7 @@ use crate::time::SimTime;
 
 /// What a traced interval was spent doing.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 #[allow(missing_docs)] // variant fields are self-describing
 pub enum EventKind {
     /// Local computation of `work_units` units of application work.
@@ -19,8 +20,16 @@ pub enum EventKind {
     DiskRead { var: u32, bytes: u64 },
     /// Synchronous disk write of `bytes` of variable `var`.
     DiskWrite { var: u32, bytes: u64 },
-    /// Asynchronous (prefetch) read issue.
-    PrefetchIssue { var: u32, bytes: u64 },
+    /// Asynchronous (prefetch) read issue. `latency_ns` is the full
+    /// disk-transfer latency of the request: the prefetch completes at
+    /// `end + latency_ns` on the issuing rank's clock, so the portion
+    /// not covered by a later blocked wait was overlapped with other
+    /// work.
+    PrefetchIssue {
+        var: u32,
+        bytes: u64,
+        latency_ns: u64,
+    },
     /// Blocking wait for a previously issued prefetch; `blocked_ns` is
     /// the portion of the interval actually spent stalled on the disk.
     PrefetchWait { var: u32, blocked_ns: u64 },
@@ -43,6 +52,7 @@ pub enum EventKind {
 
 /// One traced interval on a rank's virtual timeline.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Event {
     /// Virtual time at which the operation began.
     pub start: SimTime,
@@ -54,6 +64,7 @@ pub struct Event {
 
 /// The complete trace of one rank for one run.
 #[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct RankTrace {
     /// Rank index.
     pub rank: usize,

@@ -11,6 +11,7 @@
 //! | [`core`] | **the MHETA model**: program structure, microbenchmarks, instrumented profiles, prediction equations |
 //! | [`dist`] | `GEN_BLOCK` distributions, the Figure 8 spectrum, four search algorithms |
 //! | [`apps`] | Jacobi, CG, RNA (pipelined), Lanczos, Multigrid benchmarks with real numerics |
+//! | [`obs`] | observability: metrics, Perfetto trace export, critical-path analysis, search telemetry |
 //!
 //! This facade crate re-exports all of them and is what the examples
 //! and integration tests build against.
@@ -50,15 +51,17 @@ pub use mheta_apps as apps;
 pub use mheta_core as core;
 pub use mheta_dist as dist;
 pub use mheta_mpi as mpi;
+pub use mheta_obs as obs;
 pub use mheta_sim as sim;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use mheta_apps::{
-        anchor_inputs, build_model, percent_difference, run_instrumented, run_measured, Benchmark,
-        Cg, Jacobi, Lanczos, Multigrid, Rna,
+        anchor_inputs, build_model, percent_difference, run_instrumented, run_measured,
+        run_observed, Benchmark, Cg, Jacobi, Lanczos, Multigrid, Observed, Rna,
     };
     pub use mheta_core::{Mheta, Prediction, ProgramStructure};
     pub use mheta_dist::{AnchorInputs, GenBlock, SpectrumPath};
+    pub use mheta_obs::{CriticalPath, Metrics};
     pub use mheta_sim::{presets, ClusterSpec, NodeSpec, SimDur, SimTime};
 }

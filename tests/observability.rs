@@ -1,0 +1,209 @@
+//! End-to-end behaviour of the observability layer (`mheta-obs`):
+//! metrics partition exactness, critical-path reconstruction against
+//! the simulated makespan, and golden-file stability of the Perfetto
+//! trace-event export.
+
+use mheta::obs::{perfetto, CriticalPath, Metrics, SegmentKind};
+use mheta::prelude::*;
+use serde::Value;
+
+/// A 4-node cluster where ranks 2-3 are memory-starved: they stream
+/// their grid from disk, so the run is disk-bound end to end.
+fn starved(seed: u64) -> ClusterSpec {
+    let mut spec = ClusterSpec::homogeneous(4);
+    spec.noise.amplitude = 0.0;
+    spec.seed = seed;
+    spec.nodes[2].memory_bytes = 3 * 1024;
+    spec.nodes[3].memory_bytes = 3 * 1024;
+    spec
+}
+
+#[test]
+fn critical_path_partitions_jacobi_makespan_exactly() {
+    let bench = Benchmark::Jacobi(Jacobi::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let run = run_observed(&bench, &starved(11), &dist, 3, false).unwrap();
+
+    let makespan: u64 = run
+        .traces
+        .iter()
+        .map(|t| t.finish.as_nanos())
+        .max()
+        .unwrap();
+    let path = CriticalPath::compute(&run.traces);
+
+    // The acceptance bar: segment durations sum to the simulated
+    // makespan within 1 ns on a fault-free run (they are exact).
+    assert_eq!(path.makespan.as_nanos(), makespan);
+    assert!(
+        path.total_ns().abs_diff(makespan) <= 1,
+        "path {} vs makespan {}",
+        path.total_ns(),
+        makespan
+    );
+
+    // Segments are a contiguous forward partition of [0, makespan].
+    let mut t = 0;
+    for s in &path.segments {
+        assert_eq!(s.start.as_nanos(), t, "contiguous at {t}");
+        assert!(s.end > s.start, "no zero-length segments");
+        t = s.end.as_nanos();
+    }
+    assert_eq!(t, makespan);
+}
+
+#[test]
+fn critical_path_identifies_the_slowest_ranks_dominant_cost() {
+    let bench = Benchmark::Jacobi(Jacobi::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let run = run_observed(&bench, &starved(11), &dist, 3, false).unwrap();
+
+    let path = CriticalPath::compute(&run.traces);
+    let metrics = Metrics::from_traces(&run.traces);
+    let slowest = &metrics.breakdowns[path.slowest_rank];
+
+    // The starved ranks stream from disk, so both views must agree the
+    // run is disk-bound: the slowest rank's largest bucket and the
+    // path's dominant segment kind.
+    assert_eq!(slowest.dominant().0, "disk");
+    let dom = path.dominant_kind().unwrap();
+    assert!(
+        matches!(dom, SegmentKind::Disk | SegmentKind::DiskTransfer),
+        "path dominant kind {dom:?} should be a disk kind"
+    );
+    assert!(path
+        .report()
+        .contains(&format!("dominant: {}", dom.label())));
+
+    // The slowest rank carries the largest share of the path.
+    let share = path.rank_share_ns(path.slowest_rank);
+    assert!(share > path.makespan.as_nanos() / 4);
+}
+
+#[test]
+fn metrics_partition_each_rank_timeline_exactly() {
+    let bench = Benchmark::Cg(Cg::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let run = run_observed(&bench, &starved(5), &dist, 2, false).unwrap();
+
+    let metrics = Metrics::from_traces(&run.traces);
+    assert_eq!(metrics.breakdowns.len(), 4);
+    for b in &metrics.breakdowns {
+        let covered: u64 = b.buckets().iter().map(|(_, v)| v).sum();
+        assert_eq!(covered, b.finish_ns, "rank {} buckets partition", b.rank);
+        let frac_sum: f64 = b.fractions().iter().map(|(_, f)| f).sum();
+        assert!(
+            frac_sum <= 1.0 + 1e-9,
+            "rank {} fractions sum {frac_sum} > 1",
+            b.rank
+        );
+        assert!(
+            (frac_sum - 1.0).abs() < 1e-9,
+            "fractions cover the timeline"
+        );
+    }
+    assert_eq!(
+        metrics.makespan_ns(),
+        run.traces
+            .iter()
+            .map(|t| t.finish.as_nanos())
+            .max()
+            .unwrap()
+    );
+}
+
+#[test]
+fn observed_run_timing_matches_measured() {
+    // run_observed must not change virtual time relative to
+    // run_measured — recording is free on the virtual clock.
+    let bench = Benchmark::Jacobi(Jacobi::small());
+    let dist = GenBlock::block(bench.total_rows(), 4);
+    let spec = starved(3);
+    let measured = run_measured(&bench, &spec, &dist, 2, false).unwrap();
+    let observed = run_observed(&bench, &spec, &dist, 2, false).unwrap();
+    assert_eq!(measured.secs, observed.measured.secs);
+    assert_eq!(measured.check, observed.measured.check);
+    assert!(!observed.traces.is_empty());
+    assert!(observed.hooks.iter().any(|h| !h.is_empty()));
+}
+
+/// The fixed scenario behind the golden Perfetto export: 2 ranks, one
+/// memory-starved, one Jacobi iteration, quiet seeded cluster.
+fn golden_run() -> mheta::apps::Observed {
+    let mut spec = ClusterSpec::homogeneous(2);
+    spec.noise.amplitude = 0.0;
+    spec.seed = 7;
+    spec.nodes[1].memory_bytes = 3 * 1024;
+    let bench = Benchmark::Jacobi(Jacobi::small());
+    let dist = GenBlock::block(bench.total_rows(), 2);
+    run_observed(&bench, &spec, &dist, 1, false).unwrap()
+}
+
+#[test]
+fn perfetto_export_matches_golden_file() {
+    let run = golden_run();
+    let json = perfetto::perfetto_json(&run.traces, &run.hooks);
+
+    // Determinism first: the export must be byte-stable run to run.
+    let again = golden_run();
+    assert_eq!(
+        json,
+        perfetto::perfetto_json(&again.traces, &again.hooks),
+        "export not deterministic"
+    );
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/observability.perfetto.json"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file (rerun with BLESS=1)");
+    assert_eq!(
+        json, golden,
+        "Perfetto export drifted; rerun with BLESS=1 if intended"
+    );
+}
+
+#[test]
+fn perfetto_export_is_schema_sane() {
+    let run = golden_run();
+    let doc = perfetto::perfetto_trace(&run.traces, &run.hooks);
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+    let mut slices = 0;
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .expect("every event has ph");
+        assert!(ev.get("pid").and_then(Value::as_u64).is_some());
+        match ph {
+            "M" => {
+                assert!(ev.get("args").is_some(), "metadata carries args.name");
+            }
+            "X" => {
+                slices += 1;
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("slice ts");
+                let dur = ev.get("dur").and_then(Value::as_f64).expect("slice dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                assert!(ev.get("tid").and_then(Value::as_u64).is_some());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(slices > 0, "export contains complete slices");
+    // Both tracks are present: raw sim events and hook scopes.
+    let tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("tid").and_then(Value::as_u64))
+        .collect();
+    assert!(tids.contains(&0) && tids.contains(&1));
+}

@@ -72,6 +72,50 @@ fn noise_amplitude_bounds_run_to_run_spread() {
     assert!(max / min < 1.10, "5 seeds spread more than 10%: {times:?}");
 }
 
+mod trace_invariants {
+    use super::*;
+    use mheta::sim::FaultSpec;
+    use proptest::prelude::*;
+
+    fn faulty(seed: u64) -> ClusterSpec {
+        let mut spec = hybrid(seed);
+        // Starve two nodes so disk I/O (and thus disk faults) actually
+        // occurs, and turn every fault class on.
+        spec.faults = FaultSpec {
+            disk_read_fault_rate: 0.10,
+            disk_write_fault_rate: 0.05,
+            msg_resend_rate: 0.05,
+            slowdown_rate: 0.20,
+            slowdown_factor: 1.5,
+            slowdown_period_ns: 1.0e5,
+            mem_pressure_rate: 0.10,
+            mem_pressure_bytes: 64 * 1024,
+        };
+        spec
+    }
+
+    proptest! {
+        // Few cases: each one is a full 4-rank cluster run.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Whatever the fault schedule, every rank's trace stays a
+        /// non-overlapping, ordered partition of its virtual timeline.
+        #[test]
+        fn traces_stay_monotone_under_fault_injection(seed in 0u64..1_000_000) {
+            let bench = Benchmark::Jacobi(Jacobi::small());
+            let dist = GenBlock::block(bench.total_rows(), 4);
+            let run = run_observed(&bench, &faulty(seed), &dist, 2, false).unwrap();
+            prop_assert_eq!(run.traces.len(), 4);
+            for t in &run.traces {
+                prop_assert!(t.is_monotone(), "rank {} trace out of order (seed {seed})", t.rank);
+                if let Some(last) = t.events.last() {
+                    prop_assert!(last.end <= t.finish, "rank {} event past finish", t.rank);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn tracing_does_not_change_virtual_time() {
     use mheta::mpi::{run_app, ExecMode, NullRecorder, RunOptions};

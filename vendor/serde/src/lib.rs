@@ -1,18 +1,403 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde`, functional subset.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on configuration
-//! structs so they remain serde-compatible for downstream users, but
-//! nothing in-tree actually serializes. This stand-in provides marker
-//! traits and re-exports no-op derive macros from the vendored
-//! `serde_derive`, which is all dependency resolution and compilation
-//! need without registry access.
+//! The build environment has no registry access, so this crate provides
+//! the slice of serde's surface the workspace actually uses:
+//!
+//! * a [`Serialize`] trait that lowers any value to a JSON-shaped
+//!   [`Value`] tree (`to_value`), plus [`to_string`] /
+//!   [`to_string_pretty`] renderers — enough for the observability
+//!   exporters (`mheta-obs`) to emit real, deterministic JSON without
+//!   hand-rolled formatting;
+//! * a working `#[derive(Serialize)]` (see the vendored `serde_derive`)
+//!   that mirrors serde's externally-tagged representation for enums
+//!   and field-name objects for structs;
+//! * a marker [`Deserialize`] trait with a no-op derive, kept so
+//!   configuration structs remain annotation-compatible with the real
+//!   serde (nothing in-tree deserializes).
+//!
+//! Rendering is deterministic: object keys keep insertion (declaration)
+//! order, floats use Rust's shortest round-trip formatting, and
+//! non-finite floats become `null` (matching `serde_json`'s behaviour
+//! for the lossy case).
 
 #![allow(clippy::all)]
 
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
+/// A JSON document: the output type of [`Serialize::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (JSON number).
+    UInt(u64),
+    /// Signed integer (JSON number).
+    Int(i64),
+    /// Floating-point number; non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; keys keep insertion order for deterministic output.
+    Object(Vec<(String, Value)>),
+}
 
-/// Marker trait standing in for `serde::Deserialize`.
+impl Value {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on objects; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (uint, int, and float all qualify).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(v) => Some(*v as f64),
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Render as indented (2-space) JSON.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float(v) => {
+                if v.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip float form
+                    // ("1.0", "0.25", "1e20") — valid JSON and stable
+                    // across platforms.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write_json(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, depth + 1);
+                }
+                if !pairs.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization into a [`Value`] tree. The stand-in for
+/// `serde::Serialize`; derivable via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Lower `self` to a JSON-shaped value.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for `serde::Deserialize`. The derive is a
+/// no-op; nothing in-tree deserializes.
 pub trait Deserialize {}
+
+/// Serialize `value` to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().to_json()
+}
+
+/// Serialize `value` to indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().to_json_pretty()
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys (HashMap iteration order is
+        // unspecified).
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u32), "42");
+        assert_eq!(to_string(&-7i64), "-7");
+        assert_eq!(to_string(&1.0f64), "1.0");
+        assert_eq!(to_string(&0.25f64), "0.25");
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string("hi\n\"there\""), "\"hi\\n\\\"there\\\"\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_string(&Option::<u8>::None), "null");
+        assert_eq!(to_string(&Some(5u8)), "5");
+        let v = Value::object(vec![("a", Value::UInt(1)), ("b", Value::Null)]);
+        assert_eq!(v.to_json(), "{\"a\":1,\"b\":null}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::object(vec![("xs", Value::Array(vec![Value::Float(2.5)]))]);
+        let xs = v.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs[0].as_f64(), Some(2.5));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::object(vec![("a", Value::UInt(1))]);
+        assert_eq!(v.to_json_pretty(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(to_string("\u{1}"), "\"\\u0001\"");
+    }
+}

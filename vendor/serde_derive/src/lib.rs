@@ -1,48 +1,325 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on config structs
-//! for API compatibility but never actually serializes anything, so
-//! these derives only need to (a) register the inert `#[serde(...)]`
-//! helper attribute and (b) emit a trait impl. No registry access is
-//! required: the macros are written against the plain `proc_macro`
-//! API, without syn/quote.
+//! `#[derive(Serialize)]` here is *functional*: it generates a real
+//! `serde::Serialize::to_value` implementation producing the same
+//! shapes as serde's default (externally-tagged) data model —
+//! field-name objects for structs, `{"Variant": {...}}` objects for
+//! enum variants with fields, bare strings for unit variants, and
+//! transparent newtypes. `#[derive(Deserialize)]` stays a no-op marker
+//! (nothing in this workspace deserializes).
+//!
+//! Written against the plain `proc_macro` API — no syn/quote, no
+//! registry access. Supported inputs are non-generic structs and enums
+//! with named, tuple, or unit shapes, which covers every derive site in
+//! the workspace. `#[serde(...)]` helper attributes are accepted and
+//! ignored.
 
 #![allow(clippy::all)]
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Extract the identifier that follows the struct/enum keyword, plus a
-/// conservative `impl` generics clause for simple `<T, U>` parameter
-/// lists (sufficient for this workspace, which derives only on
-/// non-generic types).
-fn type_name(input: &TokenStream) -> Option<String> {
-    let mut tokens = input.clone().into_iter();
-    while let Some(tok) = tokens.next() {
-        let s = tok.to_string();
-        if s == "struct" || s == "enum" {
-            return tokens.next().map(|t| t.to_string());
-        }
-    }
-    None
-}
-
-fn impl_marker(trait_path: &str, input: TokenStream) -> TokenStream {
-    match type_name(&input) {
-        Some(name) => format!("impl {trait_path} for {name} {{}}")
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Some(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
             .parse()
             .expect("generated impl must parse"),
         None => TokenStream::new(),
     }
 }
 
-/// No-op `Serialize` derive; accepts `#[serde(...)]` attributes.
+/// Functional `Serialize` derive; accepts `#[serde(...)]` attributes
+/// (their contents are ignored — this subset has no renaming/skipping).
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    impl_marker("::serde::Serialize", input)
+    let Some(item) = parse(input) else {
+        return TokenStream::new();
+    };
+    let body = match &item.shape {
+        Shape::Struct(fields) => struct_body(fields),
+        Shape::Enum(variants) => enum_body(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{\n{body}\t}}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("generated impl must parse")
 }
 
-/// No-op `Deserialize` derive; accepts `#[serde(...)]` attributes.
-#[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    impl_marker("::serde::Deserialize", input)
+/// The shape of one struct or one enum variant's payload.
+enum Fields {
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Tuple arity.
+    Tuple(usize),
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "\t\t::serde::Value::Null\n".to_string(),
+        Fields::Named(names) => {
+            let mut pairs = String::new();
+            for f in names {
+                pairs.push_str(&format!(
+                    "\t\t\t(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            format!("\t\t::serde::Value::Object(::std::vec![\n{pairs}\t\t])\n")
+        }
+        Fields::Tuple(1) => "\t\t::serde::Serialize::to_value(&self.0)\n".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "\t\t::serde::Value::Array(::std::vec![{}])\n",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (v, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "\t\t\t{name}::{v} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+            ),
+            Fields::Named(names) => {
+                let bind = names.join(", ");
+                let mut pairs = String::new();
+                for f in names {
+                    pairs.push_str(&format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})), "
+                    ));
+                }
+                format!(
+                    "\t\t\t{name}::{v} {{ {bind} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Object(::std::vec![{pairs}]))]),\n"
+                )
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let bind = binds.join(", ");
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "\t\t\t{name}::{v}({bind}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), {inner})]),\n"
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("\t\tmatch self {{\n{arms}\t\t}}\n")
+}
+
+// ---- input parsing ---------------------------------------------------------
+
+fn parse(input: TokenStream) -> Option<Item> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility ahead of the struct/enum keyword.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                is_enum = false;
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+    // Generic items are out of scope for this stand-in.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return None;
+    }
+    let shape = if is_enum {
+        let body = brace_group(&tokens[i..])?;
+        Shape::Enum(parse_variants(&body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Struct(Fields::Named(parse_named_fields(&body)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Struct(Fields::Tuple(count_tuple_fields(&body)))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        }
+    };
+    Some(Item { name, shape })
+}
+
+fn brace_group(tokens: &[TokenTree]) -> Option<Vec<TokenTree>> {
+    for t in tokens {
+        if let TokenTree::Group(g) = t {
+            if g.delimiter() == Delimiter::Brace {
+                return Some(g.stream().into_iter().collect());
+            }
+        }
+    }
+    None
+}
+
+/// Parse `field: Type, ...` lists, skipping attributes and visibility.
+/// Commas inside angle brackets (`HashMap<K, V>`) do not split fields.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1; // past the field name; a `:` and the type follow
+                i += skip_type(&tokens[i..]);
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Count top-level comma-separated slots of a tuple-struct body.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        n += 1;
+        i += skip_type(&tokens[i..]);
+    }
+    n
+}
+
+/// Length of a token run up to and including the next top-level comma
+/// (angle-bracket aware, so `Vec<(A, B)>` stays one field).
+fn skip_type(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return j + 1,
+                _ => {}
+            }
+        }
+    }
+    tokens.len()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        i += 1;
+                        Fields::Named(parse_named_fields(&body))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        i += 1;
+                        Fields::Tuple(count_tuple_fields(&body))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip to the comma that ends this variant (also steps
+                // over explicit `= expr` discriminants).
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push((name, fields));
+            }
+            _ => i += 1,
+        }
+    }
+    variants
 }
