@@ -190,6 +190,11 @@ pub struct Observed {
     pub traces: Vec<RankTrace>,
     /// Per-rank hook-event streams (scopes, operations, retries).
     pub hooks: Vec<Vec<HookEvent>>,
+    /// Per-rank iteration-loop windows `(t0_ns, t1_ns)` on each rank's
+    /// virtual clock — the span the application timed, which is what
+    /// the model predicts. Audit tooling partitions the traces over
+    /// exactly these windows.
+    pub windows: Vec<(u64, u64)>,
 }
 
 /// Run a benchmark for real with full observability: operational
@@ -215,6 +220,7 @@ pub fn run_observed(
     )?;
     Ok(Observed {
         measured: measured_from(&run.results),
+        windows: run.results.iter().map(|r| (r.t0_ns, r.t1_ns)).collect(),
         traces: run.traces,
         hooks: run.recorders.into_iter().map(|r| r.events).collect(),
     })

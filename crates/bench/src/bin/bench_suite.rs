@@ -1,0 +1,295 @@
+//! Continuous benchmark suite: accuracy, makespans, per-evaluation
+//! latency, and error attribution for the four applications across the
+//! architecture presets, in one machine-checkable JSON document.
+//!
+//! ```text
+//! cargo run --release -p mheta-bench --bin bench_suite -- --smoke
+//! ```
+//!
+//! Writes `BENCH_<name>.json` (schema `mheta-bench/v1`) in the current
+//! directory — run from the repo root. Modes:
+//!
+//! * default — the paper's four applications across all four Table 1
+//!   presets (DC, IO, HY1, HY2) at reduced iteration counts;
+//! * `--smoke` — small app instances on IO and HY1 only: the CI
+//!   regression gate (~seconds of wall time);
+//! * `--check [path]` — before overwriting, read the committed
+//!   baseline (`path`, default the output file itself), rerun the
+//!   suite, and fail (exit 1) if any deterministic field drifted more
+//!   than the tolerance: predicted/actual seconds and makespan ±10%
+//!   relative, accuracy (`pct_diff`) worse by more than 2 points.
+//!
+//! The per-evaluation latency block is wall-clock (the paper's §5.1
+//! "~5.4 ms per evaluation" claim, measured here in the emulator at
+//! microsecond scale) and is **informational**: it never participates
+//! in the `--check` gate.
+
+use mheta_apps::{percent_difference, run_observed, Benchmark};
+use mheta_bench::{experiment_iters, Flags};
+use mheta_dist::{CountingEvaluator, Evaluator, GenBlock};
+use mheta_obs::{latency_value, AuditReport};
+use mheta_sim::{presets, ClusterSpec};
+use serde::Value;
+
+/// One (architecture, application) measurement.
+struct Entry {
+    arch: String,
+    app: &'static str,
+    iters: u32,
+    predicted_secs: f64,
+    actual_secs: f64,
+    pct_diff: f64,
+    makespan_ns: u64,
+    audit: AuditReport,
+    latency: Value,
+}
+
+fn measure(bench: &Benchmark, spec: &ClusterSpec, iters: u32, latency_evals: usize) -> Entry {
+    let model = mheta_apps::build_model(bench, spec, false)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), spec.name));
+    let blk = GenBlock::block(bench.total_rows(), spec.len());
+    let pred = model
+        .predict(blk.rows())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), spec.name));
+    let predicted_secs = pred.app_secs(iters);
+    let obs = run_observed(bench, spec, &blk, iters, false)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), spec.name));
+    let actual_secs = obs.measured.secs;
+    let audit = AuditReport::audit(&pred, iters, &obs.traces, &obs.windows);
+    let makespan_ns = obs
+        .traces
+        .iter()
+        .map(|t| t.finish.as_nanos())
+        .max()
+        .unwrap_or(0);
+
+    // Per-evaluation latency: time `latency_evals` model evaluations
+    // of the Block distribution (wall-clock, informational).
+    let counter = CountingEvaluator::new(&model);
+    for _ in 0..latency_evals {
+        counter.eval_ns(blk.rows());
+    }
+    Entry {
+        arch: spec.name.to_string(),
+        app: bench.name(),
+        iters,
+        predicted_secs,
+        actual_secs,
+        pct_diff: percent_difference(predicted_secs, actual_secs),
+        makespan_ns,
+        audit,
+        latency: latency_value(&counter.eval_latency()),
+    }
+}
+
+fn entry_value(e: &Entry) -> Value {
+    let top = e
+        .audit
+        .top_terms(3)
+        .into_iter()
+        .map(|(term, residual_ns)| {
+            Value::object(vec![
+                ("term", Value::Str(term.to_string())),
+                ("residual_ns", Value::Float(residual_ns)),
+            ])
+        })
+        .collect();
+    Value::object(vec![
+        ("arch", Value::Str(e.arch.clone())),
+        ("app", Value::Str(e.app.to_string())),
+        ("iters", Value::UInt(u64::from(e.iters))),
+        ("predicted_secs", Value::Float(e.predicted_secs)),
+        ("actual_secs", Value::Float(e.actual_secs)),
+        ("pct_diff", Value::Float(e.pct_diff)),
+        ("makespan_ns", Value::UInt(e.makespan_ns)),
+        (
+            "audit",
+            Value::object(vec![
+                (
+                    "total_residual_ns",
+                    Value::Float(e.audit.total_residual_ns()),
+                ),
+                ("top_terms", Value::Array(top)),
+            ]),
+        ),
+        ("eval_latency", e.latency.clone()),
+    ])
+}
+
+fn suite_value(name: &str, entries: &[Entry]) -> Value {
+    Value::object(vec![
+        ("schema", Value::Str("mheta-bench/v1".into())),
+        ("name", Value::Str(name.to_string())),
+        (
+            "entries",
+            Value::Array(entries.iter().map(entry_value).collect()),
+        ),
+    ])
+}
+
+/// Compare a fresh suite document against a baseline; returns the list
+/// of human-readable violations (empty = pass).
+fn check_against(baseline: &Value, fresh: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    let empty: [Value; 0] = [];
+    let base_entries = baseline
+        .get("entries")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let fresh_entries = fresh
+        .get("entries")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let key = |e: &Value| {
+        (
+            e.get("arch")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            e.get("app")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        )
+    };
+    for b in base_entries {
+        let id = key(b);
+        let Some(f) = fresh_entries.iter().find(|f| key(f) == id) else {
+            problems.push(format!("{}/{}: entry missing from fresh run", id.0, id.1));
+            continue;
+        };
+        let num = |v: &Value, field: &str| v.get(field).and_then(Value::as_f64);
+        for field in ["predicted_secs", "actual_secs", "makespan_ns"] {
+            match (num(b, field), num(f, field)) {
+                (Some(old), Some(new)) => {
+                    let rel = if old.abs() > 0.0 {
+                        (new - old).abs() / old.abs()
+                    } else {
+                        new.abs()
+                    };
+                    if rel > 0.10 {
+                        problems.push(format!(
+                            "{}/{}: {field} drifted {:.1}% (baseline {old}, now {new})",
+                            id.0,
+                            id.1,
+                            100.0 * rel
+                        ));
+                    }
+                }
+                _ => problems.push(format!("{}/{}: {field} missing", id.0, id.1)),
+            }
+        }
+        match (num(b, "pct_diff"), num(f, "pct_diff")) {
+            (Some(old), Some(new)) => {
+                if new > old + 2.0 {
+                    problems.push(format!(
+                        "{}/{}: accuracy regressed {old:.2}% -> {new:.2}%",
+                        id.0, id.1
+                    ));
+                }
+            }
+            _ => problems.push(format!("{}/{}: pct_diff missing", id.0, id.1)),
+        }
+    }
+    problems
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let smoke = flags.has("--smoke");
+    let (name, specs, benches, latency_evals) = if smoke {
+        (
+            "smoke",
+            vec![presets::io(), presets::hy1()],
+            Benchmark::small_four(),
+            50,
+        )
+    } else {
+        (
+            "full",
+            vec![presets::dc(), presets::io(), presets::hy1(), presets::hy2()],
+            Benchmark::paper_four(),
+            200,
+        )
+    };
+    let out_path = format!("BENCH_{name}.json");
+    let baseline = if flags.has("--check") {
+        let path = flags
+            .value("--check")
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or(&out_path)
+            .to_string();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check: cannot read baseline {path}: {e}"));
+        Some((
+            path.clone(),
+            serde::from_str(&text)
+                .unwrap_or_else(|e| panic!("--check: baseline {path} is not JSON: {e}")),
+        ))
+    } else {
+        None
+    };
+
+    println!(
+        "bench_suite: {name} ({} arch x {} apps)",
+        specs.len(),
+        benches.len()
+    );
+    println!(
+        "{:<5} {:<8} {:>6} {:>10} {:>10} {:>7} {:>12} {:>9}  top residual term",
+        "arch", "app", "iters", "pred(s)", "actual(s)", "diff%", "makespan_ms", "p50(us)"
+    );
+    let mut entries = Vec::new();
+    for spec in &specs {
+        for bench in &benches {
+            let iters = if smoke {
+                2
+            } else {
+                experiment_iters(bench, false)
+            };
+            let e = measure(bench, spec, iters, latency_evals);
+            let top = e
+                .audit
+                .top_terms(1)
+                .first()
+                .map(|(t, r)| format!("{t} ({:+.3} ms)", r / 1e6))
+                .unwrap_or_default();
+            println!(
+                "{:<5} {:<8} {:>6} {:>9.3}s {:>9.3}s {:>6.2}% {:>12.3} {:>9.1}  {top}",
+                e.arch,
+                e.app,
+                e.iters,
+                e.predicted_secs,
+                e.actual_secs,
+                e.pct_diff,
+                e.makespan_ns as f64 / 1e6,
+                e.latency
+                    .get("p50_ns")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0)
+                    / 1e3,
+            );
+            entries.push(e);
+        }
+    }
+
+    let doc = suite_value(name, &entries);
+    std::fs::write(&out_path, doc.to_json_pretty()).expect("write suite json");
+    println!("\nwrote {out_path}");
+
+    if let Some((path, baseline)) = baseline {
+        let problems = check_against(&baseline, &doc);
+        if problems.is_empty() {
+            println!(
+                "check vs {path}: OK ({} entries within tolerance)",
+                entries.len()
+            );
+        } else {
+            eprintln!("check vs {path}: FAILED");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

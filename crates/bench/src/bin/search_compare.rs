@@ -35,8 +35,8 @@ fn main() {
 
     println!("Distribution search comparison (budget {budget} MHETA evaluations)");
     println!(
-        "{:<5} {:<8} {:<9} {:>6} {:>10} {:>10} {:>8}",
-        "arch", "app", "search", "evals", "pred(s)", "actual(s)", "vs Blk"
+        "{:<5} {:<8} {:<9} {:>6} {:>10} {:>10} {:>8} {:>9} {:>9}",
+        "arch", "app", "search", "evals", "pred(s)", "actual(s)", "vs Blk", "p50(us)", "p95(us)"
     );
 
     for spec in [presets::io(), presets::hy1(), presets::hy2()] {
@@ -124,14 +124,16 @@ fn main() {
                     .expect("search-result run")
                     .secs;
                 println!(
-                    "{:<5} {:<8} {:<9} {:>6} {:>9.2}s {:>9.2}s {:>7.2}x",
+                    "{:<5} {:<8} {:<9} {:>6} {:>9.2}s {:>9.2}s {:>7.2}x {:>9.1} {:>9.1}",
                     spec.name,
                     bench.name(),
                     name,
                     outcome.evaluations,
                     outcome.score_ns * f64::from(iters) / 1e9,
                     act,
-                    blk_act / act
+                    blk_act / act,
+                    outcome.eval_latency.p50_ns() as f64 / 1e3,
+                    outcome.eval_latency.p95_ns() as f64 / 1e3,
                 );
             }
         }

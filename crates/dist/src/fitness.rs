@@ -17,8 +17,111 @@
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::time::Instant;
 
 use mheta_core::Mheta;
+
+/// Log₂-bucketed histogram of per-evaluation *wall-clock* latencies —
+/// the cost axis of the paper's §5.1 claim that one MHETA evaluation
+/// takes milliseconds where a measured run takes minutes.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)` ns, with bucket 0
+/// counting zero-valued samples; 65 buckets cover the full `u64`
+/// range. Quantiles are bucket-resolution approximations (upper bucket
+/// bound), which is plenty for an order-of-magnitude latency claim.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts (65 buckets).
+    pub buckets: Vec<u64>,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub sum_ns: u64,
+    /// Smallest sample, ns (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample, ns (0 when empty).
+    pub max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&mut self, ns: u64) {
+        let idx = if ns == 0 {
+            0
+        } else {
+            64 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Mean sample, ns (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`); 0 when empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency, ns.
+    #[must_use]
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile latency, ns.
+    #[must_use]
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile latency, ns.
+    #[must_use]
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
 
 /// Why one evaluation failed. Carries a human-readable message from
 /// the underlying model or measurement machinery.
@@ -89,6 +192,7 @@ pub struct CountingEvaluator<'a, E: Evaluator + ?Sized> {
     failed: Cell<usize>,
     retried: Cell<usize>,
     last_error: RefCell<Option<EvalError>>,
+    latency: RefCell<LatencyHistogram>,
     /// Attempts per logical evaluation (1 = no retry).
     attempts: u32,
 }
@@ -108,6 +212,7 @@ impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
             failed: Cell::new(0),
             retried: Cell::new(0),
             last_error: RefCell::new(None),
+            latency: RefCell::new(LatencyHistogram::default()),
             attempts: attempts.max(1),
         }
     }
@@ -136,15 +241,24 @@ impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
     pub fn last_error(&self) -> Option<EvalError> {
         self.last_error.borrow().clone()
     }
+
+    /// Wall-clock latency histogram of the logical evaluations so far
+    /// (a retried evaluation's attempts are timed as one sample — they
+    /// spend the caller's wall-clock together).
+    #[must_use]
+    pub fn eval_latency(&self) -> LatencyHistogram {
+        self.latency.borrow().clone()
+    }
 }
 
 impl<E: Evaluator + ?Sized> Evaluator for CountingEvaluator<'_, E> {
     fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
         self.count.set(self.count.get() + 1);
+        let started = Instant::now();
         let mut attempt = 1;
-        loop {
+        let result = loop {
             match self.inner.try_eval_ns(rows) {
-                Ok(score) => return Ok(score),
+                Ok(score) => break Ok(score),
                 Err(e) if attempt < self.attempts => {
                     self.retried.set(self.retried.get() + 1);
                     *self.last_error.borrow_mut() = Some(e);
@@ -153,10 +267,13 @@ impl<E: Evaluator + ?Sized> Evaluator for CountingEvaluator<'_, E> {
                 Err(e) => {
                     self.failed.set(self.failed.get() + 1);
                     *self.last_error.borrow_mut() = Some(e.clone());
-                    return Err(e);
+                    break Err(e);
                 }
             }
-        }
+        };
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency.borrow_mut().record(elapsed);
+        result
     }
 }
 

@@ -19,7 +19,7 @@ pub mod search;
 pub mod spectrum;
 
 pub use anchors::{bal, blk, ic, ic_bal, AnchorInputs};
-pub use fitness::{CountingEvaluator, EvalError, Evaluator, FallibleFn};
+pub use fitness::{CountingEvaluator, EvalError, Evaluator, FallibleFn, LatencyHistogram};
 pub use genblock::{GenBlock, GenBlockError};
 pub use redistribution::{predict_cost_ns, rows_moved, switch_benefit_ns, transfer_plan, Transfer};
 pub use search::{

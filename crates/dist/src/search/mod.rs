@@ -16,7 +16,7 @@ pub use gbs::{gbs_search, GbsConfig};
 pub use genetic::{genetic_search, GeneticConfig};
 pub use random::{random_search, RandomConfig};
 
-use crate::fitness::{CountingEvaluator, EvalError, Evaluator};
+use crate::fitness::{CountingEvaluator, EvalError, Evaluator, LatencyHistogram};
 use crate::genblock::GenBlock;
 
 /// One point on a search's convergence curve, recorded after every
@@ -57,6 +57,9 @@ pub struct SearchOutcome {
     pub last_failure: Option<EvalError>,
     /// Convergence curve: one [`IterPoint`] per evaluation, in order.
     pub history: Vec<IterPoint>,
+    /// Wall-clock latency histogram of the evaluator calls (the
+    /// paper's per-evaluation cost axis: p50/p95/p99 in ns).
+    pub eval_latency: LatencyHistogram,
 }
 
 /// Accumulates the per-evaluation convergence curve during a search.
@@ -123,6 +126,7 @@ pub(crate) fn outcome<E: Evaluator + ?Sized>(
         retried_evals: counter.retries(),
         last_failure: counter.last_error(),
         history: history.points,
+        eval_latency: counter.eval_latency(),
     }
 }
 

@@ -16,10 +16,15 @@ use mheta_sim::SimResult;
 use crate::comm::Comm;
 use crate::hooks::Recorder;
 
+/// Lower bound of the tag range reserved for collective traffic.
+/// Point-to-point application messages must use tags below this;
+/// observers classify any send/receive with `tag >= TAG_COLLECTIVE_BASE`
+/// as part of a collective schedule.
+pub const TAG_COLLECTIVE_BASE: u32 = 0x4000_0000;
 /// Tag used by reduction-phase messages.
-pub const TAG_REDUCE: u32 = 0x4000_0001;
+pub const TAG_REDUCE: u32 = TAG_COLLECTIVE_BASE | 1;
 /// Tag used by broadcast-phase messages.
-pub const TAG_BCAST: u32 = 0x4000_0002;
+pub const TAG_BCAST: u32 = TAG_COLLECTIVE_BASE | 2;
 
 /// Elementwise combine operation for reductions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -24,7 +24,7 @@ pub mod runner;
 
 pub use collectives::{
     allreduce, barrier, bcast, model_allreduce, model_bcast, model_reduce, reduce, HopCost,
-    ReduceOp, TAG_BCAST, TAG_REDUCE,
+    ReduceOp, TAG_BCAST, TAG_COLLECTIVE_BASE, TAG_REDUCE,
 };
 pub use comm::{Comm, ExecMode, PrefetchToken, RetryPolicy};
 pub use hooks::{

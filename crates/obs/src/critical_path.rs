@@ -295,6 +295,13 @@ impl CriticalPath {
                     push(&mut segments, rank, ev.start, ev.end, SegmentKind::Fault);
                     t = ev.start;
                 }
+                EventKind::MemLevel { .. } => {
+                    // Gauge samples are zero-length and filtered out by
+                    // the `end > start` scan above; defensively treat a
+                    // hypothetical nonzero one as untraced time.
+                    push(&mut segments, rank, ev.start, ev.end, SegmentKind::Idle);
+                    t = ev.start;
+                }
             }
         }
         if t > SimTime::ZERO && budget == 0 {

@@ -15,7 +15,11 @@
 //!   operations that decided the makespan, with attribution by cost
 //!   kind (the segments partition `[0, makespan]` exactly);
 //! * [`telemetry`] — convergence curves from the four distribution
-//!   searches in `mheta-dist`, as JSON and CSV.
+//!   searches in `mheta-dist`, as JSON and CSV;
+//! * [`audit`] — prediction-accuracy attribution: aligns the model's
+//!   per-term prediction with the simulator's actual timeline and
+//!   attributes the residual to individual model terms (the terms
+//!   partition the residual exactly).
 //!
 //! Everything here is read-only over the run artifacts and emits
 //! byte-deterministic output for a fixed seed, so exports can be
@@ -23,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod critical_path;
 pub mod metrics;
 pub mod perfetto;
 pub mod telemetry;
 
+pub use audit::{AuditReport, RankAudit, TermLine, TERM_NAMES};
 pub use critical_path::{CriticalPath, PathSegment, SegmentKind};
 pub use metrics::{Histogram, Metrics, RankBreakdown};
 pub use perfetto::{perfetto_json, perfetto_trace};
-pub use telemetry::{convergence_csv, search_value, searches_json, searches_value};
+pub use telemetry::{convergence_csv, latency_value, search_value, searches_json, searches_value};

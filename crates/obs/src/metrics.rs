@@ -46,6 +46,11 @@ pub struct RankBreakdown {
     /// Informational: this time is already accounted to the buckets
     /// above on this rank's timeline.
     pub prefetch_overlap_ns: u64,
+    /// Peak memory-in-use observed on this rank (the largest
+    /// high-water mark among `MemLevel` gauge samples; 0 when memory
+    /// tracking produced no samples). Informational: a level, not a
+    /// duration, so it is not part of the time partition.
+    pub peak_mem_bytes: u64,
 }
 
 impl RankBreakdown {
@@ -346,6 +351,12 @@ fn digest_rank(
             EventKind::Fault { .. } => {
                 b.fault_ns += len;
                 incr("events.fault", 1);
+            }
+            EventKind::MemLevel { high_water, .. } => {
+                // Zero-length gauge sample: contributes no time, only
+                // the memory level.
+                b.peak_mem_bytes = b.peak_mem_bytes.max(*high_water);
+                incr("events.mem_level", 1);
             }
         }
     }

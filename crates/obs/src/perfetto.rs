@@ -66,7 +66,34 @@ fn slice(
     ])
 }
 
+/// A counter sample (`ph: "C"`): Perfetto renders consecutive samples
+/// of the same `(pid, name)` as a stepped counter track.
+fn counter(name: &str, pid: usize, at: SimTime, series: Vec<(&str, Value)>) -> Value {
+    Value::object(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str("sim".into())),
+        ("ph", Value::Str("C".into())),
+        ("ts", us(at.as_nanos())),
+        ("pid", Value::UInt(pid as u64)),
+        ("args", Value::object(series)),
+    ])
+}
+
 fn sim_event(rank: usize, ev: &mheta_sim::Event) -> Value {
+    if let EventKind::MemLevel { in_use, high_water } = &ev.kind {
+        // Memory gauge: a counter track per rank, not a slice. The
+        // level holds until the next sample, which is exactly the
+        // trace-event counter semantic.
+        return counter(
+            "memory",
+            rank,
+            ev.start,
+            vec![
+                ("in_use_bytes", Value::UInt(*in_use)),
+                ("high_water_bytes", Value::UInt(*high_water)),
+            ],
+        );
+    }
     let (name, args) = match &ev.kind {
         EventKind::Compute { work_units } => (
             "compute",
@@ -131,6 +158,7 @@ fn sim_event(rank: usize, ev: &mheta_sim::Event) -> Value {
             "fault",
             Value::object(vec![("fault", Value::Str(format!("{fault:?}")))]),
         ),
+        EventKind::MemLevel { .. } => unreachable!("returned as a counter above"),
     };
     slice(name, "sim", rank, 0, ev.start, ev.end, args)
 }
@@ -386,6 +414,57 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("name").and_then(Value::as_str) == Some("iteration 4")));
+    }
+
+    #[test]
+    fn mem_levels_become_counter_events() {
+        let t = RankTrace {
+            rank: 2,
+            events: vec![
+                Event {
+                    start: SimTime(100),
+                    end: SimTime(100),
+                    kind: EventKind::MemLevel {
+                        in_use: 4096,
+                        high_water: 4096,
+                    },
+                },
+                Event {
+                    start: SimTime(900),
+                    end: SimTime(900),
+                    kind: EventKind::MemLevel {
+                        in_use: 0,
+                        high_water: 4096,
+                    },
+                },
+            ],
+            finish: SimTime(1000),
+        };
+        let doc = perfetto_trace(&[t], &[]);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].get("name").unwrap().as_str(), Some("memory"));
+        assert_eq!(counters[0].get("pid").unwrap().as_u64(), Some(2));
+        assert_eq!(counters[0].get("ts").unwrap().as_f64(), Some(0.1));
+        let args = counters[0].get("args").unwrap();
+        assert_eq!(args.get("in_use_bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(args.get("high_water_bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("in_use_bytes")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        // Counter events carry no dur/tid.
+        assert!(counters[0].get("dur").is_none());
+        assert!(counters[0].get("tid").is_none());
     }
 
     #[test]

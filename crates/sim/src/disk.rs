@@ -183,6 +183,21 @@ impl MemTracker {
         self.in_use = self.in_use.saturating_sub(bytes);
     }
 
+    /// Account `bytes` of I/O staging buffer entering use. Unlike
+    /// [`Self::alloc`] this is observational — the engine charges
+    /// buffers it moves on the application's behalf, whose sizes the
+    /// out-of-core planner already bounded to fit, so staging never
+    /// fails; it only moves the gauge and the high-water mark.
+    pub fn stage(&mut self, bytes: u64) {
+        self.in_use = self.in_use.saturating_add(bytes);
+        self.high_water = self.high_water.max(self.in_use);
+    }
+
+    /// Release `bytes` of staged I/O buffer (saturating).
+    pub fn unstage(&mut self, bytes: u64) {
+        self.in_use = self.in_use.saturating_sub(bytes);
+    }
+
     /// Bytes currently reserved.
     #[must_use]
     pub fn in_use(&self) -> u64 {

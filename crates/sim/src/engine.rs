@@ -233,6 +233,15 @@ impl RankCtx {
         }
     }
 
+    /// Sample the memory gauge into the trace as a zero-length
+    /// [`EventKind::MemLevel`] event at `at`; the level is considered
+    /// to hold until the next sample.
+    fn record_mem_level(&mut self, at: SimTime) {
+        let in_use = self.mem.in_use();
+        let high_water = self.mem.high_water();
+        self.record_span(at, at, EventKind::MemLevel { in_use, high_water });
+    }
+
     /// Advance the clock by a raw duration (used by higher layers for
     /// costs they model themselves, e.g. hook bookkeeping).
     pub fn charge(&mut self, d: SimDur) {
@@ -319,7 +328,11 @@ impl RankCtx {
         let cost = node.io_read_seek_ns + bytes as f64 * node.io_read_ns_per_byte * warmth;
         let d = SimDur::from_nanos_f64(self.noise.perturb(cost));
         self.now += d;
+        self.mem.stage(bytes);
+        self.record_mem_level(start);
         self.record(start, EventKind::DiskRead { var, bytes });
+        self.mem.unstage(bytes);
+        self.record_mem_level(self.now);
         Ok(d)
     }
 
@@ -366,7 +379,11 @@ impl RankCtx {
         let cost = node.io_write_seek_ns + bytes as f64 * node.io_write_ns_per_byte;
         let d = SimDur::from_nanos_f64(self.noise.perturb(cost));
         self.now += d;
+        self.mem.stage(bytes);
+        self.record_mem_level(start);
         self.record(start, EventKind::DiskWrite { var, bytes });
+        self.mem.unstage(bytes);
+        self.record_mem_level(self.now);
         Ok(d)
     }
 
@@ -399,6 +416,11 @@ impl RankCtx {
         let id = self.next_prefetch;
         self.next_prefetch += 1;
         self.prefetches.insert(id, completion);
+        // The prefetch buffer stays staged until the matching wait
+        // consumes it, so the memory track shows buffers held across
+        // the compute/IO overlap window.
+        self.mem.stage(bytes);
+        self.record_mem_level(start);
         self.record(
             start,
             EventKind::PrefetchIssue {
@@ -427,6 +449,8 @@ impl RankCtx {
                 blocked_ns: blocked.as_nanos(),
             },
         );
+        self.mem.unstage((p.data.len() * 8) as u64);
+        self.record_mem_level(self.now);
         (p.data, blocked)
     }
 
@@ -1103,6 +1127,49 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn mem_levels_track_io_staging() {
+        let spec = quiet_spec(1);
+        let run = run_cluster(&spec, true, |ctx| {
+            ctx.disk.create(1, 100);
+            ctx.disk_write(1, 0, &[1.0; 100])?;
+            let p = ctx.prefetch_issue(1, 0, 100)?;
+            ctx.compute(10.0, u64::MAX);
+            ctx.prefetch_wait(p);
+            Ok(())
+        })
+        .unwrap();
+        let t = &run.traces[0];
+        assert!(t.is_monotone(), "mem samples keep the trace monotone");
+        assert_eq!(t.peak_mem_bytes(), 800, "staging peak is one buffer");
+        let levels: Vec<u64> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MemLevel { in_use, .. } => Some(in_use),
+                _ => None,
+            })
+            .collect();
+        // Write: up then down; prefetch: up at issue, down after wait.
+        assert_eq!(levels, vec![800, 0, 800, 0]);
+        // The prefetch buffer stays staged across the overlapped
+        // compute: the issue-time sample and the wait-time release
+        // bracket the Compute event.
+        let issue_idx = t
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::PrefetchIssue { .. }))
+            .unwrap();
+        let wait_idx = t
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::PrefetchWait { .. }))
+            .unwrap();
+        assert!(t.events[issue_idx..wait_idx]
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Compute { .. })));
     }
 
     #[test]

@@ -27,6 +27,8 @@ fn symbol(kind: &EventKind) -> char {
         EventKind::Send { .. } => 's',
         EventKind::Recv { .. } => 'r',
         EventKind::Fault { .. } => 'F',
+        // Zero-length gauge samples; skipped by the painter.
+        EventKind::MemLevel { .. } => 'm',
     }
 }
 
@@ -59,6 +61,9 @@ pub fn render(traces: &[RankTrace], width: usize) -> String {
         // Paint events; later events overwrite earlier ones in shared
         // buckets, which biases toward the most recent activity.
         for ev in &t.events {
+            if matches!(ev.kind, EventKind::MemLevel { .. }) {
+                continue; // gauge samples occupy no time
+            }
             let c0 = ((ev.start.as_nanos() as f64) / bucket) as usize;
             let c1 = (((ev.end.as_nanos() as f64) / bucket).ceil() as usize).max(c0 + 1);
             let sym = symbol(&ev.kind);

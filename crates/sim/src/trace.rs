@@ -48,6 +48,13 @@ pub enum EventKind {
     /// of a failed disk attempt); instantaneous faults such as window
     /// entries are recorded as zero-length events.
     Fault { fault: FaultKind },
+    /// Memory-in-use level change on this rank's [`MemTracker`]
+    /// (I/O staging buffers entering or leaving use). Zero-length
+    /// sample: the level holds from this instant until the next
+    /// `MemLevel` event. Exporters render these as counter tracks.
+    ///
+    /// [`MemTracker`]: crate::disk::MemTracker
+    MemLevel { in_use: u64, high_water: u64 },
 }
 
 /// One traced interval on a rank's virtual timeline.
@@ -135,6 +142,21 @@ impl RankTrace {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Peak memory-in-use observed on this rank (the final high-water
+    /// mark among [`EventKind::MemLevel`] samples); 0 when memory
+    /// tracking produced no samples (tracing off or no I/O staging).
+    #[must_use]
+    pub fn peak_mem_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::MemLevel { high_water, .. } => high_water,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Check the internal consistency of the trace: events must be

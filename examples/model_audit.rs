@@ -1,0 +1,82 @@
+//! Error attribution: *where* does the model's prediction error come
+//! from when the distribution is wrong for the cluster?
+//!
+//! We run Jacobi on the heterogeneous HY1 preset twice — once with a
+//! sensible Block distribution, once with a deliberately bad one that
+//! dumps most of the rows on the weakest node — and audit both
+//! predictions against the simulated runs. The audit aligns each model
+//! term (compute, disk, prefetch, comm overhead, neighbor wait,
+//! collective) with the simulator's actual timeline and prints the
+//! signed per-term residual; the terms partition the total residual
+//! exactly, so the top terms *are* the explanation.
+//!
+//! ```text
+//! cargo run --release --example model_audit
+//! ```
+
+use mheta::obs::AuditReport;
+use mheta::prelude::*;
+
+fn audit_one(label: &str, bench: &Benchmark, spec: &ClusterSpec, blk: &GenBlock, iters: u32) {
+    let model = build_model(bench, spec, false).expect("model assembly");
+    let pred = model.predict(blk.rows()).expect("prediction");
+    let obs = run_observed(bench, spec, blk, iters, false).expect("observed run");
+    let report = AuditReport::audit(&pred, iters, &obs.traces, &obs.windows);
+
+    println!("== {label}: rows {:?}", blk.rows());
+    println!(
+        "   predicted {:.3}s  actual {:.3}s  ({:+.2}% residual {:+.3} ms)",
+        pred.app_secs(iters),
+        obs.measured.secs,
+        percent_difference(pred.app_secs(iters), obs.measured.secs),
+        report.total_residual_ns() / 1e6,
+    );
+    println!("   top error-attribution terms:");
+    for (term, residual_ns) in report.top_terms(3) {
+        let side = if residual_ns >= 0.0 {
+            "model over-predicts"
+        } else {
+            "model under-predicts"
+        };
+        println!("     {term:<17} {:+10.3} ms  ({side})", residual_ns / 1e6);
+    }
+    println!();
+}
+
+fn main() {
+    let spec = presets::hy1();
+    let bench = Benchmark::Jacobi(Jacobi::default());
+    let iters = 4;
+    let total = bench.total_rows();
+    let n = spec.len();
+
+    // A sensible distribution, and one that overloads the weakest node.
+    let good = GenBlock::block(total, n);
+    let mut weights = vec![1.0; n];
+    let weakest = spec
+        .nodes
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cpu_power.total_cmp(&b.1.cpu_power))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    weights[weakest] = 20.0;
+    let bad = GenBlock::apportion(total, &weights);
+
+    println!(
+        "error attribution for {} on {} ({iters} iterations)\n",
+        bench.name(),
+        spec.name
+    );
+    audit_one("Block (sensible)", &bench, &spec, &good, iters);
+    audit_one(
+        "overloaded weakest node (deliberately bad)",
+        &bench,
+        &spec,
+        &bad,
+        iters,
+    );
+
+    println!("The audit's terms partition the residual exactly; see");
+    println!("EXPERIMENTS.md for the full per-rank table and bench_suite gate.");
+}

@@ -178,6 +178,7 @@ fn perfetto_export_is_schema_sane() {
     let events = doc.get("traceEvents").unwrap().as_array().unwrap();
     assert!(!events.is_empty());
     let mut slices = 0;
+    let mut counters = 0;
     for ev in events {
         let ph = ev
             .get("ph")
@@ -195,10 +196,22 @@ fn perfetto_export_is_schema_sane() {
                 assert!(ts >= 0.0 && dur >= 0.0);
                 assert!(ev.get("tid").and_then(Value::as_u64).is_some());
             }
+            "C" => {
+                counters += 1;
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("counter ts");
+                assert!(ts >= 0.0);
+                let args = ev.get("args").expect("counter series");
+                assert!(args.get("in_use_bytes").and_then(Value::as_u64).is_some());
+                assert!(args
+                    .get("high_water_bytes")
+                    .and_then(Value::as_u64)
+                    .is_some());
+            }
             other => panic!("unexpected phase {other:?}"),
         }
     }
     assert!(slices > 0, "export contains complete slices");
+    assert!(counters > 0, "export contains memory counter samples");
     // Both tracks are present: raw sim events and hook scopes.
     let tids: Vec<u64> = events
         .iter()
