@@ -12,16 +12,17 @@
 //!    and run the application for its full iteration count to get the
 //!    actual time.
 
-use mheta_core::{build_profile, measure_arch, Mheta, ProgramStructure};
+use mheta_core::{build_profile, measure_arch, Mheta, Prediction, ProgramStructure};
 use mheta_dist::{AnchorInputs, GenBlock};
 use mheta_mpi::{run_app, ExecMode, HookEvent, NullRecorder, RunOptions, Scope, VecRecorder};
-use mheta_sim::{ClusterSpec, RankTrace, SimResult};
+use mheta_sim::{ClusterSpec, FaultSpec, RankTrace, RecoveryKind, SimError, SimResult};
 
 use crate::app::RankResult;
 use crate::cg::Cg;
 use crate::jacobi::Jacobi;
 use crate::lanczos::Lanczos;
 use crate::multigrid::Multigrid;
+use crate::resilient::{new_checkpoint_store, ResilientJacobi, ResilientOutcome};
 use crate::rna::Rna;
 
 /// One of the benchmark applications, dispatchable without generics.
@@ -296,6 +297,192 @@ pub fn anchor_inputs(model: &Mheta) -> AnchorInputs {
         ns_per_row,
         capacity_rows,
     }
+}
+
+// ---- crash-stop resilience ----------------------------------------------
+
+/// Everything a resilient (checkpoint/restart) run produces.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// Per-rank outcomes (dead ranks included, marked `alive: false`).
+    pub outcomes: Vec<ResilientOutcome>,
+    /// Per-rank operational traces (tracing is always on: resilient
+    /// runs exist to be audited).
+    pub traces: Vec<RankTrace>,
+    /// Per-rank hook-event streams.
+    pub hooks: Vec<Vec<HookEvent>>,
+    /// Makespan over the *surviving* ranks' loop windows.
+    pub measured: Measured,
+    /// Per-rank `(t0_ns, t1_ns)` loop windows (a dead rank's window
+    /// ends at its death time).
+    pub windows: Vec<(u64, u64)>,
+}
+
+/// Run the resilient Jacobi driver cluster-wide. The checkpoint
+/// interval comes from `spec.faults.checkpoint_interval` (clamped to at
+/// least 1) and redistribution weights from the nodes' CPU powers.
+pub fn run_resilient(
+    app: &Jacobi,
+    spec: &ClusterSpec,
+    dist: &GenBlock,
+    iters: u32,
+) -> SimResult<ResilientRun> {
+    let interval = spec.faults.checkpoint_interval.max(1);
+    let weights: Vec<f64> = spec.nodes.iter().map(|n| n.cpu_power).collect();
+    let store = new_checkpoint_store();
+    let driver = ResilientJacobi { app: app.clone() };
+    let run = run_app(
+        spec,
+        RunOptions {
+            tracing: true,
+            mode: ExecMode::Normal,
+        },
+        |_| VecRecorder::default(),
+        |comm| driver.run(comm, dist, iters, interval, &weights, &store),
+    )?;
+    let survivors: Vec<&ResilientOutcome> = run.results.iter().filter(|o| o.alive).collect();
+    if survivors.is_empty() {
+        return Err(SimError::InvalidConfig(
+            "resilient run left no survivors".into(),
+        ));
+    }
+    let t0 = survivors.iter().map(|o| o.result.t0_ns).max().unwrap_or(0);
+    let t1 = survivors.iter().map(|o| o.result.t1_ns).max().unwrap_or(0);
+    let measured = Measured {
+        secs: (t1 - t0) as f64 / 1e9,
+        per_rank_secs: run.results.iter().map(|o| o.result.secs()).collect(),
+        check: survivors[0].result.check,
+    };
+    Ok(ResilientRun {
+        windows: run
+            .results
+            .iter()
+            .map(|o| (o.result.t0_ns, o.result.t1_ns))
+            .collect(),
+        outcomes: run.results,
+        traces: run.traces,
+        hooks: run.recorders.into_iter().map(|r| r.events).collect(),
+        measured,
+    })
+}
+
+/// Summary of a resilient run's recovery, for comparing against the
+/// model's post-failure forecast. `None` when no crash happened.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Ranks that died, sorted.
+    pub dead: Vec<usize>,
+    /// Iteration the survivors rolled back to.
+    pub rollback_iteration: u32,
+    /// Iterations re-run or still to run after recovery.
+    pub remaining_iters: u32,
+    /// Latest virtual time a survivor resumed computing.
+    pub resume_ns: u64,
+    /// Simulated post-failure makespan: max over survivors of
+    /// resume-to-finish time minus post-resume checkpoint time (the
+    /// model predicts the iteration loop, not the checkpoint tax).
+    pub actual_post_ns: f64,
+    /// Max-over-survivors total span time per recovery kind, ns,
+    /// indexed `[checkpoint, rollback, redistribution, reprediction]`.
+    pub recovery_ns: [f64; 4],
+}
+
+/// Extract a [`RecoveryReport`] from a resilient run, or `None` if no
+/// recovery happened.
+#[must_use]
+pub fn recovery_report(run: &ResilientRun, iters: u32) -> Option<RecoveryReport> {
+    let survivors: Vec<&ResilientOutcome> = run.outcomes.iter().filter(|o| o.alive).collect();
+    let rollback_iteration = survivors
+        .iter()
+        .filter_map(|o| o.rollback_iteration)
+        .max()?;
+    let dead = survivors
+        .iter()
+        .map(|o| o.dead.clone())
+        .max_by_key(Vec::len)
+        .unwrap_or_default();
+    let resume_ns = survivors.iter().map(|o| o.resume_ns).max().unwrap_or(0);
+    // Post-resume makespan with the checkpoint tax taken out. The
+    // per-iteration agreement collective synchronizes the survivors, so
+    // the whole cluster pays the *slowest* checkpointer each epoch —
+    // subtract the max per-rank checkpoint time from the global
+    // makespan rather than each rank's own spans (a fast writer's wait
+    // on a slow one shows up as blocking, not as its own span).
+    let makespan_ns = survivors
+        .iter()
+        .map(|o| o.result.t1_ns.saturating_sub(o.resume_ns))
+        .max()
+        .unwrap_or(0);
+    let post_ckpt_ns = survivors
+        .iter()
+        .map(|o| {
+            o.spans
+                .iter()
+                .filter(|s| s.kind == RecoveryKind::Checkpoint && s.start_ns >= o.resume_ns)
+                .map(|s| s.len_ns())
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0);
+    let actual_post_ns = makespan_ns.saturating_sub(post_ckpt_ns) as f64;
+    let mut recovery_ns = [0.0f64; 4];
+    for (slot, kind) in recovery_ns.iter_mut().zip([
+        RecoveryKind::Checkpoint,
+        RecoveryKind::Rollback,
+        RecoveryKind::Redistribution,
+        RecoveryKind::Reprediction,
+    ]) {
+        *slot = survivors
+            .iter()
+            .map(|o| {
+                o.spans
+                    .iter()
+                    .filter(|s| s.kind == kind)
+                    .map(|s| s.len_ns())
+                    .sum::<u64>() as f64
+            })
+            .fold(0.0, f64::max);
+    }
+    Some(RecoveryReport {
+        dead,
+        rollback_iteration,
+        remaining_iters: iters - rollback_iteration,
+        resume_ns,
+        actual_post_ns,
+        recovery_ns,
+    })
+}
+
+/// Post-failure re-prediction: rebuild the MHETA model for the
+/// surviving sub-cluster (microbenchmarks plus a fresh instrumented
+/// iteration, exactly the normal §5.1 workflow on the smaller machine)
+/// and predict the post-recovery layout. `final_rows` is the full
+/// per-rank layout with zeros at dead ranks, as
+/// [`ResilientOutcome::final_rows`] reports it.
+pub fn repredict_after_crash(
+    app: &Jacobi,
+    spec: &ClusterSpec,
+    dead: &[usize],
+    final_rows: &[usize],
+) -> SimResult<Prediction> {
+    let survivors: Vec<usize> = (0..spec.len()).filter(|r| !dead.contains(r)).collect();
+    if survivors.is_empty() {
+        return Err(SimError::InvalidConfig(
+            "cannot re-predict with no survivors".into(),
+        ));
+    }
+    let mut sub = spec.clone();
+    sub.name = format!("{}-survivors", spec.name);
+    sub.nodes = survivors.iter().map(|&r| spec.nodes[r].clone()).collect();
+    // The model-building microbenchmarks run on the healthy remainder:
+    // no crash schedule carries over.
+    sub.faults = FaultSpec::default();
+    let bench = Benchmark::Jacobi(app.clone());
+    let model = build_model(&bench, &sub, false)?;
+    let rows: Vec<usize> = survivors.iter().map(|&r| final_rows[r]).collect();
+    model
+        .predict(&rows)
+        .map_err(|e| SimError::InvalidConfig(e.to_string()))
 }
 
 /// Percentage difference as the paper computes it (§5.2.1): absolute

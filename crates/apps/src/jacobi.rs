@@ -99,7 +99,7 @@ impl Jacobi {
         }
     }
 
-    fn initial_row(&self, global_row: usize, cols: usize) -> Vec<f64> {
+    pub(crate) fn initial_row(&self, global_row: usize, cols: usize) -> Vec<f64> {
         (0..cols)
             .map(|c| hash01(self.seed, global_row as u64, c as u64))
             .collect()
@@ -107,7 +107,7 @@ impl Jacobi {
 
     /// Five-point update of one row given its old neighbors. Returns
     /// the new row and its contribution to the residual.
-    fn stencil_row(above: &[f64], mid: &[f64], below: &[f64]) -> (Vec<f64>, f64) {
+    pub(crate) fn stencil_row(above: &[f64], mid: &[f64], below: &[f64]) -> (Vec<f64>, f64) {
         let cols = mid.len();
         let mut new = vec![0.0; cols];
         let mut res = 0.0;
@@ -233,7 +233,7 @@ impl Jacobi {
         })
     }
 
-    fn sweep_in_core<R: Recorder>(
+    pub(crate) fn sweep_in_core<R: Recorder>(
         &self,
         comm: &mut Comm<'_, R>,
         u: &mut [f64],

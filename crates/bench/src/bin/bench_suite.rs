@@ -219,8 +219,19 @@ fn main() {
             .filter(|v| !v.starts_with("--"))
             .unwrap_or(&out_path)
             .to_string();
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("--check: cannot read baseline {path}: {e}"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!(
+                    "bench_suite --check: missing baseline {path}; run \
+                     `cargo run --release -p mheta-bench --bin bench_suite{}` \
+                     without --check first to create it",
+                    if smoke { " -- --smoke" } else { "" }
+                );
+                std::process::exit(1);
+            }
+            Err(e) => panic!("--check: cannot read baseline {path}: {e}"),
+        };
         Some((
             path.clone(),
             serde::from_str(&text)

@@ -277,6 +277,112 @@ impl<E: Evaluator + ?Sized> Evaluator for CountingEvaluator<'_, E> {
     }
 }
 
+/// Cost model for running under a per-iteration crash probability with
+/// checkpoint/restart: the knobs a failure-aware fitness trades off.
+///
+/// Expected per-iteration cost (first-order, at most one crash):
+///
+/// ```text
+/// E[t] = t_iter + ckpt_write / K + p · ((K − 1)/2 · t_iter + restart)
+/// ```
+///
+/// — every iteration pays its share of the amortized checkpoint write,
+/// and with probability `p` a crash forces re-execution of on average
+/// `(K − 1)/2` iterations since the last checkpoint plus the fixed
+/// recovery overhead (detection + rollback + redistribution +
+/// re-prediction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashCostModel {
+    /// Probability that some rank crashes in any given iteration.
+    pub crash_prob_per_iter: f64,
+    /// Total iterations the application will run.
+    pub iters: u32,
+    /// Virtual cost of one checkpoint write, ns (the slowest rank's).
+    pub checkpoint_write_ns: f64,
+    /// Fixed recovery overhead per crash, ns: detection + rollback +
+    /// redistribution + re-prediction.
+    pub restart_overhead_ns: f64,
+    /// Checkpoint interval K in iterations (≥ 1).
+    pub checkpoint_interval: u32,
+}
+
+impl CrashCostModel {
+    /// Expected per-iteration cost under this model for a crash-free
+    /// iteration time of `t_iter_ns`.
+    #[must_use]
+    pub fn expected_iteration_ns(&self, t_iter_ns: f64) -> f64 {
+        let k = f64::from(self.checkpoint_interval.max(1));
+        let rollback_loss = (k - 1.0) / 2.0 * t_iter_ns;
+        t_iter_ns
+            + self.checkpoint_write_ns / k
+            + self.crash_prob_per_iter * (rollback_loss + self.restart_overhead_ns)
+    }
+
+    /// Expected makespan of the whole run, ns.
+    #[must_use]
+    pub fn expected_makespan_ns(&self, t_iter_ns: f64) -> f64 {
+        self.expected_iteration_ns(t_iter_ns) * f64::from(self.iters)
+    }
+
+    /// The checkpoint interval minimizing the expected per-iteration
+    /// cost: Young's first-order optimum `K* = sqrt(2·ckpt / (p·t))`,
+    /// clamped to `[1, iters]`. Returns `iters` (checkpoint once at
+    /// start) when crashes are impossible or iterations are free.
+    #[must_use]
+    pub fn optimal_interval(&self, t_iter_ns: f64) -> u32 {
+        let denom = self.crash_prob_per_iter * t_iter_ns;
+        if denom <= 0.0 || self.checkpoint_write_ns <= 0.0 {
+            return self.iters.max(1);
+        }
+        let k = (2.0 * self.checkpoint_write_ns / denom).sqrt();
+        let k = k.round().clamp(1.0, f64::from(self.iters.max(1)));
+        k as u32
+    }
+
+    /// [`Self::expected_iteration_ns`] minimized over the checkpoint
+    /// interval (i.e. evaluated at [`Self::optimal_interval`]).
+    #[must_use]
+    pub fn best_expected_iteration_ns(&self, t_iter_ns: f64) -> f64 {
+        let tuned = CrashCostModel {
+            checkpoint_interval: self.optimal_interval(t_iter_ns),
+            ..*self
+        };
+        tuned.expected_iteration_ns(t_iter_ns)
+    }
+}
+
+/// Failure-aware fitness: scores a distribution by its *expected*
+/// iteration time under a [`CrashCostModel`] instead of the crash-free
+/// prediction. Because it implements [`Evaluator`], all four search
+/// algorithms optimize it unchanged — a distribution that is marginally
+/// faster crash-free can lose to one whose checkpoint writes amortize
+/// better over the expected rollback loss.
+pub struct FailureAwareEvaluator<'a, E: Evaluator + ?Sized> {
+    inner: &'a E,
+    model: CrashCostModel,
+}
+
+impl<'a, E: Evaluator + ?Sized> FailureAwareEvaluator<'a, E> {
+    /// Wrap `inner` (a crash-free iteration-time evaluator) with a
+    /// crash cost model.
+    pub fn new(inner: &'a E, model: CrashCostModel) -> Self {
+        FailureAwareEvaluator { inner, model }
+    }
+
+    /// The crash cost model in effect.
+    #[must_use]
+    pub fn model(&self) -> CrashCostModel {
+        self.model
+    }
+}
+
+impl<E: Evaluator + ?Sized> Evaluator for FailureAwareEvaluator<'_, E> {
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
+        let t = self.inner.try_eval_ns(rows)?;
+        Ok(self.model.expected_iteration_ns(t))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +459,79 @@ mod tests {
     fn eval_error_displays_message() {
         let e = EvalError("profile missing".into());
         assert_eq!(e.to_string(), "evaluation failed: profile missing");
+    }
+
+    fn crash_model() -> CrashCostModel {
+        CrashCostModel {
+            crash_prob_per_iter: 0.01,
+            iters: 100,
+            checkpoint_write_ns: 1.0e6,
+            restart_overhead_ns: 5.0e6,
+            checkpoint_interval: 10,
+        }
+    }
+
+    #[test]
+    fn expected_iteration_adds_checkpoint_and_rollback_terms() {
+        let m = crash_model();
+        let t = 1.0e6;
+        let expect = t + 1.0e6 / 10.0 + 0.01 * ((10.0 - 1.0) / 2.0 * t + 5.0e6);
+        assert!((m.expected_iteration_ns(t) - expect).abs() < 1e-6);
+        assert!(
+            m.expected_iteration_ns(t) > t,
+            "failure awareness never makes an iteration cheaper"
+        );
+        assert!((m.expected_makespan_ns(t) - 100.0 * expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_crash_probability_still_pays_checkpoints() {
+        let m = CrashCostModel {
+            crash_prob_per_iter: 0.0,
+            ..crash_model()
+        };
+        let t = 2.0e6;
+        assert!((m.expected_iteration_ns(t) - (t + 1.0e5)).abs() < 1e-6);
+        // With no crashes the optimum is "checkpoint as rarely as
+        // possible".
+        assert_eq!(m.optimal_interval(t), 100);
+    }
+
+    #[test]
+    fn optimal_interval_follows_youngs_formula() {
+        let m = crash_model();
+        let t = 1.0e6;
+        // K* = sqrt(2 · 1e6 / (0.01 · 1e6)) = sqrt(200) ≈ 14.
+        assert_eq!(m.optimal_interval(t), 14);
+        // The tuned interval beats both extremes.
+        let at = |k: u32| {
+            CrashCostModel {
+                checkpoint_interval: k,
+                ..m
+            }
+            .expected_iteration_ns(t)
+        };
+        let best = m.best_expected_iteration_ns(t);
+        assert!(best <= at(1));
+        assert!(best <= at(100));
+        assert!((best - at(14)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_aware_evaluator_reorders_candidates() {
+        // Crash-free, layout A is faster; under failure-awareness the
+        // ordering is preserved monotonically (affine map), but the
+        // expected scores separate by the rollback term.
+        let inner = |rows: &[usize]| if rows[0] == 0 { 1.0e6 } else { 1.2e6 };
+        let fa = FailureAwareEvaluator::new(&inner, crash_model());
+        let a = fa.eval_ns(&[0]);
+        let b = fa.eval_ns(&[1]);
+        assert!(a < b);
+        assert!(a > 1.0e6, "expected cost exceeds crash-free cost");
+        assert_eq!(fa.model().checkpoint_interval, 10);
+        // Errors still propagate as penalties through the wrapper.
+        let failing = FallibleFn(|_: &[usize]| Err(EvalError("down".into())));
+        let fa = FailureAwareEvaluator::new(&failing, crash_model());
+        assert_eq!(fa.eval_ns(&[1]), f64::INFINITY);
     }
 }

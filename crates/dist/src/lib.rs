@@ -19,9 +19,14 @@ pub mod search;
 pub mod spectrum;
 
 pub use anchors::{bal, blk, ic, ic_bal, AnchorInputs};
-pub use fitness::{CountingEvaluator, EvalError, Evaluator, FallibleFn, LatencyHistogram};
+pub use fitness::{
+    CountingEvaluator, CrashCostModel, EvalError, Evaluator, FailureAwareEvaluator, FallibleFn,
+    LatencyHistogram,
+};
 pub use genblock::{GenBlock, GenBlockError};
-pub use redistribution::{predict_cost_ns, rows_moved, switch_benefit_ns, transfer_plan, Transfer};
+pub use redistribution::{
+    predict_cost_ns, rows_moved, switch_benefit_ns, transfer_plan, transfer_plan_rows, Transfer,
+};
 pub use search::{
     gbs_search, genetic_search, random_search, simulated_annealing, AnnealingConfig, GbsConfig,
     GeneticConfig, IterPoint, RandomConfig, SearchOutcome,

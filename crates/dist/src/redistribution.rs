@@ -39,9 +39,35 @@ pub struct Transfer {
 #[must_use]
 pub fn transfer_plan(old: &GenBlock, new: &GenBlock) -> Vec<Transfer> {
     assert_eq!(old.len(), new.len(), "node counts must match");
-    assert_eq!(old.total(), new.total(), "row totals must match");
-    let old_off = old.offsets();
-    let new_off = new.offsets();
+    transfer_plan_rows(old.rows(), new.rows())
+}
+
+/// [`transfer_plan`] over raw per-node row counts. Unlike [`GenBlock`],
+/// zero-row entries are permitted, which is exactly what crash recovery
+/// needs: the post-failure layout assigns 0 rows to dead ranks while
+/// keeping the original cluster indexing, so transfers *out of* a dead
+/// rank's old interval name the dead rank as `from` (the executor
+/// sources those rows from checkpoint state instead of the dead node).
+///
+/// # Panics
+/// Panics if the two layouts disagree on node count or total rows.
+#[must_use]
+pub fn transfer_plan_rows(old: &[usize], new: &[usize]) -> Vec<Transfer> {
+    assert_eq!(old.len(), new.len(), "node counts must match");
+    let total = |rows: &[usize]| rows.iter().sum::<usize>();
+    assert_eq!(total(old), total(new), "row totals must match");
+    let offsets = |rows: &[usize]| {
+        let mut off = Vec::with_capacity(rows.len() + 1);
+        let mut acc = 0usize;
+        off.push(0);
+        for &r in rows {
+            acc += r;
+            off.push(acc);
+        }
+        off
+    };
+    let old_off = offsets(old);
+    let new_off = offsets(new);
     let mut plan = Vec::new();
     for from in 0..old.len() {
         let (a0, a1) = (old_off[from], old_off[from + 1]);
@@ -187,5 +213,30 @@ mod tests {
         let a = GenBlock::new(vec![4, 4]).unwrap();
         let b = GenBlock::new(vec![4, 5]).unwrap();
         let _ = transfer_plan(&a, &b);
+    }
+
+    #[test]
+    fn rows_plan_allows_zero_row_dead_ranks() {
+        // Rank 1 died: its 4 rows re-spread over ranks 0 and 2.
+        let old = [4usize, 4, 4];
+        let new = [6usize, 0, 6];
+        let plan = transfer_plan_rows(&old, &new);
+        let total: usize = plan.iter().map(|t| t.rows).sum();
+        assert_eq!(total, 12);
+        assert!(plan.iter().all(|t| t.to != 1), "nothing flows to the dead");
+        let from_dead: Vec<&Transfer> = plan.iter().filter(|t| t.from == 1).collect();
+        assert_eq!(
+            from_dead.iter().map(|t| t.rows).sum::<usize>(),
+            4,
+            "dead rank's interval is fully reassigned"
+        );
+        // The surviving plan matches the GenBlock-based plan when no
+        // entry is zero.
+        let a = GenBlock::new(vec![4, 4, 4]).unwrap();
+        let b = GenBlock::new(vec![2, 8, 2]).unwrap();
+        assert_eq!(
+            transfer_plan(&a, &b),
+            transfer_plan_rows(&[4, 4, 4], &[2, 8, 2])
+        );
     }
 }

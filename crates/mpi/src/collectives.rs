@@ -11,7 +11,7 @@
 //! one schedule by construction (the paper defers reduction modeling to
 //! the dissertation \[25\]; this is our concrete realization).
 
-use mheta_sim::SimResult;
+use mheta_sim::{SimError, SimResult};
 
 use crate::comm::Comm;
 use crate::hooks::Recorder;
@@ -25,6 +25,8 @@ pub const TAG_COLLECTIVE_BASE: u32 = 0x4000_0000;
 pub const TAG_REDUCE: u32 = TAG_COLLECTIVE_BASE | 1;
 /// Tag used by broadcast-phase messages.
 pub const TAG_BCAST: u32 = TAG_COLLECTIVE_BASE | 2;
+/// Tag used by the post-crash dead-set agreement round.
+pub const TAG_AGREE: u32 = TAG_COLLECTIVE_BASE | 3;
 
 /// Elementwise combine operation for reductions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +37,10 @@ pub enum ReduceOp {
     Max,
     /// Elementwise minimum.
     Min,
+    /// Bitwise OR of the raw `f64` bit patterns; used to agree on
+    /// bitmask-encoded sets (e.g. observed dead ranks) in one
+    /// reduction.
+    BitOr,
 }
 
 impl ReduceOp {
@@ -54,6 +60,11 @@ impl ReduceOp {
             ReduceOp::Min => {
                 for (a, b) in acc.iter_mut().zip(other) {
                     *a = a.min(*b);
+                }
+            }
+            ReduceOp::BitOr => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = f64::from_bits(a.to_bits() | b.to_bits());
                 }
             }
         }
@@ -134,6 +145,265 @@ pub fn allreduce<R: Recorder>(
 pub fn barrier<R: Recorder>(comm: &mut Comm<'_, R>) -> SimResult<()> {
     let mut token = [0.0f64; 1];
     allreduce(comm, ReduceOp::Sum, &mut token)
+}
+
+// ---- fault-tolerant collectives ----------------------------------------
+
+/// Fault-tolerant allreduce: the same binomial reduce + broadcast
+/// schedule, but a dead peer never aborts a survivor. A dead child's
+/// contribution is skipped (the wait resolves through the failure
+/// detector), a send to a dead parent is a silent no-op at the
+/// transport, and a rank whose broadcast parent died keeps its partial
+/// reduction value. No live rank can hang: every blocking receive either
+/// matches a message or resolves as `PeerDead`.
+///
+/// When a rank crashed mid-schedule, survivors' output values may
+/// disagree (some saw the contribution, some lost the broadcast), so the
+/// combined value must not be used for control decisions in that
+/// iteration — resilient drivers detect the crash at the iteration
+/// boundary and roll back past it. The function reports whether any dead
+/// peer was encountered.
+pub fn ft_allreduce<R: Recorder>(
+    comm: &mut Comm<'_, R>,
+    op: ReduceOp,
+    data: &mut [f64],
+) -> SimResult<bool> {
+    let members: Vec<usize> = (0..comm.size()).collect();
+    ft_allreduce_among(comm, &members, op, data).map(|observed| observed != 0)
+}
+
+/// [`ft_allreduce`] over an explicit member list: the binomial tree runs
+/// over a *dense* re-indexing of `members` (which must be sorted and
+/// contain the calling rank), so a resilient driver can keep original
+/// rank numbering after a crash and simply drop dead ranks from the
+/// roster. Returns a bitmask of cluster ranks observed dead during this
+/// schedule (bit `r` set when some receive from rank `r` resolved as
+/// `PeerDead` on *this* rank) — callers OR these observations into the
+/// per-iteration agreement round.
+pub fn ft_allreduce_among<R: Recorder>(
+    comm: &mut Comm<'_, R>,
+    members: &[usize],
+    op: ReduceOp,
+    data: &mut [f64],
+) -> SimResult<u64> {
+    if members.iter().any(|&r| r >= 64) {
+        return Err(SimError::InvalidConfig(format!(
+            "fault-tolerant collectives support at most 64 ranks, member list reaches rank {}",
+            members.iter().max().copied().unwrap_or(0)
+        )));
+    }
+    let me = members
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("calling rank must be in the member list");
+    let k = members.len();
+    let mut observed: u64 = 0;
+    // Reduce phase.
+    let mut mask = 1usize;
+    while mask < k {
+        if me & mask == 0 {
+            let child = me | mask;
+            if child < k {
+                match comm.recv_f64s(members[child], TAG_REDUCE) {
+                    Ok(v) => op.combine(data, &v),
+                    Err(SimError::PeerDead { peer, .. }) => observed |= 1u64 << peer,
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            let parent = me & !mask;
+            comm.send_f64s(members[parent], TAG_REDUCE, data)?;
+            break;
+        }
+        mask <<= 1;
+    }
+    // Broadcast phase.
+    let mut mask = 1usize;
+    while mask < k {
+        if me & mask != 0 {
+            let parent = me - mask;
+            match comm.recv_f64s(members[parent], TAG_BCAST) {
+                Ok(v) => data.copy_from_slice(&v),
+                Err(SimError::PeerDead { peer, .. }) => observed |= 1u64 << peer,
+                Err(e) => return Err(e),
+            }
+            break;
+        }
+        mask <<= 1;
+    }
+    let level = if me == 0 {
+        k.next_power_of_two()
+    } else {
+        me & me.wrapping_neg()
+    };
+    let mut m = level >> 1;
+    while m > 0 {
+        let dst = me + m;
+        if dst < k {
+            comm.send_f64s(members[dst], TAG_BCAST, data)?;
+        }
+        m >>= 1;
+    }
+    Ok(observed)
+}
+
+/// One round of the crash-detection agreement protocol, run by
+/// resilient drivers at every iteration boundary: OR-reduce the
+/// members' observation bitmasks (bit `r` = "I saw rank `r` dead") down
+/// the dense binomial tree over `members` and broadcast the union back.
+/// Failures observed *during the round itself* are folded into the
+/// propagated mask, so a dead member's bit reaches the root through its
+/// tree parent even when nobody noticed the crash earlier.
+///
+/// Survivors decide "a crash happened" iff their returned mask is
+/// non-zero. For any rank dead before the round starts, every live
+/// member's mask comes back non-zero: a member that receives the root's
+/// union gets at least the dead subtree root's bit, and a member whose
+/// broadcast parent died observes that death directly. (A rank that
+/// dies *mid-round* between its reduce send and its broadcast duties
+/// can leave views divergent for one iteration; the next boundary's
+/// round then converges, because the crash precedes it entirely.)
+pub fn agree_mask<R: Recorder>(
+    comm: &mut Comm<'_, R>,
+    members: &[usize],
+    mut bits: u64,
+) -> SimResult<u64> {
+    if members.iter().any(|&r| r >= 64) {
+        return Err(SimError::InvalidConfig(format!(
+            "dead-set agreement bitmask supports at most 64 ranks, member list reaches rank {}",
+            members.iter().max().copied().unwrap_or(0)
+        )));
+    }
+    let me = members
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("calling rank must be in the member list");
+    let k = members.len();
+    // Reduce the OR of the observation masks to members[0].
+    let mut mask = 1usize;
+    while mask < k {
+        if me & mask == 0 {
+            let child = me | mask;
+            if child < k {
+                match comm.recv_f64s(members[child], TAG_AGREE) {
+                    Ok(v) => bits |= v[0].to_bits(),
+                    Err(SimError::PeerDead { peer, .. }) => bits |= 1u64 << peer,
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            let parent = me & !mask;
+            comm.send_f64s(members[parent], TAG_AGREE, &[f64::from_bits(bits)])?;
+            break;
+        }
+        mask <<= 1;
+    }
+    // Broadcast the union back down the dense tree.
+    let mut mask = 1usize;
+    while mask < k {
+        if me & mask != 0 {
+            let parent = me - mask;
+            match comm.recv_f64s(members[parent], TAG_AGREE) {
+                Ok(v) => bits |= v[0].to_bits(),
+                Err(SimError::PeerDead { peer, .. }) => bits |= 1u64 << peer,
+                Err(e) => return Err(e),
+            }
+            break;
+        }
+        mask <<= 1;
+    }
+    let level = if me == 0 {
+        k.next_power_of_two()
+    } else {
+        me & me.wrapping_neg()
+    };
+    let mut m = level >> 1;
+    while m > 0 {
+        let dst = me + m;
+        if dst < k {
+            comm.send_f64s(members[dst], TAG_AGREE, &[f64::from_bits(bits)])?;
+        }
+        m >>= 1;
+    }
+    Ok(bits)
+}
+
+/// Post-crash dead-set agreement: survivors run a binomial reduce +
+/// broadcast over a *dense* re-indexing of the sorted survivor list,
+/// OR-combining per-rank dead bitmasks, so every survivor converges on
+/// the same dead-set while paying the realistic communication cost of
+/// the agreement protocol. Returns the agreed dead ranks, sorted.
+///
+/// Precondition: every survivor calls this at the same program point
+/// with an identical local view of the dead-set (guaranteed at an
+/// iteration boundary after a completed [`ft_allreduce`], whose
+/// completion is host-ordered after any crash inside the iteration);
+/// the dense trees would otherwise mismatch and deadlock.
+pub fn agree_dead_set<R: Recorder>(comm: &mut Comm<'_, R>) -> SimResult<Vec<usize>> {
+    let size = comm.size();
+    if size > 64 {
+        return Err(SimError::InvalidConfig(format!(
+            "dead-set agreement bitmask supports at most 64 ranks, cluster has {size}"
+        )));
+    }
+    let mut bits: u64 = comm
+        .ctx()
+        .dead_ranks()
+        .iter()
+        .fold(0, |acc, &(r, _)| acc | (1u64 << r));
+    let survivors: Vec<usize> = (0..size).filter(|r| bits & (1 << r) == 0).collect();
+    let me = survivors
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("a crashed rank cannot run the agreement round");
+    let k = survivors.len();
+    // Reduce the OR of bitmasks to survivors[0] over dense indices.
+    let mut mask = 1usize;
+    while mask < k {
+        if me & mask == 0 {
+            let child = me | mask;
+            if child < k {
+                match comm.recv_f64s(survivors[child], TAG_AGREE) {
+                    Ok(v) => bits |= v[0].to_bits(),
+                    Err(SimError::PeerDead { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            let parent = me & !mask;
+            comm.send_f64s(survivors[parent], TAG_AGREE, &[f64::from_bits(bits)])?;
+            break;
+        }
+        mask <<= 1;
+    }
+    // Broadcast the agreed mask back down the dense tree.
+    let mut mask = 1usize;
+    while mask < k {
+        if me & mask != 0 {
+            let parent = me - mask;
+            match comm.recv_f64s(survivors[parent], TAG_AGREE) {
+                Ok(v) => bits = v[0].to_bits(),
+                Err(SimError::PeerDead { .. }) => {}
+                Err(e) => return Err(e),
+            }
+            break;
+        }
+        mask <<= 1;
+    }
+    let level = if me == 0 {
+        k.next_power_of_two()
+    } else {
+        me & me.wrapping_neg()
+    };
+    let mut m = level >> 1;
+    while m > 0 {
+        let dst = me + m;
+        if dst < k {
+            comm.send_f64s(survivors[dst], TAG_AGREE, &[f64::from_bits(bits)])?;
+        }
+        m >>= 1;
+    }
+    Ok((0..size).filter(|r| bits & (1 << r) != 0).collect())
 }
 
 // ---- analytical twins --------------------------------------------------
@@ -349,6 +619,91 @@ mod tests {
         // Root cannot finish before the latest contributor's value
         // could possibly arrive.
         assert!(out[0] >= 3e6 + cost.o_s + cost.transfer + cost.o_r);
+    }
+
+    #[test]
+    fn ft_allreduce_matches_plain_allreduce_without_crashes() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let spec = quiet(n);
+            let run = run_cluster(&spec, false, |ctx| {
+                let mut rec = NullRecorder;
+                let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+                let mut v = vec![comm.rank() as f64 + 1.0];
+                let saw_dead = ft_allreduce(&mut comm, ReduceOp::Sum, &mut v)?;
+                Ok((v[0], saw_dead))
+            })
+            .unwrap();
+            let expect: f64 = (1..=n).map(|r| r as f64).sum();
+            for (r, &(v, saw_dead)) in run.results.iter().enumerate() {
+                assert_eq!(v, expect, "n={n} rank {r}");
+                assert!(!saw_dead);
+            }
+        }
+    }
+
+    #[test]
+    fn ft_allreduce_survives_dead_rank_without_hanging() {
+        use mheta_sim::CrashSpec;
+        let mut spec = quiet(4);
+        spec.faults.crashes = vec![CrashSpec::at_iteration(2, 0)];
+        spec.faults.checkpoint_interval = 1;
+        let run = run_cluster(&spec, false, |ctx| {
+            let mut rec = NullRecorder;
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            if comm.rank() == 2 {
+                match comm.ctx().crash_check_iteration(0) {
+                    Err(SimError::Crashed { rank: 2, .. }) => return Ok((-1.0, false)),
+                    other => panic!("expected crash, got {other:?}"),
+                }
+            }
+            let mut v = vec![comm.rank() as f64 + 1.0];
+            let saw_dead = ft_allreduce(&mut comm, ReduceOp::Sum, &mut v)?;
+            Ok((v[0], saw_dead))
+        })
+        .unwrap();
+        // Dead rank 2 was an interior tree node: its own value and its
+        // child rank 3's contribution are both lost, so the root
+        // converges on 1 + 2 = 3 and broadcasts that to rank 1; rank 3's
+        // broadcast parent is the dead rank, so it keeps its partial
+        // (its own 4.0). Values may disagree mid-crash — the driver
+        // rolls back past this iteration — but nobody hangs.
+        assert_eq!(run.results[0].0, 3.0);
+        assert_eq!(run.results[1].0, 3.0);
+        assert_eq!(run.results[3].0, 4.0);
+        assert!(
+            run.results.iter().any(|&(_, saw)| saw),
+            "some survivor must have observed the dead peer"
+        );
+    }
+
+    #[test]
+    fn agree_dead_set_converges_all_survivors() {
+        use mheta_sim::CrashSpec;
+        for n in [2usize, 4, 5, 8] {
+            let mut spec = quiet(n);
+            spec.faults.crashes = vec![CrashSpec::at_iteration(1, 0)];
+            spec.faults.checkpoint_interval = 1;
+            let run = run_cluster(&spec, false, |ctx| {
+                let mut rec = NullRecorder;
+                let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+                if comm.rank() == 1 {
+                    let _ = comm.ctx().crash_check_iteration(0).unwrap_err();
+                    return Ok(vec![]);
+                }
+                // Align every survivor past the crash so local views
+                // are consistent before the agreement round.
+                let mut v = vec![0.0];
+                ft_allreduce(&mut comm, ReduceOp::Sum, &mut v)?;
+                agree_dead_set(&mut comm)
+            })
+            .unwrap();
+            for (r, dead) in run.results.iter().enumerate() {
+                if r == 1 {
+                    continue;
+                }
+                assert_eq!(dead, &vec![1], "n={n} rank {r}");
+            }
+        }
     }
 
     #[test]

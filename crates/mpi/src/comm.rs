@@ -215,6 +215,16 @@ impl<'a, R: Recorder> Comm<'a, R> {
         self.scope_event(true, ScopeKind::Iteration, i);
     }
 
+    /// Crash-aware variant of [`Comm::begin_iteration`] for resilient
+    /// drivers: an iteration-triggered crash scheduled for this rank at
+    /// iteration `i` fires here, before the scope marker, surfacing as
+    /// [`SimError::Crashed`].
+    pub fn begin_iteration_ft(&mut self, i: u32) -> SimResult<()> {
+        self.ctx.crash_check_iteration(i)?;
+        self.begin_iteration(i);
+        Ok(())
+    }
+
     /// Mark the end of outer iteration `i`.
     pub fn end_iteration(&mut self, i: u32) {
         self.scope_event(false, ScopeKind::Iteration, i);
@@ -275,7 +285,13 @@ impl<'a, R: Recorder> Comm<'a, R> {
     }
 
     /// Send a slice of `f64` to `to`.
+    ///
+    /// Like every communication or file operation, this is a
+    /// crash-trigger point: a time-triggered crash scheduled for this
+    /// rank at or before the current virtual instant fires here as
+    /// [`SimError::Crashed`].
     pub fn send_f64s(&mut self, to: usize, tag: u32, data: &[f64]) -> SimResult<()> {
+        self.ctx.crash_check_time()?;
         let start = self.ctx.now();
         let payload = msg::encode_f64s(data);
         let bytes = payload.len() as u64;
@@ -297,6 +313,7 @@ impl<'a, R: Recorder> Comm<'a, R> {
 
     /// Receive a slice of `f64` from `from`.
     pub fn recv_f64s(&mut self, from: usize, tag: u32) -> SimResult<Vec<f64>> {
+        self.ctx.crash_check_time()?;
         let start = self.ctx.now();
         let payload = self.ctx.recv(from, tag)?;
         let end = self.ctx.now();
@@ -336,6 +353,7 @@ impl<'a, R: Recorder> Comm<'a, R> {
     /// Synchronously read `out.len()` elements of `var` at `offset`
     /// from the local disk.
     pub fn file_read(&mut self, var: VarId, offset: usize, out: &mut [f64]) -> SimResult<()> {
+        self.ctx.crash_check_time()?;
         let start = self.ctx.now();
         self.io_with_retry(OpKind::FileRead, var, |ctx| ctx.disk_read(var, offset, out))?;
         self.op_event(
@@ -355,6 +373,7 @@ impl<'a, R: Recorder> Comm<'a, R> {
 
     /// Synchronously write `data` to `var` at `offset` on the local disk.
     pub fn file_write(&mut self, var: VarId, offset: usize, data: &[f64]) -> SimResult<()> {
+        self.ctx.crash_check_time()?;
         let start = self.ctx.now();
         self.io_with_retry(OpKind::FileWrite, var, |ctx| {
             ctx.disk_write(var, offset, data)
@@ -378,6 +397,7 @@ impl<'a, R: Recorder> Comm<'a, R> {
     /// becomes a blocking read (Figure 5) so its full latency is
     /// measurable from the hooks.
     pub fn prefetch(&mut self, var: VarId, offset: usize, len: usize) -> SimResult<PrefetchToken> {
+        self.ctx.crash_check_time()?;
         let start = self.ctx.now();
         let inner = match self.mode {
             ExecMode::Normal => {

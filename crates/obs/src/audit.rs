@@ -9,7 +9,7 @@
 //! terms, so "the prediction is 7% low" becomes "the neighbor-wait
 //! term under-predicts by 5.9% and the disk term by 1.1%".
 //!
-//! Both sides are reduced to the same eight-term vocabulary:
+//! Both sides are reduced to the same twelve-term vocabulary:
 //!
 //! | term               | predicted (per iteration × iters)        | actual (trace partition)                       |
 //! |--------------------|------------------------------------------|------------------------------------------------|
@@ -20,9 +20,20 @@
 //! | `neighbor_wait`    | Eq. 3/5 wait term                        | blocked portion of point-to-point `Recv`       |
 //! | `collective`       | reduction-schedule term                  | any `Send`/`Recv` with a tag ≥ [`TAG_COLLECTIVE_BASE`] |
 //! | `fault`            | — (the model does not predict faults)    | `Fault` intervals                              |
+//! | `checkpoint`       | —                                        | time inside `Checkpoint` recovery spans        |
+//! | `rollback`         | —                                        | time inside `Rollback` recovery spans          |
+//! | `redistribution`   | —                                        | time inside `Redistribution` recovery spans    |
+//! | `reprediction`     | —                                        | time inside `Reprediction` recovery spans      |
 //! | `other`            | —                                        | untraced gaps (retry backoff, loop scaffolding) |
 //!
-//! **Exactness contract.** Per rank, the eight *actual* terms are
+//! The four recovery terms attribute **wholesale**: any window time
+//! inside a [`RecoverySpan`] belongs to that span's term, and events
+//! overlapping a span are clipped to its complement — the disk write of
+//! a checkpoint counts as `checkpoint`, not `disk`. Runs without
+//! recovery spans leave those terms at 0 and reduce to the classic
+//! eight-term audit.
+//!
+//! **Exactness contract.** Per rank, the twelve *actual* terms are
 //! integer nanoseconds that partition the rank's timed window
 //! `[t0, t1)` exactly (events straddling a window edge are clipped to
 //! it). The *residual* of each term is `predicted − actual`, and the
@@ -35,11 +46,14 @@ use std::fmt::Write as _;
 
 use mheta_core::Prediction;
 use mheta_mpi::TAG_COLLECTIVE_BASE;
-use mheta_sim::{EventKind, RankTrace};
+use mheta_sim::{EventKind, RankTrace, RecoveryKind, RecoverySpan};
 use serde::Value;
 
-/// The eight audit terms, in the canonical fold order.
-pub const TERM_NAMES: [&str; 8] = [
+/// The number of audit terms.
+pub const TERM_COUNT: usize = 12;
+
+/// The twelve audit terms, in the canonical fold order.
+pub const TERM_NAMES: [&str; TERM_COUNT] = [
     "compute",
     "disk",
     "prefetch_exposed",
@@ -47,6 +61,10 @@ pub const TERM_NAMES: [&str; 8] = [
     "neighbor_wait",
     "collective",
     "fault",
+    "checkpoint",
+    "rollback",
+    "redistribution",
+    "reprediction",
     "other",
 ];
 
@@ -57,7 +75,20 @@ const COMM_OVERHEAD: usize = 3;
 const NEIGHBOR_WAIT: usize = 4;
 const COLLECTIVE: usize = 5;
 const FAULT: usize = 6;
-const OTHER: usize = 7;
+const CHECKPOINT: usize = 7;
+const ROLLBACK: usize = 8;
+const REDISTRIBUTION: usize = 9;
+const REPREDICTION: usize = 10;
+const OTHER: usize = 11;
+
+fn recovery_slot(kind: RecoveryKind) -> usize {
+    match kind {
+        RecoveryKind::Checkpoint => CHECKPOINT,
+        RecoveryKind::Rollback => ROLLBACK,
+        RecoveryKind::Redistribution => REDISTRIBUTION,
+        RecoveryKind::Reprediction => REPREDICTION,
+    }
+}
 
 /// One aligned term on one rank: what the model charged, what the
 /// simulator spent, and the signed difference.
@@ -81,7 +112,7 @@ pub struct RankAudit {
     pub rank: usize,
     /// Length of the audited window `t1 − t0`, ns.
     pub window_ns: u64,
-    /// The eight aligned terms, in [`TERM_NAMES`] order.
+    /// The twelve aligned terms, in [`TERM_NAMES`] order.
     pub lines: Vec<TermLine>,
 }
 
@@ -132,15 +163,42 @@ impl AuditReport {
         traces: &[RankTrace],
         windows: &[(u64, u64)],
     ) -> AuditReport {
+        Self::audit_with_recovery(prediction, iters, traces, windows, &[])
+    }
+
+    /// [`AuditReport::audit`] for a fault-tolerant run: `spans[i]` is
+    /// rank *i*'s recovery-span list (`ResilientOutcome::spans` in
+    /// `mheta-apps`). Window time inside a span is attributed wholesale
+    /// to the span's term (`checkpoint` / `rollback` /
+    /// `redistribution` / `reprediction`); events overlapping a span
+    /// are clipped to its complement, so the exact-partition invariant
+    /// still holds. An empty `spans` slice means no rank has any.
+    ///
+    /// # Panics
+    /// If the rank counts of the views disagree.
+    #[must_use]
+    pub fn audit_with_recovery(
+        prediction: &Prediction,
+        iters: u32,
+        traces: &[RankTrace],
+        windows: &[(u64, u64)],
+        spans: &[Vec<RecoverySpan>],
+    ) -> AuditReport {
         assert_eq!(prediction.terms.len(), traces.len(), "rank count mismatch");
         assert_eq!(traces.len(), windows.len(), "rank count mismatch");
+        assert!(
+            spans.is_empty() || spans.len() == traces.len(),
+            "rank count mismatch"
+        );
+        static NO_SPANS: Vec<RecoverySpan> = Vec::new();
         let ranks = traces
             .iter()
             .zip(windows)
             .enumerate()
             .map(|(rank, (trace, &(t0, t1)))| {
+                let rank_spans = spans.get(rank).unwrap_or(&NO_SPANS);
                 let predicted = predicted_terms(prediction, rank, iters);
-                let actual = actual_terms(trace, t0, t1);
+                let actual = actual_terms(trace, t0, t1, rank_spans);
                 let lines = TERM_NAMES
                     .iter()
                     .enumerate()
@@ -170,7 +228,7 @@ impl AuditReport {
 
     /// Per-term residual summed across ranks, in [`TERM_NAMES`] order.
     #[must_use]
-    pub fn residual_by_term(&self) -> [(&'static str, f64); 8] {
+    pub fn residual_by_term(&self) -> [(&'static str, f64); TERM_COUNT] {
         let mut out = TERM_NAMES.map(|t| (t, 0.0));
         for r in &self.ranks {
             for (i, l) in r.lines.iter().enumerate() {
@@ -235,7 +293,7 @@ impl AuditReport {
     }
 
     /// The report as a deterministic JSON value
-    /// (schema `mheta-audit/v1`).
+    /// (schema `mheta-audit/v2`).
     #[must_use]
     pub fn to_value(&self) -> Value {
         let ranks = self
@@ -264,7 +322,7 @@ impl AuditReport {
             })
             .collect();
         Value::object(vec![
-            ("schema", Value::Str("mheta-audit/v1".into())),
+            ("schema", Value::Str("mheta-audit/v2".into())),
             ("iters", Value::UInt(u64::from(self.iters))),
             ("total_residual_ns", Value::Float(self.total_residual_ns())),
             ("ranks", Value::Array(ranks)),
@@ -280,29 +338,57 @@ impl AuditReport {
 
 /// Model-side term vector for one rank: the per-iteration term
 /// breakdown grouped into the audit vocabulary and scaled by `iters`.
-fn predicted_terms(prediction: &Prediction, rank: usize, iters: u32) -> [f64; 8] {
+fn predicted_terms(prediction: &Prediction, rank: usize, iters: u32) -> [f64; TERM_COUNT] {
     let t = prediction.rank_terms(rank);
     let it = f64::from(iters);
-    let mut p = [0.0f64; 8];
+    let mut p = [0.0f64; TERM_COUNT];
     p[COMPUTE] = t.compute_ns * it;
     p[DISK] = (t.disk_seek_ns + t.disk_transfer_ns) * it;
     p[PREFETCH_EXPOSED] = t.prefetch_exposed_ns * it;
     p[COMM_OVERHEAD] = t.comm_overhead_ns * it;
     p[NEIGHBOR_WAIT] = t.neighbor_wait_ns * it;
     p[COLLECTIVE] = t.collective_ns * it;
-    // FAULT and OTHER stay 0: the model predicts neither injected
-    // faults nor untraced scaffolding.
+    // FAULT, the recovery terms, and OTHER stay 0: the model predicts
+    // neither injected faults, nor recovery machinery, nor untraced
+    // scaffolding.
     p
 }
 
 /// Simulator-side term vector: an exact integer partition of the
 /// window `[t0, t1)`. Events are clipped to the window; the blocked
 /// prefix of a wait (`[start, start+blocked)`) is clipped with it, so
-/// overhead/blocked splits stay exact under clipping.
-fn actual_terms(trace: &RankTrace, t0: u64, t1: u64) -> [u64; 8] {
-    let mut acc = [0u64; 8];
+/// overhead/blocked splits stay exact under clipping. Recovery spans
+/// claim their window time wholesale; events are clipped to the
+/// complement of the spans.
+fn actual_terms(trace: &RankTrace, t0: u64, t1: u64, spans: &[RecoverySpan]) -> [u64; TERM_COUNT] {
+    let mut acc = [0u64; TERM_COUNT];
     let window = t1.saturating_sub(t0);
     let mut covered = 0u64;
+    // Clip the spans to the window and force them disjoint (the
+    // resilient driver records them sequential already; clamping makes
+    // the partition invariant unconditional).
+    let mut cuts: Vec<(u64, u64, usize)> = spans
+        .iter()
+        .map(|sp| {
+            (
+                sp.start_ns.max(t0),
+                sp.end_ns.min(t1),
+                recovery_slot(sp.kind),
+            )
+        })
+        .filter(|&(a, b, _)| b > a)
+        .collect();
+    cuts.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    let mut prev_end = 0u64;
+    cuts.retain_mut(|(a, b, _)| {
+        *a = (*a).max(prev_end);
+        prev_end = prev_end.max(*b);
+        b > a
+    });
+    for &(a, b, slot) in &cuts {
+        acc[slot] += b - a;
+        covered += b - a;
+    }
     for ev in &trace.events {
         let s = ev.start.as_nanos();
         let cs = s.max(t0);
@@ -310,42 +396,66 @@ fn actual_terms(trace: &RankTrace, t0: u64, t1: u64) -> [u64; 8] {
         if ce <= cs {
             continue;
         }
-        let olen = ce - cs;
-        covered += olen;
-        // Blocked time occupies the event's prefix [s, s+blocked);
-        // intersect it with the clipped interval [cs, ce).
-        let blocked_in = |blocked_ns: u64| (s + blocked_ns).min(ce).saturating_sub(cs);
-        match &ev.kind {
-            EventKind::Compute { .. } => acc[COMPUTE] += olen,
-            EventKind::DiskRead { .. }
-            | EventKind::DiskWrite { .. }
-            | EventKind::PrefetchIssue { .. } => acc[DISK] += olen,
-            EventKind::PrefetchWait { blocked_ns, .. } => {
-                let b = blocked_in(*blocked_ns);
-                acc[PREFETCH_EXPOSED] += b;
-                acc[DISK] += olen - b;
+        // Split the clipped interval [cs, ce) on the recovery cuts,
+        // keeping only the parts outside every span.
+        let mut segments: Vec<(u64, u64)> = Vec::new();
+        let mut cur = cs;
+        for &(a, b, _) in &cuts {
+            if b <= cur {
+                continue;
             }
-            EventKind::Send { tag, .. } => {
-                let slot = if *tag >= TAG_COLLECTIVE_BASE {
-                    COLLECTIVE
-                } else {
-                    COMM_OVERHEAD
-                };
-                acc[slot] += olen;
+            if a >= ce {
+                break;
             }
-            EventKind::Recv {
-                tag, blocked_ns, ..
-            } => {
-                if *tag >= TAG_COLLECTIVE_BASE {
-                    acc[COLLECTIVE] += olen;
-                } else {
-                    let b = blocked_in(*blocked_ns);
-                    acc[NEIGHBOR_WAIT] += b;
-                    acc[COMM_OVERHEAD] += olen - b;
+            if a > cur {
+                segments.push((cur, a.min(ce)));
+            }
+            cur = cur.max(b);
+            if cur >= ce {
+                break;
+            }
+        }
+        if cur < ce {
+            segments.push((cur, ce));
+        }
+        for (a, b) in segments {
+            let olen = b - a;
+            covered += olen;
+            // Blocked time occupies the event's prefix [s, s+blocked);
+            // intersect it with this segment [a, b).
+            let blocked_in = |blocked_ns: u64| (s + blocked_ns).min(b).saturating_sub(a);
+            match &ev.kind {
+                EventKind::Compute { .. } => acc[COMPUTE] += olen,
+                EventKind::DiskRead { .. }
+                | EventKind::DiskWrite { .. }
+                | EventKind::PrefetchIssue { .. } => acc[DISK] += olen,
+                EventKind::PrefetchWait { blocked_ns, .. } => {
+                    let blocked = blocked_in(*blocked_ns);
+                    acc[PREFETCH_EXPOSED] += blocked;
+                    acc[DISK] += olen - blocked;
                 }
+                EventKind::Send { tag, .. } => {
+                    let slot = if *tag >= TAG_COLLECTIVE_BASE {
+                        COLLECTIVE
+                    } else {
+                        COMM_OVERHEAD
+                    };
+                    acc[slot] += olen;
+                }
+                EventKind::Recv {
+                    tag, blocked_ns, ..
+                } => {
+                    if *tag >= TAG_COLLECTIVE_BASE {
+                        acc[COLLECTIVE] += olen;
+                    } else {
+                        let blocked = blocked_in(*blocked_ns);
+                        acc[NEIGHBOR_WAIT] += blocked;
+                        acc[COMM_OVERHEAD] += olen - blocked;
+                    }
+                }
+                EventKind::Fault { .. } => acc[FAULT] += olen,
+                EventKind::MemLevel { .. } => {} // zero-length gauge sample
             }
-            EventKind::Fault { .. } => acc[FAULT] += olen,
-            EventKind::MemLevel { .. } => {} // zero-length gauge sample
         }
     }
     // Traces are monotone (non-overlapping), so coverage cannot exceed
@@ -442,7 +552,7 @@ mod tests {
             ],
             finish: SimTime(80),
         };
-        let acc = actual_terms(&trace, 10, 80);
+        let acc = actual_terms(&trace, 10, 80, &[]);
         assert_eq!(acc[COMPUTE], 20, "pre-window compute is clipped away");
         assert_eq!(acc[DISK], 15);
         assert_eq!(acc[NEIGHBOR_WAIT], 12);
@@ -470,12 +580,12 @@ mod tests {
             )],
             finish: SimTime(100),
         };
-        let acc = actual_terms(&trace, 50, 100);
+        let acc = actual_terms(&trace, 50, 100, &[]);
         assert_eq!(acc[NEIGHBOR_WAIT], 30);
         assert_eq!(acc[COMM_OVERHEAD], 20);
         assert_eq!(acc.iter().sum::<u64>(), 50);
         // Window ending inside the blocked prefix: wait only.
-        let acc = actual_terms(&trace, 0, 60);
+        let acc = actual_terms(&trace, 0, 60, &[]);
         assert_eq!(acc[NEIGHBOR_WAIT], 60);
         assert_eq!(acc[COMM_OVERHEAD], 0);
         assert_eq!(acc.iter().sum::<u64>(), 60);
@@ -540,7 +650,78 @@ mod tests {
         assert!(table.contains("TOTAL"));
         assert!(table.contains("compute"));
         let json = report.to_json_pretty();
-        assert!(json.contains("mheta-audit/v1"));
+        assert!(json.contains("mheta-audit/v2"));
+    }
+
+    #[test]
+    fn recovery_spans_claim_their_window_time_wholesale() {
+        // Checkpoint span [25, 55) swallows the disk write entirely and
+        // the compute's tail; the recv after it splits normally.
+        let trace = RankTrace {
+            rank: 0,
+            events: vec![
+                ev(0, 30, EventKind::Compute { work_units: 1.0 }),
+                ev(30, 50, EventKind::DiskWrite { var: 1, bytes: 64 }),
+                ev(
+                    50,
+                    90,
+                    EventKind::Recv {
+                        from: 1,
+                        tag: 3,
+                        bytes: 8,
+                        blocked_ns: 30,
+                    },
+                ),
+            ],
+            finish: SimTime(100),
+        };
+        let spans = vec![RecoverySpan {
+            start_ns: 25,
+            end_ns: 55,
+            kind: RecoveryKind::Checkpoint,
+        }];
+        let acc = actual_terms(&trace, 0, 100, &spans);
+        assert_eq!(acc[CHECKPOINT], 30, "span time is the span's, wholesale");
+        assert_eq!(acc[COMPUTE], 25, "compute clipped at the span edge");
+        assert_eq!(acc[DISK], 0, "the checkpoint write is not 'disk'");
+        assert_eq!(acc[NEIGHBOR_WAIT], 25, "blocked prefix [50,80) minus span");
+        assert_eq!(acc[COMM_OVERHEAD], 10);
+        assert_eq!(acc[OTHER], 10, "tail [90,100)");
+        assert_eq!(acc.iter().sum::<u64>(), 100, "still an exact partition");
+    }
+
+    #[test]
+    fn audit_with_recovery_reports_negative_recovery_residuals() {
+        let pred = prediction(vec![TermBreakdown {
+            compute_ns: 70.0,
+            ..TermBreakdown::default()
+        }]);
+        let trace = RankTrace {
+            rank: 0,
+            events: vec![ev(0, 100, EventKind::Compute { work_units: 1.0 })],
+            finish: SimTime(100),
+        };
+        let spans = vec![vec![
+            RecoverySpan {
+                start_ns: 20,
+                end_ns: 30,
+                kind: RecoveryKind::Rollback,
+            },
+            RecoverySpan {
+                start_ns: 30,
+                end_ns: 45,
+                kind: RecoveryKind::Redistribution,
+            },
+        ]];
+        let report = AuditReport::audit_with_recovery(&pred, 1, &[trace], &[(0, 100)], &spans);
+        let r = &report.ranks[0];
+        assert_eq!(r.actual_total_ns(), r.window_ns);
+        assert_eq!(r.lines[ROLLBACK].actual_ns, 10);
+        assert_eq!(r.lines[ROLLBACK].residual_ns, -10.0, "predicted is zero");
+        assert_eq!(r.lines[REDISTRIBUTION].actual_ns, 15);
+        assert_eq!(r.lines[COMPUTE].actual_ns, 75);
+        let fold = r.lines.iter().fold(0.0, |a, l| a + l.residual_ns);
+        assert_eq!(fold.to_bits(), r.residual_ns().to_bits());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`audit`] — prediction-accuracy attribution: aligns the model's
 //!   per-term prediction with the simulator's actual timeline and
 //!   attributes the residual to individual model terms (the terms
-//!   partition the residual exactly).
+//!   partition the residual exactly), including wholesale attribution
+//!   of checkpoint / rollback / redistribution / reprediction time for
+//!   fault-tolerant runs.
 //!
 //! Everything here is read-only over the run artifacts and emits
 //! byte-deterministic output for a fixed seed, so exports can be
@@ -33,8 +35,10 @@ pub mod metrics;
 pub mod perfetto;
 pub mod telemetry;
 
-pub use audit::{AuditReport, RankAudit, TermLine, TERM_NAMES};
+pub use audit::{AuditReport, RankAudit, TermLine, TERM_COUNT, TERM_NAMES};
 pub use critical_path::{CriticalPath, PathSegment, SegmentKind};
 pub use metrics::{Histogram, Metrics, RankBreakdown};
-pub use perfetto::{perfetto_json, perfetto_trace};
+pub use perfetto::{
+    perfetto_json, perfetto_json_with_recovery, perfetto_trace, perfetto_trace_with_recovery,
+};
 pub use telemetry::{convergence_csv, latency_value, search_value, searches_json, searches_value};

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use mheta_sim::{EventKind, RankTrace};
+use mheta_sim::{EventKind, RankTrace, RecoverySpan};
 use serde::Serialize;
 
 /// Where one rank's virtual time went, in integer nanoseconds.
@@ -212,6 +212,21 @@ impl Metrics {
             .entry(name.to_string())
             .or_default()
             .record(ns);
+    }
+
+    /// Fold a fault-tolerant run's recovery record into the registry:
+    /// bumps `events.crash` by the number of dead ranks, accumulates a
+    /// `recovery.<kind>_ns` counter per recovery-span kind (checkpoint /
+    /// rollback / redistribution / reprediction) across all ranks, and
+    /// records each span's length into a `recovery.<kind>` histogram.
+    pub fn record_recovery(&mut self, dead: &[usize], spans: &[Vec<RecoverySpan>]) {
+        self.incr("events.crash", dead.len() as u64);
+        for rank_spans in spans {
+            for sp in rank_spans {
+                self.incr(&format!("recovery.{}_ns", sp.kind.name()), sp.len_ns());
+                self.observe(&format!("recovery.{}", sp.kind.name()), sp.len_ns());
+            }
+        }
     }
 
     /// The run's makespan: the latest rank finish, ns.
@@ -516,6 +531,39 @@ mod tests {
         let m = Metrics::from_traces(std::slice::from_ref(&t));
         assert_eq!(m.breakdowns[0].dominant(), ("compute", 90));
         assert_eq!(m.makespan_ns(), 100);
+    }
+
+    #[test]
+    fn recovery_record_feeds_counters_and_histograms() {
+        use mheta_sim::RecoveryKind;
+        let mut m = Metrics::default();
+        m.record_recovery(
+            &[2],
+            &[
+                vec![
+                    RecoverySpan {
+                        start_ns: 0,
+                        end_ns: 100,
+                        kind: RecoveryKind::Checkpoint,
+                    },
+                    RecoverySpan {
+                        start_ns: 200,
+                        end_ns: 250,
+                        kind: RecoveryKind::Rollback,
+                    },
+                ],
+                vec![RecoverySpan {
+                    start_ns: 0,
+                    end_ns: 40,
+                    kind: RecoveryKind::Checkpoint,
+                }],
+            ],
+        );
+        assert_eq!(m.counters["events.crash"], 1);
+        assert_eq!(m.counters["recovery.checkpoint_ns"], 140);
+        assert_eq!(m.counters["recovery.rollback_ns"], 50);
+        assert_eq!(m.histograms["recovery.checkpoint"].count, 2);
+        assert_eq!(m.histograms["recovery.rollback"].sum_ns, 50);
     }
 
     #[test]

@@ -4,11 +4,14 @@
 //! [trace-event format] that `ui.perfetto.dev` and `chrome://tracing`
 //! load directly:
 //!
-//! * each **rank** becomes a process (`pid = rank`) with two tracks:
-//!   `tid 0` carries the raw simulator events (compute, disk, comm),
-//!   `tid 1` carries the semantic MPI-Jack scopes (iteration →
+//! * each **rank** becomes a process (`pid = rank`) with up to three
+//!   tracks: `tid 0` carries the raw simulator events (compute, disk,
+//!   comm), `tid 1` carries the semantic MPI-Jack scopes (iteration →
 //!   section → tile → stage) as nested slices plus the intercepted
-//!   operations and retries;
+//!   operations and retries, and `tid 2` — present only for
+//!   fault-tolerant runs — carries the recovery spans (checkpoint /
+//!   rollback / redistribution / reprediction), partitioning the
+//!   recovery time exactly;
 //! * every slice is a complete event (`"ph": "X"`) with microsecond
 //!   `ts`/`dur` derived from the virtual-time nanoseconds, so the
 //!   export is self-contained and deterministic — no pairing of
@@ -21,7 +24,7 @@
 //! shortest-round-trip formatting.
 
 use mheta_mpi::{HookEvent, ScopeKind};
-use mheta_sim::{EventKind, RankTrace, SimTime};
+use mheta_sim::{EventKind, RankTrace, RecoverySpan, SimTime};
 use serde::Value;
 
 /// Microseconds for a trace-event `ts`/`dur` field from integer
@@ -273,6 +276,21 @@ fn hook_slices(rank: usize, events: &[HookEvent], out: &mut Vec<Value>) {
 /// empty (`&[]`) for runs without instrumentation.
 #[must_use]
 pub fn perfetto_trace(traces: &[RankTrace], hooks: &[Vec<HookEvent>]) -> Value {
+    perfetto_trace_with_recovery(traces, hooks, &[])
+}
+
+/// [`perfetto_trace`] for a fault-tolerant run: `spans[rank]` is that
+/// rank's recovery-span list (`ResilientOutcome::spans` in
+/// `mheta-apps`). Each rank with at least one span gets a dedicated
+/// `tid 2` "recovery" track whose slices (checkpoint / rollback /
+/// redistribution / reprediction) partition its recovery time exactly;
+/// ranks without spans are emitted exactly as by [`perfetto_trace`].
+#[must_use]
+pub fn perfetto_trace_with_recovery(
+    traces: &[RankTrace],
+    hooks: &[Vec<HookEvent>],
+    spans: &[Vec<RecoverySpan>],
+) -> Value {
     let mut events = Vec::new();
     for trace in traces {
         events.push(metadata(
@@ -295,11 +313,31 @@ pub fn perfetto_trace(traces: &[RankTrace], hooks: &[Vec<HookEvent>]) -> Value {
                 "mpi hooks".into(),
             ));
         }
+        let rank_spans = spans.get(trace.rank).map_or(&[][..], Vec::as_slice);
+        if !rank_spans.is_empty() {
+            events.push(metadata(
+                trace.rank,
+                Some(2),
+                "thread_name",
+                "recovery".into(),
+            ));
+        }
         for ev in &trace.events {
             events.push(sim_event(trace.rank, ev));
         }
         if let Some(rank_hooks) = hooks.get(trace.rank) {
             hook_slices(trace.rank, rank_hooks, &mut events);
+        }
+        for sp in rank_spans {
+            events.push(slice(
+                sp.kind.name(),
+                "recovery",
+                trace.rank,
+                2,
+                SimTime(sp.start_ns),
+                SimTime(sp.end_ns),
+                Value::object(vec![("len_us", us(sp.len_ns()))]),
+            ));
         }
     }
     Value::object(vec![
@@ -313,6 +351,16 @@ pub fn perfetto_trace(traces: &[RankTrace], hooks: &[Vec<HookEvent>]) -> Value {
 #[must_use]
 pub fn perfetto_json(traces: &[RankTrace], hooks: &[Vec<HookEvent>]) -> String {
     perfetto_trace(traces, hooks).to_json()
+}
+
+/// [`perfetto_trace_with_recovery`] rendered as a compact JSON string.
+#[must_use]
+pub fn perfetto_json_with_recovery(
+    traces: &[RankTrace],
+    hooks: &[Vec<HookEvent>],
+    spans: &[Vec<RecoverySpan>],
+) -> String {
+    perfetto_trace_with_recovery(traces, hooks, spans).to_json()
 }
 
 #[cfg(test)]
@@ -471,5 +519,48 @@ mod tests {
     fn export_is_byte_deterministic() {
         let t = vec![small_trace()];
         assert_eq!(perfetto_json(&t, &[]), perfetto_json(&t, &[]));
+    }
+
+    #[test]
+    fn recovery_spans_get_their_own_track() {
+        use mheta_sim::RecoveryKind;
+        let spans = vec![vec![
+            RecoverySpan {
+                start_ns: 500,
+                end_ns: 800,
+                kind: RecoveryKind::Checkpoint,
+            },
+            RecoverySpan {
+                start_ns: 1500,
+                end_ns: 1700,
+                kind: RecoveryKind::Rollback,
+            },
+        ]];
+        let doc = perfetto_trace_with_recovery(&[small_trace()], &[], &spans);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let recovery: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("recovery"))
+            .collect();
+        assert_eq!(recovery.len(), 2);
+        assert_eq!(
+            recovery[0].get("name").unwrap().as_str(),
+            Some("checkpoint")
+        );
+        assert_eq!(recovery[0].get("tid").unwrap().as_u64(), Some(2));
+        assert_eq!(recovery[0].get("ts").unwrap().as_f64(), Some(0.5));
+        assert_eq!(recovery[0].get("dur").unwrap().as_f64(), Some(0.3));
+        assert_eq!(recovery[1].get("name").unwrap().as_str(), Some("rollback"));
+        // The tid-2 thread_name metadata is present...
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("tid").and_then(Value::as_u64) == Some(2)
+        }));
+        // ...but only for fault-tolerant runs: the span-free export is
+        // byte-identical to the classic one (golden stability).
+        assert_eq!(
+            perfetto_json_with_recovery(&[small_trace()], &[], &[]),
+            perfetto_json(&[small_trace()], &[]),
+        );
     }
 }

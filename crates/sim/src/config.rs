@@ -284,7 +284,7 @@ impl ClusterSpec {
                 self.noise.amplitude
             )));
         }
-        self.faults.validate()?;
+        self.faults.validate(self.nodes.len())?;
         if self.wait_timeout_ms == 0 {
             return Err(SimError::InvalidConfig(
                 "wait_timeout_ms must be positive (it is the hang backstop for blocking waits)"

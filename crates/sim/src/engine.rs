@@ -33,7 +33,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::config::ClusterSpec;
 use crate::disk::{DiskStore, MemTracker, VarId};
 use crate::error::{SimError, SimResult};
-use crate::fault::{FaultKind, FaultPlan, RankFaults};
+use crate::fault::{CrashSpec, FaultKind, FaultPlan, RankFaults};
 use crate::noise::NoiseStream;
 use crate::time::{SimDur, SimTime};
 use crate::trace::{Event, EventKind, RankTrace};
@@ -57,19 +57,25 @@ struct KernelState {
     blocked: usize,
     /// What each parked rank is waiting for: rank → (src, tag).
     waiting: HashMap<usize, (usize, u32)>,
+    /// Crash-stopped ranks and their virtual instants of death.
+    dead: HashMap<usize, SimTime>,
     /// Set when the simulated program can make no further progress.
     deadlocked: Option<String>,
 }
 
 impl KernelState {
     /// True if any parked rank's awaited mailbox already holds a
-    /// message — i.e. the system can still make progress even though
-    /// every live rank is currently counted as blocked.
+    /// message, or the awaited peer is dead (the wait will resolve to
+    /// [`SimError::PeerDead`]) — i.e. the system can still make
+    /// progress even though every live rank is currently counted as
+    /// blocked.
     fn any_satisfiable(&self) -> bool {
         self.waiting.iter().any(|(&rank, &(src, tag))| {
-            self.mailboxes
-                .get(&(src, rank, tag))
-                .is_some_and(|q| !q.is_empty())
+            self.dead.contains_key(&src)
+                || self
+                    .mailboxes
+                    .get(&(src, rank, tag))
+                    .is_some_and(|q| !q.is_empty())
         })
     }
 }
@@ -125,6 +131,7 @@ impl SimKernel {
             next_prefetch: 0,
             read_bytes: HashMap::new(),
             finished: false,
+            crashed: false,
         })
     }
 
@@ -168,6 +175,8 @@ pub struct RankCtx {
     /// Cumulative bytes read per variable, for the warm-read model.
     read_bytes: HashMap<VarId, u64>,
     finished: bool,
+    /// Set once this rank's scheduled crash-stop failure has fired.
+    crashed: bool,
 }
 
 impl RankCtx {
@@ -454,6 +463,92 @@ impl RankCtx {
         (p.data, blocked)
     }
 
+    /// Fire this rank's scheduled crash-stop failure: record the
+    /// [`FaultKind::Crash`] event, publish the death to the kernel's
+    /// dead-set (waking parked peers so their waits resolve to
+    /// [`SimError::PeerDead`]), and hand the caller the terminal
+    /// [`SimError::Crashed`] it must propagate.
+    fn execute_crash(&mut self, spec: CrashSpec) -> SimError {
+        self.crashed = true;
+        let at = self.now;
+        self.record_span(
+            at,
+            at,
+            EventKind::Fault {
+                fault: FaultKind::Crash {
+                    rank: self.rank,
+                    at_iteration: spec.at_iteration,
+                    at_ns: at.as_nanos(),
+                },
+            },
+        );
+        {
+            let mut st = self.kernel.state.lock();
+            st.dead.insert(self.rank, at);
+        }
+        self.kernel.cvar.notify_all();
+        SimError::Crashed {
+            rank: self.rank,
+            at_ns: at.as_nanos(),
+        }
+    }
+
+    /// Check the iteration-triggered crash schedule at the start of
+    /// iteration `it` (0-based); if this rank is scheduled to die here,
+    /// it dies now and the returned [`SimError::Crashed`] must be
+    /// propagated (the MPI layer calls this from `begin_iteration`).
+    pub fn crash_check_iteration(&mut self, it: u32) -> SimResult<()> {
+        if self.crashed {
+            return Ok(());
+        }
+        if let Some(c) = self.faults.scheduled_crash() {
+            if c.at_iteration == Some(it) {
+                return Err(self.execute_crash(c));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check the time-triggered crash schedule against the current
+    /// virtual clock; called by the MPI layer at operation entry so a
+    /// crash scheduled "at instant T" fires at the first operation at
+    /// or after T.
+    pub fn crash_check_time(&mut self) -> SimResult<()> {
+        if self.crashed {
+            return Ok(());
+        }
+        if let Some(c) = self.faults.scheduled_crash() {
+            if let Some(t) = c.at_time_ns {
+                if self.now.as_nanos() >= t {
+                    return Err(self.execute_crash(c));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `peer` has crash-stopped (as of the host instant of
+    /// the query; see [`RankCtx::dead_ranks`] for when this is
+    /// deterministic).
+    #[must_use]
+    pub fn is_dead(&self, peer: usize) -> bool {
+        self.kernel.state.lock().dead.contains_key(&peer)
+    }
+
+    /// Snapshot of all crash-stopped ranks and their virtual death
+    /// instants, sorted by rank. The kernel's dead-set is keyed by host
+    /// time, so this is deterministic only at points where virtual
+    /// causality guarantees every scheduled crash up to "now" has
+    /// already fired on its own thread — e.g. right after a collective
+    /// whose completion is host-ordered after the crash.
+    #[must_use]
+    pub fn dead_ranks(&self) -> Vec<(usize, SimTime)> {
+        let st = self.kernel.state.lock();
+        let mut v: Vec<(usize, SimTime)> = st.dead.iter().map(|(&r, &t)| (r, t)).collect();
+        v.sort_unstable_by_key(|&(r, _)| r);
+        v
+    }
+
     /// Send `payload` to rank `to` with `tag`. Charges the sender-side
     /// overhead; the message arrives at
     /// `clock_after_overhead + α + bytes·β`. Buffered: never blocks.
@@ -490,14 +585,21 @@ impl RankCtx {
         };
         {
             let mut st = self.kernel.state.lock();
-            st.mailboxes
-                .entry((self.rank, to, tag))
-                .or_default()
-                .push_back(InFlight {
-                    payload,
-                    arrival,
-                    bytes,
-                });
+            // Sends to a crashed peer succeed as silent no-ops: the
+            // sender still pays its local overhead (the NIC does not
+            // know the peer is gone) but nothing is enqueued, so
+            // fault-tolerant collectives can keep their send pattern
+            // without corrupting mailboxes nobody will drain.
+            if !st.dead.contains_key(&to) {
+                st.mailboxes
+                    .entry((self.rank, to, tag))
+                    .or_default()
+                    .push_back(InFlight {
+                        payload,
+                        arrival,
+                        bytes,
+                    });
+            }
         }
         self.kernel.cvar.notify_all();
         self.record(start, EventKind::Send { to, tag, bytes });
@@ -522,6 +624,26 @@ impl RankCtx {
                     if let Some(m) = q.pop_front() {
                         break m;
                     }
+                }
+                // Messages posted before the peer died still deliver
+                // (checked above); with the mailbox empty, a wait on a
+                // crashed peer resolves through the failure detector
+                // instead of parking forever.
+                if let Some(&died) = st.dead.get(&from) {
+                    drop(st);
+                    let detect = died + SimDur::from_nanos(self.faults.crash_detect_delay_ns());
+                    self.now = self.now.max(detect);
+                    self.record(
+                        start,
+                        EventKind::Fault {
+                            fault: FaultKind::DeadPeerDetected { peer: from },
+                        },
+                    );
+                    return Err(SimError::PeerDead {
+                        rank: self.rank,
+                        peer: from,
+                        at_ns: self.now.as_nanos(),
+                    });
                 }
                 if let Some(d) = &st.deadlocked {
                     return Err(SimError::Deadlock { detail: d.clone() });
@@ -1170,6 +1292,144 @@ mod tests {
         assert!(t.events[issue_idx..wait_idx]
             .iter()
             .any(|e| matches!(e.kind, EventKind::Compute { .. })));
+    }
+
+    #[test]
+    fn crash_fires_and_survivor_detects_dead_peer() {
+        use crate::fault::CrashSpec;
+        let mut spec = quiet_spec(2);
+        spec.faults.crashes = vec![CrashSpec::at_iteration(1, 1)];
+        spec.faults.checkpoint_interval = 1;
+        let delay = spec.faults.crash_detect_delay_ns;
+        let run = run_cluster(&spec, true, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.crash_check_iteration(0)?;
+                ctx.compute(100.0, u64::MAX);
+                match ctx.crash_check_iteration(1) {
+                    Err(SimError::Crashed { rank: 1, at_ns }) => Ok(at_ns),
+                    other => panic!("expected crash, got {other:?}"),
+                }
+            } else {
+                match ctx.recv(1, 0) {
+                    Err(SimError::PeerDead {
+                        rank: 0,
+                        peer: 1,
+                        at_ns,
+                    }) => Ok(at_ns),
+                    other => panic!("expected PeerDead, got {other:?}"),
+                }
+            }
+        })
+        .unwrap();
+        let detect = run.results[0];
+        let death = run.results[1];
+        assert!(death > 0, "crash happens after real compute");
+        // The failure detector resolves the wait exactly at death +
+        // configured latency (the survivor's own clock was still 0).
+        assert_eq!(detect, death + delay);
+        assert!(run.traces[1]
+            .faults()
+            .iter()
+            .any(|f| matches!(f, FaultKind::Crash { rank: 1, .. })));
+        assert!(run.traces[0]
+            .faults()
+            .iter()
+            .any(|f| matches!(f, FaultKind::DeadPeerDetected { peer: 1 })));
+    }
+
+    #[test]
+    fn in_flight_messages_from_crasher_still_deliver() {
+        use crate::fault::CrashSpec;
+        let mut spec = quiet_spec(2);
+        spec.faults.crashes = vec![CrashSpec::at_iteration(1, 0)];
+        spec.faults.checkpoint_interval = 1;
+        let run = run_cluster(&spec, false, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.send(0, 9, vec![42])?;
+                let _ = ctx.crash_check_iteration(0).unwrap_err();
+                Ok(0)
+            } else {
+                let first = ctx.recv(1, 9)?[0];
+                assert_eq!(first, 42, "pre-crash message must deliver");
+                match ctx.recv(1, 9) {
+                    Err(SimError::PeerDead { peer: 1, .. }) => Ok(i32::from(first)),
+                    other => panic!("expected PeerDead, got {other:?}"),
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[0], 42);
+    }
+
+    #[test]
+    fn send_to_dead_rank_is_silent_noop() {
+        use crate::fault::CrashSpec;
+        let mut spec = quiet_spec(3);
+        spec.faults.crashes = vec![CrashSpec::at_iteration(1, 0)];
+        spec.faults.checkpoint_interval = 1;
+        let run = run_cluster(&spec, false, |ctx| {
+            match ctx.rank() {
+                1 => {
+                    let _ = ctx.crash_check_iteration(0).unwrap_err();
+                    ctx.send(2, 5, vec![1])?; // wake rank 2's poll below
+                    Ok(0)
+                }
+                2 => {
+                    // Wait until the crash has been published.
+                    ctx.recv(1, 5).ok();
+                    while !ctx.is_dead(1) {
+                        std::thread::yield_now();
+                    }
+                    let before = ctx.now();
+                    ctx.send(1, 7, vec![9])?;
+                    assert!(ctx.now() > before, "sender overhead still charged");
+                    ctx.send(0, 8, vec![3])?;
+                    Ok(1)
+                }
+                _ => {
+                    ctx.recv(2, 8)?;
+                    assert_eq!(ctx.dead_ranks().len(), 1);
+                    Ok(2)
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn crash_at_time_fires_at_first_op_past_instant() {
+        use crate::fault::CrashSpec;
+        let mut spec = quiet_spec(1);
+        spec.faults.crashes = vec![CrashSpec::at_time(0, 1)];
+        spec.faults.checkpoint_interval = 1;
+        let run = run_cluster(&spec, false, |ctx| {
+            ctx.crash_check_time()?; // clock still 0: no fire
+            ctx.compute(100.0, u64::MAX);
+            match ctx.crash_check_time() {
+                Err(SimError::Crashed { rank: 0, at_ns }) => Ok(at_ns),
+                other => panic!("expected crash, got {other:?}"),
+            }
+        });
+        // Validation rejects killing the only rank; widen the cluster.
+        assert!(run.is_err());
+        let mut spec = quiet_spec(2);
+        spec.faults.crashes = vec![CrashSpec::at_time(0, 1)];
+        spec.faults.checkpoint_interval = 1;
+        let run = run_cluster(&spec, false, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.crash_check_time()?;
+                ctx.compute(100.0, u64::MAX);
+                match ctx.crash_check_time() {
+                    Err(SimError::Crashed { rank: 0, at_ns }) => Ok(at_ns),
+                    other => panic!("expected crash, got {other:?}"),
+                }
+            } else {
+                Ok(0)
+            }
+        })
+        .unwrap();
+        assert!(run.results[0] >= 1);
     }
 
     #[test]

@@ -40,6 +40,17 @@ pub enum SimError {
         waited_ms: u64,
         detail: String,
     },
+    /// This rank suffered a scheduled crash-stop failure: it stops
+    /// executing permanently at virtual instant `at_ns`.
+    Crashed { rank: usize, at_ns: u64 },
+    /// A blocking operation was addressed to a crashed peer; the
+    /// failure detector resolved it at virtual instant `at_ns` instead
+    /// of letting the wait hang.
+    PeerDead {
+        rank: usize,
+        peer: usize,
+        at_ns: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -82,6 +93,13 @@ impl fmt::Display for SimError {
                 waited_ms,
                 detail,
             } => write!(f, "rank {rank} timed out after {waited_ms} ms: {detail}"),
+            SimError::Crashed { rank, at_ns } => {
+                write!(f, "rank {rank} crashed (crash-stop) at t = {at_ns} ns")
+            }
+            SimError::PeerDead { rank, peer, at_ns } => write!(
+                f,
+                "rank {rank}: peer {peer} is dead (failure detected at t = {at_ns} ns)"
+            ),
         }
     }
 }
@@ -171,6 +189,21 @@ mod tests {
                     detail: "waiting on (0, tag 9)".into(),
                 },
                 vec!["rank 2", "250 ms", "tag 9"],
+            ),
+            (
+                SimError::Crashed {
+                    rank: 3,
+                    at_ns: 42_000,
+                },
+                vec!["rank 3", "crash-stop", "42000 ns"],
+            ),
+            (
+                SimError::PeerDead {
+                    rank: 1,
+                    peer: 3,
+                    at_ns: 99_000,
+                },
+                vec!["rank 1", "peer 3", "99000 ns"],
             ),
         ];
         for (err, needles) in cases {

@@ -71,6 +71,65 @@ pub enum FaultKind {
         /// Bytes stolen from the application.
         bytes: u64,
     },
+    /// A crash-stop failure: the rank permanently stopped executing at
+    /// this instant. Recorded once, on the dying rank's own trace.
+    Crash {
+        /// The rank that died.
+        rank: usize,
+        /// The iteration the crash was scheduled for, when
+        /// iteration-triggered.
+        at_iteration: Option<u32>,
+        /// Virtual time of death, ns.
+        at_ns: u64,
+    },
+    /// A survivor resolved a blocking operation against a crashed peer:
+    /// the event's span covers the wait plus the configured detection
+    /// delay.
+    DeadPeerDetected {
+        /// The dead peer the operation was addressed to.
+        peer: usize,
+    },
+}
+
+/// One scheduled crash-stop failure. Unlike the rate-driven transient
+/// faults, crashes are **explicit**: the spec names the victim rank and
+/// the trigger (an iteration number, a virtual instant, or both —
+/// whichever fires first). This keeps crash schedules trivially
+/// deterministic and lets tests place a failure exactly where they
+/// want it (before the first checkpoint, inside a collective, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CrashSpec {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Crash when the rank begins this iteration (0-based), if set.
+    pub at_iteration: Option<u32>,
+    /// Crash at the first operation at or after this virtual instant
+    /// (ns), if set.
+    pub at_time_ns: Option<u64>,
+}
+
+impl CrashSpec {
+    /// A crash of `rank` triggered when it begins iteration `it`.
+    #[must_use]
+    pub fn at_iteration(rank: usize, it: u32) -> Self {
+        CrashSpec {
+            rank,
+            at_iteration: Some(it),
+            at_time_ns: None,
+        }
+    }
+
+    /// A crash of `rank` triggered at the first operation at or after
+    /// virtual instant `ns`.
+    #[must_use]
+    pub fn at_time(rank: usize, ns: u64) -> Self {
+        CrashSpec {
+            rank,
+            at_iteration: None,
+            at_time_ns: Some(ns),
+        }
+    }
 }
 
 /// Fault-injection configuration, part of
@@ -102,6 +161,25 @@ pub struct FaultSpec {
     /// Bytes reserved away from the application while a pressure spike
     /// is active.
     pub mem_pressure_bytes: u64,
+    /// Scheduled crash-stop failures (empty by default). Crash-aware
+    /// drivers checkpoint every [`FaultSpec::checkpoint_interval`]
+    /// iterations and recover survivors when one of these fires.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub crashes: Vec<CrashSpec>,
+    /// Checkpoint interval K in iterations for crash-aware drivers.
+    /// 0 disables checkpointing, which is invalid once any crash is
+    /// scheduled (there would be nothing to roll back to).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub checkpoint_interval: u32,
+    /// Virtual time between a rank's death and a survivor's blocking
+    /// operation against it resolving (failure-detector latency), ns.
+    #[cfg_attr(feature = "serde", serde(default = "default_crash_detect_delay_ns"))]
+    pub crash_detect_delay_ns: u64,
+}
+
+/// Default failure-detector latency: 1 ms of virtual time.
+fn default_crash_detect_delay_ns() -> u64 {
+    1_000_000
 }
 
 /// Upper bound on consecutive retransmissions of one message, so a
@@ -119,6 +197,9 @@ impl Default for FaultSpec {
             slowdown_period_ns: 1.0e6, // 1 ms windows
             mem_pressure_rate: 0.0,
             mem_pressure_bytes: 0,
+            crashes: Vec::new(),
+            checkpoint_interval: 0,
+            crash_detect_delay_ns: default_crash_detect_delay_ns(),
         }
     }
 }
@@ -132,11 +213,13 @@ impl FaultSpec {
             || self.msg_resend_rate > 0.0
             || self.slowdown_rate > 0.0
             || (self.mem_pressure_rate > 0.0 && self.mem_pressure_bytes > 0)
+            || !self.crashes.is_empty()
     }
 
-    /// Validate rates and factors; called from
+    /// Validate rates, factors, and crash schedules against a cluster
+    /// of `nodes` ranks; called from
     /// [`ClusterSpec::validate`](crate::config::ClusterSpec::validate).
-    pub fn validate(&self) -> SimResult<()> {
+    pub fn validate(&self, nodes: usize) -> SimResult<()> {
         for (label, rate) in [
             ("disk_read_fault_rate", self.disk_read_fault_rate),
             ("disk_write_fault_rate", self.disk_write_fault_rate),
@@ -162,7 +245,47 @@ impl FaultSpec {
                 self.slowdown_period_ns
             )));
         }
+        let mut crashed = std::collections::HashSet::new();
+        for (i, c) in self.crashes.iter().enumerate() {
+            if c.rank >= nodes {
+                return Err(SimError::InvalidConfig(format!(
+                    "crash {i}: rank {rank} out of range for {nodes} nodes",
+                    rank = c.rank
+                )));
+            }
+            if c.at_iteration.is_none() && c.at_time_ns.is_none() {
+                return Err(SimError::InvalidConfig(format!(
+                    "crash {i}: rank {rank} has neither at_iteration nor at_time_ns",
+                    rank = c.rank
+                )));
+            }
+            if !crashed.insert(c.rank) {
+                return Err(SimError::InvalidConfig(format!(
+                    "crash {i}: rank {rank} is scheduled to crash more than once",
+                    rank = c.rank
+                )));
+            }
+        }
+        if !self.crashes.is_empty() {
+            if crashed.len() >= nodes {
+                return Err(SimError::InvalidConfig(format!(
+                    "crashes kill all {nodes} ranks; at least one survivor is required"
+                )));
+            }
+            if self.checkpoint_interval == 0 {
+                return Err(SimError::InvalidConfig(
+                    "fault checkpoint_interval must be >= 1 when crashes are scheduled, got 0"
+                        .to_string(),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The crash scheduled for `rank`, if any.
+    #[must_use]
+    pub fn crash_for(&self, rank: usize) -> Option<CrashSpec> {
+        self.crashes.iter().copied().find(|c| c.rank == rank)
     }
 }
 
@@ -257,6 +380,19 @@ impl RankFaults {
     #[must_use]
     pub fn any_enabled(&self) -> bool {
         self.spec.any_enabled()
+    }
+
+    /// The crash-stop failure scheduled for this rank, if any.
+    #[must_use]
+    pub fn scheduled_crash(&self) -> Option<CrashSpec> {
+        self.spec.crash_for(self.rank)
+    }
+
+    /// Failure-detector latency (see
+    /// [`FaultSpec::crash_detect_delay_ns`]), ns.
+    #[must_use]
+    pub fn crash_detect_delay_ns(&self) -> u64 {
+        self.spec.crash_detect_delay_ns
     }
 
     /// Draw the fate of a disk-read attempt on `var`. Returns
@@ -360,6 +496,7 @@ mod tests {
             slowdown_period_ns: 1.0e6,
             mem_pressure_rate: 0.3,
             mem_pressure_bytes: 1024,
+            ..Default::default()
         }
     }
 
@@ -367,7 +504,7 @@ mod tests {
     fn default_spec_is_inert_and_valid() {
         let spec = FaultSpec::default();
         assert!(!spec.any_enabled());
-        spec.validate().unwrap();
+        spec.validate(4).unwrap();
         let mut rf = FaultPlan::new(&spec, 42).rank(0);
         for var in 0..50 {
             assert_eq!(rf.read_attempt(var), None);
@@ -460,23 +597,109 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            spec.validate(),
+            spec.validate(4),
             Err(SimError::InvalidConfig(msg)) if msg.contains("disk_read_fault_rate")
         ));
         let spec = FaultSpec {
             slowdown_factor: 0.5,
             ..Default::default()
         };
-        assert!(spec.validate().is_err());
+        assert!(spec.validate(4).is_err());
         let spec = FaultSpec {
             slowdown_period_ns: 0.0,
             ..Default::default()
         };
-        assert!(spec.validate().is_err());
+        assert!(spec.validate(4).is_err());
         let spec = FaultSpec {
             mem_pressure_rate: f64::NAN,
             ..Default::default()
         };
-        assert!(spec.validate().is_err());
+        assert!(spec.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_crash_rank() {
+        let spec = FaultSpec {
+            crashes: vec![CrashSpec::at_iteration(4, 3)],
+            checkpoint_interval: 5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(4),
+            Err(SimError::InvalidConfig(msg))
+                if msg.contains("rank 4 out of range for 4 nodes")
+        ));
+        spec.validate(5).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_killing_every_rank() {
+        let spec = FaultSpec {
+            crashes: vec![CrashSpec::at_iteration(0, 1), CrashSpec::at_time(1, 50)],
+            checkpoint_interval: 5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(2),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("at least one survivor")
+        ));
+        spec.validate(3).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_checkpoint_interval_with_crashes() {
+        let spec = FaultSpec {
+            crashes: vec![CrashSpec::at_iteration(1, 7)],
+            checkpoint_interval: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("checkpoint_interval")
+        ));
+        // K = 0 without crashes just means "checkpointing disabled".
+        FaultSpec::default().validate(4).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_triggerless_and_duplicate_crashes() {
+        let spec = FaultSpec {
+            crashes: vec![CrashSpec {
+                rank: 1,
+                at_iteration: None,
+                at_time_ns: None,
+            }],
+            checkpoint_interval: 5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("neither at_iteration")
+        ));
+        let spec = FaultSpec {
+            crashes: vec![CrashSpec::at_iteration(1, 2), CrashSpec::at_iteration(1, 9)],
+            checkpoint_interval: 5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            spec.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("more than once")
+        ));
+    }
+
+    #[test]
+    fn scheduled_crashes_attach_to_their_rank() {
+        let spec = FaultSpec {
+            crashes: vec![CrashSpec::at_iteration(2, 40)],
+            checkpoint_interval: 10,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(&spec, 1);
+        assert_eq!(plan.rank(2).scheduled_crash(), Some(spec.crashes[0]));
+        assert_eq!(plan.rank(0).scheduled_crash(), None);
+        assert_eq!(
+            plan.rank(0).crash_detect_delay_ns(),
+            spec.crash_detect_delay_ns
+        );
     }
 }

@@ -283,7 +283,19 @@ pub fn standard_fault_profile() -> FaultSpec {
         slowdown_period_ns: 1.0e6,
         mem_pressure_rate: 0.05,
         mem_pressure_bytes: SMALL_MEMORY / 4,
+        ..FaultSpec::default()
     }
+}
+
+/// `base` with a single crash-stop failure of `rank` at iteration `it`
+/// and checkpointing every `interval` iterations; the name gains a
+/// `+crash` suffix so result tables distinguish failure runs.
+#[must_use]
+pub fn with_crash(mut base: ClusterSpec, rank: usize, it: u32, interval: u32) -> ClusterSpec {
+    base.name = format!("{}+crash", base.name);
+    base.faults.crashes = vec![crate::fault::CrashSpec::at_iteration(rank, it)];
+    base.faults.checkpoint_interval = interval;
+    base
 }
 
 /// `base` with the given fault profile applied; the name gains a

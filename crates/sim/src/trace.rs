@@ -69,6 +69,60 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// Which phase of crash recovery a [`RecoverySpan`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum RecoveryKind {
+    /// Periodic checkpoint write of local application state.
+    Checkpoint,
+    /// Post-crash rollback: dead-set agreement plus reloading the last
+    /// checkpoint from local disk.
+    Rollback,
+    /// Re-spreading the dead ranks' rows over the survivors (disk
+    /// fetches of orphaned state plus survivor-to-survivor transfers).
+    Redistribution,
+    /// Re-running the MHETA prediction on the shrunken cluster.
+    Reprediction,
+}
+
+impl RecoveryKind {
+    /// Stable lower-case name used in metrics counters, audit terms and
+    /// Perfetto slice labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryKind::Checkpoint => "checkpoint",
+            RecoveryKind::Rollback => "rollback",
+            RecoveryKind::Redistribution => "redistribution",
+            RecoveryKind::Reprediction => "reprediction",
+        }
+    }
+}
+
+/// A half-open interval `[start_ns, end_ns)` of one rank's virtual
+/// timeline spent on crash-recovery machinery rather than application
+/// work. Spans on a rank are non-overlapping and ordered; observability
+/// consumers (audit, Perfetto) attribute the covered trace events to the
+/// span's [`RecoveryKind`] instead of their natural cost category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RecoverySpan {
+    /// Virtual time at which the recovery phase began on this rank.
+    pub start_ns: u64,
+    /// Virtual time at which the recovery phase ended on this rank.
+    pub end_ns: u64,
+    /// Which recovery phase the interval covers.
+    pub kind: RecoveryKind,
+}
+
+impl RecoverySpan {
+    /// Length of the span in nanoseconds (0 for malformed spans).
+    #[must_use]
+    pub fn len_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
 /// The complete trace of one rank for one run.
 #[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]

@@ -57,11 +57,15 @@ pub use mheta_sim as sim;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use mheta_apps::{
-        anchor_inputs, build_model, percent_difference, run_instrumented, run_measured,
-        run_observed, Benchmark, Cg, Jacobi, Lanczos, Multigrid, Observed, Rna,
+        anchor_inputs, build_model, percent_difference, recovery_report, repredict_after_crash,
+        run_instrumented, run_measured, run_observed, run_resilient, Benchmark, Cg, Jacobi,
+        Lanczos, Multigrid, Observed, RecoveryReport, ResilientJacobi, ResilientRun, Rna,
     };
     pub use mheta_core::{Mheta, Prediction, ProgramStructure};
     pub use mheta_dist::{AnchorInputs, GenBlock, SpectrumPath};
     pub use mheta_obs::{CriticalPath, Metrics};
-    pub use mheta_sim::{presets, ClusterSpec, NodeSpec, SimDur, SimTime};
+    pub use mheta_sim::{
+        presets, ClusterSpec, CrashSpec, FaultSpec, NodeSpec, RecoveryKind, RecoverySpan, SimDur,
+        SimTime,
+    };
 }

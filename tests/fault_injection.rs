@@ -35,6 +35,7 @@ fn moderate_faults() -> FaultSpec {
         slowdown_period_ns: 1.0e5,
         mem_pressure_rate: 0.10,
         mem_pressure_bytes: 64 * 1024,
+        ..FaultSpec::default()
     }
 }
 
@@ -91,6 +92,7 @@ fn faults_are_visible_in_traces_and_retry_hooks() {
         slowdown_period_ns: 1.0e4,
         mem_pressure_rate: 0.0,
         mem_pressure_bytes: 0,
+        ..FaultSpec::default()
     };
 
     let run = run_app(
@@ -329,6 +331,209 @@ fn all_searches_finish_under_eval_failures_and_report_counts() {
     );
     assert_eq!(out.failed_evals, 0, "retries should absorb every failure");
     assert!(out.retried_evals > 0);
+}
+
+mod crash_stop {
+    //! End-to-end crash-stop scenarios: a rank dies mid-run, survivors
+    //! detect it (no hang), roll back to the last checkpoint,
+    //! redistribute the dead rank's rows, re-predict, and complete.
+    use super::*;
+    use mheta::apps::{recovery_report, repredict_after_crash, run_resilient};
+    use mheta::mpi::TAG_COLLECTIVE_BASE;
+    use mheta::obs::{perfetto_trace_with_recovery, AuditReport};
+    use mheta::sim::{CrashSpec, EventKind};
+
+    fn crashy(seed: u64, crashes: Vec<CrashSpec>, interval: u32) -> ClusterSpec {
+        let mut spec = quiet(4, seed);
+        spec.faults.crashes = crashes;
+        spec.faults.checkpoint_interval = interval;
+        spec
+    }
+
+    /// The crash-free residual of the same app/distribution, for
+    /// comparison. Recovery replays identical values; only the
+    /// shrunken survivor reduction tree reassociates the final sum.
+    fn crash_free_check(app: &Jacobi, spec: &ClusterSpec, dist: &GenBlock, iters: u32) -> f64 {
+        let mut clean = spec.clone();
+        clean.faults = mheta::sim::FaultSpec::default();
+        run_measured(&Benchmark::Jacobi(app.clone()), &clean, dist, iters, false)
+            .unwrap()
+            .check
+    }
+
+    #[test]
+    fn crash_after_first_checkpoint_rolls_back_and_completes() {
+        let app = Jacobi::small();
+        let dist = GenBlock::block(app.rows, 4);
+        let spec = crashy(11, vec![CrashSpec::at_iteration(2, 5)], 3);
+        let run = run_resilient(&app, &spec, &dist, 10).unwrap();
+        let report = recovery_report(&run, 10).expect("a recovery happened");
+        assert_eq!(report.dead, vec![2]);
+        assert_eq!(report.rollback_iteration, 3, "last checkpoint before it 5");
+        assert!(report.recovery_ns.iter().all(|&ns| ns > 0.0));
+        // Survivors finished the full run with the right answer.
+        let expect = crash_free_check(&app, &spec, &dist, 10);
+        let rel = (run.measured.check - expect).abs() / expect.abs();
+        assert!(rel < 1e-12, "residual off by {rel:e}");
+        // The dead rank's rows were re-spread over the survivors.
+        let survivor = run.outcomes.iter().find(|o| o.alive).unwrap();
+        assert_eq!(survivor.final_rows.iter().sum::<usize>(), app.rows);
+        assert_eq!(survivor.final_rows[2], 0, "dead rank holds no rows");
+    }
+
+    #[test]
+    fn crash_before_first_checkpoint_restarts_from_initial_state() {
+        let app = Jacobi::small();
+        let dist = GenBlock::block(app.rows, 4);
+        let spec = crashy(13, vec![CrashSpec::at_iteration(1, 0)], 4);
+        let run = run_resilient(&app, &spec, &dist, 6).unwrap();
+        let report = recovery_report(&run, 6).expect("a recovery happened");
+        assert_eq!(report.dead, vec![1]);
+        assert_eq!(report.rollback_iteration, 0, "nothing checkpointed yet");
+        let expect = crash_free_check(&app, &spec, &dist, 6);
+        let rel = (run.measured.check - expect).abs() / expect.abs();
+        assert!(rel < 1e-12, "residual off by {rel:e}");
+    }
+
+    #[test]
+    fn crash_during_a_collective_is_detected_without_hanging() {
+        let app = Jacobi::small();
+        let dist = GenBlock::block(app.rows, 4);
+        // Find, on a crash-free run, when the victim enters the
+        // residual reduction of iteration ~4, and kill it right there.
+        let clean = crashy(17, vec![], 3);
+        let probe = run_resilient(&app, &clean, &dist, 10).unwrap();
+        let collective_start = probe.traces[2]
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(&e.kind, EventKind::Recv { tag, .. } | EventKind::Send { tag, .. }
+                         if *tag >= TAG_COLLECTIVE_BASE)
+            })
+            .nth(8)
+            .expect("victim participates in collectives")
+            .start
+            .as_nanos();
+        let mut spec = clean;
+        spec.faults.crashes = vec![CrashSpec {
+            rank: 2,
+            at_iteration: None,
+            at_time_ns: Some(collective_start + 1),
+        }];
+        let run = run_resilient(&app, &spec, &dist, 10).unwrap();
+        let report = recovery_report(&run, 10).expect("a recovery happened");
+        assert_eq!(report.dead, vec![2]);
+        assert!(!run.outcomes[2].alive);
+        let expect = crash_free_check(&app, &spec, &dist, 10);
+        let rel = (run.measured.check - expect).abs() / expect.abs();
+        assert!(rel < 1e-12, "residual off by {rel:e}");
+    }
+
+    #[test]
+    fn two_staggered_crashes_both_recover() {
+        let app = Jacobi::small();
+        let dist = GenBlock::block(app.rows, 4);
+        let spec = crashy(
+            19,
+            vec![CrashSpec::at_iteration(1, 3), CrashSpec::at_iteration(3, 7)],
+            2,
+        );
+        let run = run_resilient(&app, &spec, &dist, 10).unwrap();
+        let report = recovery_report(&run, 10).expect("recoveries happened");
+        assert_eq!(report.dead, vec![1, 3]);
+        let expect = crash_free_check(&app, &spec, &dist, 10);
+        let rel = (run.measured.check - expect).abs() / expect.abs();
+        assert!(rel < 1e-12, "residual off by {rel:e}");
+        let survivor = run.outcomes.iter().find(|o| o.alive).unwrap();
+        assert_eq!(survivor.final_rows[1] + survivor.final_rows[3], 0);
+        assert_eq!(survivor.final_rows.iter().sum::<usize>(), app.rows);
+    }
+
+    #[test]
+    fn post_failure_reprediction_tracks_the_simulated_post_failure_makespan() {
+        // The paper-default grid: at toy sizes the fixed per-iteration
+        // agreement collective (absent from the model) dominates.
+        let app = Jacobi::default();
+        let dist = GenBlock::block(app.rows, 4);
+        let iters = 12;
+        let mut spec = crashy(23, vec![CrashSpec::at_iteration(2, 5)], 3);
+        for node in &mut spec.nodes {
+            node.memory_bytes = 8 * 1024 * 1024; // in-core driver: shares must fit
+        }
+        let run = run_resilient(&app, &spec, &dist, iters).unwrap();
+        let report = recovery_report(&run, iters).expect("a recovery happened");
+        let survivor = run.outcomes.iter().find(|o| o.alive).unwrap();
+        let pred = repredict_after_crash(&app, &spec, &report.dead, &survivor.final_rows).unwrap();
+        let predicted_post_ns = pred.iteration_ns * f64::from(report.remaining_iters);
+        let err = percent_difference(predicted_post_ns, report.actual_post_ns);
+        assert!(
+            err < 5.0,
+            "post-failure re-prediction off by {err:.2}%: predicted {predicted_post_ns} vs actual {}",
+            report.actual_post_ns
+        );
+    }
+
+    #[test]
+    fn recovery_time_is_distinct_audit_terms_and_a_perfetto_track() {
+        let app = Jacobi::small();
+        let dist = GenBlock::block(app.rows, 4);
+        let iters = 10;
+        let mut clean = quiet(4, 29);
+        clean.noise.amplitude = 0.0;
+        let model = build_model(&Benchmark::Jacobi(app.clone()), &clean, false).unwrap();
+        let pred = model.predict(dist.rows()).unwrap();
+        let spec = crashy(29, vec![CrashSpec::at_iteration(2, 5)], 3);
+        let run = run_resilient(&app, &spec, &dist, iters).unwrap();
+        let spans: Vec<_> = run.outcomes.iter().map(|o| o.spans.clone()).collect();
+
+        // Audit: the recovery terms carry exactly the span time, and
+        // the twelve actual terms still partition each window exactly.
+        let report =
+            AuditReport::audit_with_recovery(&pred, iters, &run.traces, &run.windows, &spans);
+        for (rank, audit) in report.ranks.iter().enumerate() {
+            assert_eq!(audit.actual_total_ns(), audit.window_ns);
+            let (t0, t1) = run.windows[rank];
+            for kind in [
+                RecoveryKind::Checkpoint,
+                RecoveryKind::Rollback,
+                RecoveryKind::Redistribution,
+                RecoveryKind::Reprediction,
+            ] {
+                let span_ns: u64 = spans[rank]
+                    .iter()
+                    .filter(|s| s.kind == kind)
+                    .map(|s| s.end_ns.min(t1).saturating_sub(s.start_ns.max(t0)))
+                    .sum();
+                let line = audit
+                    .lines
+                    .iter()
+                    .find(|l| l.term == kind.name())
+                    .expect("recovery term present");
+                assert_eq!(line.actual_ns, span_ns, "rank {rank} {} term", kind.name());
+                assert_eq!(line.predicted_ns, 0.0, "recovery is never predicted");
+            }
+        }
+        let survivor_rank = run.outcomes.iter().position(|o| o.alive).unwrap();
+        assert!(
+            report.ranks[survivor_rank]
+                .lines
+                .iter()
+                .filter(|l| matches!(l.term, "rollback" | "redistribution" | "reprediction"))
+                .all(|l| l.actual_ns > 0),
+            "survivors must show all three recovery phases"
+        );
+
+        // Perfetto: a dedicated tid-2 track whose slices are exactly
+        // the recovery spans.
+        let doc = perfetto_trace_with_recovery(&run.traces, &run.hooks, &spans);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let recovery_slices = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(serde::Value::as_str) == Some("recovery"))
+            .count();
+        let total_spans: usize = spans.iter().map(Vec::len).sum();
+        assert_eq!(recovery_slices, total_spans);
+    }
 }
 
 #[test]

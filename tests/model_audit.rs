@@ -58,6 +58,7 @@ fn faults() -> FaultSpec {
         slowdown_period_ns: 1.0e5,
         mem_pressure_rate: 0.10,
         mem_pressure_bytes: 64 * 1024,
+        ..FaultSpec::default()
     }
 }
 

@@ -90,6 +90,7 @@ mod trace_invariants {
             slowdown_period_ns: 1.0e5,
             mem_pressure_rate: 0.10,
             mem_pressure_bytes: 64 * 1024,
+            ..FaultSpec::default()
         };
         spec
     }
@@ -112,6 +113,59 @@ mod trace_invariants {
                     prop_assert!(last.end <= t.finish, "rank {} event past finish", t.rank);
                 }
             }
+        }
+    }
+}
+
+mod crash_determinism {
+    use super::*;
+    use mheta::apps::run_resilient;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Each case runs two full resilient 4-rank recoveries.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Identical seeds and crash plans reproduce the entire
+        /// post-recovery run bitwise: traces, recovery spans, rollback
+        /// decisions, redistributed layouts, and the final residual.
+        #[test]
+        fn crash_recovery_is_bit_deterministic(
+            seed in 0u64..1_000_000,
+            victim in 1usize..4,
+            at_iteration in 0u32..10,
+            interval in 1u32..4,
+        ) {
+            // hybrid()'s memory-starved node 3 would (correctly) be
+            // rejected by the in-core resilient driver; keep the CPU
+            // heterogeneity and noise, drop the starvation.
+            let mut spec = hybrid(seed);
+            spec.nodes[3].memory_bytes = 512 * 1024;
+            spec.faults = FaultSpec {
+                crashes: vec![CrashSpec {
+                    rank: victim,
+                    at_iteration: Some(at_iteration),
+                    at_time_ns: None,
+                }],
+                checkpoint_interval: interval,
+                ..FaultSpec::default()
+            };
+            let app = Jacobi::small();
+            let dist = GenBlock::block(app.rows, 4);
+            let a = run_resilient(&app, &spec, &dist, 10).unwrap();
+            let b = run_resilient(&app, &spec, &dist, 10).unwrap();
+            for (ta, tb) in a.traces.iter().zip(&b.traces) {
+                prop_assert!(ta.events == tb.events, "rank {} trace diverged", ta.rank);
+                prop_assert_eq!(ta.finish, tb.finish);
+            }
+            for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+                prop_assert_eq!(&oa.spans, &ob.spans);
+                prop_assert_eq!(&oa.dead, &ob.dead);
+                prop_assert_eq!(oa.rollback_iteration, ob.rollback_iteration);
+                prop_assert_eq!(&oa.final_rows, &ob.final_rows);
+                prop_assert_eq!(oa.result.check.to_bits(), ob.result.check.to_bits());
+            }
+            prop_assert_eq!(a.measured.secs, b.measured.secs);
         }
     }
 }
