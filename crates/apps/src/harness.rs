@@ -17,6 +17,7 @@ use mheta_dist::{AnchorInputs, GenBlock};
 use mheta_mpi::{run_app, ExecMode, HookEvent, NullRecorder, RunOptions, Scope, VecRecorder};
 use mheta_sim::{ClusterSpec, FaultSpec, RankTrace, RecoveryKind, SimError, SimResult};
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveJacobi, AdaptiveOutcome};
 use crate::app::RankResult;
 use crate::cg::Cg;
 use crate::jacobi::Jacobi;
@@ -354,6 +355,76 @@ pub fn run_resilient(
         check: survivors[0].result.check,
     };
     Ok(ResilientRun {
+        windows: run
+            .results
+            .iter()
+            .map(|o| (o.result.t0_ns, o.result.t1_ns))
+            .collect(),
+        outcomes: run.results,
+        traces: run.traces,
+        hooks: run.recorders.into_iter().map(|r| r.events).collect(),
+        measured,
+    })
+}
+
+/// Everything an adaptive (detector + mid-run rebalancing) run
+/// produces.
+#[derive(Debug)]
+pub struct AdaptiveRun {
+    /// Per-rank outcomes (crashed ranks included, marked `alive:
+    /// false`).
+    pub outcomes: Vec<AdaptiveOutcome>,
+    /// Per-rank operational traces (tracing is always on: adaptive
+    /// runs exist to be audited).
+    pub traces: Vec<RankTrace>,
+    /// Per-rank hook-event streams.
+    pub hooks: Vec<Vec<HookEvent>>,
+    /// Makespan over the surviving ranks' loop windows.
+    pub measured: Measured,
+    /// Per-rank `(t0_ns, t1_ns)` loop windows.
+    pub windows: Vec<(u64, u64)>,
+}
+
+/// Run the adaptive Jacobi driver cluster-wide: phi-accrual detection,
+/// slowdown-vs-crash disambiguation, and mid-run GEN_BLOCK rebalancing.
+/// `layout0` may contain zero-row hot spares; rebalancing weights come
+/// from the nodes' CPU powers.
+pub fn run_adaptive(
+    app: &Jacobi,
+    spec: &ClusterSpec,
+    layout0: &[usize],
+    iters: u32,
+    cfg: AdaptiveConfig,
+) -> SimResult<AdaptiveRun> {
+    let weights: Vec<f64> = spec.nodes.iter().map(|n| n.cpu_power).collect();
+    let store = new_checkpoint_store();
+    let driver = AdaptiveJacobi {
+        app: app.clone(),
+        cfg,
+    };
+    let run = run_app(
+        spec,
+        RunOptions {
+            tracing: true,
+            mode: ExecMode::Normal,
+        },
+        |_| VecRecorder::default(),
+        |comm| driver.run(comm, layout0, iters, &weights, &store),
+    )?;
+    let survivors: Vec<&AdaptiveOutcome> = run.results.iter().filter(|o| o.alive).collect();
+    if survivors.is_empty() {
+        return Err(SimError::InvalidConfig(
+            "adaptive run left no survivors".into(),
+        ));
+    }
+    let t0 = survivors.iter().map(|o| o.result.t0_ns).max().unwrap_or(0);
+    let t1 = survivors.iter().map(|o| o.result.t1_ns).max().unwrap_or(0);
+    let measured = Measured {
+        secs: (t1 - t0) as f64 / 1e9,
+        per_rank_secs: run.results.iter().map(|o| o.result.secs()).collect(),
+        check: survivors[0].result.check,
+    };
+    Ok(AdaptiveRun {
         windows: run
             .results
             .iter()

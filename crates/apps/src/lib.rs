@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adaptive;
 pub mod app;
 pub mod cg;
 pub mod harness;
@@ -31,12 +32,13 @@ pub mod redistribute;
 pub mod resilient;
 pub mod rna;
 
+pub use adaptive::{AdaptiveCg, AdaptiveConfig, AdaptiveJacobi, AdaptiveOutcome, RebalanceEvent};
 pub use app::RankResult;
 pub use cg::Cg;
 pub use harness::{
     anchor_inputs, build_model, percent_difference, recovery_report, repredict_after_crash,
-    run_instrumented, run_measured, run_observed, run_resilient, Benchmark, Measured, Observed,
-    RecoveryReport, ResilientRun,
+    run_adaptive, run_instrumented, run_measured, run_observed, run_resilient, AdaptiveRun,
+    Benchmark, Measured, Observed, RecoveryReport, ResilientRun,
 };
 pub use jacobi::Jacobi;
 pub use lanczos::Lanczos;

@@ -494,7 +494,7 @@ impl ResilientJacobi {
 /// initializer when the rank died before its first checkpoint (only
 /// possible at target 0, where the checkpoint state *is* the initial
 /// state).
-fn dead_block(
+pub(crate) fn dead_block(
     store: &CheckpointStore,
     app: &Jacobi,
     dead: usize,

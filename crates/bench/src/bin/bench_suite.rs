@@ -24,7 +24,9 @@
 //! microsecond scale) and is **informational**: it never participates
 //! in the `--check` gate.
 
-use mheta_apps::{percent_difference, run_observed, Benchmark};
+use mheta_apps::{
+    percent_difference, run_adaptive, run_observed, AdaptiveConfig, Benchmark, Jacobi,
+};
 use mheta_bench::{experiment_iters, Flags};
 use mheta_dist::{CountingEvaluator, Evaluator, GenBlock};
 use mheta_obs::{latency_value, AuditReport};
@@ -116,7 +118,7 @@ fn entry_value(e: &Entry) -> Value {
     ])
 }
 
-fn suite_value(name: &str, entries: &[Entry]) -> Value {
+fn suite_value(name: &str, entries: &[Entry], adaptive: &Value) -> Value {
     Value::object(vec![
         ("schema", Value::Str("mheta-bench/v1".into())),
         ("name", Value::Str(name.to_string())),
@@ -124,6 +126,7 @@ fn suite_value(name: &str, entries: &[Entry]) -> Value {
             "entries",
             Value::Array(entries.iter().map(entry_value).collect()),
         ),
+        ("adaptive", adaptive.clone()),
     ])
 }
 
@@ -192,6 +195,114 @@ fn check_against(baseline: &Value, fresh: &Value) -> Vec<String> {
         }
     }
     problems
+}
+
+/// The adaptive-resilience scenario, gated at runtime:
+///
+/// 1. **Zero false positives** — an adaptive Jacobi run on every
+///    fault-free preset in the suite must produce no detector
+///    transitions and no rebalances (exit 1 otherwise);
+/// 2. **Gap recovery** — under a persistent 4× slowdown of one
+///    baseline node on DC, mid-run rebalancing must recover at least
+///    60% of the makespan gap between the static CPU-power
+///    distribution and the oracle (degraded-weight) distribution.
+///
+/// The returned block is informational in `--check` mode: the gates
+/// run fresh every time instead of comparing against the baseline.
+fn adaptive_entry(smoke: bool, fault_free: &[ClusterSpec]) -> Value {
+    let app = Jacobi {
+        rows: 128,
+        cols: 16,
+        seed: 0x4a43,
+    };
+    let fp_iters: u32 = if smoke { 16 } else { 40 };
+    let mut false_positives = 0usize;
+    for spec in fault_free {
+        let powers: Vec<f64> = spec.nodes.iter().map(|n| n.cpu_power).collect();
+        let layout = GenBlock::apportion(app.rows, &powers).rows().to_vec();
+        let run = run_adaptive(&app, spec, &layout, fp_iters, AdaptiveConfig::default())
+            .unwrap_or_else(|e| panic!("adaptive Jacobi on {}: {e}", spec.name));
+        false_positives += run
+            .outcomes
+            .iter()
+            .map(|o| o.transitions.len() + o.rebalances.len())
+            .sum::<usize>();
+    }
+    if false_positives > 0 {
+        eprintln!(
+            "adaptive: detector raised {false_positives} false positive(s) \
+             on fault-free presets"
+        );
+        std::process::exit(1);
+    }
+
+    let iters: u32 = 40;
+    let (degraded_rank, factor) = (3usize, 4.0);
+    let spec = presets::with_degrade(presets::dc(), degraded_rank, 6, factor);
+    let powers: Vec<f64> = spec.nodes.iter().map(|n| n.cpu_power).collect();
+    let layout0 = GenBlock::apportion(app.rows, &powers).rows().to_vec();
+    let mut static_cfg = AdaptiveConfig::default();
+    static_cfg.detector.phi_threshold = f64::INFINITY;
+
+    let static_run =
+        run_adaptive(&app, &spec, &layout0, iters, static_cfg).expect("static baseline run");
+    let adaptive_run = run_adaptive(&app, &spec, &layout0, iters, AdaptiveConfig::default())
+        .expect("adaptive run");
+    let mut oracle_w = powers.clone();
+    oracle_w[degraded_rank] /= factor;
+    let oracle_layout = GenBlock::apportion(app.rows, &oracle_w).rows().to_vec();
+    let oracle_run =
+        run_adaptive(&app, &spec, &oracle_layout, iters, static_cfg).expect("oracle run");
+
+    let (s, a, o) = (
+        static_run.measured.secs,
+        adaptive_run.measured.secs,
+        oracle_run.measured.secs,
+    );
+    let gap_recovered = (s - a) / (s - o);
+    if gap_recovered < 0.6 {
+        eprintln!(
+            "adaptive: recovered only {:.1}% of the static-to-oracle gap \
+             (static {s:.4}s, adaptive {a:.4}s, oracle {o:.4}s)",
+            100.0 * gap_recovered
+        );
+        std::process::exit(1);
+    }
+    let view = adaptive_run
+        .outcomes
+        .iter()
+        .find(|out| out.alive)
+        .expect("survivors exist");
+    println!(
+        "adaptive  DC+deg  {iters:>6} static {s:.3}s adaptive {a:.3}s oracle {o:.3}s \
+         -> {:.0}% of gap recovered, {} rebalance(s), 0 false positives",
+        100.0 * gap_recovered,
+        view.rebalances.len()
+    );
+    Value::object(vec![
+        ("arch", Value::Str(spec.name.clone())),
+        ("app", Value::Str("Jacobi".into())),
+        ("iters", Value::UInt(u64::from(iters))),
+        ("static_secs", Value::Float(s)),
+        ("adaptive_secs", Value::Float(a)),
+        ("oracle_secs", Value::Float(o)),
+        ("gap_recovered", Value::Float(gap_recovered)),
+        ("rebalances", Value::UInt(view.rebalances.len() as u64)),
+        (
+            "rows_moved",
+            Value::UInt(view.rebalances.iter().map(|r| r.rows_moved as u64).sum()),
+        ),
+        (
+            "detection_latencies_ns",
+            Value::Array(
+                view.detection_latencies_ns
+                    .iter()
+                    .map(|&ns| Value::UInt(ns))
+                    .collect(),
+            ),
+        ),
+        ("fault_free_false_positives", Value::UInt(0)),
+    ])
 }
 
 fn main() {
@@ -284,7 +395,8 @@ fn main() {
         }
     }
 
-    let doc = suite_value(name, &entries);
+    let adaptive = adaptive_entry(smoke, &specs);
+    let doc = suite_value(name, &entries, &adaptive);
     std::fs::write(&out_path, doc.to_json_pretty()).expect("write suite json");
     println!("\nwrote {out_path}");
 

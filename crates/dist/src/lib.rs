@@ -14,6 +14,7 @@
 pub mod anchors;
 pub mod fitness;
 pub mod genblock;
+pub mod online;
 pub mod redistribution;
 pub mod search;
 pub mod spectrum;
@@ -24,6 +25,7 @@ pub use fitness::{
     LatencyHistogram,
 };
 pub use genblock::{GenBlock, GenBlockError};
+pub use online::{OnlinePolicy, Replan};
 pub use redistribution::{
     predict_cost_ns, rows_moved, switch_benefit_ns, transfer_plan, transfer_plan_rows, Transfer,
 };

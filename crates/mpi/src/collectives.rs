@@ -186,6 +186,52 @@ pub fn ft_allreduce_among<R: Recorder>(
     op: ReduceOp,
     data: &mut [f64],
 ) -> SimResult<u64> {
+    let mut observed: u64 = 0;
+    ft_tree_exchange(
+        comm,
+        members,
+        (TAG_REDUCE, TAG_BCAST),
+        data,
+        |phase, acc, recv| match (phase, recv) {
+            (TreePhase::Reduce, Ok(v)) => op.combine(acc, v),
+            (TreePhase::Bcast, Ok(v)) => acc.copy_from_slice(v),
+            (_, Err(peer)) => observed |= 1u64 << peer,
+        },
+    )?;
+    Ok(observed)
+}
+
+/// Which half of the fault-tolerant binomial schedule a receive landed
+/// in: the reduce-to-root pass or the broadcast back down the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TreePhase {
+    /// Reduce-to-`members[0]` pass: the value came from a tree child.
+    Reduce,
+    /// Broadcast pass: the value came from the tree parent.
+    Bcast,
+}
+
+/// The dense binomial reduce + broadcast scaffolding shared by every
+/// fault-tolerant collective ([`ft_allreduce_among`], [`agree_mask`],
+/// [`agree_dead_set`]): walk the reduce tree toward `members[0]`,
+/// then rebroadcast down the same tree, forwarding to the caller only
+/// the *semantic* decisions — how to fold a received payload into the
+/// local value in each phase, and what to do when a receive resolves as
+/// `PeerDead`.
+///
+/// `members` must be sorted, contain the calling rank, and stay below
+/// rank 64 (the dead-set bitmask width). A send to a dead peer is a
+/// silent no-op at the transport, so no live member can hang. The
+/// handler receives `Ok(payload)` for a delivered message and
+/// `Err(peer)` for a receive that resolved against dead rank `peer`;
+/// `data` carries this rank's current value and ends as its final one.
+fn ft_tree_exchange<R: Recorder>(
+    comm: &mut Comm<'_, R>,
+    members: &[usize],
+    (reduce_tag, bcast_tag): (u32, u32),
+    data: &mut [f64],
+    mut handle: impl FnMut(TreePhase, &mut [f64], Result<&[f64], usize>),
+) -> SimResult<()> {
     if members.iter().any(|&r| r >= 64) {
         return Err(SimError::InvalidConfig(format!(
             "fault-tolerant collectives support at most 64 ranks, member list reaches rank {}",
@@ -197,34 +243,37 @@ pub fn ft_allreduce_among<R: Recorder>(
         .position(|&r| r == comm.rank())
         .expect("calling rank must be in the member list");
     let k = members.len();
-    let mut observed: u64 = 0;
-    // Reduce phase.
+    // Reduce phase: fold children, then send up to the tree parent.
     let mut mask = 1usize;
     while mask < k {
         if me & mask == 0 {
             let child = me | mask;
             if child < k {
-                match comm.recv_f64s(members[child], TAG_REDUCE) {
-                    Ok(v) => op.combine(data, &v),
-                    Err(SimError::PeerDead { peer, .. }) => observed |= 1u64 << peer,
+                match comm.recv_f64s(members[child], reduce_tag) {
+                    Ok(v) => handle(TreePhase::Reduce, data, Ok(&v)),
+                    Err(SimError::PeerDead { peer, .. }) => {
+                        handle(TreePhase::Reduce, data, Err(peer));
+                    }
                     Err(e) => return Err(e),
                 }
             }
         } else {
             let parent = me & !mask;
-            comm.send_f64s(members[parent], TAG_REDUCE, data)?;
+            comm.send_f64s(members[parent], reduce_tag, data)?;
             break;
         }
         mask <<= 1;
     }
-    // Broadcast phase.
+    // Broadcast phase: adopt the parent's value, then forward down.
     let mut mask = 1usize;
     while mask < k {
         if me & mask != 0 {
             let parent = me - mask;
-            match comm.recv_f64s(members[parent], TAG_BCAST) {
-                Ok(v) => data.copy_from_slice(&v),
-                Err(SimError::PeerDead { peer, .. }) => observed |= 1u64 << peer,
+            match comm.recv_f64s(members[parent], bcast_tag) {
+                Ok(v) => handle(TreePhase::Bcast, data, Ok(&v)),
+                Err(SimError::PeerDead { peer, .. }) => {
+                    handle(TreePhase::Bcast, data, Err(peer));
+                }
                 Err(e) => return Err(e),
             }
             break;
@@ -240,11 +289,11 @@ pub fn ft_allreduce_among<R: Recorder>(
     while m > 0 {
         let dst = me + m;
         if dst < k {
-            comm.send_f64s(members[dst], TAG_BCAST, data)?;
+            comm.send_f64s(members[dst], bcast_tag, data)?;
         }
         m >>= 1;
     }
-    Ok(observed)
+    Ok(())
 }
 
 /// One round of the crash-detection agreement protocol, run by
@@ -266,66 +315,25 @@ pub fn ft_allreduce_among<R: Recorder>(
 pub fn agree_mask<R: Recorder>(
     comm: &mut Comm<'_, R>,
     members: &[usize],
-    mut bits: u64,
+    bits: u64,
 ) -> SimResult<u64> {
-    if members.iter().any(|&r| r >= 64) {
-        return Err(SimError::InvalidConfig(format!(
-            "dead-set agreement bitmask supports at most 64 ranks, member list reaches rank {}",
-            members.iter().max().copied().unwrap_or(0)
-        )));
-    }
-    let me = members
-        .iter()
-        .position(|&r| r == comm.rank())
-        .expect("calling rank must be in the member list");
-    let k = members.len();
-    // Reduce the OR of the observation masks to members[0].
-    let mut mask = 1usize;
-    while mask < k {
-        if me & mask == 0 {
-            let child = me | mask;
-            if child < k {
-                match comm.recv_f64s(members[child], TAG_AGREE) {
-                    Ok(v) => bits |= v[0].to_bits(),
-                    Err(SimError::PeerDead { peer, .. }) => bits |= 1u64 << peer,
-                    Err(e) => return Err(e),
-                }
-            }
-        } else {
-            let parent = me & !mask;
-            comm.send_f64s(members[parent], TAG_AGREE, &[f64::from_bits(bits)])?;
-            break;
-        }
-        mask <<= 1;
-    }
-    // Broadcast the union back down the dense tree.
-    let mut mask = 1usize;
-    while mask < k {
-        if me & mask != 0 {
-            let parent = me - mask;
-            match comm.recv_f64s(members[parent], TAG_AGREE) {
-                Ok(v) => bits |= v[0].to_bits(),
-                Err(SimError::PeerDead { peer, .. }) => bits |= 1u64 << peer,
-                Err(e) => return Err(e),
-            }
-            break;
-        }
-        mask <<= 1;
-    }
-    let level = if me == 0 {
-        k.next_power_of_two()
-    } else {
-        me & me.wrapping_neg()
-    };
-    let mut m = level >> 1;
-    while m > 0 {
-        let dst = me + m;
-        if dst < k {
-            comm.send_f64s(members[dst], TAG_AGREE, &[f64::from_bits(bits)])?;
-        }
-        m >>= 1;
-    }
-    Ok(bits)
+    let mut data = [f64::from_bits(bits)];
+    // Both phases OR: the union only grows on the way up, and a member
+    // that receives the root's union keeps any death it observed itself.
+    ft_tree_exchange(
+        comm,
+        members,
+        (TAG_AGREE, TAG_AGREE),
+        &mut data,
+        |_, acc, recv| {
+            let add = match recv {
+                Ok(v) => v[0].to_bits(),
+                Err(peer) => 1u64 << peer,
+            };
+            acc[0] = f64::from_bits(acc[0].to_bits() | add);
+        },
+    )?;
+    Ok(data[0].to_bits())
 }
 
 /// Post-crash dead-set agreement: survivors run a binomial reduce +
@@ -346,63 +354,32 @@ pub fn agree_dead_set<R: Recorder>(comm: &mut Comm<'_, R>) -> SimResult<Vec<usiz
             "dead-set agreement bitmask supports at most 64 ranks, cluster has {size}"
         )));
     }
-    let mut bits: u64 = comm
+    let bits: u64 = comm
         .ctx()
         .dead_ranks()
         .iter()
         .fold(0, |acc, &(r, _)| acc | (1u64 << r));
     let survivors: Vec<usize> = (0..size).filter(|r| bits & (1 << r) == 0).collect();
-    let me = survivors
-        .iter()
-        .position(|&r| r == comm.rank())
-        .expect("a crashed rank cannot run the agreement round");
-    let k = survivors.len();
-    // Reduce the OR of bitmasks to survivors[0] over dense indices.
-    let mut mask = 1usize;
-    while mask < k {
-        if me & mask == 0 {
-            let child = me | mask;
-            if child < k {
-                match comm.recv_f64s(survivors[child], TAG_AGREE) {
-                    Ok(v) => bits |= v[0].to_bits(),
-                    Err(SimError::PeerDead { .. }) => {}
-                    Err(e) => return Err(e),
-                }
+    let mut data = [f64::from_bits(bits)];
+    // OR on the way up, adopt the root's union on the way down. The
+    // precondition gives every survivor an identical starting view, so
+    // mid-round deaths are ignorable: the divergence is resolved by the
+    // caller's next agreement round.
+    ft_tree_exchange(
+        comm,
+        &survivors,
+        (TAG_AGREE, TAG_AGREE),
+        &mut data,
+        |phase, acc, recv| {
+            if let Ok(v) = recv {
+                acc[0] = match phase {
+                    TreePhase::Reduce => f64::from_bits(acc[0].to_bits() | v[0].to_bits()),
+                    TreePhase::Bcast => v[0],
+                };
             }
-        } else {
-            let parent = me & !mask;
-            comm.send_f64s(survivors[parent], TAG_AGREE, &[f64::from_bits(bits)])?;
-            break;
-        }
-        mask <<= 1;
-    }
-    // Broadcast the agreed mask back down the dense tree.
-    let mut mask = 1usize;
-    while mask < k {
-        if me & mask != 0 {
-            let parent = me - mask;
-            match comm.recv_f64s(survivors[parent], TAG_AGREE) {
-                Ok(v) => bits = v[0].to_bits(),
-                Err(SimError::PeerDead { .. }) => {}
-                Err(e) => return Err(e),
-            }
-            break;
-        }
-        mask <<= 1;
-    }
-    let level = if me == 0 {
-        k.next_power_of_two()
-    } else {
-        me & me.wrapping_neg()
-    };
-    let mut m = level >> 1;
-    while m > 0 {
-        let dst = me + m;
-        if dst < k {
-            comm.send_f64s(survivors[dst], TAG_AGREE, &[f64::from_bits(bits)])?;
-        }
-        m >>= 1;
-    }
+        },
+    )?;
+    let bits = data[0].to_bits();
     Ok((0..size).filter(|r| bits & (1 << r) != 0).collect())
 }
 
@@ -513,6 +490,74 @@ mod tests {
         })
         .unwrap()
         .results
+    }
+
+    #[test]
+    fn ft_tree_exchange_reduces_then_broadcasts() {
+        // Drive the shared scaffolding directly with a handler that
+        // max-folds on the way up and adopts on the way down: every
+        // member must converge on the global max, and each member must
+        // see its receives in the documented phases.
+        let spec = quiet(5);
+        let run = run_cluster(&spec, false, |ctx| {
+            let mut rec = NullRecorder;
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            let members: Vec<usize> = (0..comm.size()).collect();
+            let mut data = [comm.rank() as f64 * 10.0];
+            let mut phases = Vec::new();
+            ft_tree_exchange(
+                &mut comm,
+                &members,
+                (TAG_REDUCE, TAG_BCAST),
+                &mut data,
+                |phase, acc, recv| {
+                    phases.push(phase);
+                    if let Ok(v) = recv {
+                        match phase {
+                            TreePhase::Reduce => acc[0] = acc[0].max(v[0]),
+                            TreePhase::Bcast => acc[0] = v[0],
+                        }
+                    }
+                },
+            )?;
+            Ok((data[0], phases))
+        })
+        .unwrap();
+        for (rank, (value, phases)) in run.results.iter().enumerate() {
+            assert_eq!(*value, 40.0, "rank {rank} must see the global max");
+            // Non-root members receive exactly one broadcast value, and
+            // it arrives after every reduce-phase receive.
+            let bcasts = phases.iter().filter(|&&p| p == TreePhase::Bcast).count();
+            assert_eq!(bcasts, usize::from(rank != 0), "rank {rank}");
+            if let Some(first_bcast) = phases.iter().position(|&p| p == TreePhase::Bcast) {
+                assert!(
+                    phases[first_bcast..].iter().all(|&p| p == TreePhase::Bcast),
+                    "rank {rank}: reduce receives must precede the broadcast"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ft_tree_exchange_rejects_wide_member_lists() {
+        let spec = quiet(2);
+        let err = run_cluster(&spec, false, |ctx| {
+            let mut rec = NullRecorder;
+            let mut comm = Comm::new(ctx, &mut rec, ExecMode::Normal);
+            let mut data = [0.0];
+            match ft_tree_exchange(
+                &mut comm,
+                &[0, 64],
+                (TAG_REDUCE, TAG_BCAST),
+                &mut data,
+                |_, _, _| {},
+            ) {
+                Err(SimError::InvalidConfig(msg)) => Ok(msg.contains("at most 64")),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        })
+        .unwrap();
+        assert!(err.results.iter().all(|&ok| ok));
     }
 
     #[test]

@@ -11,8 +11,9 @@ use crate::msg;
 /// Every synchronous read, write, and prefetch issue that fails with
 /// [`SimError::TransientIo`] is retried up to `max_attempts` times in
 /// total; before attempt `k+1` the rank's virtual clock is charged
-/// `base_backoff * multiplier^(k-1)`. All other errors surface
-/// immediately — only transient faults are worth retrying.
+/// `min(base_backoff * multiplier^(k-1), max_backoff)`. All other
+/// errors surface immediately — only transient faults are worth
+/// retrying.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts (first try included). `1` disables retries.
@@ -21,7 +22,17 @@ pub struct RetryPolicy {
     pub base_backoff: SimDur,
     /// Growth factor applied to the backoff per additional failure.
     pub multiplier: f64,
+    /// Ceiling on any single backoff charge: the exponential growth
+    /// saturates here instead of overflowing the u64 nanosecond clock
+    /// for large attempt counts.
+    pub max_backoff: SimDur,
 }
+
+/// Largest exponent ever fed to the backoff multiplier. `2^32` growth
+/// already exceeds any plausible [`RetryPolicy::max_backoff`], and a
+/// capped exponent keeps `powi` far away from producing values whose
+/// u64 conversion would saturate misleadingly.
+const MAX_BACKOFF_EXP: u32 = 32;
 
 impl Default for RetryPolicy {
     fn default() -> Self {
@@ -29,6 +40,7 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_backoff: SimDur::from_micros_f64(50.0),
             multiplier: 2.0,
+            max_backoff: SimDur::from_millis_f64(100.0),
         }
     }
 }
@@ -41,14 +53,24 @@ impl RetryPolicy {
             max_attempts: 1,
             base_backoff: SimDur::ZERO,
             multiplier: 1.0,
+            max_backoff: SimDur::ZERO,
         }
     }
 
     /// Backoff to charge after failed attempt number `attempt` (1-based).
+    /// The exponent is capped before the multiply and the result is
+    /// clamped to `max_backoff`, so arbitrarily large attempt counts
+    /// (or multipliers) cannot overflow the virtual clock.
     #[must_use]
     pub fn backoff_for(&self, attempt: u32) -> SimDur {
-        let exp = attempt.saturating_sub(1).min(62);
-        self.base_backoff * self.multiplier.powi(exp as i32)
+        let exp = attempt.saturating_sub(1).min(MAX_BACKOFF_EXP);
+        let mult = if self.multiplier.is_finite() && self.multiplier >= 1.0 {
+            self.multiplier
+        } else {
+            1.0
+        };
+        let ns = self.base_backoff.as_nanos_f64() * mult.powi(exp as i32);
+        SimDur::from_nanos_f64(ns).min(self.max_backoff)
     }
 }
 
@@ -212,6 +234,7 @@ impl<'a, R: Recorder> Comm<'a, R> {
 
     /// Mark the start of outer iteration `i`.
     pub fn begin_iteration(&mut self, i: u32) {
+        self.ctx.note_iteration(i);
         self.scope_event(true, ScopeKind::Iteration, i);
     }
 
@@ -576,6 +599,27 @@ mod tests {
         assert_eq!(p.backoff_for(2), p.backoff_for(1) * 2u64);
         assert_eq!(p.backoff_for(3), p.backoff_for(1) * 4u64);
         assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy::default();
+        // Huge attempt counts clamp to the ceiling rather than wrapping
+        // or saturating the u64 nanosecond clock.
+        for attempt in [12, 63, 64, 1_000, u32::MAX] {
+            assert_eq!(p.backoff_for(attempt), p.max_backoff);
+        }
+        // A pathological multiplier cannot smuggle in infinity either.
+        let wild = RetryPolicy {
+            multiplier: f64::INFINITY,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(wild.backoff_for(5), wild.base_backoff);
+        let shrinking = RetryPolicy {
+            multiplier: 0.5,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(shrinking.backoff_for(5), shrinking.base_backoff);
     }
 
     #[test]

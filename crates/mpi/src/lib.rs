@@ -18,6 +18,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod detector;
 pub mod hooks;
 pub mod msg;
 pub mod runner;
@@ -28,6 +29,7 @@ pub use collectives::{
     TAG_COLLECTIVE_BASE, TAG_REDUCE,
 };
 pub use comm::{Comm, ExecMode, PrefetchToken, RetryPolicy};
+pub use detector::{DetectorConfig, HealthState, PhiAccrualDetector, SuspicionSample, Transition};
 pub use hooks::{
     HookEvent, NullRecorder, OpInfo, OpKind, Recorder, Scope, ScopeKind, SharedEventLog,
     SharedVecRecorder, VecRecorder,

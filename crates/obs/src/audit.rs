@@ -87,6 +87,10 @@ fn recovery_slot(kind: RecoveryKind) -> usize {
         RecoveryKind::Rollback => ROLLBACK,
         RecoveryKind::Redistribution => REDISTRIBUTION,
         RecoveryKind::Reprediction => REPREDICTION,
+        // Mid-run rebalancing moves rows between live ranks — the same
+        // physical work as post-crash redistribution — so it shares the
+        // slot and the audit schema stays at twelve terms.
+        RecoveryKind::Rebalance => REDISTRIBUTION,
     }
 }
 

@@ -15,6 +15,7 @@
 
 use std::collections::BTreeMap;
 
+use mheta_mpi::Transition;
 use mheta_sim::{EventKind, RankTrace, RecoverySpan};
 use serde::Serialize;
 
@@ -227,6 +228,37 @@ impl Metrics {
                 self.observe(&format!("recovery.{}", sp.kind.name()), sp.len_ns());
             }
         }
+    }
+
+    /// Fold an adaptive run's failure-detector record into the
+    /// registry: bumps a `detector.to_<state>` counter per health-state
+    /// transition (e.g. `detector.to_suspected`, `detector.to_degraded`)
+    /// plus a `detector.transitions` total, and records every
+    /// degradation's detection latency — fault onset to confirmed
+    /// `Degraded` — into the `detector.detection_latency` histogram.
+    ///
+    /// Detector decisions are deterministic replicas across ranks, so
+    /// pass ONE rank's view (e.g. the first survivor's
+    /// `AdaptiveOutcome`), not every rank's.
+    pub fn record_detector(&mut self, transitions: &[Transition], detection_latencies_ns: &[u64]) {
+        self.incr("detector.transitions", transitions.len() as u64);
+        for t in transitions {
+            self.incr(&format!("detector.to_{}", t.to.name()), 1);
+        }
+        for &ns in detection_latencies_ns {
+            self.observe("detector.detection_latency", ns);
+        }
+    }
+
+    /// Fold one committed mid-run rebalance into the registry: bumps
+    /// `rebalance.events`, and accumulates the rows transferred and the
+    /// search evaluations spent into `rebalance.rows_moved` /
+    /// `rebalance.evals`. Like [`Metrics::record_detector`], call this
+    /// once per event from one rank's view.
+    pub fn record_rebalance(&mut self, rows_moved: u64, evals: u64) {
+        self.incr("rebalance.events", 1);
+        self.incr("rebalance.rows_moved", rows_moved);
+        self.incr("rebalance.evals", evals);
     }
 
     /// The run's makespan: the latest rank finish, ns.
@@ -564,6 +596,41 @@ mod tests {
         assert_eq!(m.counters["recovery.rollback_ns"], 50);
         assert_eq!(m.histograms["recovery.checkpoint"].count, 2);
         assert_eq!(m.histograms["recovery.rollback"].sum_ns, 50);
+    }
+
+    #[test]
+    fn detector_and_rebalance_records_feed_registry() {
+        use mheta_mpi::{HealthState, Transition};
+        let mut m = Metrics::default();
+        m.record_detector(
+            &[
+                Transition {
+                    member: 1,
+                    from: HealthState::Healthy,
+                    to: HealthState::Suspected,
+                    at_iteration: 5,
+                    at_ns: 1000,
+                },
+                Transition {
+                    member: 1,
+                    from: HealthState::Suspected,
+                    to: HealthState::Degraded,
+                    at_iteration: 7,
+                    at_ns: 2400,
+                },
+            ],
+            &[1400],
+        );
+        m.record_rebalance(12, 33);
+        m.record_rebalance(4, 10);
+        assert_eq!(m.counters["detector.transitions"], 2);
+        assert_eq!(m.counters["detector.to_suspected"], 1);
+        assert_eq!(m.counters["detector.to_degraded"], 1);
+        assert_eq!(m.histograms["detector.detection_latency"].count, 1);
+        assert_eq!(m.histograms["detector.detection_latency"].sum_ns, 1400);
+        assert_eq!(m.counters["rebalance.events"], 2);
+        assert_eq!(m.counters["rebalance.rows_moved"], 16);
+        assert_eq!(m.counters["rebalance.evals"], 43);
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //! order, object keys are fixed, and floats render with Rust's
 //! shortest-round-trip formatting.
 
-use mheta_mpi::{HookEvent, ScopeKind};
-use mheta_sim::{EventKind, RankTrace, RecoverySpan, SimTime};
+use mheta_mpi::{HookEvent, ScopeKind, SuspicionSample};
+use mheta_sim::{EventKind, RankTrace, RecoveryKind, RecoverySpan, SimTime};
 use serde::Value;
 
 /// Microseconds for a trace-event `ts`/`dur` field from integer
@@ -291,6 +291,24 @@ pub fn perfetto_trace_with_recovery(
     hooks: &[Vec<HookEvent>],
     spans: &[Vec<RecoverySpan>],
 ) -> Value {
+    perfetto_trace_adaptive(traces, hooks, spans, &[])
+}
+
+/// [`perfetto_trace_with_recovery`] for an adaptive run: additionally
+/// renders the phi-accrual detector's suspicion timeline
+/// (`AdaptiveOutcome::suspicion` in `mheta-apps`) as per-rank counter
+/// tracks — `suspicion_phi` and `slow_ratio`, one series per observed
+/// member — and routes [`RecoveryKind::Rebalance`] spans to a dedicated
+/// `tid 3` "rebalance" track, separate from crash recovery on `tid 2`.
+/// With empty `suspicion` and no rebalance spans the output is
+/// byte-identical to [`perfetto_trace_with_recovery`].
+#[must_use]
+pub fn perfetto_trace_adaptive(
+    traces: &[RankTrace],
+    hooks: &[Vec<HookEvent>],
+    spans: &[Vec<RecoverySpan>],
+    suspicion: &[Vec<SuspicionSample>],
+) -> Value {
     let mut events = Vec::new();
     for trace in traces {
         events.push(metadata(
@@ -314,12 +332,26 @@ pub fn perfetto_trace_with_recovery(
             ));
         }
         let rank_spans = spans.get(trace.rank).map_or(&[][..], Vec::as_slice);
-        if !rank_spans.is_empty() {
+        let has_recovery = rank_spans
+            .iter()
+            .any(|sp| sp.kind != RecoveryKind::Rebalance);
+        let has_rebalance = rank_spans
+            .iter()
+            .any(|sp| sp.kind == RecoveryKind::Rebalance);
+        if has_recovery {
             events.push(metadata(
                 trace.rank,
                 Some(2),
                 "thread_name",
                 "recovery".into(),
+            ));
+        }
+        if has_rebalance {
+            events.push(metadata(
+                trace.rank,
+                Some(3),
+                "thread_name",
+                "rebalance".into(),
             ));
         }
         for ev in &trace.events {
@@ -329,14 +361,34 @@ pub fn perfetto_trace_with_recovery(
             hook_slices(trace.rank, rank_hooks, &mut events);
         }
         for sp in rank_spans {
+            let tid = if sp.kind == RecoveryKind::Rebalance {
+                3
+            } else {
+                2
+            };
             events.push(slice(
                 sp.kind.name(),
                 "recovery",
                 trace.rank,
-                2,
+                tid,
                 SimTime(sp.start_ns),
                 SimTime(sp.end_ns),
                 Value::object(vec![("len_us", us(sp.len_ns()))]),
+            ));
+        }
+        for s in suspicion.get(trace.rank).map_or(&[][..], Vec::as_slice) {
+            let key = format!("m{}", s.member);
+            events.push(counter(
+                "suspicion_phi",
+                trace.rank,
+                SimTime(s.at_ns),
+                vec![(&key, Value::Float(s.phi))],
+            ));
+            events.push(counter(
+                "slow_ratio",
+                trace.rank,
+                SimTime(s.at_ns),
+                vec![(&key, Value::Float(s.ratio))],
             ));
         }
     }
@@ -361,6 +413,17 @@ pub fn perfetto_json_with_recovery(
     spans: &[Vec<RecoverySpan>],
 ) -> String {
     perfetto_trace_with_recovery(traces, hooks, spans).to_json()
+}
+
+/// [`perfetto_trace_adaptive`] rendered as a compact JSON string.
+#[must_use]
+pub fn perfetto_json_adaptive(
+    traces: &[RankTrace],
+    hooks: &[Vec<HookEvent>],
+    spans: &[Vec<RecoverySpan>],
+    suspicion: &[Vec<SuspicionSample>],
+) -> String {
+    perfetto_trace_adaptive(traces, hooks, spans, suspicion).to_json()
 }
 
 #[cfg(test)]
@@ -519,6 +582,77 @@ mod tests {
     fn export_is_byte_deterministic() {
         let t = vec![small_trace()];
         assert_eq!(perfetto_json(&t, &[]), perfetto_json(&t, &[]));
+    }
+
+    #[test]
+    fn adaptive_export_adds_suspicion_and_rebalance_tracks() {
+        use mheta_mpi::HealthState;
+        let spans = vec![vec![
+            RecoverySpan {
+                start_ns: 100,
+                end_ns: 300,
+                kind: RecoveryKind::Checkpoint,
+            },
+            RecoverySpan {
+                start_ns: 800,
+                end_ns: 1000,
+                kind: RecoveryKind::Rebalance,
+            },
+        ]];
+        let susp = vec![vec![SuspicionSample {
+            iteration: 3,
+            at_ns: 750,
+            member: 1,
+            phi: 9.25,
+            ratio: 4.0,
+            state: HealthState::Suspected,
+        }]];
+        let doc = perfetto_trace_adaptive(&[small_trace()], &[], &spans, &susp);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Rebalance slice lands on its own tid-3 track, crash recovery
+        // stays on tid 2, and both thread_name records are present.
+        let rebal = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("rebalance"))
+            .unwrap();
+        assert_eq!(rebal.get("tid").unwrap().as_u64(), Some(3));
+        let ckpt = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("checkpoint"))
+            .unwrap();
+        assert_eq!(ckpt.get("tid").unwrap().as_u64(), Some(2));
+        for tid in [2u64, 3u64] {
+            assert!(events.iter().any(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("M")
+                    && e.get("tid").and_then(Value::as_u64) == Some(tid)
+            }));
+        }
+        // The suspicion sample becomes phi and ratio counter events,
+        // keyed by member.
+        let phi = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("suspicion_phi"))
+            .unwrap();
+        assert_eq!(phi.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(phi.get("ts").unwrap().as_f64(), Some(0.75));
+        assert_eq!(
+            phi.get("args").unwrap().get("m1").unwrap().as_f64(),
+            Some(9.25)
+        );
+        let ratio = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("slow_ratio"))
+            .unwrap();
+        assert_eq!(
+            ratio.get("args").unwrap().get("m1").unwrap().as_f64(),
+            Some(4.0)
+        );
+        // Without suspicion samples or rebalance spans the adaptive
+        // export degenerates byte-for-byte to the classic ones.
+        assert_eq!(
+            perfetto_json_adaptive(&[small_trace()], &[], &[], &[]),
+            perfetto_json(&[small_trace()], &[]),
+        );
     }
 
     #[test]

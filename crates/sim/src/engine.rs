@@ -124,6 +124,8 @@ impl SimKernel {
             noise: NoiseStream::new(&self.spec.noise, self.spec.seed, rank),
             faults: FaultPlan::new(&self.spec.faults, self.spec.seed).rank(rank),
             last_slow_window: None,
+            iteration: 0,
+            degrade_mask: 0,
             disk: DiskStore::new(),
             mem: MemTracker::new(self.spec.nodes[rank].memory_bytes, rank),
             events: tracing.then(Vec::new),
@@ -166,6 +168,13 @@ pub struct RankCtx {
     /// Last slowdown window recorded in the trace, so each window entry
     /// is logged exactly once.
     last_slow_window: Option<u64>,
+    /// Current application iteration, advanced by
+    /// [`RankCtx::note_iteration`]; iteration-triggered degrades key
+    /// off this.
+    iteration: u32,
+    /// Bitmask of currently-active [`crate::fault::DegradeSpec`]
+    /// entries, so each activation transition is logged exactly once.
+    degrade_mask: u64,
     /// This node's local disk contents.
     pub disk: DiskStore,
     mem: MemTracker,
@@ -289,10 +298,29 @@ impl RankCtx {
             }
             None => 1.0,
         };
+        // Scheduled persistent degradation: transitions (activation and
+        // recovery) are recorded once, and the factor multiplies the
+        // whole computation alongside the stochastic slowdown windows.
+        let degrade_factor = if self.faults.has_degrades() {
+            let (mask, factor) = self.faults.degrades_at(self.iteration, start);
+            if mask != self.degrade_mask {
+                let kind = if mask & !self.degrade_mask != 0 {
+                    FaultKind::Degrade { factor }
+                } else {
+                    FaultKind::DegradeEnd
+                };
+                self.degrade_mask = mask;
+                self.record_span(start, start, EventKind::Fault { fault: kind });
+            }
+            factor
+        } else {
+            1.0
+        };
         let cost = work_units * self.kernel.spec.compute_ns_per_unit
             / self.kernel.spec.nodes[self.rank].cpu_power
             * cache_factor
-            * slow_factor;
+            * slow_factor
+            * degrade_factor;
         let d = SimDur::from_nanos_f64(self.noise.perturb(cost));
         self.now += d;
         self.record(start, EventKind::Compute { work_units });
@@ -507,6 +535,21 @@ impl RankCtx {
             }
         }
         Ok(())
+    }
+
+    /// Record that the application is entering iteration `it`
+    /// (0-based); the MPI layer calls this from `begin_iteration`.
+    /// Iteration-triggered [`crate::fault::DegradeSpec`]s key off the
+    /// most recent value.
+    pub fn note_iteration(&mut self, it: u32) {
+        self.iteration = it;
+    }
+
+    /// The most recent iteration reported via
+    /// [`RankCtx::note_iteration`] (0 before the first report).
+    #[must_use]
+    pub fn current_iteration(&self) -> u32 {
+        self.iteration
     }
 
     /// Check the time-triggered crash schedule against the current
@@ -1164,6 +1207,53 @@ mod tests {
             "window entries must be traced"
         );
         assert_eq!(a.traces[0].fault_count(), 0, "clean run has no faults");
+    }
+
+    #[test]
+    fn degrade_scales_compute_and_records_transitions() {
+        let clean = quiet_spec(2);
+        let mut degraded = clean.clone();
+        degraded.faults.degrades = vec![crate::fault::DegradeSpec::at_iteration(0, 2, 4.0)
+            .recovering(crate::fault::RecoverSpec::at_iteration(4))];
+        let body = |ctx: &mut RankCtx| {
+            let mut per_iter = Vec::new();
+            for it in 0..6u32 {
+                ctx.note_iteration(it);
+                per_iter.push(ctx.compute(1_000.0, u64::MAX).as_nanos());
+            }
+            Ok(per_iter)
+        };
+        let a = run_cluster(&clean, true, body).unwrap();
+        let b = run_cluster(&degraded, true, body).unwrap();
+        // Iterations 2..4 on rank 0 cost 4x; everything else is untouched.
+        for it in 0..6 {
+            let ratio = b.results[0][it] as f64 / a.results[0][it] as f64;
+            let want = if (2..4).contains(&it) { 4.0 } else { 1.0 };
+            assert!(
+                (ratio - want).abs() < 0.01,
+                "iteration {it}: ratio {ratio}, want {want}"
+            );
+            assert_eq!(b.results[1][it], a.results[1][it], "rank 1 unaffected");
+        }
+        let faults = b.traces[0].faults();
+        assert!(
+            faults
+                .iter()
+                .any(|f| matches!(f, FaultKind::Degrade { factor } if *factor == 4.0)),
+            "activation must be traced once"
+        );
+        assert!(
+            faults.iter().any(|f| matches!(f, FaultKind::DegradeEnd)),
+            "recovery must be traced"
+        );
+        assert_eq!(
+            faults
+                .iter()
+                .filter(|f| matches!(f, FaultKind::Degrade { .. } | FaultKind::DegradeEnd))
+                .count(),
+            2,
+            "exactly one activation and one recovery transition"
+        );
     }
 
     #[test]

@@ -89,6 +89,134 @@ pub enum FaultKind {
         /// The dead peer the operation was addressed to.
         peer: usize,
     },
+    /// The node entered a scheduled persistent degradation
+    /// ([`DegradeSpec`]): compute costs are multiplied by `factor`
+    /// until the spec's recovery trigger (if any) fires. Recorded once
+    /// per activation transition.
+    Degrade {
+        /// Combined compute-cost multiplier of all active degrades.
+        factor: f64,
+    },
+    /// A scheduled degradation ended (its [`RecoverSpec`] fired) and the
+    /// node runs at full speed again. Recorded once per transition.
+    DegradeEnd,
+}
+
+/// Recovery trigger for a [`DegradeSpec`]: the instant (iteration
+/// boundary and/or virtual time, whichever fires first) at which the
+/// degraded node returns to full speed — modelling background load
+/// draining away or a node rejoining after maintenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RecoverSpec {
+    /// Recover when the rank begins this iteration (0-based), if set.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub at_iteration: Option<u32>,
+    /// Recover at the first compute at or after this virtual instant
+    /// (ns), if set.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub at_ns: Option<u64>,
+}
+
+impl RecoverSpec {
+    /// Recover when the rank begins iteration `it`.
+    #[must_use]
+    pub fn at_iteration(it: u32) -> Self {
+        RecoverSpec {
+            at_iteration: Some(it),
+            at_ns: None,
+        }
+    }
+
+    /// Recover at the first compute at or after virtual instant `ns`.
+    #[must_use]
+    pub fn at_time(ns: u64) -> Self {
+        RecoverSpec {
+            at_iteration: None,
+            at_ns: Some(ns),
+        }
+    }
+
+    fn fired(&self, it: u32, t: SimTime) -> bool {
+        self.at_iteration.is_some_and(|i| it >= i)
+            || self.at_ns.is_some_and(|ns| t.as_nanos() >= ns)
+    }
+}
+
+/// One scheduled **persistent** node degradation. Unlike the stochastic
+/// slowdown windows (rate-driven, short-lived), a degrade is explicit
+/// and long-lived: the named rank's compute costs are multiplied by
+/// `factor` from the trigger onward, optionally until a [`RecoverSpec`]
+/// fires. This is the stimulus the phi-accrual failure detector in
+/// `mheta-mpi` is designed to catch: the rank keeps answering messages
+/// (so it is *not* crash-stop) but its progress reports drift.
+///
+/// Multiple degrades may target the same rank; overlapping windows
+/// multiply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DegradeSpec {
+    /// The rank that slows down.
+    pub rank: usize,
+    /// Compute-cost multiplier (≥ 1.0) while the degrade is active.
+    pub factor: f64,
+    /// Degrade from the start of this iteration (0-based), if set.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub from_iteration: Option<u32>,
+    /// Degrade from the first compute at or after this virtual instant
+    /// (ns), if set.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub from_ns: Option<u64>,
+    /// When (if ever) the node returns to full speed.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub recover: Option<RecoverSpec>,
+}
+
+impl DegradeSpec {
+    /// Degrade `rank` by `factor` from the start of iteration `it`,
+    /// persisting to the end of the run.
+    #[must_use]
+    pub fn at_iteration(rank: usize, it: u32, factor: f64) -> Self {
+        DegradeSpec {
+            rank,
+            factor,
+            from_iteration: Some(it),
+            from_ns: None,
+            recover: None,
+        }
+    }
+
+    /// Degrade `rank` by `factor` from the first compute at or after
+    /// virtual instant `ns`, persisting to the end of the run.
+    #[must_use]
+    pub fn at_time(rank: usize, ns: u64, factor: f64) -> Self {
+        DegradeSpec {
+            rank,
+            factor,
+            from_iteration: None,
+            from_ns: Some(ns),
+            recover: None,
+        }
+    }
+
+    /// Builder: attach a recovery trigger.
+    #[must_use]
+    pub fn recovering(mut self, recover: RecoverSpec) -> Self {
+        self.recover = Some(recover);
+        self
+    }
+
+    fn started(&self, it: u32, t: SimTime) -> bool {
+        self.from_iteration.is_some_and(|i| it >= i)
+            || self.from_ns.is_some_and(|ns| t.as_nanos() >= ns)
+    }
+
+    /// True when the degrade multiplies compute cost at iteration `it`,
+    /// virtual instant `t`.
+    #[must_use]
+    pub fn active_at(&self, it: u32, t: SimTime) -> bool {
+        self.started(it, t) && !self.recover.is_some_and(|r| r.fired(it, t))
+    }
 }
 
 /// One scheduled crash-stop failure. Unlike the rate-driven transient
@@ -166,6 +294,11 @@ pub struct FaultSpec {
     /// iterations and recover survivors when one of these fires.
     #[cfg_attr(feature = "serde", serde(default))]
     pub crashes: Vec<CrashSpec>,
+    /// Scheduled persistent node degradations (empty by default).
+    /// Adaptive drivers detect these via the phi-accrual failure
+    /// detector and rebalance the GEN_BLOCK distribution mid-run.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub degrades: Vec<DegradeSpec>,
     /// Checkpoint interval K in iterations for crash-aware drivers.
     /// 0 disables checkpointing, which is invalid once any crash is
     /// scheduled (there would be nothing to roll back to).
@@ -198,6 +331,7 @@ impl Default for FaultSpec {
             mem_pressure_rate: 0.0,
             mem_pressure_bytes: 0,
             crashes: Vec::new(),
+            degrades: Vec::new(),
             checkpoint_interval: 0,
             crash_detect_delay_ns: default_crash_detect_delay_ns(),
         }
@@ -214,6 +348,7 @@ impl FaultSpec {
             || self.slowdown_rate > 0.0
             || (self.mem_pressure_rate > 0.0 && self.mem_pressure_bytes > 0)
             || !self.crashes.is_empty()
+            || !self.degrades.is_empty()
     }
 
     /// Validate rates, factors, and crash schedules against a cluster
@@ -264,6 +399,47 @@ impl FaultSpec {
                     "crash {i}: rank {rank} is scheduled to crash more than once",
                     rank = c.rank
                 )));
+            }
+        }
+        for (i, d) in self.degrades.iter().enumerate() {
+            if d.rank >= nodes {
+                return Err(SimError::InvalidConfig(format!(
+                    "degrade {i}: rank {rank} out of range for {nodes} nodes",
+                    rank = d.rank
+                )));
+            }
+            if !(d.factor.is_finite() && d.factor >= 1.0) {
+                return Err(SimError::InvalidConfig(format!(
+                    "degrade {i}: factor must be ≥ 1.0 and finite, got {}",
+                    d.factor
+                )));
+            }
+            if d.from_iteration.is_none() && d.from_ns.is_none() {
+                return Err(SimError::InvalidConfig(format!(
+                    "degrade {i}: rank {rank} has neither from_iteration nor from_ns",
+                    rank = d.rank
+                )));
+            }
+            if let Some(r) = d.recover {
+                if r.at_iteration.is_none() && r.at_ns.is_none() {
+                    return Err(SimError::InvalidConfig(format!(
+                        "degrade {i}: recover has neither at_iteration nor at_ns"
+                    )));
+                }
+                if let (Some(from), Some(until)) = (d.from_iteration, r.at_iteration) {
+                    if until <= from {
+                        return Err(SimError::InvalidConfig(format!(
+                            "degrade {i}: recover iteration {until} not after start {from}"
+                        )));
+                    }
+                }
+                if let (Some(from), Some(until)) = (d.from_ns, r.at_ns) {
+                    if until <= from {
+                        return Err(SimError::InvalidConfig(format!(
+                            "degrade {i}: recover time {until} ns not after start {from} ns"
+                        )));
+                    }
+                }
             }
         }
         if !self.crashes.is_empty() {
@@ -443,6 +619,33 @@ impl RankFaults {
             resends += 1;
         }
         resends
+    }
+
+    /// True when at least one [`DegradeSpec`] targets this rank (fast
+    /// path for the engine's per-compute check).
+    #[must_use]
+    pub fn has_degrades(&self) -> bool {
+        self.spec.degrades.iter().any(|d| d.rank == self.rank)
+    }
+
+    /// Combined effect of this rank's scheduled degradations at
+    /// iteration `it`, virtual instant `t`: a bitmask of the active
+    /// entries (indexed into [`FaultSpec::degrades`], so the engine can
+    /// record each activation transition exactly once) and the product
+    /// of their factors (1.0 when none are active).
+    #[must_use]
+    pub fn degrades_at(&self, it: u32, t: SimTime) -> (u64, f64) {
+        let mut mask = 0u64;
+        let mut factor = 1.0;
+        for (i, d) in self.spec.degrades.iter().enumerate() {
+            if d.rank == self.rank && d.active_at(it, t) {
+                if i < 64 {
+                    mask |= 1 << i;
+                }
+                factor *= d.factor;
+            }
+        }
+        (mask, factor)
     }
 
     /// If virtual instant `t` falls inside an active slowdown window,
@@ -685,6 +888,96 @@ mod tests {
             spec.validate(4),
             Err(SimError::InvalidConfig(msg)) if msg.contains("more than once")
         ));
+    }
+
+    #[test]
+    fn degrade_activation_windows() {
+        let spec = FaultSpec {
+            degrades: vec![
+                DegradeSpec::at_iteration(1, 4, 4.0).recovering(RecoverSpec::at_iteration(10)),
+                DegradeSpec::at_time(1, 5_000, 2.0),
+            ],
+            ..Default::default()
+        };
+        spec.validate(4).unwrap();
+        let rf = FaultPlan::new(&spec, 1).rank(1);
+        assert!(rf.has_degrades());
+        // Before anything starts.
+        assert_eq!(rf.degrades_at(0, SimTime(0)), (0, 1.0));
+        // Iteration trigger active, time trigger not yet.
+        assert_eq!(rf.degrades_at(4, SimTime(100)), (0b01, 4.0));
+        // Both active: factors multiply.
+        assert_eq!(rf.degrades_at(6, SimTime(9_000)), (0b11, 8.0));
+        // First recovers at iteration 10; the open-ended one persists.
+        assert_eq!(rf.degrades_at(10, SimTime(1_000_000)), (0b10, 2.0));
+        // Other ranks are unaffected.
+        let other = FaultPlan::new(&spec, 1).rank(0);
+        assert!(!other.has_degrades());
+        assert_eq!(other.degrades_at(6, SimTime(9_000)), (0, 1.0));
+    }
+
+    #[test]
+    fn validate_rejects_bad_degrades() {
+        let bad_rank = FaultSpec {
+            degrades: vec![DegradeSpec::at_iteration(9, 1, 2.0)],
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_rank.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("rank 9 out of range")
+        ));
+        let bad_factor = FaultSpec {
+            degrades: vec![DegradeSpec::at_iteration(0, 1, 0.5)],
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_factor.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("factor")
+        ));
+        let no_trigger = FaultSpec {
+            degrades: vec![DegradeSpec {
+                rank: 0,
+                factor: 2.0,
+                from_iteration: None,
+                from_ns: None,
+                recover: None,
+            }],
+            ..Default::default()
+        };
+        assert!(matches!(
+            no_trigger.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("neither from_iteration")
+        ));
+        let empty_recover = FaultSpec {
+            degrades: vec![
+                DegradeSpec::at_iteration(0, 1, 2.0).recovering(RecoverSpec {
+                    at_iteration: None,
+                    at_ns: None,
+                }),
+            ],
+            ..Default::default()
+        };
+        assert!(matches!(
+            empty_recover.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("recover has neither")
+        ));
+        let recover_before_start = FaultSpec {
+            degrades: vec![
+                DegradeSpec::at_iteration(0, 5, 2.0).recovering(RecoverSpec::at_iteration(5))
+            ],
+            ..Default::default()
+        };
+        assert!(matches!(
+            recover_before_start.validate(4),
+            Err(SimError::InvalidConfig(msg)) if msg.contains("not after start")
+        ));
+        // A degrade alone makes the spec "enabled".
+        let ok = FaultSpec {
+            degrades: vec![DegradeSpec::at_iteration(0, 1, 2.0)],
+            ..Default::default()
+        };
+        ok.validate(4).unwrap();
+        assert!(ok.any_enabled());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use config::{ClusterSpec, NetSpec, NodeSpec, NoiseSpec};
 pub use disk::{DiskStore, MemTracker, VarId};
 pub use engine::{run_cluster, ClusterRun, Payload, Prefetch, RankCtx, SimKernel};
 pub use error::{SimError, SimResult};
-pub use fault::{CrashSpec, FaultKind, FaultPlan, FaultSpec, RankFaults};
+pub use fault::{CrashSpec, DegradeSpec, FaultKind, FaultPlan, FaultSpec, RankFaults, RecoverSpec};
 pub use time::{SimDur, SimTime};
 pub use timeline::render as render_timeline;
 pub use trace::{Event, EventKind, RankTrace, RecoveryKind, RecoverySpan};

@@ -298,6 +298,18 @@ pub fn with_crash(mut base: ClusterSpec, rank: usize, it: u32, interval: u32) ->
     base
 }
 
+/// `base` with a single persistent degradation of `rank` by `factor`
+/// from iteration `it`; the name gains a `+deg` suffix so result
+/// tables distinguish degraded runs.
+#[must_use]
+pub fn with_degrade(mut base: ClusterSpec, rank: usize, it: u32, factor: f64) -> ClusterSpec {
+    base.name = format!("{}+deg", base.name);
+    base.faults
+        .degrades
+        .push(crate::fault::DegradeSpec::at_iteration(rank, it, factor));
+    base
+}
+
 /// `base` with the given fault profile applied; the name gains a
 /// `+flt` suffix so result tables distinguish degraded runs.
 #[must_use]

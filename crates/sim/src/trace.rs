@@ -83,6 +83,11 @@ pub enum RecoveryKind {
     Redistribution,
     /// Re-running the MHETA prediction on the shrunken cluster.
     Reprediction,
+    /// Proactive mid-run GEN_BLOCK rebalancing: applying a new
+    /// distribution at an iteration boundary after the failure detector
+    /// confirmed a degrade, rejoin, or hot-spare enlistment (no
+    /// rollback — live state is transferred in place).
+    Rebalance,
 }
 
 impl RecoveryKind {
@@ -95,6 +100,7 @@ impl RecoveryKind {
             RecoveryKind::Rollback => "rollback",
             RecoveryKind::Redistribution => "redistribution",
             RecoveryKind::Reprediction => "reprediction",
+            RecoveryKind::Rebalance => "rebalance",
         }
     }
 }

@@ -1,0 +1,223 @@
+//! The adaptive resilience layer, end to end: Jacobi on the Table 1
+//! **DC** preset with the phi-accrual failure detector and mid-run
+//! `GEN_BLOCK` rebalancing enabled, under one of four fault scenarios:
+//!
+//! * `degrade` — a baseline node slows down 4× mid-run; the detector
+//!   disambiguates the slowdown from a crash, confirms it, and the
+//!   online policy sheds rows off the degraded node;
+//! * `crash` — a rank dies; the survivors roll back, and the
+//!   redistribution weights are corrected by any observed slowdowns;
+//! * `rejoin` — the degraded node later recovers; the detector notices
+//!   the drift back and the policy hands rows back;
+//! * `spare` — a zero-row hot spare idles in the communicator until a
+//!   degradation makes enlisting it worthwhile.
+//!
+//! ```text
+//! cargo run --release --example adaptive_rebalance -- degrade
+//! cargo run --release --example adaptive_rebalance -- rejoin --telemetry
+//! ```
+//!
+//! Set `MHETA_SEED` to vary the noise seed (CI's chaos leg runs a
+//! scenario × seed matrix). With `--telemetry`, the run writes
+//! `target/adaptive_<scenario>.perfetto.json` (suspicion counter
+//! tracks + dedicated rebalance track; open in ui.perfetto.dev) and
+//! `target/adaptive_<scenario>.metrics.json` (detector counters,
+//! detection-latency histogram, rebalance totals).
+
+use mheta::apps::{run_adaptive, AdaptiveConfig, AdaptiveRun, Jacobi};
+use mheta::obs::{perfetto_json_adaptive, Metrics};
+use mheta::prelude::*;
+use mheta::sim::{DegradeSpec, RecoverSpec};
+
+const DEGRADED_RANK: usize = 3;
+const CRASHED_RANK: usize = 5;
+const ITERS: u32 = 40;
+
+fn static_cfg() -> AdaptiveConfig {
+    let mut cfg = AdaptiveConfig::default();
+    cfg.detector.phi_threshold = f64::INFINITY;
+    cfg
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = argv.iter().any(|a| a == "--telemetry");
+    let scenario = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("degrade", String::as_str)
+        .to_string();
+
+    let app = Jacobi {
+        rows: 128,
+        cols: 16,
+        seed: 0x4a43,
+    };
+    let mut spec = presets::dc();
+    if let Some(seed) = std::env::var("MHETA_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        spec.seed = seed;
+    }
+    let powers: Vec<f64> = spec.nodes.iter().map(|n| n.cpu_power).collect();
+    let mut layout0 = GenBlock::apportion(app.rows, &powers).rows().to_vec();
+
+    match scenario.as_str() {
+        "degrade" => {
+            spec.faults
+                .degrades
+                .push(DegradeSpec::at_iteration(DEGRADED_RANK, 6, 4.0));
+        }
+        "crash" => {
+            spec = presets::with_crash(spec, CRASHED_RANK, 20, 4);
+        }
+        "rejoin" => {
+            spec.faults.degrades.push(
+                DegradeSpec::at_iteration(DEGRADED_RANK, 6, 4.0)
+                    .recovering(RecoverSpec::at_iteration(22)),
+            );
+        }
+        "spare" => {
+            // Node 7 starts as an idle hot spare: its rows go to the
+            // others, and only a detected degradation enlists it.
+            let enlisted = GenBlock::apportion(app.rows, &powers[..7]).rows().to_vec();
+            layout0 = enlisted;
+            layout0.push(0);
+            spec.faults
+                .degrades
+                .push(DegradeSpec::at_iteration(DEGRADED_RANK, 6, 4.0));
+        }
+        other => {
+            eprintln!("unknown scenario {other:?}: use degrade | crash | rejoin | spare");
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "scenario {scenario} on {} (seed {}): {} rows over {} nodes, {ITERS} iterations",
+        spec.name,
+        spec.seed,
+        app.rows,
+        spec.len()
+    );
+
+    let run = run_adaptive(&app, &spec, &layout0, ITERS, AdaptiveConfig::default())
+        .expect("adaptive run failed");
+    let baseline = run_adaptive(&app, &spec, &layout0, ITERS, static_cfg())
+        .expect("static baseline run failed");
+    report(&run, &baseline, &layout0);
+
+    if telemetry {
+        write_telemetry(&scenario, &run);
+    }
+
+    // CI's chaos leg runs this across scenarios × seeds: each scenario
+    // asserts the adaptation it exists to demonstrate.
+    let view = run
+        .outcomes
+        .iter()
+        .find(|o| o.alive)
+        .expect("survivors exist");
+    match scenario.as_str() {
+        "degrade" => {
+            assert!(!view.rebalances.is_empty(), "no rebalance committed");
+            assert!(
+                view.final_rows[DEGRADED_RANK] < layout0[DEGRADED_RANK],
+                "degraded rank kept its rows"
+            );
+            assert!(
+                run.measured.secs < baseline.measured.secs,
+                "adaptation did not pay for itself"
+            );
+        }
+        "crash" => {
+            assert_eq!(view.dead, vec![CRASHED_RANK], "crash not detected");
+            assert_eq!(view.final_rows[CRASHED_RANK], 0, "dead rank kept rows");
+        }
+        "rejoin" => {
+            assert!(
+                view.transitions.iter().any(|t| t.to.name() == "rejoined"),
+                "no rejoin detected"
+            );
+            assert!(view.rebalances.len() >= 2, "rows never handed back");
+        }
+        "spare" => {
+            assert!(
+                view.final_rows[7] > 0,
+                "hot spare never enlisted: {:?}",
+                view.final_rows
+            );
+        }
+        _ => unreachable!(),
+    }
+    println!("scenario {scenario}: OK");
+}
+
+fn report(run: &AdaptiveRun, baseline: &AdaptiveRun, layout0: &[usize]) {
+    let view = run
+        .outcomes
+        .iter()
+        .find(|o| o.alive)
+        .expect("survivors exist");
+    for t in &view.transitions {
+        println!(
+            "  it {:>3}  rank {}  {} -> {}",
+            t.at_iteration,
+            t.member,
+            t.from.name(),
+            t.to.name()
+        );
+    }
+    for rb in &view.rebalances {
+        println!(
+            "  it {:>3}  rebalance: {} rows moved in {} evals (predicted gain {:.1}%)  {:?} -> {:?}",
+            rb.iteration,
+            rb.rows_moved,
+            rb.evals,
+            100.0 * rb.predicted_gain,
+            rb.from_rows,
+            rb.to_rows
+        );
+    }
+    for (i, ns) in view.detection_latencies_ns.iter().enumerate() {
+        println!("  detection latency #{i}: {:.3} ms", *ns as f64 / 1e6);
+    }
+    if !view.dead.is_empty() {
+        println!("  dead ranks: {:?}", view.dead);
+    }
+    println!("  rows {:?} -> {:?}", layout0, view.final_rows);
+    println!(
+        "  makespan {:.3}s adaptive vs {:.3}s static ({:+.1}%)",
+        run.measured.secs,
+        baseline.measured.secs,
+        100.0 * (run.measured.secs - baseline.measured.secs) / baseline.measured.secs
+    );
+}
+
+fn write_telemetry(scenario: &str, run: &AdaptiveRun) {
+    let spans: Vec<Vec<RecoverySpan>> = run.outcomes.iter().map(|o| o.spans.clone()).collect();
+    let suspicion: Vec<_> = run.outcomes.iter().map(|o| o.suspicion.clone()).collect();
+    let trace_path = format!("target/adaptive_{scenario}.perfetto.json");
+    std::fs::write(
+        &trace_path,
+        perfetto_json_adaptive(&run.traces, &run.hooks, &spans, &suspicion),
+    )
+    .expect("write perfetto trace");
+    println!("wrote {trace_path}");
+
+    let view = run
+        .outcomes
+        .iter()
+        .find(|o| o.alive)
+        .expect("survivors exist");
+    let mut metrics = Metrics::from_traces(&run.traces);
+    metrics.record_recovery(&view.dead, &spans);
+    metrics.record_detector(&view.transitions, &view.detection_latencies_ns);
+    for rb in &view.rebalances {
+        metrics.record_rebalance(rb.rows_moved as u64, u64::from(rb.evals));
+    }
+    let metrics_path = format!("target/adaptive_{scenario}.metrics.json");
+    std::fs::write(&metrics_path, metrics.to_json_pretty()).expect("write metrics");
+    println!("wrote {metrics_path}");
+}

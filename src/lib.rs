@@ -58,8 +58,9 @@ pub use mheta_sim as sim;
 pub mod prelude {
     pub use mheta_apps::{
         anchor_inputs, build_model, percent_difference, recovery_report, repredict_after_crash,
-        run_instrumented, run_measured, run_observed, run_resilient, Benchmark, Cg, Jacobi,
-        Lanczos, Multigrid, Observed, RecoveryReport, ResilientJacobi, ResilientRun, Rna,
+        run_adaptive, run_instrumented, run_measured, run_observed, run_resilient, AdaptiveCg,
+        AdaptiveConfig, AdaptiveJacobi, AdaptiveRun, Benchmark, Cg, Jacobi, Lanczos, Multigrid,
+        Observed, RecoveryReport, ResilientJacobi, ResilientRun, Rna,
     };
     pub use mheta_core::{Mheta, Prediction, ProgramStructure};
     pub use mheta_dist::{AnchorInputs, GenBlock, SpectrumPath};
