@@ -23,13 +23,28 @@
 //! "~5.4 ms per evaluation" claim, measured here in the emulator at
 //! microsecond scale) and is **informational**: it never participates
 //! in the `--check` gate.
+//!
+//! The `serving` block drives the `mheta-serve` planner under a
+//! closed-loop multi-client load and gates — at runtime, like the
+//! adaptive block — on cache/coalescing throughput, bitwise plan
+//! identity, structured load shedding, and the portfolio-vs-single
+//! strategy guarantee. Its throughput numbers are wall-clock and
+//! informational in `--check` mode; only the block's presence is
+//! compared against the baseline.
 
 use mheta_apps::{
     percent_difference, run_adaptive, run_observed, AdaptiveConfig, Benchmark, Jacobi,
 };
 use mheta_bench::{experiment_iters, Flags};
-use mheta_dist::{CountingEvaluator, Evaluator, GenBlock};
+use mheta_dist::{
+    gbs_search, genetic_search, portfolio_search, random_search, simulated_annealing,
+    AnnealingConfig, CountingEvaluator, Evaluator, GbsConfig, GenBlock, GeneticConfig,
+    PortfolioConfig, RandomConfig, SpectrumPath,
+};
 use mheta_obs::{latency_value, AuditReport};
+use mheta_serve::{
+    benchmark_by_name, PlanError, PlanRequest, Planner, PlannerConfig, SearchParams,
+};
 use mheta_sim::{presets, ClusterSpec};
 use serde::Value;
 
@@ -118,7 +133,7 @@ fn entry_value(e: &Entry) -> Value {
     ])
 }
 
-fn suite_value(name: &str, entries: &[Entry], adaptive: &Value) -> Value {
+fn suite_value(name: &str, entries: &[Entry], adaptive: &Value, serving: &Value) -> Value {
     Value::object(vec![
         ("schema", Value::Str("mheta-bench/v1".into())),
         ("name", Value::Str(name.to_string())),
@@ -127,6 +142,7 @@ fn suite_value(name: &str, entries: &[Entry], adaptive: &Value) -> Value {
             Value::Array(entries.iter().map(entry_value).collect()),
         ),
         ("adaptive", adaptive.clone()),
+        ("serving", serving.clone()),
     ])
 }
 
@@ -192,6 +208,18 @@ fn check_against(baseline: &Value, fresh: &Value) -> Vec<String> {
                 }
             }
             _ => problems.push(format!("{}/{}: pct_diff missing", id.0, id.1)),
+        }
+    }
+    // The serving block's runtime gates rerun every time; against the
+    // baseline we only require that the block is still produced.
+    if baseline.get("serving").is_some() {
+        let present = fresh
+            .get("serving")
+            .and_then(|s| s.get("speedup"))
+            .and_then(Value::as_f64)
+            .is_some();
+        if !present {
+            problems.push("serving: block missing from fresh run".to_string());
         }
     }
     problems
@@ -305,6 +333,247 @@ fn adaptive_entry(smoke: bool, fault_free: &[ClusterSpec]) -> Value {
     ])
 }
 
+/// The serving-layer scenario, gated at runtime:
+///
+/// 1. **Throughput** — a closed-loop 8-client load replaying a
+///    4-combo request mix against the warm planner (cache + single-
+///    flight coalescing) must deliver at least 10x the throughput of
+///    a cache-off, coalesce-off baseline at the same request count,
+///    and must run exactly one search per unique request;
+/// 2. **Bitwise identity** — the warm planner's cached reply must
+///    equal what an independent cache-off planner recomputes, down to
+///    the `f64` bit pattern of the predicted makespan;
+/// 3. **Admission control** — a zero-capacity queue must shed with a
+///    structured retry-after error, never hang;
+/// 4. **Portfolio** — portfolio search must never be worse than the
+///    best single strategy at the same per-strategy budget.
+fn serving_entry(smoke: bool) -> Value {
+    let mix: Vec<PlanRequest> = [
+        ("jacobi", presets::dc()),
+        ("cg", presets::io()),
+        ("jacobi", presets::hy1()),
+        ("cg", presets::hy2()),
+    ]
+    .into_iter()
+    .map(|(app, spec)| PlanRequest {
+        bench: benchmark_by_name(app, "small").expect("known app"),
+        prefetch: false,
+        spec,
+        search: SearchParams {
+            max_evals_per_strategy: 24,
+            seed: 0xBE5C,
+            ..SearchParams::default()
+        },
+    })
+    .collect();
+
+    let clients = 8usize;
+    let per_client = if smoke { 32 } else { 64 };
+    let total = clients * per_client;
+    let run_load = |cfg: PlannerConfig| {
+        let planner = Planner::new(cfg);
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let planner = &planner;
+                let mix = &mix;
+                s.spawn(move || {
+                    for i in 0..per_client {
+                        let req = &mix[(c + i) % mix.len()];
+                        planner.plan(req).expect("closed-loop request succeeds");
+                    }
+                });
+            }
+        });
+        (start.elapsed().as_secs_f64(), planner)
+    };
+
+    let (warm_secs, warm) = run_load(PlannerConfig::default());
+    let warm_searches = warm.metrics().searches();
+    let warm_hits = warm.metrics().cache_hits();
+    let warm_coalesced = warm.metrics().coalesced();
+    let (cold_secs, cold) = run_load(PlannerConfig {
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    });
+    let cold_searches = cold.metrics().searches();
+    let warm_rps = total as f64 / warm_secs;
+    let cold_rps = total as f64 / cold_secs;
+    let speedup = warm_rps / cold_rps;
+    if speedup < 10.0 {
+        eprintln!(
+            "serving: cache+coalescing delivered only {speedup:.1}x over the \
+             cold baseline (warm {warm_rps:.0} rps, cold {cold_rps:.0} rps)"
+        );
+        std::process::exit(1);
+    }
+    if warm_searches != mix.len() as u64 {
+        eprintln!(
+            "serving: warm planner ran {warm_searches} searches for \
+             {} unique requests",
+            mix.len()
+        );
+        std::process::exit(1);
+    }
+
+    // Bitwise identity: the warm cache hit vs an independent fresh
+    // recomputation at the same seed.
+    let cached = warm.plan(&mix[0]).expect("warm replay");
+    let recomputed = cold.plan(&mix[0]).expect("cold recompute");
+    if cached.source.name() != "cache"
+        || cached.plan.rows != recomputed.plan.rows
+        || cached.plan.predicted_ns.to_bits() != recomputed.plan.predicted_ns.to_bits()
+    {
+        eprintln!(
+            "serving: cached plan is not bitwise-identical to a fresh \
+             search ({:?} vs {:?})",
+            cached.plan, recomputed.plan
+        );
+        std::process::exit(1);
+    }
+
+    // Admission control: a zero-capacity queue sheds structurally.
+    let shed_retry_ms = 25u64;
+    let tiny = Planner::new(PlannerConfig {
+        queue_capacity: 0,
+        cache_enabled: false,
+        coalesce_enabled: false,
+        retry_after_ms: shed_retry_ms,
+        ..PlannerConfig::default()
+    });
+    match tiny.plan(&mix[0]) {
+        Err(PlanError::Overloaded { retry_after_ms }) if retry_after_ms == shed_retry_ms => {}
+        other => {
+            eprintln!("serving: expected a structured shed, got {other:?}");
+            std::process::exit(1);
+        }
+    }
+
+    // Portfolio vs the best single strategy on the real model, with
+    // the portfolio's own derived per-strategy seeds.
+    let bench = benchmark_by_name("jacobi", "small").expect("known app");
+    let spec = presets::dc();
+    let model = mheta_apps::build_model(&bench, &spec, false).expect("model");
+    let path = SpectrumPath::new(&mheta_apps::anchor_inputs(&model));
+    let budget = if smoke { 32 } else { 64 };
+    let cfg = PortfolioConfig {
+        max_evals_per_strategy: budget,
+        ..PortfolioConfig::default()
+    };
+    let out = portfolio_search(&path, &model, cfg.clone());
+    let blk = path.at(0.0);
+    let seeds: Vec<GenBlock> = path.anchors().iter().map(|(_, g)| g.clone()).collect();
+    let singles = [
+        gbs_search(
+            &path,
+            &model,
+            GbsConfig {
+                max_evals: budget,
+                ..GbsConfig::default()
+            },
+        ),
+        genetic_search(
+            blk.total(),
+            blk.rows().len(),
+            &seeds,
+            &model,
+            GeneticConfig {
+                max_evals: budget,
+                seed: cfg.seed ^ 0x6E6E,
+                ..GeneticConfig::default()
+            },
+        ),
+        simulated_annealing(
+            &blk,
+            &model,
+            AnnealingConfig {
+                max_evals: budget,
+                seed: cfg.seed ^ 0xA11E,
+                ..AnnealingConfig::default()
+            },
+        ),
+        random_search(
+            blk.total(),
+            blk.rows().len(),
+            &model,
+            RandomConfig {
+                max_evals: budget,
+                seed: cfg.seed ^ 0x7A9D,
+                ..RandomConfig::default()
+            },
+        ),
+    ];
+    let best_single = singles
+        .iter()
+        .map(|s| s.score_ns)
+        .fold(f64::INFINITY, f64::min);
+    if out.best.score_ns > best_single || out.best.score_ns.is_nan() {
+        eprintln!(
+            "serving: portfolio score {} worse than best single strategy {}",
+            out.best.score_ns, best_single
+        );
+        std::process::exit(1);
+    }
+
+    let hit_rate = warm_hits as f64 / total as f64;
+    println!(
+        "serving   {clients}x{per_client} closed-loop  warm {warm_rps:>8.0} rps  \
+         cold {cold_rps:>7.0} rps  -> {speedup:.1}x, {:.0}% cache hits, \
+         portfolio {} beats singles",
+        100.0 * hit_rate,
+        out.winner.name()
+    );
+
+    let stages = warm
+        .metrics()
+        .snapshot()
+        .get("stages")
+        .cloned()
+        .unwrap_or(Value::Null);
+    Value::object(vec![
+        ("clients", Value::UInt(clients as u64)),
+        ("requests", Value::UInt(total as u64)),
+        (
+            "mix",
+            Value::Array(mix.iter().map(|r| Value::Str(r.label())).collect()),
+        ),
+        (
+            "warm",
+            Value::object(vec![
+                ("throughput_rps", Value::Float(warm_rps)),
+                ("searches", Value::UInt(warm_searches)),
+                ("cache_hits", Value::UInt(warm_hits)),
+                ("coalesced", Value::UInt(warm_coalesced)),
+                ("hit_rate", Value::Float(hit_rate)),
+                ("stages", stages),
+            ]),
+        ),
+        (
+            "cold",
+            Value::object(vec![
+                ("throughput_rps", Value::Float(cold_rps)),
+                ("searches", Value::UInt(cold_searches)),
+            ]),
+        ),
+        ("speedup", Value::Float(speedup)),
+        (
+            "shed",
+            Value::object(vec![("retry_after_ms", Value::UInt(shed_retry_ms))]),
+        ),
+        (
+            "portfolio",
+            Value::object(vec![
+                ("budget", Value::UInt(budget as u64)),
+                ("winner", Value::Str(out.winner.name().to_string())),
+                ("portfolio_score_ns", Value::Float(out.best.score_ns)),
+                ("best_single_score_ns", Value::Float(best_single)),
+                ("total_evals", Value::UInt(out.total_evals as u64)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let flags = Flags::from_env();
     let smoke = flags.has("--smoke");
@@ -396,7 +665,8 @@ fn main() {
     }
 
     let adaptive = adaptive_entry(smoke, &specs);
-    let doc = suite_value(name, &entries, &adaptive);
+    let serving = serving_entry(smoke);
+    let doc = suite_value(name, &entries, &adaptive, &serving);
     std::fs::write(&out_path, doc.to_json_pretty()).expect("write suite json");
     println!("\nwrote {out_path}");
 

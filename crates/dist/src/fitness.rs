@@ -17,6 +17,8 @@
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mheta_core::Mheta;
@@ -121,6 +123,169 @@ impl LatencyHistogram {
     pub fn p99_ns(&self) -> u64 {
         self.quantile_ns(0.99)
     }
+
+    /// Fold `other` into `self`, bucket-wise. Because the buckets are
+    /// plain counts, merging per-worker histograms is *exact*: the
+    /// merged histogram is bitwise-identical to one histogram that had
+    /// recorded every sample itself, so quantiles over a portfolio of
+    /// concurrent searches aggregate without approximation.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        if self.count == 0 {
+            self.min_ns = other.min_ns;
+            self.max_ns = other.max_ns;
+        } else {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+}
+
+/// Shared control block for concurrent (portfolio) searches: an atomic
+/// incumbent-best score, a cross-worker evaluation tally, and a
+/// cooperative cancellation flag.
+///
+/// Every search wired to the same `SearchCtl` (via the `ctl` field of
+/// its config) publishes each evaluation through [`SearchCtl::observe`]
+/// and polls [`SearchCtl::is_cancelled`] between evaluations. The
+/// control block cancels all attached searches once any of its
+/// criteria is met:
+///
+/// * **budget** — the *combined* evaluation count reaches
+///   `max_total_evals`;
+/// * **convergence** — no search improved the incumbent for
+///   `stall_evals` combined evaluations;
+/// * **target** — the incumbent reached `target_ns`.
+///
+/// All state is atomic; `observe` is lock-free and safe from any number
+/// of worker threads. Scores are nonnegative nanoseconds, so the
+/// incumbent is maintained by a CAS-min on the raw IEEE-754 bits
+/// (order-preserving for nonnegative floats, `INFINITY` included).
+#[derive(Debug)]
+pub struct SearchCtl {
+    best_bits: AtomicU64,
+    evals: AtomicUsize,
+    last_improve: AtomicUsize,
+    cancelled: AtomicBool,
+    max_total_evals: usize,
+    stall_evals: usize,
+    target_ns: f64,
+}
+
+impl Default for SearchCtl {
+    fn default() -> Self {
+        SearchCtl::unlimited()
+    }
+}
+
+impl SearchCtl {
+    /// A control block with every cancellation criterion disabled:
+    /// pure incumbent sharing and manual [`SearchCtl::cancel`].
+    #[must_use]
+    pub fn unlimited() -> Self {
+        SearchCtl {
+            best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            evals: AtomicUsize::new(0),
+            last_improve: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            max_total_evals: 0,
+            stall_evals: 0,
+            target_ns: 0.0,
+        }
+    }
+
+    /// Cancel all attached searches once the combined evaluation count
+    /// reaches `max_total_evals` (0 disables the criterion).
+    #[must_use]
+    pub fn with_budget(mut self, max_total_evals: usize) -> Self {
+        self.max_total_evals = max_total_evals;
+        self
+    }
+
+    /// Cancel once `stall_evals` combined evaluations pass without an
+    /// incumbent improvement (0 disables the criterion).
+    #[must_use]
+    pub fn with_stall(mut self, stall_evals: usize) -> Self {
+        self.stall_evals = stall_evals;
+        self
+    }
+
+    /// Cancel once the incumbent is at or below `target_ns`
+    /// (nonpositive disables the criterion).
+    #[must_use]
+    pub fn with_target_ns(mut self, target_ns: f64) -> Self {
+        self.target_ns = target_ns;
+        self
+    }
+
+    /// Publish one completed evaluation's score (failed evaluations
+    /// publish their `INFINITY` penalty). Updates the incumbent and
+    /// trips cancellation when a criterion is met.
+    pub fn observe(&self, score_ns: f64) {
+        let n = self.evals.fetch_add(1, Ordering::Relaxed) + 1;
+        let bits = score_ns.max(0.0).to_bits();
+        let mut cur = self.best_bits.load(Ordering::Relaxed);
+        let mut improved = false;
+        while bits < cur {
+            match self.best_bits.compare_exchange_weak(
+                cur,
+                bits,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    improved = true;
+                    break;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+        if improved {
+            self.last_improve.store(n, Ordering::Relaxed);
+        }
+        if self.max_total_evals > 0 && n >= self.max_total_evals {
+            self.cancel();
+        }
+        if self.stall_evals > 0
+            && n.saturating_sub(self.last_improve.load(Ordering::Relaxed)) >= self.stall_evals
+        {
+            self.cancel();
+        }
+        if self.target_ns > 0.0 && self.best_ns() <= self.target_ns {
+            self.cancel();
+        }
+    }
+
+    /// Request cooperative cancellation of every attached search.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The incumbent-best score across all attached searches
+    /// (`INFINITY` until the first finite observation).
+    #[must_use]
+    pub fn best_ns(&self) -> f64 {
+        f64::from_bits(self.best_bits.load(Ordering::Relaxed))
+    }
+
+    /// Combined evaluations observed across all attached searches.
+    #[must_use]
+    pub fn evals(&self) -> usize {
+        self.evals.load(Ordering::Relaxed)
+    }
 }
 
 /// Why one evaluation failed. Carries a human-readable message from
@@ -195,6 +360,9 @@ pub struct CountingEvaluator<'a, E: Evaluator + ?Sized> {
     latency: RefCell<LatencyHistogram>,
     /// Attempts per logical evaluation (1 = no retry).
     attempts: u32,
+    /// Optional shared portfolio control: every evaluation is published
+    /// to it, and the owning search polls [`CountingEvaluator::cancelled`].
+    ctl: Option<Arc<SearchCtl>>,
 }
 
 impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
@@ -206,6 +374,12 @@ impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
     /// Wrap `inner`, allowing up to `attempts` tries per evaluation
     /// (clamped to at least one).
     pub fn with_retries(inner: &'a E, attempts: u32) -> Self {
+        Self::with_control(inner, attempts, None)
+    }
+
+    /// Wrap `inner` with retries plus an optional shared [`SearchCtl`]
+    /// to publish evaluations to (portfolio search).
+    pub fn with_control(inner: &'a E, attempts: u32, ctl: Option<Arc<SearchCtl>>) -> Self {
         CountingEvaluator {
             inner,
             count: Cell::new(0),
@@ -214,7 +388,16 @@ impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
             last_error: RefCell::new(None),
             latency: RefCell::new(LatencyHistogram::default()),
             attempts: attempts.max(1),
+            ctl,
         }
+    }
+
+    /// True when an attached [`SearchCtl`] has requested cancellation;
+    /// searches poll this between evaluations and stop early, keeping
+    /// their best-so-far outcome.
+    #[must_use]
+    pub fn cancelled(&self) -> bool {
+        self.ctl.as_ref().is_some_and(|c| c.is_cancelled())
     }
 
     /// Logical evaluations performed so far (retries of the same
@@ -273,6 +456,12 @@ impl<E: Evaluator + ?Sized> Evaluator for CountingEvaluator<'_, E> {
         };
         let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.latency.borrow_mut().record(elapsed);
+        if let Some(ctl) = &self.ctl {
+            ctl.observe(match &result {
+                Ok(score) => *score,
+                Err(_) => f64::INFINITY,
+            });
+        }
         result
     }
 }
@@ -515,6 +704,94 @@ mod tests {
         assert!(best <= at(1));
         assert!(best <= at(100));
         assert!((best - at(14)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_histograms_match_recording_into_one() {
+        // Split one sample stream across three per-worker histograms,
+        // merge, and require bitwise equality with a single histogram
+        // that recorded every sample — quantiles included.
+        let samples: Vec<u64> = (0..200u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) % 1_000_000)
+            .collect();
+        let mut whole = LatencyHistogram::default();
+        let mut parts = [
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+        ];
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            parts[i % 3].record(s);
+        }
+        let mut merged = LatencyHistogram::default();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole, "bucket-wise sum is exact");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile_ns(q), whole.quantile_ns(q), "q = {q}");
+        }
+        assert_eq!(merged.mean_ns(), whole.mean_ns());
+
+        // Merging an empty histogram is the identity; merging into an
+        // empty histogram copies.
+        let before = merged.clone();
+        merged.merge(&LatencyHistogram::default());
+        assert_eq!(merged, before);
+        let mut empty = LatencyHistogram::default();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+    }
+
+    #[test]
+    fn search_ctl_tracks_incumbent_and_budget() {
+        let ctl = SearchCtl::unlimited().with_budget(3);
+        ctl.observe(10.0);
+        ctl.observe(7.0);
+        assert_eq!(ctl.best_ns(), 7.0);
+        assert!(!ctl.is_cancelled());
+        ctl.observe(9.0);
+        assert!(ctl.is_cancelled(), "budget of 3 reached");
+        assert_eq!(ctl.evals(), 3);
+        assert_eq!(ctl.best_ns(), 7.0);
+    }
+
+    #[test]
+    fn search_ctl_stall_and_target_criteria() {
+        let ctl = SearchCtl::unlimited().with_stall(2);
+        ctl.observe(5.0);
+        ctl.observe(6.0);
+        assert!(!ctl.is_cancelled(), "one eval since improvement");
+        ctl.observe(6.0);
+        assert!(ctl.is_cancelled(), "two evals without improvement");
+
+        let ctl = SearchCtl::unlimited().with_target_ns(4.0);
+        ctl.observe(5.0);
+        assert!(!ctl.is_cancelled());
+        ctl.observe(3.5);
+        assert!(ctl.is_cancelled(), "target reached");
+    }
+
+    #[test]
+    fn counting_evaluator_publishes_to_ctl() {
+        let ctl = Arc::new(SearchCtl::unlimited());
+        let f = |rows: &[usize]| rows[0] as f64;
+        let c = CountingEvaluator::with_control(&f, 1, Some(Arc::clone(&ctl)));
+        c.eval_ns(&[8]);
+        c.eval_ns(&[3]);
+        assert_eq!(ctl.best_ns(), 3.0);
+        assert_eq!(ctl.evals(), 2);
+        assert!(!c.cancelled());
+        ctl.cancel();
+        assert!(c.cancelled());
+
+        // Failures publish the penalty score without improving the best.
+        let failing = FallibleFn(|_: &[usize]| Err(EvalError("down".into())));
+        let c = CountingEvaluator::with_control(&failing, 1, Some(Arc::clone(&ctl)));
+        let _ = c.try_eval_ns(&[1]);
+        assert_eq!(ctl.evals(), 3);
+        assert_eq!(ctl.best_ns(), 3.0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod spectrum;
 pub use anchors::{bal, blk, ic, ic_bal, AnchorInputs};
 pub use fitness::{
     CountingEvaluator, CrashCostModel, EvalError, Evaluator, FailureAwareEvaluator, FallibleFn,
-    LatencyHistogram,
+    LatencyHistogram, SearchCtl,
 };
 pub use genblock::{GenBlock, GenBlockError};
 pub use online::{OnlinePolicy, Replan};
@@ -30,7 +30,8 @@ pub use redistribution::{
     predict_cost_ns, rows_moved, switch_benefit_ns, transfer_plan, transfer_plan_rows, Transfer,
 };
 pub use search::{
-    gbs_search, genetic_search, random_search, simulated_annealing, AnnealingConfig, GbsConfig,
-    GeneticConfig, IterPoint, RandomConfig, SearchOutcome,
+    gbs_search, genetic_search, portfolio_search, random_search, simulated_annealing,
+    AnnealingConfig, GbsConfig, GeneticConfig, IterPoint, PortfolioConfig, PortfolioOutcome,
+    RandomConfig, SearchOutcome, Strategy, StrategyRun,
 };
 pub use spectrum::{SpectrumPath, SpectrumPoint};

@@ -1,14 +1,16 @@
 //! Simulated annealing over raw `GEN_BLOCK` vectors.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::fitness::{CountingEvaluator, Evaluator};
+use crate::fitness::{CountingEvaluator, Evaluator, SearchCtl};
 use crate::genblock::GenBlock;
 use crate::search::{move_rows, outcome, History, SearchOutcome};
 
 /// Tuning for [`simulated_annealing`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AnnealingConfig {
     /// Evaluator budget.
     pub max_evals: usize,
@@ -21,6 +23,9 @@ pub struct AnnealingConfig {
     /// Attempts per evaluation (1 = fail fast; see
     /// [`CountingEvaluator::with_retries`]).
     pub eval_retries: u32,
+    /// Optional shared portfolio control (incumbent + cancellation);
+    /// see [`SearchCtl`].
+    pub ctl: Option<Arc<SearchCtl>>,
 }
 
 impl Default for AnnealingConfig {
@@ -31,6 +36,7 @@ impl Default for AnnealingConfig {
             cooling: 0.97,
             seed: 0xA11EA1,
             eval_retries: 1,
+            ctl: None,
         }
     }
 }
@@ -41,7 +47,7 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
     eval: &E,
     cfg: AnnealingConfig,
 ) -> SearchOutcome {
-    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let counter = CountingEvaluator::with_control(eval, cfg.eval_retries, cfg.ctl.clone());
     let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = start.len();
@@ -54,7 +60,7 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
     let mut best_score = current_score;
     let mut temp = (current_score * cfg.initial_temp_frac).max(1.0);
 
-    while counter.count() < cfg.max_evals {
+    while counter.count() < cfg.max_evals && !counter.cancelled() {
         let mut cand = current.clone();
         let from = rng.gen_range(0..n);
         let to = rng.gen_range(0..n);

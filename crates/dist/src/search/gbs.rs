@@ -8,12 +8,14 @@
 //! (golden-section refinement) inside the legs adjacent to the best
 //! anchor.
 
-use crate::fitness::{CountingEvaluator, Evaluator};
+use std::sync::Arc;
+
+use crate::fitness::{CountingEvaluator, Evaluator, SearchCtl};
 use crate::search::{outcome, History, SearchOutcome};
 use crate::spectrum::SpectrumPath;
 
 /// Tuning for [`gbs_search`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GbsConfig {
     /// Maximum evaluator calls.
     pub max_evals: usize,
@@ -22,6 +24,9 @@ pub struct GbsConfig {
     /// Attempts per evaluation (1 = fail fast; see
     /// [`CountingEvaluator::with_retries`]).
     pub eval_retries: u32,
+    /// Optional shared portfolio control (incumbent + cancellation);
+    /// see [`SearchCtl`].
+    pub ctl: Option<Arc<SearchCtl>>,
 }
 
 impl Default for GbsConfig {
@@ -30,6 +35,7 @@ impl Default for GbsConfig {
             max_evals: 64,
             tolerance: 0.02,
             eval_retries: 1,
+            ctl: None,
         }
     }
 }
@@ -40,7 +46,7 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
     eval: &E,
     cfg: GbsConfig,
 ) -> SearchOutcome {
-    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let counter = CountingEvaluator::with_control(eval, cfg.eval_retries, cfg.ctl.clone());
     let mut history = History::new();
     let legs = path.legs().max(1) as f64;
 
@@ -71,7 +77,7 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
 
     // Score every anchor first.
     for i in 0..=path.legs() {
-        if counter.count() >= cfg.max_evals {
+        if counter.count() >= cfg.max_evals || counter.cancelled() {
             break;
         }
         consider(path, &counter, &mut history, &mut best, i as f64 / legs);
@@ -87,7 +93,8 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
     let mut d = a + phi * (b - a);
     let mut fc = consider(path, &counter, &mut history, &mut best, c);
     let mut fd = consider(path, &counter, &mut history, &mut best, d);
-    while (b - a) > cfg.tolerance / legs && counter.count() < cfg.max_evals {
+    while (b - a) > cfg.tolerance / legs && counter.count() < cfg.max_evals && !counter.cancelled()
+    {
         if fc <= fd {
             b = d;
             d = c;

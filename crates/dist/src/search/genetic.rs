@@ -4,15 +4,17 @@
 //! row counts and re-apportions to restore the exact total; mutation
 //! moves rows between nodes. Tournament selection with elitism.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::fitness::{CountingEvaluator, Evaluator};
+use crate::fitness::{CountingEvaluator, Evaluator, SearchCtl};
 use crate::genblock::GenBlock;
 use crate::search::{move_rows, outcome, History, SearchOutcome};
 
 /// Tuning for [`genetic_search`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GeneticConfig {
     /// Evaluator budget.
     pub max_evals: usize,
@@ -25,6 +27,9 @@ pub struct GeneticConfig {
     /// Attempts per evaluation (1 = fail fast; see
     /// [`CountingEvaluator::with_retries`]).
     pub eval_retries: u32,
+    /// Optional shared portfolio control (incumbent + cancellation);
+    /// see [`SearchCtl`].
+    pub ctl: Option<Arc<SearchCtl>>,
 }
 
 impl Default for GeneticConfig {
@@ -35,6 +40,7 @@ impl Default for GeneticConfig {
             mutation_rate: 0.4,
             seed: 0x6E6E6E,
             eval_retries: 1,
+            ctl: None,
         }
     }
 }
@@ -49,7 +55,7 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
     cfg: GeneticConfig,
 ) -> SearchOutcome {
     assert!(total >= n, "need at least one row per node");
-    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let counter = CountingEvaluator::with_control(eval, cfg.eval_retries, cfg.ctl.clone());
     let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
@@ -65,7 +71,9 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
         history.observe(&counter, score);
         pop.push((rows, score));
     }
-    while pop.len() < cfg.population {
+    // Always seed at least one individual, even under cancellation,
+    // so there is a best to return.
+    while pop.len() < cfg.population && (pop.is_empty() || !counter.cancelled()) {
         let g = random_individual(&mut rng);
         let score = counter.eval_ns(g.rows());
         history.observe(&counter, score);
@@ -78,7 +86,7 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
         .expect("population nonempty")
         .clone();
 
-    while counter.count() + 1 < cfg.max_evals {
+    while counter.count() + 1 < cfg.max_evals && !counter.cancelled() {
         // Tournament-select two parents.
         let pick = |rng: &mut SmallRng, pop: &[(Vec<usize>, f64)]| {
             let a = rng.gen_range(0..pop.len());

@@ -9,11 +9,13 @@
 mod annealing;
 mod gbs;
 mod genetic;
+mod portfolio;
 mod random;
 
 pub use annealing::{simulated_annealing, AnnealingConfig};
 pub use gbs::{gbs_search, GbsConfig};
 pub use genetic::{genetic_search, GeneticConfig};
+pub use portfolio::{portfolio_search, PortfolioConfig, PortfolioOutcome, Strategy, StrategyRun};
 pub use random::{random_search, RandomConfig};
 
 use crate::fitness::{CountingEvaluator, EvalError, Evaluator, LatencyHistogram};

@@ -1,15 +1,17 @@
 //! Random search baseline: sample distributions from a Dirichlet-like
 //! prior (exponential weights, apportioned) and keep the best.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::fitness::{CountingEvaluator, Evaluator};
+use crate::fitness::{CountingEvaluator, Evaluator, SearchCtl};
 use crate::genblock::GenBlock;
 use crate::search::{outcome, History, SearchOutcome};
 
 /// Tuning for [`random_search`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RandomConfig {
     /// Evaluator budget.
     pub max_evals: usize,
@@ -18,6 +20,9 @@ pub struct RandomConfig {
     /// Attempts per evaluation (1 = fail fast; see
     /// [`CountingEvaluator::with_retries`]).
     pub eval_retries: u32,
+    /// Optional shared portfolio control (incumbent + cancellation);
+    /// see [`SearchCtl`].
+    pub ctl: Option<Arc<SearchCtl>>,
 }
 
 impl Default for RandomConfig {
@@ -26,6 +31,7 @@ impl Default for RandomConfig {
             max_evals: 200,
             seed: 0x7A9D0,
             eval_retries: 1,
+            ctl: None,
         }
     }
 }
@@ -38,7 +44,7 @@ pub fn random_search<E: Evaluator + ?Sized>(
     cfg: RandomConfig,
 ) -> SearchOutcome {
     assert!(total >= n, "need at least one row per node");
-    let counter = CountingEvaluator::with_retries(eval, cfg.eval_retries);
+    let counter = CountingEvaluator::with_control(eval, cfg.eval_retries, cfg.ctl.clone());
     let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
@@ -47,7 +53,7 @@ pub fn random_search<E: Evaluator + ?Sized>(
     let mut best_score = counter.eval_ns(best.rows());
     history.observe(&counter, best_score);
 
-    while counter.count() < cfg.max_evals {
+    while counter.count() < cfg.max_evals && !counter.cancelled() {
         let weights: Vec<f64> = (0..n).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
         let g = GenBlock::apportion(total, &weights);
         let score = counter.eval_ns(g.rows());

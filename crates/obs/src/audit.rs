@@ -44,10 +44,10 @@
 
 use std::fmt::Write as _;
 
+use crate::json::Value;
 use mheta_core::Prediction;
 use mheta_mpi::TAG_COLLECTIVE_BASE;
 use mheta_sim::{EventKind, RankTrace, RecoveryKind, RecoverySpan};
-use serde::Value;
 
 /// The number of audit terms.
 pub const TERM_COUNT: usize = 12;

@@ -30,8 +30,8 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::json::Serialize;
 use mheta_sim::{EventKind, RankTrace, SimDur, SimTime};
-use serde::Serialize;
 
 /// What a span of the critical path was spent on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]

@@ -31,8 +31,10 @@
 
 pub mod audit;
 pub mod critical_path;
+pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod service;
 pub mod telemetry;
 
 pub use audit::{AuditReport, RankAudit, TermLine, TERM_COUNT, TERM_NAMES};
@@ -42,4 +44,5 @@ pub use perfetto::{
     perfetto_json, perfetto_json_adaptive, perfetto_json_with_recovery, perfetto_trace,
     perfetto_trace_adaptive, perfetto_trace_with_recovery,
 };
+pub use service::{RequestSource, RequestSpan, ServiceMetrics};
 pub use telemetry::{convergence_csv, latency_value, search_value, searches_json, searches_value};

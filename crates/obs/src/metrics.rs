@@ -15,9 +15,9 @@
 
 use std::collections::BTreeMap;
 
+use crate::json::Serialize;
 use mheta_mpi::Transition;
 use mheta_sim::{EventKind, RankTrace, RecoverySpan};
-use serde::Serialize;
 
 /// Where one rank's virtual time went, in integer nanoseconds.
 ///
@@ -274,7 +274,7 @@ impl Metrics {
     /// Render the whole registry as pretty JSON.
     #[must_use]
     pub fn to_json_pretty(&self) -> String {
-        serde::to_string_pretty(self)
+        crate::json::to_string_pretty(self)
     }
 
     /// A compact human-readable table of per-rank utilization.
@@ -415,13 +415,13 @@ fn digest_rank(
 /// convenience re-export so callers don't need `serde` in scope.
 #[must_use]
 pub fn to_json<T: Serialize + ?Sized>(value: &T) -> String {
-    serde::to_string(value)
+    crate::json::to_string(value)
 }
 
 /// Serialize any `Serialize` value to an indented JSON string.
 #[must_use]
 pub fn to_json_pretty<T: Serialize + ?Sized>(value: &T) -> String {
-    serde::to_string_pretty(value)
+    crate::json::to_string_pretty(value)
 }
 
 #[cfg(test)]

@@ -23,9 +23,9 @@
 //! order, object keys are fixed, and floats render with Rust's
 //! shortest-round-trip formatting.
 
+use crate::json::Value;
 use mheta_mpi::{HookEvent, ScopeKind, SuspicionSample};
 use mheta_sim::{EventKind, RankTrace, RecoveryKind, RecoverySpan, SimTime};
-use serde::Value;
 
 /// Microseconds for a trace-event `ts`/`dur` field from integer
 /// nanoseconds. f64 division is IEEE-exact per input, so rendering is

@@ -1,0 +1,393 @@
+//! Request-lifecycle instrumentation for the serving layer.
+//!
+//! The planning service (`mheta-serve`) drives a [`ServiceMetrics`]
+//! registry: lock-free atomic counters for the request-mix tallies
+//! (cache hits, coalesced waits, searches, sheds), per-stage
+//! [`LatencyHistogram`]s (queued / search / total), and a bounded ring
+//! of [`RequestSpan`]s that exports as a Perfetto request track via
+//! [`ServiceMetrics::perfetto_json`].
+//!
+//! Everything is `&self` and thread-safe: counters are atomics, the
+//! histograms and span ring sit behind plain mutexes that are touched
+//! once per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mheta_dist::LatencyHistogram;
+
+use crate::json::Value;
+use crate::telemetry::latency_value;
+
+/// How a planning request was ultimately answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestSource {
+    /// A search ran for this request.
+    Fresh,
+    /// Served from the plan cache.
+    Cache,
+    /// Waited on another in-flight identical request (single-flight).
+    Coalesced,
+    /// Rejected at admission with a retry-after (queue full).
+    Shed,
+    /// The search itself failed.
+    Failed,
+}
+
+impl RequestSource {
+    /// Stable lowercase name, used in wire responses and trace args.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestSource::Fresh => "fresh",
+            RequestSource::Cache => "cache",
+            RequestSource::Coalesced => "coalesced",
+            RequestSource::Shed => "shed",
+            RequestSource::Failed => "failed",
+        }
+    }
+}
+
+/// One finished request's lifecycle timings, on the wall clock of the
+/// owning [`ServiceMetrics`] (offsets from its creation; see
+/// [`ServiceMetrics::now_ns`]).
+#[derive(Debug, Clone)]
+pub struct RequestSpan {
+    /// Human-readable request label (e.g. `"jacobi/small@DC"`).
+    pub label: String,
+    /// How the request was answered.
+    pub source: RequestSource,
+    /// When the request arrived, ns since metrics creation.
+    pub start_ns: u64,
+    /// Time from arrival to leaving the queue (admission + queueing).
+    pub queued_ns: u64,
+    /// Time spent in portfolio search (0 for cache/coalesced/shed).
+    pub search_ns: u64,
+    /// Total time from arrival to response.
+    pub total_ns: u64,
+}
+
+/// At most this many spans are retained for trace export; older
+/// requests keep counting in the histograms but drop off the track.
+const SPAN_CAP: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Stages {
+    queued: LatencyHistogram,
+    search: LatencyHistogram,
+    total: LatencyHistogram,
+}
+
+/// Thread-safe metrics registry for one planning service instance.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    epoch: Instant,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    searches: AtomicU64,
+    shed: AtomicU64,
+    failures: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_invalidations: AtomicU64,
+    stages: Mutex<Stages>,
+    spans: Mutex<Vec<RequestSpan>>,
+    spans_dropped: AtomicU64,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// A fresh registry; its creation instant is the trace epoch.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceMetrics {
+            epoch: Instant::now(),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            searches: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
+            stages: Mutex::new(Stages::default()),
+            spans: Mutex::new(Vec::new()),
+            spans_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Nanoseconds elapsed since this registry was created — the
+    /// timestamp base for [`RequestSpan`] fields.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Record one finished request: bumps the per-source counters and
+    /// stage histograms, and retains the span for the request track.
+    pub fn record_request(&self, span: RequestSpan) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match span.source {
+            RequestSource::Fresh => {}
+            RequestSource::Cache => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            RequestSource::Coalesced => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            RequestSource::Shed => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            RequestSource::Failed => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let mut stages = self.stages.lock().expect("stage lock poisoned");
+            stages.queued.record(span.queued_ns);
+            if span.search_ns > 0 {
+                stages.search.record(span.search_ns);
+            }
+            stages.total.record(span.total_ns);
+        }
+        let mut spans = self.spans.lock().expect("span lock poisoned");
+        if spans.len() < SPAN_CAP {
+            spans.push(span);
+        } else {
+            self.spans_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one portfolio search actually starting (coalesced and
+    /// cached requests never reach this).
+    pub fn on_search_started(&self) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count cache evictions (capacity pressure).
+    pub fn on_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count entries dropped by explicit invalidation.
+    pub fn on_cache_invalidations(&self, n: u64) {
+        self.cache_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from the plan cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that piggybacked on an identical in-flight search.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Portfolio searches started.
+    #[must_use]
+    pub fn searches(&self) -> u64 {
+        self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at admission.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose search failed.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Counters plus per-stage latency digests as a JSON value.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let stages = self.stages.lock().expect("stage lock poisoned");
+        Value::object(vec![
+            (
+                "counters",
+                Value::object(vec![
+                    ("requests", Value::UInt(self.requests())),
+                    ("cache_hits", Value::UInt(self.cache_hits())),
+                    ("coalesced", Value::UInt(self.coalesced())),
+                    ("searches", Value::UInt(self.searches())),
+                    ("shed", Value::UInt(self.shed())),
+                    ("failures", Value::UInt(self.failures())),
+                    (
+                        "cache_evictions",
+                        Value::UInt(self.cache_evictions.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "cache_invalidations",
+                        Value::UInt(self.cache_invalidations.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "stages",
+                Value::object(vec![
+                    ("queued", latency_value(&stages.queued)),
+                    ("search", latency_value(&stages.search)),
+                    ("total", latency_value(&stages.total)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The retained request spans, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<RequestSpan> {
+        self.spans.lock().expect("span lock poisoned").clone()
+    }
+
+    /// Chrome trace-event JSON of the request track: one "requests"
+    /// track with a slice per request (args: source and stage split)
+    /// and one "search" track with the search-stage slices. Loads
+    /// directly in `ui.perfetto.dev` alongside the simulator traces.
+    #[must_use]
+    pub fn perfetto_json(&self) -> String {
+        fn us(ns: u64) -> Value {
+            Value::Float(ns as f64 / 1000.0)
+        }
+        fn meta(what: &str, tid: Option<u64>, name: &str) -> Value {
+            let mut pairs = vec![
+                ("name", Value::Str(what.to_string())),
+                ("ph", Value::Str("M".into())),
+                ("pid", Value::UInt(0)),
+            ];
+            if let Some(tid) = tid {
+                pairs.push(("tid", Value::UInt(tid)));
+            }
+            pairs.push((
+                "args",
+                Value::object(vec![("name", Value::Str(name.to_string()))]),
+            ));
+            Value::object(pairs)
+        }
+        let mut events = vec![
+            meta("process_name", None, "mheta-serve"),
+            meta("thread_name", Some(0), "requests"),
+            meta("thread_name", Some(1), "search"),
+        ];
+        for span in self.spans.lock().expect("span lock poisoned").iter() {
+            events.push(Value::object(vec![
+                ("name", Value::Str(span.label.clone())),
+                ("cat", Value::Str("serve".into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", us(span.start_ns)),
+                ("dur", us(span.total_ns)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    Value::object(vec![
+                        ("source", Value::Str(span.source.name().to_string())),
+                        ("queued_us", us(span.queued_ns)),
+                        ("search_us", us(span.search_ns)),
+                    ]),
+                ),
+            ]));
+            if span.search_ns > 0 {
+                events.push(Value::object(vec![
+                    ("name", Value::Str(span.label.clone())),
+                    ("cat", Value::Str("serve".into())),
+                    ("ph", Value::Str("X".into())),
+                    ("ts", us(span.start_ns + span.queued_ns)),
+                    ("dur", us(span.search_ns)),
+                    ("pid", Value::UInt(0)),
+                    ("tid", Value::UInt(1)),
+                    ("args", Value::object(vec![])),
+                ]));
+            }
+        }
+        Value::object(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", Value::Str("ms".into())),
+        ])
+        .to_json_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(source: RequestSource, start: u64, queued: u64, search: u64) -> RequestSpan {
+        RequestSpan {
+            label: "jacobi/small@DC".into(),
+            source,
+            start_ns: start,
+            queued_ns: queued,
+            search_ns: search,
+            total_ns: queued + search,
+        }
+    }
+
+    #[test]
+    fn counters_follow_sources() {
+        let m = ServiceMetrics::new();
+        m.on_search_started();
+        m.record_request(span(RequestSource::Fresh, 0, 10, 90));
+        m.record_request(span(RequestSource::Cache, 100, 5, 0));
+        m.record_request(span(RequestSource::Coalesced, 100, 80, 0));
+        m.record_request(span(RequestSource::Shed, 200, 1, 0));
+        m.record_request(span(RequestSource::Failed, 300, 1, 0));
+        assert_eq!(m.requests(), 5);
+        assert_eq!(m.searches(), 1);
+        assert_eq!(m.cache_hits(), 1);
+        assert_eq!(m.coalesced(), 1);
+        assert_eq!(m.shed(), 1);
+        assert_eq!(m.failures(), 1);
+    }
+
+    #[test]
+    fn snapshot_reports_stage_histograms() {
+        let m = ServiceMetrics::new();
+        m.record_request(span(RequestSource::Fresh, 0, 10, 90));
+        m.record_request(span(RequestSource::Cache, 50, 4, 0));
+        let snap = m.snapshot();
+        let stages = snap.get("stages").unwrap();
+        assert_eq!(
+            stages.get("total").unwrap().get("count").unwrap().as_u64(),
+            Some(2)
+        );
+        // Cache hits skip the search stage entirely.
+        assert_eq!(
+            stages.get("search").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+        let counters = snap.get("counters").unwrap();
+        assert_eq!(counters.get("cache_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn perfetto_track_contains_request_and_search_slices() {
+        let m = ServiceMetrics::new();
+        m.record_request(span(RequestSource::Fresh, 1000, 10, 90));
+        m.record_request(span(RequestSource::Cache, 2000, 5, 0));
+        let json = m.perfetto_json();
+        let v = crate::json::from_str(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 3 metadata + 1 request slice with search + 1 search slice + 1
+        // cached request slice (no search stage).
+        assert_eq!(events.len(), 6);
+        assert!(json.contains("\"source\": \"cache\"") || json.contains("\"cache\""));
+    }
+}

@@ -11,8 +11,8 @@
 
 use std::fmt::Write as _;
 
+use crate::json::{Serialize, Value};
 use mheta_dist::{LatencyHistogram, SearchOutcome};
-use serde::{Serialize, Value};
 
 /// A latency histogram as a JSON value: count, mean, and the
 /// p50/p95/p99 quantiles, in ns. Wall-clock derived, so this part of
@@ -170,7 +170,8 @@ mod tests {
         let a = outcome();
         let b = outcome();
         let parse = |out: &SearchOutcome| {
-            strip_latency(serde::from_str(&searches_json(&[("random", out)])).unwrap()).to_json()
+            strip_latency(crate::json::from_str(&searches_json(&[("random", out)])).unwrap())
+                .to_json()
         };
         assert_eq!(parse(&a), parse(&b), "seeded searches export identically");
     }

@@ -1,0 +1,153 @@
+//! `planctl` — client for the `pland` planning daemon.
+//!
+//! ```text
+//! planctl [--addr HOST:PORT] ping
+//! planctl [--addr HOST:PORT] plan --app jacobi [--size small] --arch DC
+//!         [--prefetch] [--evals N] [--seed N] [--retries N]
+//! planctl [--addr HOST:PORT] stats
+//! planctl [--addr HOST:PORT] invalidate
+//! planctl [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! Sends one JSON-lines request and prints the daemon's one-line JSON
+//! response on stdout. Exits nonzero when the response has
+//! `"ok":false` (so shell scripts can gate on success).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use mheta_obs::json::{from_str, Value};
+
+fn usage() -> String {
+    "planctl [--addr HOST:PORT] <ping|stats|invalidate|shutdown|plan> \
+     [plan: --app NAME [--size small|default] --arch ARCH [--prefetch] \
+     [--evals N] [--seed N] [--retries N]]"
+        .to_string()
+}
+
+fn build_request(cmd: &str, args: &mut impl Iterator<Item = String>) -> Result<Value, String> {
+    match cmd {
+        "ping" | "stats" | "invalidate" | "shutdown" => {
+            Ok(Value::object(vec![("op", Value::Str(cmd.to_string()))]))
+        }
+        "plan" => {
+            let mut app = None;
+            let mut size = "small".to_string();
+            let mut arch = None;
+            let mut prefetch = false;
+            let mut search: Vec<(&str, Value)> = Vec::new();
+            while let Some(flag) = args.next() {
+                let mut value = |name: &str| {
+                    args.next()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match flag.as_str() {
+                    "--app" => app = Some(value("--app")?),
+                    "--size" => size = value("--size")?,
+                    "--arch" => arch = Some(value("--arch")?),
+                    "--prefetch" => prefetch = true,
+                    "--evals" => {
+                        let n: u64 = value("--evals")?
+                            .parse()
+                            .map_err(|e| format!("--evals: {e}"))?;
+                        search.push(("evals", Value::UInt(n)));
+                    }
+                    "--seed" => {
+                        let n: u64 = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                        search.push(("seed", Value::UInt(n)));
+                    }
+                    "--retries" => {
+                        let n: u64 = value("--retries")?
+                            .parse()
+                            .map_err(|e| format!("--retries: {e}"))?;
+                        search.push(("retries", Value::UInt(n)));
+                    }
+                    other => return Err(format!("unknown plan flag `{other}`")),
+                }
+            }
+            let app = app.ok_or("plan requires --app")?;
+            let arch = arch.ok_or("plan requires --arch")?;
+            let mut pairs = vec![
+                ("op", Value::Str("plan".into())),
+                (
+                    "app",
+                    Value::object(vec![("name", Value::Str(app)), ("size", Value::Str(size))]),
+                ),
+                ("arch", Value::Str(arch)),
+                ("prefetch", Value::Bool(prefetch)),
+            ];
+            if !search.is_empty() {
+                pairs.push(("search", Value::object(search)));
+            }
+            Ok(Value::object(pairs))
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut addr = "127.0.0.1:7463".to_string();
+    if args.peek().map(String::as_str) == Some("--addr") {
+        args.next();
+        match args.next() {
+            Some(a) => addr = a,
+            None => {
+                eprintln!("planctl: --addr requires a value");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(cmd) = args.next() else {
+        eprintln!("planctl: {}", usage());
+        return ExitCode::FAILURE;
+    };
+    let request = match build_request(&cmd, &mut args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("planctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("planctl: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("planctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = writeln!(writer, "{}", request.to_json()).and_then(|()| writer.flush()) {
+        eprintln!("planctl: send failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut line = String::new();
+    if let Err(e) = BufReader::new(stream).read_line(&mut line) {
+        eprintln!("planctl: read failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let line = line.trim_end();
+    if line.is_empty() {
+        eprintln!("planctl: daemon closed the connection without replying");
+        return ExitCode::FAILURE;
+    }
+    println!("{line}");
+    match from_str(line) {
+        Ok(v) if v.get("ok") == Some(&Value::Bool(true)) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("planctl: unparseable response: {e:?}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `pland` — the distribution-planning daemon.
+//!
+//! Listens for JSON-lines requests over TCP (see `mheta_serve::wire`
+//! for the protocol) and serves plans until a client sends
+//! `{"op":"shutdown"}`.
+//!
+//! ```text
+//! pland [--addr HOST:PORT] [--workers N] [--queue N]
+//!       [--cache-capacity N] [--no-cache] [--no-coalesce]
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mheta_serve::{wire, Planner, PlannerConfig};
+
+struct Args {
+    addr: String,
+    cfg: PlannerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7463".to_string(),
+        cfg: PlannerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                args.cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--cache-capacity" => {
+                args.cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--no-cache" => args.cfg.cache_enabled = false,
+            "--no-coalesce" => args.cfg.coalesce_enabled = false,
+            "--help" | "-h" => {
+                println!(
+                    "pland [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache-capacity N] [--no-cache] [--no-coalesce]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pland: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("pland: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The OS may have picked the port (":0"); report the actual one so
+    // scripts can connect.
+    match listener.local_addr() {
+        Ok(addr) => println!("pland: listening on {addr}"),
+        Err(_) => println!("pland: listening on {}", args.addr),
+    }
+    let planner = Arc::new(Planner::new(args.cfg));
+    match wire::serve(listener, planner) {
+        Ok(()) => {
+            println!("pland: shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pland: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # mheta-serve — the resident distribution-planning service
+//!
+//! "Plan this app on this cluster" as a service: a request names an
+//! application and a cluster configuration, the reply is the best
+//! `GEN_BLOCK` layout the portfolio search found plus its predicted
+//! makespan. The pieces:
+//!
+//! * [`request`] — [`PlanRequest`] and its canonical stable content
+//!   hash (FNV-1a over a canonical JSON rendering of cluster config,
+//!   program structure, and search parameters);
+//! * [`cache`] — a sharded, lock-striped LRU plan cache with hit /
+//!   miss / eviction counters and explicit invalidation;
+//! * [`singleflight`] — concurrent identical requests coalesce onto
+//!   one search; followers share the leader's published result;
+//! * [`executor`] — a fixed thread pool over a bounded queue; a full
+//!   queue sheds the request with a structured retry-after error
+//!   instead of ever blocking admission;
+//! * [`planner`] — the in-process front end wiring the above around
+//!   `mheta_dist::portfolio_search`, instrumented end to end with
+//!   `mheta_obs` service metrics (lifecycle counters, per-stage
+//!   latency histograms, and a Perfetto request track);
+//! * [`wire`] — the JSON-lines-over-TCP protocol spoken by the
+//!   `pland` daemon and the `planctl` client binaries.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod executor;
+pub mod planner;
+pub mod request;
+pub mod singleflight;
+pub mod wire;
+
+pub use cache::PlanCache;
+pub use executor::{Executor, QueueFull};
+pub use planner::{Plan, PlanError, PlanReply, Planner, PlannerConfig};
+pub use request::{
+    benchmark_by_name, cluster_by_name, fnv1a64, strategy_by_name, PlanRequest, SearchParams,
+};
+pub use singleflight::{Entry, Flight, SingleFlight};
+pub use wire::{parse_request, serve, WireOp};

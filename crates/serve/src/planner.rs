@@ -1,0 +1,336 @@
+//! The in-process planning front end.
+//!
+//! [`Planner::plan`] takes a request through the full lifecycle:
+//!
+//! ```text
+//! request ── cache probe ──hit──────────────────────────▶ reply (cache)
+//!               │ miss
+//!               ▼
+//!          single-flight ──follower── wait ─────────────▶ reply (coalesced)
+//!               │ leader
+//!               ▼
+//!          executor.try_submit ──queue full── shed ─────▶ Err(Overloaded)
+//!               │ admitted
+//!               ▼
+//!          portfolio search ── cache insert ── publish ─▶ reply (fresh)
+//! ```
+//!
+//! Every path publishes to the flight before returning, so followers
+//! can never hang — a shed or failed leader sheds/fails its followers
+//! too. Every path records a [`RequestSpan`] so the request track and
+//! stage histograms cover shed and failed requests as well.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use mheta_apps::{anchor_inputs, build_model};
+use mheta_dist::{portfolio_search, SpectrumPath, Strategy};
+use mheta_obs::json::Value;
+use mheta_obs::{RequestSource, RequestSpan, ServiceMetrics};
+
+use crate::cache::PlanCache;
+use crate::executor::Executor;
+use crate::request::PlanRequest;
+use crate::singleflight::{Entry, SingleFlight};
+
+/// A finished distribution plan: the service's product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The best `GEN_BLOCK` layout found (rows per node).
+    pub rows: Vec<usize>,
+    /// Its predicted iteration time, ns.
+    pub predicted_ns: f64,
+    /// Which portfolio strategy produced it.
+    pub winner: Strategy,
+    /// Combined evaluator calls the portfolio spent.
+    pub total_evals: usize,
+}
+
+/// Why a request did not produce a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Admission control shed the request: the executor queue was
+    /// full. Retry after the suggested backoff.
+    Overloaded {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Model construction or the search itself failed.
+    Search(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry after {retry_after_ms} ms")
+            }
+            PlanError::Search(msg) => write!(f, "search failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A successful reply: the plan plus provenance.
+#[derive(Debug, Clone)]
+pub struct PlanReply {
+    /// The plan.
+    pub plan: Plan,
+    /// How it was produced (`Fresh`, `Cache`, or `Coalesced`).
+    pub source: RequestSource,
+    /// The request's canonical content hash (the cache key).
+    pub key: u64,
+}
+
+/// Planner tuning.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Search worker threads.
+    pub workers: usize,
+    /// Bounded executor queue depth; 0 sheds every admission (useful
+    /// for deterministic overload tests).
+    pub queue_capacity: usize,
+    /// Plan-cache lock stripes.
+    pub cache_shards: usize,
+    /// Plan-cache total capacity (entries).
+    pub cache_capacity: usize,
+    /// Serve repeat requests from the cache.
+    pub cache_enabled: bool,
+    /// Coalesce concurrent identical requests onto one search.
+    pub coalesce_enabled: bool,
+    /// Backoff suggested to shed clients, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_shards: 8,
+            cache_capacity: 256,
+            cache_enabled: true,
+            coalesce_enabled: true,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// What a leader publishes to its flight: the plan and the search-stage
+/// duration, or the error every coalesced follower inherits.
+type FlightResult = Result<(Plan, u64), PlanError>;
+
+/// The resident planning service (in-process front end).
+pub struct Planner {
+    cfg: PlannerConfig,
+    cache: PlanCache,
+    flights: SingleFlight<FlightResult>,
+    executor: Executor,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl Planner {
+    /// Build a planner (spawns the worker pool immediately).
+    #[must_use]
+    pub fn new(cfg: PlannerConfig) -> Self {
+        Planner {
+            cache: PlanCache::new(cfg.cache_shards, cfg.cache_capacity),
+            flights: SingleFlight::new(),
+            executor: Executor::new(cfg.workers, cfg.queue_capacity),
+            metrics: Arc::new(ServiceMetrics::new()),
+            cfg,
+        }
+    }
+
+    /// Plan `req`, going through cache → single-flight → admission →
+    /// portfolio search. Never blocks on a full queue: overload is a
+    /// structured [`PlanError::Overloaded`].
+    pub fn plan(&self, req: &PlanRequest) -> Result<PlanReply, PlanError> {
+        let t0 = self.metrics.now_ns();
+        let canon = req.canonical_json();
+        let key = crate::request::fnv1a64(canon.as_bytes());
+        let label = req.label();
+
+        if self.cfg.cache_enabled {
+            if let Some(plan) = self.cache.get(key, &canon) {
+                self.record(&label, RequestSource::Cache, t0, 0);
+                return Ok(PlanReply {
+                    plan,
+                    source: RequestSource::Cache,
+                    key,
+                });
+            }
+        }
+
+        if self.cfg.coalesce_enabled {
+            match self.flights.enter(&canon) {
+                Entry::Follower(flight) => {
+                    let result = flight.wait();
+                    match result {
+                        Ok((plan, _)) => {
+                            self.record(&label, RequestSource::Coalesced, t0, 0);
+                            Ok(PlanReply {
+                                plan,
+                                source: RequestSource::Coalesced,
+                                key,
+                            })
+                        }
+                        Err(e) => {
+                            let source = match e {
+                                PlanError::Overloaded { .. } => RequestSource::Shed,
+                                PlanError::Search(_) => RequestSource::Failed,
+                            };
+                            self.record(&label, source, t0, 0);
+                            Err(e)
+                        }
+                    }
+                }
+                Entry::Leader(flight) => self.lead(req, key, &canon, Some(flight), t0, &label),
+            }
+        } else {
+            self.lead(req, key, &canon, None, t0, &label)
+        }
+    }
+
+    /// Leader path: admit, search, cache, publish.
+    fn lead(
+        &self,
+        req: &PlanRequest,
+        key: u64,
+        canon: &str,
+        flight: Option<Arc<crate::singleflight::Flight<FlightResult>>>,
+        t0: u64,
+        label: &str,
+    ) -> Result<PlanReply, PlanError> {
+        let (tx, rx) = mpsc::channel::<(Result<Plan, PlanError>, u64, u64)>();
+        let job_req = req.clone();
+        let job_metrics = Arc::clone(&self.metrics);
+        let job = move || {
+            let started = job_metrics.now_ns();
+            job_metrics.on_search_started();
+            let result = catch_unwind(AssertUnwindSafe(|| run_search(&job_req)))
+                .unwrap_or_else(|_| Err(PlanError::Search("search worker panicked".into())));
+            let search_ns = job_metrics.now_ns().saturating_sub(started);
+            let _ = tx.send((result, started, search_ns));
+        };
+
+        if self.executor.try_submit(job).is_err() {
+            let err = PlanError::Overloaded {
+                retry_after_ms: self.cfg.retry_after_ms,
+            };
+            // Publish the shed to followers FIRST: they must never
+            // hang on a flight whose leader was never admitted.
+            if let Some(f) = &flight {
+                self.flights.complete(canon, f, Err(err.clone()));
+            }
+            self.record(label, RequestSource::Shed, t0, 0);
+            return Err(err);
+        }
+
+        let (result, started, search_ns) = rx.recv().expect("worker always replies");
+        let flight_result = result.clone().map(|p| (p, search_ns));
+        if let Ok(plan) = &result {
+            if self.cfg.cache_enabled {
+                self.cache.insert(key, canon, plan.clone());
+            }
+        }
+        if let Some(f) = &flight {
+            self.flights.complete(canon, f, flight_result);
+        }
+
+        match result {
+            Ok(plan) => {
+                let span = RequestSpan {
+                    label: label.to_string(),
+                    source: RequestSource::Fresh,
+                    start_ns: t0,
+                    queued_ns: started.saturating_sub(t0),
+                    search_ns,
+                    total_ns: self.metrics.now_ns().saturating_sub(t0),
+                };
+                self.metrics.record_request(span);
+                Ok(PlanReply {
+                    plan,
+                    source: RequestSource::Fresh,
+                    key,
+                })
+            }
+            Err(e) => {
+                self.record(label, RequestSource::Failed, t0, search_ns);
+                Err(e)
+            }
+        }
+    }
+
+    fn record(&self, label: &str, source: RequestSource, t0: u64, search_ns: u64) {
+        let total_ns = self.metrics.now_ns().saturating_sub(t0);
+        self.metrics.record_request(RequestSpan {
+            label: label.to_string(),
+            source,
+            start_ns: t0,
+            queued_ns: total_ns.saturating_sub(search_ns),
+            search_ns,
+            total_ns,
+        });
+    }
+
+    /// Drop every cached plan; returns how many were invalidated.
+    pub fn invalidate_cache(&self) -> usize {
+        let n = self.cache.invalidate_all();
+        self.metrics.on_cache_invalidations(n as u64);
+        n
+    }
+
+    /// The service metrics registry (counters, stage histograms, and
+    /// the Perfetto request track).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// The plan cache (counters and explicit invalidation).
+    #[must_use]
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Full service statistics: request counters and stage latencies,
+    /// cache counters, and executor admission tallies.
+    #[must_use]
+    pub fn stats(&self) -> Value {
+        Value::object(vec![
+            ("service", self.metrics.snapshot()),
+            ("cache", self.cache.stats()),
+            (
+                "executor",
+                Value::object(vec![
+                    ("executed", Value::UInt(self.executor.executed())),
+                    ("rejected", Value::UInt(self.executor.rejected())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Build the MHETA model for the request and run the portfolio search.
+fn run_search(req: &PlanRequest) -> Result<Plan, PlanError> {
+    let model = build_model(&req.bench, &req.spec, req.prefetch)
+        .map_err(|e| PlanError::Search(e.to_string()))?;
+    let inputs = anchor_inputs(&model);
+    let path = SpectrumPath::new(&inputs);
+    let out = portfolio_search(&path, &model, req.search.to_portfolio());
+    if !out.best.score_ns.is_finite() {
+        return Err(PlanError::Search(
+            "no candidate evaluated to a finite score".into(),
+        ));
+    }
+    Ok(Plan {
+        rows: out.best.best.rows().to_vec(),
+        predicted_ns: out.best.score_ns,
+        winner: out.winner,
+        total_evals: out.total_evals,
+    })
+}

@@ -1,0 +1,338 @@
+//! JSON-lines wire protocol and the TCP daemon loop.
+//!
+//! One request per line, one response per line; both sides are plain
+//! JSON rendered and parsed by the shared `mheta_obs::json` machinery
+//! (there is no second JSON implementation, and thus no second
+//! escaping routine, anywhere in the workspace).
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"ping"}
+//! {"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC",
+//!  "prefetch":false,"search":{"evals":64,"seed":7}}
+//! {"op":"stats"}
+//! {"op":"invalidate"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `arch` is a preset name (`DC`, `IO`, `HY1`, `HY2`) or `HOM<n>` for
+//! a homogeneous `n`-node cluster. The optional `search` object takes
+//! `evals` (per-strategy budget), `retries`, `seed`, `total_evals`,
+//! `stall`, and `target_ns`.
+//!
+//! A successful plan reply carries `"source"` — `"fresh"`, `"cache"`,
+//! or `"coalesced"` — so clients (and the CI smoke test) can verify
+//! cache behavior. A shed request gets
+//! `{"ok":false,"error":{"kind":"overloaded","retry_after_ms":N}}`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mheta_obs::json::{self, from_str, opt_f64_field, opt_u64_field, str_field, Value};
+
+use crate::planner::{PlanError, PlanReply, Planner};
+use crate::request::{benchmark_by_name, cluster_by_name, PlanRequest, SearchParams};
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum WireOp {
+    /// Plan an application on a cluster.
+    Plan(Box<PlanRequest>),
+    /// Report service, cache, and executor statistics.
+    Stats,
+    /// Drop every cached plan.
+    Invalidate,
+    /// Liveness probe.
+    Ping,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// Parse one request line into a [`WireOp`].
+pub fn parse_request(line: &str) -> Result<WireOp, String> {
+    let v = from_str(line).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let op = str_field(&v, "op").map_err(|e| e.to_string())?;
+    match op {
+        "ping" => Ok(WireOp::Ping),
+        "stats" => Ok(WireOp::Stats),
+        "invalidate" => Ok(WireOp::Invalidate),
+        "shutdown" => Ok(WireOp::Shutdown),
+        "plan" => Ok(WireOp::Plan(Box::new(parse_plan(&v)?))),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn parse_plan(v: &Value) -> Result<PlanRequest, String> {
+    let app = json::field(v, "app").map_err(|e| e.to_string())?;
+    let name = str_field(app, "name").map_err(|e| format!("app.{e}"))?;
+    let size = json::opt_str_field(app, "size")
+        .map_err(|e| format!("app.{e}"))?
+        .unwrap_or("small");
+    let bench = benchmark_by_name(name, size)
+        .ok_or_else(|| format!("unknown app `{name}` (size `{size}`)"))?;
+
+    let arch = str_field(v, "arch").map_err(|e| e.to_string())?;
+    let spec = cluster_by_name(arch)
+        .ok_or_else(|| format!("unknown arch `{arch}` (want DC, IO, HY1, HY2, or HOM<n>)"))?;
+
+    let prefetch = match v.get("prefetch") {
+        None | Some(Value::Null) => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err("field `prefetch`: expected boolean".into()),
+    };
+
+    let mut search = SearchParams::default();
+    if let Some(s) = v.get("search") {
+        if let Some(e) = opt_u64_field(s, "evals").map_err(|e| format!("search.{e}"))? {
+            search.max_evals_per_strategy = e as usize;
+        }
+        if let Some(r) = opt_u64_field(s, "retries").map_err(|e| format!("search.{e}"))? {
+            search.eval_retries = r as u32;
+        }
+        if let Some(seed) = opt_u64_field(s, "seed").map_err(|e| format!("search.{e}"))? {
+            search.seed = seed;
+        }
+        if let Some(t) = opt_u64_field(s, "total_evals").map_err(|e| format!("search.{e}"))? {
+            search.max_total_evals = t as usize;
+        }
+        if let Some(st) = opt_u64_field(s, "stall").map_err(|e| format!("search.{e}"))? {
+            search.stall_evals = st as usize;
+        }
+        if let Some(t) = opt_f64_field(s, "target_ns").map_err(|e| format!("search.{e}"))? {
+            search.target_ns = t;
+        }
+    }
+
+    Ok(PlanRequest {
+        bench,
+        prefetch,
+        spec,
+        search,
+    })
+}
+
+/// Render a successful plan reply.
+#[must_use]
+pub fn plan_response(reply: &PlanReply) -> Value {
+    Value::object(vec![
+        ("ok", Value::Bool(true)),
+        ("source", Value::Str(reply.source.name().to_string())),
+        ("key", Value::Str(format!("{:016x}", reply.key))),
+        (
+            "plan",
+            Value::object(vec![
+                (
+                    "rows",
+                    Value::Array(
+                        reply
+                            .plan
+                            .rows
+                            .iter()
+                            .map(|&r| Value::UInt(r as u64))
+                            .collect(),
+                    ),
+                ),
+                ("predicted_ns", Value::Float(reply.plan.predicted_ns)),
+                ("winner", Value::Str(reply.plan.winner.name().to_string())),
+                ("total_evals", Value::UInt(reply.plan.total_evals as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// Render a planning error.
+#[must_use]
+pub fn error_response(err: &PlanError) -> Value {
+    let error = match err {
+        PlanError::Overloaded { retry_after_ms } => Value::object(vec![
+            ("kind", Value::Str("overloaded".into())),
+            ("retry_after_ms", Value::UInt(*retry_after_ms)),
+        ]),
+        PlanError::Search(msg) => Value::object(vec![
+            ("kind", Value::Str("search".into())),
+            ("message", Value::Str(msg.clone())),
+        ]),
+    };
+    Value::object(vec![("ok", Value::Bool(false)), ("error", error)])
+}
+
+/// Render a protocol-level (parse/validation) error.
+#[must_use]
+pub fn bad_request_response(msg: &str) -> Value {
+    Value::object(vec![
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            Value::object(vec![
+                ("kind", Value::Str("bad_request".into())),
+                ("message", Value::Str(msg.to_string())),
+            ]),
+        ),
+    ])
+}
+
+/// Execute one parsed op against the planner and render the response.
+/// Returns `(response, shutdown_requested)`.
+pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
+    match op {
+        WireOp::Ping => (
+            Value::object(vec![("ok", Value::Bool(true)), ("pong", Value::Bool(true))]),
+            false,
+        ),
+        WireOp::Stats => (
+            Value::object(vec![("ok", Value::Bool(true)), ("stats", planner.stats())]),
+            false,
+        ),
+        WireOp::Invalidate => {
+            let n = planner.invalidate_cache();
+            (
+                Value::object(vec![
+                    ("ok", Value::Bool(true)),
+                    ("invalidated", Value::UInt(n as u64)),
+                ]),
+                false,
+            )
+        }
+        WireOp::Shutdown => (
+            Value::object(vec![("ok", Value::Bool(true)), ("bye", Value::Bool(true))]),
+            true,
+        ),
+        WireOp::Plan(req) => {
+            let resp = match planner.plan(req) {
+                Ok(reply) => plan_response(&reply),
+                Err(e) => error_response(&e),
+            };
+            (resp, false)
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, planner: &Planner, shutdown: &AtomicBool) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = match parse_request(&line) {
+            Ok(op) => handle(planner, &op),
+            Err(msg) => (bad_request_response(&msg), false),
+        };
+        if writeln!(writer, "{}", response.to_json()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Run the daemon accept loop until a client sends `shutdown`. The
+/// listener is switched to non-blocking so the loop can observe the
+/// shutdown flag promptly; each connection is served on its own
+/// thread.
+pub fn serve(listener: TcpListener, planner: Arc<Planner>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let planner = Arc::clone(&planner);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || handle_connection(stream, &planner, &shutdown));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_control_ops() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#),
+            Ok(WireOp::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(WireOp::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"invalidate"}"#),
+            Ok(WireOp::Invalidate)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(WireOp::Shutdown)
+        ));
+        assert!(parse_request(r#"{"op":"dance"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"noop":1}"#).is_err());
+    }
+
+    #[test]
+    fn parses_a_full_plan_request() {
+        let op = parse_request(
+            r#"{"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC",
+               "prefetch":true,"search":{"evals":32,"seed":9,"retries":2,
+               "total_evals":100,"stall":40,"target_ns":1.5}}"#,
+        )
+        .unwrap();
+        let WireOp::Plan(req) = op else {
+            panic!("expected plan")
+        };
+        assert_eq!(req.bench.name(), "Jacobi");
+        assert_eq!(req.spec.name, "DC");
+        assert!(req.prefetch);
+        assert_eq!(req.search.max_evals_per_strategy, 32);
+        assert_eq!(req.search.seed, 9);
+        assert_eq!(req.search.eval_retries, 2);
+        assert_eq!(req.search.max_total_evals, 100);
+        assert_eq!(req.search.stall_evals, 40);
+        assert_eq!(req.search.target_ns, 1.5);
+    }
+
+    #[test]
+    fn plan_defaults_and_validation_errors() {
+        let op = parse_request(r#"{"op":"plan","app":{"name":"cg"},"arch":"HOM4"}"#).unwrap();
+        let WireOp::Plan(req) = op else { panic!() };
+        assert_eq!(req.bench.name(), "CG");
+        assert_eq!(req.spec.len(), 4);
+        assert!(!req.prefetch);
+
+        let err = parse_request(r#"{"op":"plan","app":{"name":"nope"},"arch":"DC"}"#).unwrap_err();
+        assert!(err.contains("unknown app"), "{err}");
+        let err = parse_request(r#"{"op":"plan","app":{"name":"cg"},"arch":"XX"}"#).unwrap_err();
+        assert!(err.contains("unknown arch"), "{err}");
+        let err = parse_request(r#"{"op":"plan","arch":"DC"}"#).unwrap_err();
+        assert!(err.contains("app"), "{err}");
+    }
+
+    #[test]
+    fn shed_error_renders_structured_retry_after() {
+        let v = error_response(&PlanError::Overloaded { retry_after_ms: 50 });
+        let json = v.to_json();
+        let back = from_str(&json).unwrap();
+        assert_eq!(back.get("ok"), Some(&Value::Bool(false)));
+        let error = back.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(error.get("retry_after_ms").unwrap().as_u64(), Some(50));
+    }
+}

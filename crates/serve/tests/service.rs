@@ -1,0 +1,268 @@
+//! End-to-end service behavior: coalescing, cache identity, admission
+//! control, and the TCP wire protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+
+use mheta_obs::json::{from_str, Value};
+use mheta_serve::{
+    benchmark_by_name, wire, PlanError, PlanRequest, Planner, PlannerConfig, SearchParams,
+};
+use mheta_sim::presets;
+
+fn small_request(seed: u64) -> PlanRequest {
+    PlanRequest {
+        bench: benchmark_by_name("jacobi", "small").unwrap(),
+        prefetch: false,
+        spec: presets::dc(),
+        search: SearchParams {
+            seed,
+            max_evals_per_strategy: 24,
+            ..SearchParams::default()
+        },
+    }
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_to_one_search() {
+    let planner = Arc::new(Planner::new(PlannerConfig {
+        workers: 2,
+        ..PlannerConfig::default()
+    }));
+    // A heavier budget so the search is still in flight when the
+    // followers arrive.
+    let req = PlanRequest {
+        search: SearchParams {
+            max_evals_per_strategy: 400,
+            ..small_request(11).search
+        },
+        ..small_request(11)
+    };
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let replies: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let planner = Arc::clone(&planner);
+                let barrier = Arc::clone(&barrier);
+                let req = req.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    planner.plan(&req).expect("plan succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // However the threads interleaved, the searches counter proves at
+    // most one search ran (a late arrival may hit the cache instead of
+    // the flight — still zero extra searches).
+    assert_eq!(planner.metrics().searches(), 1, "exactly one search");
+    assert_eq!(planner.metrics().requests(), clients as u64);
+    let first = &replies[0].plan;
+    for r in &replies {
+        assert_eq!(&r.plan, first, "all clients share the one result");
+    }
+}
+
+#[test]
+fn cache_hit_is_bitwise_identical_to_a_fresh_search() {
+    let planner = Planner::new(PlannerConfig::default());
+    let req = small_request(42);
+
+    let fresh = planner.plan(&req).unwrap();
+    assert_eq!(fresh.source.name(), "fresh");
+    let cached = planner.plan(&req).unwrap();
+    assert_eq!(cached.source.name(), "cache");
+    assert_eq!(planner.metrics().cache_hits(), 1);
+
+    // Bitwise identity of the cached reply against the fresh one…
+    assert_eq!(cached.plan.rows, fresh.plan.rows);
+    assert_eq!(
+        cached.plan.predicted_ns.to_bits(),
+        fresh.plan.predicted_ns.to_bits()
+    );
+    assert_eq!(cached.key, fresh.key);
+
+    // …and against an independent cache-off planner at the same seed:
+    // the cache returns exactly what a fresh search would compute.
+    let cold = Planner::new(PlannerConfig {
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    });
+    let recomputed = cold.plan(&req).unwrap();
+    assert_eq!(recomputed.source.name(), "fresh");
+    assert_eq!(recomputed.plan.rows, cached.plan.rows);
+    assert_eq!(
+        recomputed.plan.predicted_ns.to_bits(),
+        cached.plan.predicted_ns.to_bits()
+    );
+}
+
+#[test]
+fn invalidation_forces_a_fresh_search() {
+    let planner = Planner::new(PlannerConfig::default());
+    let req = small_request(7);
+    let a = planner.plan(&req).unwrap();
+    assert_eq!(planner.invalidate_cache(), 1);
+    let b = planner.plan(&req).unwrap();
+    assert_eq!(b.source.name(), "fresh", "invalidation emptied the cache");
+    assert_eq!(planner.metrics().searches(), 2);
+    assert_eq!(a.plan, b.plan, "same request, same plan");
+}
+
+#[test]
+fn queue_full_requests_get_structured_shed_errors_not_hangs() {
+    // Zero-capacity queue: every admission sheds, deterministically.
+    let planner = Planner::new(PlannerConfig {
+        workers: 1,
+        queue_capacity: 0,
+        cache_enabled: false,
+        coalesce_enabled: false,
+        retry_after_ms: 75,
+        ..PlannerConfig::default()
+    });
+    let req = small_request(3);
+    let err = planner.plan(&req).unwrap_err();
+    assert_eq!(err, PlanError::Overloaded { retry_after_ms: 75 });
+    assert_eq!(planner.metrics().shed(), 1);
+    assert_eq!(planner.metrics().searches(), 0);
+
+    // Under real contention (queue 1, one worker) a burst must split
+    // into served and shed — and every call must return.
+    let planner = Arc::new(Planner::new(PlannerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    }));
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let planner = Arc::clone(&planner);
+                // Distinct seeds so coalescing could not mask queueing
+                // even if it were enabled.
+                s.spawn(move || planner.plan(&small_request(100 + i)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let served = outcomes.iter().filter(|o| o.is_ok()).count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(PlanError::Overloaded { .. })))
+        .count();
+    assert_eq!(served + shed, 6, "every request returned");
+    assert!(served >= 1, "the admitted request completes");
+    assert_eq!(planner.metrics().shed(), shed as u64);
+}
+
+#[test]
+fn shed_followers_of_a_shed_leader_are_not_stranded() {
+    // Coalescing on, zero-capacity queue: the leader sheds and must
+    // shed its followers too rather than leaving them waiting.
+    let planner = Arc::new(Planner::new(PlannerConfig {
+        workers: 1,
+        queue_capacity: 0,
+        cache_enabled: false,
+        coalesce_enabled: true,
+        ..PlannerConfig::default()
+    }));
+    let req = small_request(5);
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let planner = Arc::clone(&planner);
+                let req = req.clone();
+                s.spawn(move || planner.plan(&req))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for o in &outcomes {
+        assert!(
+            matches!(o, Err(PlanError::Overloaded { .. })),
+            "all requests shed, none hang: {o:?}"
+        );
+    }
+}
+
+#[test]
+fn wire_round_trip_plan_cache_stats_and_shutdown() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let planner = Arc::new(Planner::new(PlannerConfig::default()));
+    let server = std::thread::spawn(move || wire::serve(listener, planner));
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut round_trip = |req: &str| -> Value {
+        writeln!(writer, "{req}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        from_str(line.trim_end()).expect("daemon speaks JSON")
+    };
+
+    let pong = round_trip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok"), Some(&Value::Bool(true)));
+
+    let plan_line = r#"{"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC","search":{"evals":24,"seed":9}}"#;
+    let first = round_trip(plan_line);
+    assert_eq!(first.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(first.get("source").unwrap().as_str(), Some("fresh"));
+    let rows = first.get("plan").unwrap().get("rows").unwrap();
+    assert!(!rows.as_array().unwrap().is_empty());
+
+    let second = round_trip(plan_line);
+    assert_eq!(second.get("source").unwrap().as_str(), Some("cache"));
+    assert_eq!(
+        second.get("plan").unwrap().to_json(),
+        first.get("plan").unwrap().to_json(),
+        "cached reply is byte-identical"
+    );
+
+    let stats = round_trip(r#"{"op":"stats"}"#);
+    let service = stats.get("stats").unwrap().get("service").unwrap();
+    let counters = service.get("counters").unwrap();
+    assert_eq!(counters.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(counters.get("searches").unwrap().as_u64(), Some(1));
+
+    let bad = round_trip(r#"{"op":"plan","app":{"name":"zzz"},"arch":"DC"}"#);
+    assert_eq!(bad.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(
+        bad.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("bad_request")
+    );
+
+    let inval = round_trip(r#"{"op":"invalidate"}"#);
+    assert_eq!(inval.get("invalidated").unwrap().as_u64(), Some(1));
+
+    let bye = round_trip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok"), Some(&Value::Bool(true)));
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn perfetto_request_track_covers_the_lifecycle() {
+    let planner = Planner::new(PlannerConfig::default());
+    let req = small_request(13);
+    planner.plan(&req).unwrap();
+    planner.plan(&req).unwrap();
+    let json = planner.metrics().perfetto_json();
+    let v = from_str(&json).unwrap();
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+    let slices: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        .collect();
+    // One fresh request (with a search slice) plus one cache hit.
+    assert_eq!(slices.len(), 3);
+    assert!(json.contains("\"fresh\""));
+    assert!(json.contains("\"cache\""));
+}

@@ -1,0 +1,80 @@
+//! Use the planning service in process: cache hits, single-flight
+//! coalescing, and admission control around the portfolio search.
+//!
+//! ```text
+//! cargo run --release --example plan_service
+//! ```
+
+use std::sync::{Arc, Barrier};
+
+use mheta::prelude::*;
+use mheta::serve::PlanError;
+
+fn main() {
+    let planner = Arc::new(Planner::new(PlannerConfig::default()));
+    let req = PlanRequest {
+        bench: Benchmark::Jacobi(Jacobi::small()),
+        prefetch: false,
+        spec: presets::dc(),
+        search: SearchParams {
+            max_evals_per_strategy: 64,
+            ..SearchParams::default()
+        },
+    };
+
+    // First request: a fresh portfolio search.
+    let fresh = planner.plan(&req).expect("plan");
+    println!(
+        "fresh:     {:>9} rows={:?} predicted={:.3}ms winner={} ({} evals)",
+        fresh.source.name(),
+        fresh.plan.rows,
+        fresh.plan.predicted_ns / 1e6,
+        fresh.plan.winner.name(),
+        fresh.plan.total_evals,
+    );
+
+    // Same request again: served from the plan cache, bit-identical.
+    let cached = planner.plan(&req).expect("plan");
+    assert_eq!(cached.plan, fresh.plan);
+    println!(
+        "repeat:    {:>9} (bitwise-identical to the fresh search)",
+        cached.source.name()
+    );
+
+    // A concurrent burst of one *new* request coalesces onto one search.
+    planner.invalidate_cache();
+    let burst = 6;
+    let barrier = Arc::new(Barrier::new(burst));
+    let searches_before = planner.metrics().searches();
+    std::thread::scope(|s| {
+        for _ in 0..burst {
+            let planner = Arc::clone(&planner);
+            let barrier = Arc::clone(&barrier);
+            let req = req.clone();
+            s.spawn(move || {
+                barrier.wait();
+                planner.plan(&req).expect("plan");
+            });
+        }
+    });
+    println!(
+        "burst:     {burst} concurrent identical requests -> {} search(es)",
+        planner.metrics().searches() - searches_before
+    );
+
+    // Overload: a zero-capacity queue sheds with a structured error.
+    let overloaded = Planner::new(PlannerConfig {
+        queue_capacity: 0,
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    });
+    match overloaded.plan(&req) {
+        Err(PlanError::Overloaded { retry_after_ms }) => {
+            println!("overload:  shed with retry_after_ms={retry_after_ms}");
+        }
+        other => panic!("expected a shed, got {other:?}"),
+    }
+
+    println!("\nservice stats:\n{}", planner.stats().to_json_pretty());
+}

@@ -12,6 +12,7 @@
 //! | [`dist`] | `GEN_BLOCK` distributions, the Figure 8 spectrum, four search algorithms |
 //! | [`apps`] | Jacobi, CG, RNA (pipelined), Lanczos, Multigrid benchmarks with real numerics |
 //! | [`obs`] | observability: metrics, Perfetto trace export, critical-path analysis, search telemetry |
+//! | [`serve`] | the planning service: portfolio search, plan cache, admission control, `pland`/`planctl` |
 //!
 //! This facade crate re-exports all of them and is what the examples
 //! and integration tests build against.
@@ -52,6 +53,7 @@ pub use mheta_core as core;
 pub use mheta_dist as dist;
 pub use mheta_mpi as mpi;
 pub use mheta_obs as obs;
+pub use mheta_serve as serve;
 pub use mheta_sim as sim;
 
 /// Everything a typical user needs in scope.
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use mheta_core::{Mheta, Prediction, ProgramStructure};
     pub use mheta_dist::{AnchorInputs, GenBlock, SpectrumPath};
     pub use mheta_obs::{CriticalPath, Metrics};
+    pub use mheta_serve::{PlanRequest, Planner, PlannerConfig, SearchParams};
     pub use mheta_sim::{
         presets, ClusterSpec, CrashSpec, FaultSpec, NodeSpec, RecoveryKind, RecoverySpan, SimDur,
         SimTime,
