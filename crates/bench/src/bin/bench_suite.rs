@@ -346,7 +346,10 @@ fn adaptive_entry(smoke: bool, fault_free: &[ClusterSpec]) -> Value {
 /// 3. **Admission control** — a zero-capacity queue must shed with a
 ///    structured retry-after error, never hang;
 /// 4. **Portfolio** — portfolio search must never be worse than the
-///    best single strategy at the same per-strategy budget.
+///    best single strategy at the same per-strategy budget;
+/// 5. **Telemetry overhead** — the always-on telemetry (flight
+///    recorder + trace spans) must cost under 5% of warm closed-loop
+///    throughput against a recorder-off planner (best-of-3 per side).
 fn serving_entry(smoke: bool) -> Value {
     let mix: Vec<PlanRequest> = [
         ("jacobi", presets::dc()),
@@ -450,6 +453,58 @@ fn serving_entry(smoke: bool) -> Value {
         }
     }
 
+    // Telemetry overhead: steady-state serving throughput with the
+    // flight recorder on (default) vs off. Both planners are primed
+    // first so the measured loops are pure cache hits — the serving
+    // fast path, where per-request telemetry cost is visible and the
+    // multi-millisecond searches can't drown the signal in noise.
+    // The on/off windows are *interleaved* (on, off, on, off, …) and
+    // each side takes its best window, so machine drift (frequency
+    // scaling, background load) hits both sides symmetrically instead
+    // of biasing whichever side ran second.
+    let telemetry_per_client = per_client * 16;
+    let primed = |cfg: PlannerConfig| -> Planner {
+        let planner = Planner::new(cfg);
+        for req in &mix {
+            planner.plan(req).expect("prime the cache");
+        }
+        planner
+    };
+    let window = |planner: &Planner| -> f64 {
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let mix = &mix;
+                s.spawn(move || {
+                    for i in 0..telemetry_per_client {
+                        planner.plan(&mix[(c + i) % mix.len()]).expect("cache hit");
+                    }
+                });
+            }
+        });
+        (clients * telemetry_per_client) as f64 / start.elapsed().as_secs_f64()
+    };
+    let recorder_on = primed(PlannerConfig::default());
+    let recorder_off = primed(PlannerConfig {
+        recorder_capacity: 0,
+        ..PlannerConfig::default()
+    });
+    let mut telemetry_on_rps = 0.0f64;
+    let mut telemetry_off_rps = 0.0f64;
+    for _ in 0..5 {
+        telemetry_on_rps = telemetry_on_rps.max(window(&recorder_on));
+        telemetry_off_rps = telemetry_off_rps.max(window(&recorder_off));
+    }
+    let telemetry_overhead = ((telemetry_off_rps - telemetry_on_rps) / telemetry_off_rps).max(0.0);
+    if telemetry_overhead > 0.05 {
+        eprintln!(
+            "serving: telemetry overhead {:.1}% exceeds the 5% budget \
+             (recorder on {telemetry_on_rps:.0} rps, off {telemetry_off_rps:.0} rps)",
+            100.0 * telemetry_overhead
+        );
+        std::process::exit(1);
+    }
+
     // Portfolio vs the best single strategy on the real model, with
     // the portfolio's own derived per-strategy seeds.
     let bench = benchmark_by_name("jacobi", "small").expect("known app");
@@ -520,9 +575,10 @@ fn serving_entry(smoke: bool) -> Value {
     println!(
         "serving   {clients}x{per_client} closed-loop  warm {warm_rps:>8.0} rps  \
          cold {cold_rps:>7.0} rps  -> {speedup:.1}x, {:.0}% cache hits, \
-         portfolio {} beats singles",
+         portfolio {} beats singles, telemetry overhead {:.1}%",
         100.0 * hit_rate,
-        out.winner.name()
+        out.winner.name(),
+        100.0 * telemetry_overhead
     );
 
     let stages = warm
@@ -560,6 +616,15 @@ fn serving_entry(smoke: bool) -> Value {
         (
             "shed",
             Value::object(vec![("retry_after_ms", Value::UInt(shed_retry_ms))]),
+        ),
+        (
+            "telemetry",
+            Value::object(vec![
+                ("recorder_on_rps", Value::Float(telemetry_on_rps)),
+                ("recorder_off_rps", Value::Float(telemetry_off_rps)),
+                ("overhead_frac", Value::Float(telemetry_overhead)),
+                ("budget_frac", Value::Float(0.05)),
+            ]),
         ),
         (
             "portfolio",

@@ -96,6 +96,11 @@ pub struct StrategyRun {
     pub strategy: Strategy,
     /// Its full standalone outcome (possibly truncated by cancellation).
     pub outcome: SearchOutcome,
+    /// When this strategy's thread started, wall-clock ns after the
+    /// portfolio launched (observability only; not deterministic).
+    pub started_ns: u64,
+    /// How long the thread ran, wall-clock ns.
+    pub elapsed_ns: u64,
 }
 
 /// The combined result of a portfolio run.
@@ -193,10 +198,21 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
         }
     };
 
-    let outcomes: Vec<SearchOutcome> = thread::scope(|scope| {
+    // Wall-clock span of each strategy thread, for the serving layer's
+    // trace export. Purely observational: nothing downstream of the
+    // outcome depends on these.
+    let t0 = std::time::Instant::now();
+    let outcomes: Vec<(SearchOutcome, u64, u64)> = thread::scope(|scope| {
         let handles: Vec<_> = Strategy::ALL
             .iter()
-            .map(|&s| scope.spawn(move || run(s)))
+            .map(|&s| {
+                scope.spawn(move || {
+                    let started_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let out = run(s);
+                    let ended_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    (out, started_ns, ended_ns.saturating_sub(started_ns))
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -207,7 +223,14 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
     let runs: Vec<StrategyRun> = Strategy::ALL
         .iter()
         .zip(outcomes)
-        .map(|(&strategy, outcome)| StrategyRun { strategy, outcome })
+        .map(
+            |(&strategy, (outcome, started_ns, elapsed_ns))| StrategyRun {
+                strategy,
+                outcome,
+                started_ns,
+                elapsed_ns,
+            },
+        )
         .collect();
 
     // Strict `<` keeps the earliest strategy on ties, so the winner is

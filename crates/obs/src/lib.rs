@@ -21,7 +21,16 @@
 //!   attributes the residual to individual model terms (the terms
 //!   partition the residual exactly), including wholesale attribution
 //!   of checkpoint / rollback / redistribution / reprediction time for
-//!   fault-tolerant runs.
+//!   fault-tolerant runs;
+//! * [`trace`] — end-to-end request tracing: [`TraceContext`] minting
+//!   and hex wire rendering, threaded by the serving layer from
+//!   `planctl` through every planner stage;
+//! * [`prometheus`] — Prometheus text-format exposition over
+//!   [`Metrics`] and [`ServiceMetrics`] snapshots, with `le`-bucketed
+//!   histograms derived from the log₂ registries;
+//! * [`recorder`] — the always-on [`FlightRecorder`]: a fixed-capacity
+//!   mutex-striped ring of recent structured events with exact
+//!   retention/drop accounting, dumped as JSON on panic or on demand.
 //!
 //! Everything here is read-only over the run artifacts and emits
 //! byte-deterministic output for a fixed seed, so exports can be
@@ -34,8 +43,11 @@ pub mod critical_path;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod prometheus;
+pub mod recorder;
 pub mod service;
 pub mod telemetry;
+pub mod trace;
 
 pub use audit::{AuditReport, RankAudit, TermLine, TERM_COUNT, TERM_NAMES};
 pub use critical_path::{CriticalPath, PathSegment, SegmentKind};
@@ -44,5 +56,8 @@ pub use perfetto::{
     perfetto_json, perfetto_json_adaptive, perfetto_json_with_recovery, perfetto_trace,
     perfetto_trace_adaptive, perfetto_trace_with_recovery,
 };
-pub use service::{RequestSource, RequestSpan, ServiceMetrics};
+pub use prometheus::{metrics_text, service_text, PromText};
+pub use recorder::{FlightRecorder, RecordedEvent};
+pub use service::{RequestSource, RequestSpan, ServiceMetrics, StrategySpan};
 pub use telemetry::{convergence_csv, latency_value, search_value, searches_json, searches_value};
+pub use trace::TraceContext;

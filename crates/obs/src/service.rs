@@ -49,6 +49,18 @@ impl RequestSource {
     }
 }
 
+/// One strategy thread's contribution to a request's search stage, on
+/// the owning [`ServiceMetrics`] clock.
+#[derive(Debug, Clone)]
+pub struct StrategySpan {
+    /// Strategy name (`"gbs"`, `"genetic"`, `"annealing"`, `"random"`).
+    pub name: &'static str,
+    /// When the strategy thread started, ns since metrics creation.
+    pub start_ns: u64,
+    /// How long it ran.
+    pub dur_ns: u64,
+}
+
 /// One finished request's lifecycle timings, on the wall clock of the
 /// owning [`ServiceMetrics`] (offsets from its creation; see
 /// [`ServiceMetrics::now_ns`]).
@@ -58,6 +70,17 @@ pub struct RequestSpan {
     pub label: String,
     /// How the request was answered.
     pub source: RequestSource,
+    /// The request's trace (0 when tracing was disabled).
+    pub trace_id: u64,
+    /// This request's span within the trace.
+    pub span_id: u64,
+    /// The span this one nests under (0 for a root span, i.e. a
+    /// request whose trace was minted by the client or daemon itself).
+    pub parent_span_id: u64,
+    /// For coalesced followers (and followers of a shed leader): the
+    /// *leader's* trace this request piggybacked on (0 = none). The
+    /// Perfetto export renders this as a flow arrow.
+    pub link_trace_id: u64,
     /// When the request arrived, ns since metrics creation.
     pub start_ns: u64,
     /// Time from arrival to leaving the queue (admission + queueing).
@@ -66,6 +89,37 @@ pub struct RequestSpan {
     pub search_ns: u64,
     /// Total time from arrival to response.
     pub total_ns: u64,
+    /// Per-strategy sub-spans of the search stage (fresh requests
+    /// only; empty otherwise).
+    pub strategies: Vec<StrategySpan>,
+}
+
+impl RequestSpan {
+    /// An untraced span with the given lifecycle timings — trace
+    /// identity zeroed, no strategy sub-spans.
+    #[must_use]
+    pub fn untraced(
+        label: String,
+        source: RequestSource,
+        start_ns: u64,
+        queued_ns: u64,
+        search_ns: u64,
+        total_ns: u64,
+    ) -> Self {
+        RequestSpan {
+            label,
+            source,
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
+            link_trace_id: 0,
+            start_ns,
+            queued_ns,
+            search_ns,
+            total_ns,
+            strategies: Vec::new(),
+        }
+    }
 }
 
 /// At most this many spans are retained for trace export; older
@@ -216,6 +270,25 @@ impl ServiceMetrics {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Spans dropped from the bounded trace ring (requests past the
+    /// first [`SPAN_CAP`] keep counting, but lose their span).
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Clones of the three stage histograms, labeled — the Prometheus
+    /// renderer's view (`queued` / `search` / `total`).
+    #[must_use]
+    pub fn stage_histograms(&self) -> [(&'static str, LatencyHistogram); 3] {
+        let stages = self.stages.lock().expect("stage lock poisoned");
+        [
+            ("queued", stages.queued.clone()),
+            ("search", stages.search.clone()),
+            ("total", stages.total.clone()),
+        ]
+    }
+
     /// Counters plus per-stage latency digests as a JSON value.
     #[must_use]
     pub fn snapshot(&self) -> Value {
@@ -238,6 +311,7 @@ impl ServiceMetrics {
                         "cache_invalidations",
                         Value::UInt(self.cache_invalidations.load(Ordering::Relaxed)),
                     ),
+                    ("spans_dropped", Value::UInt(self.spans_dropped())),
                 ]),
             ),
             (
@@ -281,12 +355,47 @@ impl ServiceMetrics {
             ));
             Value::object(pairs)
         }
+        fn flow_event(ph: &str, id: u64, at_ns: u64) -> Value {
+            Value::object(vec![
+                ("name", Value::Str("coalesce".into())),
+                ("cat", Value::Str("serve".into())),
+                ("ph", Value::Str(ph.to_string())),
+                ("id", Value::UInt(id)),
+                ("ts", Value::Float(at_ns as f64 / 1000.0)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                ("bp", Value::Str("e".into())),
+            ])
+        }
         let mut events = vec![
             meta("process_name", None, "mheta-serve"),
             meta("thread_name", Some(0), "requests"),
             meta("thread_name", Some(1), "search"),
         ];
-        for span in self.spans.lock().expect("span lock poisoned").iter() {
+        let spans = self.spans.lock().expect("span lock poisoned");
+        // Traces that some follower links to get a flow arrow from the
+        // leader's slice to each follower's.
+        let linked: std::collections::BTreeSet<u64> = spans
+            .iter()
+            .filter(|s| s.link_trace_id != 0)
+            .map(|s| s.link_trace_id)
+            .collect();
+        for span in spans.iter() {
+            let mut args = vec![
+                ("source", Value::Str(span.source.name().to_string())),
+                ("queued_us", us(span.queued_ns)),
+                ("search_us", us(span.search_ns)),
+            ];
+            if span.trace_id != 0 {
+                args.push(("trace_id", Value::Str(crate::trace::id_hex(span.trace_id))));
+                args.push(("span_id", Value::Str(crate::trace::id_hex(span.span_id))));
+            }
+            if span.link_trace_id != 0 {
+                args.push((
+                    "links_to_trace",
+                    Value::Str(crate::trace::id_hex(span.link_trace_id)),
+                ));
+            }
             events.push(Value::object(vec![
                 ("name", Value::Str(span.label.clone())),
                 ("cat", Value::Str("serve".into())),
@@ -295,16 +404,22 @@ impl ServiceMetrics {
                 ("dur", us(span.total_ns)),
                 ("pid", Value::UInt(0)),
                 ("tid", Value::UInt(0)),
-                (
-                    "args",
-                    Value::object(vec![
-                        ("source", Value::Str(span.source.name().to_string())),
-                        ("queued_us", us(span.queued_ns)),
-                        ("search_us", us(span.search_ns)),
-                    ]),
-                ),
+                ("args", Value::object(args)),
             ]));
+            // Flow arrows bind leader and followers of one coalition:
+            // a flow starts at the leader's slice (id = its trace) and
+            // finishes at every follower slice that links to it.
+            if span.trace_id != 0 && linked.contains(&span.trace_id) {
+                events.push(flow_event("s", span.trace_id, span.start_ns));
+            }
+            if span.link_trace_id != 0 {
+                events.push(flow_event("f", span.link_trace_id, span.start_ns));
+            }
             if span.search_ns > 0 {
+                let mut args = Vec::new();
+                if span.trace_id != 0 {
+                    args.push(("trace_id", Value::Str(crate::trace::id_hex(span.trace_id))));
+                }
                 events.push(Value::object(vec![
                     ("name", Value::Str(span.label.clone())),
                     ("cat", Value::Str("serve".into())),
@@ -313,10 +428,27 @@ impl ServiceMetrics {
                     ("dur", us(span.search_ns)),
                     ("pid", Value::UInt(0)),
                     ("tid", Value::UInt(1)),
-                    ("args", Value::object(vec![])),
+                    ("args", Value::object(args)),
+                ]));
+            }
+            for strat in &span.strategies {
+                let mut args = vec![("strategy", Value::Str(strat.name.to_string()))];
+                if span.trace_id != 0 {
+                    args.push(("trace_id", Value::Str(crate::trace::id_hex(span.trace_id))));
+                }
+                events.push(Value::object(vec![
+                    ("name", Value::Str(format!("{}:{}", span.label, strat.name))),
+                    ("cat", Value::Str("serve.search".into())),
+                    ("ph", Value::Str("X".into())),
+                    ("ts", us(strat.start_ns)),
+                    ("dur", us(strat.dur_ns)),
+                    ("pid", Value::UInt(0)),
+                    ("tid", Value::UInt(1)),
+                    ("args", Value::object(args)),
                 ]));
             }
         }
+        drop(spans);
         Value::object(vec![
             ("traceEvents", Value::Array(events)),
             ("displayTimeUnit", Value::Str("ms".into())),
@@ -330,14 +462,14 @@ mod tests {
     use super::*;
 
     fn span(source: RequestSource, start: u64, queued: u64, search: u64) -> RequestSpan {
-        RequestSpan {
-            label: "jacobi/small@DC".into(),
+        RequestSpan::untraced(
+            "jacobi/small@DC".into(),
             source,
-            start_ns: start,
-            queued_ns: queued,
-            search_ns: search,
-            total_ns: queued + search,
-        }
+            start,
+            queued,
+            search,
+            queued + search,
+        )
     }
 
     #[test]
@@ -375,6 +507,43 @@ mod tests {
         );
         let counters = snap.get("counters").unwrap();
         assert_eq!(counters.get("cache_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn perfetto_links_followers_and_nests_strategy_spans() {
+        let m = ServiceMetrics::new();
+        let mut leader = span(RequestSource::Fresh, 0, 10, 90);
+        leader.trace_id = 0xAA;
+        leader.span_id = 1;
+        leader.strategies = vec![StrategySpan {
+            name: "gbs",
+            start_ns: 10,
+            dur_ns: 80,
+        }];
+        let mut follower = span(RequestSource::Coalesced, 5, 95, 0);
+        follower.trace_id = 0xBB;
+        follower.span_id = 2;
+        follower.link_trace_id = 0xAA;
+        m.record_request(leader);
+        m.record_request(follower);
+        let json = m.perfetto_json();
+        let v = crate::json::from_str(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let phs = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").unwrap().as_str() == Some(ph))
+                .count()
+        };
+        assert_eq!(phs("s"), 1, "one flow start at the leader");
+        assert_eq!(phs("f"), 1, "one flow finish at the follower");
+        assert!(json.contains("\"links_to_trace\""));
+        assert!(
+            json.contains("\"jacobi/small@DC:gbs\""),
+            "strategy sub-slice present"
+        );
+        assert!(json.contains(&crate::trace::id_hex(0xAA)));
+        assert!(json.contains(&crate::trace::id_hex(0xBB)));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! End-to-end request tracing: trace-context minting and propagation.
+//!
+//! A [`TraceContext`] is the causal identity a planning request carries
+//! across every layer of the serving stack: `planctl` mints one, the
+//! JSON-lines wire protocol carries it, `pland` threads it through the
+//! planner's cache / single-flight / executor / portfolio stages, and
+//! every structured span and flight-recorder event stamps it. One
+//! `trace_id` therefore names one end-to-end request, however many
+//! threads and stages served it — coalesced followers keep their own
+//! `trace_id` but *link* to the leader's, so the whole coalition is
+//! still navigable from any member.
+//!
+//! IDs are 64-bit, rendered as fixed-width lowercase hex on the wire
+//! (`"89ab01cd23ef4567"`). Zero is reserved as "absent": minting never
+//! produces it, and parsing rejects it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The causal identity of one in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the whole end-to-end request (stable across stages).
+    pub trace_id: u64,
+    /// Identifies this stage's span within the trace.
+    pub span_id: u64,
+    /// The span this one is nested under (0 for a root span).
+    pub parent_span_id: u64,
+}
+
+/// Process-wide counter feeding the ID mixer, so two mints in the same
+/// nanosecond still diverge.
+static MINT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mint a fresh nonzero 64-bit ID from wall-clock entropy, the process
+/// ID, and a process-wide counter.
+#[must_use]
+pub fn mint_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0))
+        .unwrap_or(0);
+    let n = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut id = mix(nanos ^ n.rotate_left(32) ^ (u64::from(std::process::id()) << 17));
+    // Zero means "absent" everywhere; re-mix until nonzero (one extra
+    // round is already astronomically unlikely).
+    while id == 0 {
+        id = mix(MINT_COUNTER.fetch_add(1, Ordering::Relaxed) ^ 0x5bf0_3635);
+    }
+    id
+}
+
+impl TraceContext {
+    /// Mint a root context: a fresh trace with one root span.
+    #[must_use]
+    pub fn root() -> Self {
+        TraceContext {
+            trace_id: mint_id(),
+            span_id: mint_id(),
+            parent_span_id: 0,
+        }
+    }
+
+    /// A child span within the same trace, parented to this span.
+    #[must_use]
+    pub fn child(&self) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: mint_id(),
+            parent_span_id: self.span_id,
+        }
+    }
+
+    /// Rebuild a context from wire IDs (a remote parent): the given
+    /// trace and span become this process's parent.
+    #[must_use]
+    pub fn from_wire(trace_id: u64, span_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            span_id,
+            parent_span_id: 0,
+        }
+    }
+
+    /// The trace ID as fixed-width lowercase hex (the wire rendering).
+    #[must_use]
+    pub fn trace_hex(&self) -> String {
+        id_hex(self.trace_id)
+    }
+
+    /// The span ID as fixed-width lowercase hex.
+    #[must_use]
+    pub fn span_hex(&self) -> String {
+        id_hex(self.span_id)
+    }
+}
+
+impl fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.trace_hex(), self.span_hex())
+    }
+}
+
+/// Render one ID as fixed-width (16-digit) lowercase hex.
+#[must_use]
+pub fn id_hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse a wire-format hex ID. Rejects empty strings, over-long
+/// strings, non-hex characters, and the reserved zero ID.
+pub fn parse_id(hex: &str) -> Result<u64, String> {
+    if hex.is_empty() || hex.len() > 16 {
+        return Err(format!("trace id `{hex}`: want 1-16 hex digits"));
+    }
+    let id =
+        u64::from_str_radix(hex, 16).map_err(|_| format!("trace id `{hex}`: not hexadecimal"))?;
+    if id == 0 {
+        return Err("trace id `0` is reserved".to_string());
+    }
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let ids: HashSet<u64> = (0..1000).map(|_| mint_id()).collect();
+        assert_eq!(ids.len(), 1000, "1000 mints, 1000 distinct ids");
+        assert!(!ids.contains(&0));
+    }
+
+    #[test]
+    fn child_keeps_trace_and_parents_correctly() {
+        let root = TraceContext::root();
+        assert_eq!(root.parent_span_id, 0);
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_span_id, root.span_id);
+        assert_ne!(child.span_id, root.span_id);
+        let grandchild = child.child();
+        assert_eq!(grandchild.trace_id, root.trace_id);
+        assert_eq!(grandchild.parent_span_id, child.span_id);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let ctx = TraceContext::root();
+        assert_eq!(parse_id(&ctx.trace_hex()).unwrap(), ctx.trace_id);
+        assert_eq!(parse_id(&ctx.span_hex()).unwrap(), ctx.span_id);
+        assert_eq!(ctx.trace_hex().len(), 16);
+    }
+
+    #[test]
+    fn parse_rejects_bad_ids() {
+        assert!(parse_id("").is_err());
+        assert!(parse_id("0").is_err(), "zero is reserved");
+        assert!(parse_id("00000000000000000").is_err(), "17 digits");
+        assert!(parse_id("xyz").is_err());
+        assert_eq!(parse_id("ff").unwrap(), 255);
+        assert_eq!(parse_id("00000000000000ff").unwrap(), 255);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the flight recorder's retention contract.
+//!
+//! Whatever the capacity, stripe count, writer count, and
+//! interleaving, after all writers quiesce:
+//!
+//! * the ring retains **exactly** the most recent `capacity` events
+//!   (all of them, by sequence number — never an older event in place
+//!   of a newer one);
+//! * the drop counter satisfies `dropped == written - retained`
+//!   exactly (every displaced event is accounted, none double-counted).
+
+use std::sync::Arc;
+
+use mheta_obs::json::Value;
+use mheta_obs::FlightRecorder;
+use proptest::prelude::*;
+
+/// Write `per_writer` events from each of `writers` threads, then
+/// return the quiesced recorder.
+fn hammer(capacity: usize, stripes: usize, writers: usize, per_writer: usize) -> FlightRecorder {
+    let rec = Arc::new(FlightRecorder::new(capacity, stripes));
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..per_writer {
+                    rec.record_kv(
+                        None,
+                        "prop.event",
+                        vec![
+                            ("writer", Value::UInt(w as u64)),
+                            ("i", Value::UInt(i as u64)),
+                        ],
+                    );
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(rec).expect("writers joined")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ring_keeps_exactly_the_most_recent_capacity_events(
+        capacity in 1usize..64,
+        stripes in 1usize..9,
+        writers in 1usize..5,
+        per_writer in 1usize..40,
+    ) {
+        let rec = hammer(capacity, stripes, writers, per_writer);
+        let written = (writers * per_writer) as u64;
+        prop_assert_eq!(rec.written(), written);
+
+        // `new` may round capacity up so it divides evenly across
+        // stripes; the contract is stated against the actual capacity.
+        let capacity = rec.capacity() as u64;
+        let events = rec.snapshot();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+
+        // Exactly the last `capacity` sequence numbers, in order.
+        let expect: Vec<u64> = (written.saturating_sub(capacity)..written).collect();
+        prop_assert_eq!(seqs, expect);
+        prop_assert_eq!(rec.retained(), written.min(capacity));
+    }
+
+    #[test]
+    fn dropped_is_exactly_written_minus_retained(
+        capacity in 1usize..64,
+        stripes in 1usize..9,
+        writers in 1usize..5,
+        per_writer in 1usize..40,
+    ) {
+        let rec = hammer(capacity, stripes, writers, per_writer);
+        // Every displaced event is counted exactly once.
+        prop_assert_eq!(rec.dropped(), rec.written() - rec.retained());
+        // Cross-check against the dump document's own accounting.
+        let dump = rec.dump_value();
+        let field = |k: &str| dump.get(k).unwrap().as_u64().unwrap();
+        prop_assert_eq!(field("written"), rec.written());
+        prop_assert_eq!(field("dropped"), field("written") - field("retained"));
+        prop_assert_eq!(
+            dump.get("events").unwrap().as_array().unwrap().len() as u64,
+            field("retained")
+        );
+    }
+}

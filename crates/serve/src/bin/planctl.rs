@@ -3,32 +3,48 @@
 //! ```text
 //! planctl [--addr HOST:PORT] ping
 //! planctl [--addr HOST:PORT] plan --app jacobi [--size small] --arch DC
-//!         [--prefetch] [--evals N] [--seed N] [--retries N]
+//!         [--prefetch] [--evals N] [--seed N] [--retries N] [--no-trace]
 //! planctl [--addr HOST:PORT] stats
+//! planctl [--addr HOST:PORT] metrics
+//! planctl [--addr HOST:PORT] dump
 //! planctl [--addr HOST:PORT] invalidate
 //! planctl [--addr HOST:PORT] shutdown
 //! ```
 //!
 //! Sends one JSON-lines request and prints the daemon's one-line JSON
 //! response on stdout. Exits nonzero when the response has
-//! `"ok":false` (so shell scripts can gate on success).
+//! `"ok":false` (so shell scripts can gate on success). Any failure —
+//! unreachable daemon, malformed response — is a clear one-line error
+//! on stderr, never a panic.
+//!
+//! `plan` mints a client-side root trace and propagates it in the
+//! request's `trace` object; the trace ID is echoed on stderr so the
+//! caller can grep the daemon's span log and flight-recorder dump for
+//! the same request (`--no-trace` suppresses this and lets the daemon
+//! mint its own root).
+//!
+//! `metrics` prints the daemon's Prometheus text-format exposition
+//! verbatim (scrape-ready: pipe it to a file a node_exporter-style
+//! textfile collector picks up). `dump` pretty-prints the
+//! flight-recorder document (`mheta-flight/v1`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 
 use mheta_obs::json::{from_str, Value};
+use mheta_obs::TraceContext;
 
 fn usage() -> String {
-    "planctl [--addr HOST:PORT] <ping|stats|invalidate|shutdown|plan> \
+    "planctl [--addr HOST:PORT] <ping|stats|metrics|dump|invalidate|shutdown|plan> \
      [plan: --app NAME [--size small|default] --arch ARCH [--prefetch] \
-     [--evals N] [--seed N] [--retries N]]"
+     [--evals N] [--seed N] [--retries N] [--no-trace]]"
         .to_string()
 }
 
 fn build_request(cmd: &str, args: &mut impl Iterator<Item = String>) -> Result<Value, String> {
     match cmd {
-        "ping" | "stats" | "invalidate" | "shutdown" => {
+        "ping" | "stats" | "metrics" | "dump" | "invalidate" | "shutdown" => {
             Ok(Value::object(vec![("op", Value::Str(cmd.to_string()))]))
         }
         "plan" => {
@@ -36,6 +52,7 @@ fn build_request(cmd: &str, args: &mut impl Iterator<Item = String>) -> Result<V
             let mut size = "small".to_string();
             let mut arch = None;
             let mut prefetch = false;
+            let mut trace = true;
             let mut search: Vec<(&str, Value)> = Vec::new();
             while let Some(flag) = args.next() {
                 let mut value = |name: &str| {
@@ -47,6 +64,7 @@ fn build_request(cmd: &str, args: &mut impl Iterator<Item = String>) -> Result<V
                     "--size" => size = value("--size")?,
                     "--arch" => arch = Some(value("--arch")?),
                     "--prefetch" => prefetch = true,
+                    "--no-trace" => trace = false,
                     "--evals" => {
                         let n: u64 = value("--evals")?
                             .parse()
@@ -81,6 +99,17 @@ fn build_request(cmd: &str, args: &mut impl Iterator<Item = String>) -> Result<V
             ];
             if !search.is_empty() {
                 pairs.push(("search", Value::object(search)));
+            }
+            if trace {
+                let ctx = TraceContext::root();
+                eprintln!("planctl: trace_id {}", ctx.trace_hex());
+                pairs.push((
+                    "trace",
+                    Value::object(vec![
+                        ("trace_id", Value::Str(ctx.trace_hex())),
+                        ("span_id", Value::Str(ctx.span_hex())),
+                    ]),
+                ));
             }
             Ok(Value::object(pairs))
         }
@@ -141,13 +170,36 @@ fn main() -> ExitCode {
         eprintln!("planctl: daemon closed the connection without replying");
         return ExitCode::FAILURE;
     }
-    println!("{line}");
-    match from_str(line) {
-        Ok(v) if v.get("ok") == Some(&Value::Bool(true)) => ExitCode::SUCCESS,
-        Ok(_) => ExitCode::FAILURE,
+    let parsed = match from_str(line) {
+        Ok(v) => v,
         Err(e) => {
-            eprintln!("planctl: unparseable response: {e:?}");
-            ExitCode::FAILURE
+            eprintln!("planctl: malformed response from daemon: {e:?}");
+            return ExitCode::FAILURE;
         }
+    };
+    let ok = parsed.get("ok") == Some(&Value::Bool(true));
+    // `metrics` and `dump` print their payload in its native shape
+    // (scrape text / pretty JSON); everything else echoes the line.
+    match cmd.as_str() {
+        "metrics" if ok => match parsed.get("prometheus").and_then(Value::as_str) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("planctl: malformed response from daemon: missing `prometheus`");
+                return ExitCode::FAILURE;
+            }
+        },
+        "dump" if ok => match parsed.get("flight") {
+            Some(flight) => println!("{}", flight.to_json_pretty()),
+            None => {
+                eprintln!("planctl: malformed response from daemon: missing `flight`");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => println!("{line}"),
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

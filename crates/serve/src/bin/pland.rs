@@ -7,7 +7,12 @@
 //! ```text
 //! pland [--addr HOST:PORT] [--workers N] [--queue N]
 //!       [--cache-capacity N] [--no-cache] [--no-coalesce]
+//!       [--recorder-capacity N]
 //! ```
+//!
+//! The flight recorder is always on (`--recorder-capacity 0` disables
+//! it). On panic the daemon dumps the recorder's last events as JSON
+//! to stderr before dying, so a crash leaves a black box behind.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -45,12 +50,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache-capacity: {e}"))?;
             }
+            "--recorder-capacity" => {
+                args.cfg.recorder_capacity = value("--recorder-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--recorder-capacity: {e}"))?;
+            }
             "--no-cache" => args.cfg.cache_enabled = false,
             "--no-coalesce" => args.cfg.coalesce_enabled = false,
             "--help" | "-h" => {
                 println!(
                     "pland [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--cache-capacity N] [--no-cache] [--no-coalesce]"
+                     [--cache-capacity N] [--no-cache] [--no-coalesce] \
+                     [--recorder-capacity N]"
                 );
                 std::process::exit(0);
             }
@@ -82,6 +93,20 @@ fn main() -> ExitCode {
         Err(_) => println!("pland: listening on {}", args.addr),
     }
     let planner = Arc::new(Planner::new(args.cfg));
+
+    // Black box: any panic (accept loop or connection thread) dumps
+    // the flight recorder to stderr before the default hook prints the
+    // backtrace.
+    if let Some(recorder) = planner.recorder() {
+        let recorder = Arc::clone(recorder);
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            eprintln!("pland: panic — dumping flight recorder");
+            eprintln!("{}", recorder.dump_json());
+            default_hook(info);
+        }));
+    }
+
     match wire::serve(listener, planner) {
         Ok(()) => {
             println!("pland: shutdown");

@@ -79,6 +79,18 @@ impl Executor {
         Ok(())
     }
 
+    /// Jobs currently waiting in the queue (a point-in-time gauge —
+    /// used by shed logging and the Prometheus exposition).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("executor queue poisoned")
+            .jobs
+            .len()
+    }
+
     /// Jobs rejected by admission control so far.
     #[must_use]
     pub fn rejected(&self) -> u64 {

@@ -18,9 +18,12 @@
 //! * [`planner`] — the in-process front end wiring the above around
 //!   `mheta_dist::portfolio_search`, instrumented end to end with
 //!   `mheta_obs` service metrics (lifecycle counters, per-stage
-//!   latency histograms, and a Perfetto request track);
+//!   latency histograms, a Perfetto request track, trace-context
+//!   propagation, a Prometheus exposition, and an always-on flight
+//!   recorder);
 //! * [`wire`] — the JSON-lines-over-TCP protocol spoken by the
-//!   `pland` daemon and the `planctl` client binaries.
+//!   `pland` daemon and the `planctl` client binaries, carrying the
+//!   trace context end to end plus `metrics` / `dump` telemetry ops.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

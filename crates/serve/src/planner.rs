@@ -19,6 +19,19 @@
 //! can never hang — a shed or failed leader sheds/fails its followers
 //! too. Every path records a [`RequestSpan`] so the request track and
 //! stage histograms cover shed and failed requests as well.
+//!
+//! ## Telemetry
+//!
+//! Every request carries a [`TraceContext`] ([`Planner::plan`] mints a
+//! root; [`Planner::plan_traced`] accepts one propagated over the
+//! wire). The context is stamped on the request's [`RequestSpan`]
+//! (including per-strategy sub-spans from the portfolio threads), on
+//! every [`FlightRecorder`] event the request emits, and on the wire
+//! reply — so one `trace_id` connects the client call, the span track,
+//! the flight-recorder dump, and the Perfetto flame. Coalesced
+//! followers keep their own trace but **link** to the leader's
+//! (`RequestSpan::link_trace_id`), so a coalition is navigable from
+//! any member.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -28,7 +41,10 @@ use std::sync::Arc;
 use mheta_apps::{anchor_inputs, build_model};
 use mheta_dist::{portfolio_search, SpectrumPath, Strategy};
 use mheta_obs::json::Value;
-use mheta_obs::{RequestSource, RequestSpan, ServiceMetrics};
+use mheta_obs::trace::id_hex;
+use mheta_obs::{
+    FlightRecorder, RequestSource, RequestSpan, ServiceMetrics, StrategySpan, TraceContext,
+};
 
 use crate::cache::PlanCache;
 use crate::executor::Executor;
@@ -83,6 +99,8 @@ pub struct PlanReply {
     pub source: RequestSource,
     /// The request's canonical content hash (the cache key).
     pub key: u64,
+    /// The trace this request was served under.
+    pub trace: TraceContext,
 }
 
 /// Planner tuning.
@@ -103,6 +121,12 @@ pub struct PlannerConfig {
     pub coalesce_enabled: bool,
     /// Backoff suggested to shed clients, milliseconds.
     pub retry_after_ms: u64,
+    /// Flight-recorder ring capacity (events); 0 disables the recorder
+    /// entirely (used by the bench overhead A/B — production keeps the
+    /// default, always-on).
+    pub recorder_capacity: usize,
+    /// Flight-recorder lock stripes.
+    pub recorder_stripes: usize,
 }
 
 impl Default for PlannerConfig {
@@ -115,21 +139,49 @@ impl Default for PlannerConfig {
             cache_enabled: true,
             coalesce_enabled: true,
             retry_after_ms: 50,
+            recorder_capacity: 1024,
+            recorder_stripes: 8,
         }
     }
 }
 
-/// What a leader publishes to its flight: the plan and the search-stage
-/// duration, or the error every coalesced follower inherits.
-type FlightResult = Result<(Plan, u64), PlanError>;
+/// What a leader publishes to its flight: the outcome every coalesced
+/// follower inherits, plus the leader's trace so followers can link to
+/// it (on the error paths too).
+#[derive(Clone)]
+struct FlightOutput {
+    /// The plan and the search-stage duration, or the error.
+    result: Result<(Plan, u64), PlanError>,
+    /// The leader's trace ID (never 0).
+    leader_trace_id: u64,
+}
+
+/// What the search worker reports back to the leader thread.
+struct SearchReport {
+    result: Result<(Plan, SearchAux), PlanError>,
+    /// When the search stage started, on the metrics clock.
+    started_ns: u64,
+    /// How long the search stage ran.
+    search_ns: u64,
+}
+
+/// Observability side-channel of one portfolio run.
+struct SearchAux {
+    /// Per-strategy thread spans, offsets relative to the portfolio
+    /// launch.
+    strategies: Vec<StrategySpan>,
+    /// Whether a cancellation criterion tripped.
+    cancelled: bool,
+}
 
 /// The resident planning service (in-process front end).
 pub struct Planner {
     cfg: PlannerConfig,
     cache: PlanCache,
-    flights: SingleFlight<FlightResult>,
+    flights: SingleFlight<FlightOutput>,
     executor: Executor,
     metrics: Arc<ServiceMetrics>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Planner {
@@ -141,14 +193,38 @@ impl Planner {
             flights: SingleFlight::new(),
             executor: Executor::new(cfg.workers, cfg.queue_capacity),
             metrics: Arc::new(ServiceMetrics::new()),
+            recorder: (cfg.recorder_capacity > 0).then(|| {
+                Arc::new(FlightRecorder::new(
+                    cfg.recorder_capacity,
+                    cfg.recorder_stripes,
+                ))
+            }),
             cfg,
         }
     }
 
-    /// Plan `req`, going through cache → single-flight → admission →
-    /// portfolio search. Never blocks on a full queue: overload is a
-    /// structured [`PlanError::Overloaded`].
+    /// Record one flight-recorder event (no-op when the recorder is
+    /// disabled).
+    fn rec(&self, ctx: &TraceContext, kind: &'static str, detail: Vec<(&str, Value)>) {
+        if let Some(r) = &self.recorder {
+            r.record_kv(Some(ctx), kind, detail);
+        }
+    }
+
+    /// Plan `req` under a freshly minted root trace. See
+    /// [`Planner::plan_traced`].
     pub fn plan(&self, req: &PlanRequest) -> Result<PlanReply, PlanError> {
+        self.plan_traced(req, TraceContext::root())
+    }
+
+    /// Plan `req` under `ctx`, going through cache → single-flight →
+    /// admission → portfolio search. Never blocks on a full queue:
+    /// overload is a structured [`PlanError::Overloaded`].
+    pub fn plan_traced(
+        &self,
+        req: &PlanRequest,
+        ctx: TraceContext,
+    ) -> Result<PlanReply, PlanError> {
         let t0 = self.metrics.now_ns();
         let canon = req.canonical_json();
         let key = crate::request::fnv1a64(canon.as_bytes());
@@ -156,26 +232,68 @@ impl Planner {
 
         if self.cfg.cache_enabled {
             if let Some(plan) = self.cache.get(key, &canon) {
-                self.record(&label, RequestSource::Cache, t0, 0);
+                // One event on the serving fast path: `cache.hit`
+                // doubles as the arrival record for cache-served
+                // requests (same trace, timestamp, and key a separate
+                // received event would carry).
+                self.rec(
+                    &ctx,
+                    "cache.hit",
+                    vec![
+                        ("label", Value::Str(label.clone())),
+                        ("key", Value::Str(id_hex(key))),
+                    ],
+                );
+                self.record(&label, RequestSource::Cache, &ctx, 0, t0, 0, Vec::new());
                 return Ok(PlanReply {
                     plan,
                     source: RequestSource::Cache,
                     key,
+                    trace: ctx,
                 });
             }
+        }
+
+        self.rec(
+            &ctx,
+            "request.received",
+            vec![
+                ("label", Value::Str(label.clone())),
+                ("key", Value::Str(id_hex(key))),
+            ],
+        );
+        if self.cfg.cache_enabled {
+            self.rec(&ctx, "cache.miss", vec![("key", Value::Str(id_hex(key)))]);
         }
 
         if self.cfg.coalesce_enabled {
             match self.flights.enter(&canon) {
                 Entry::Follower(flight) => {
-                    let result = flight.wait();
-                    match result {
+                    let out = flight.wait();
+                    self.rec(
+                        &ctx,
+                        "coalesce.follow",
+                        vec![
+                            ("key", Value::Str(id_hex(key))),
+                            ("leader_trace_id", Value::Str(id_hex(out.leader_trace_id))),
+                        ],
+                    );
+                    match out.result {
                         Ok((plan, _)) => {
-                            self.record(&label, RequestSource::Coalesced, t0, 0);
+                            self.record(
+                                &label,
+                                RequestSource::Coalesced,
+                                &ctx,
+                                out.leader_trace_id,
+                                t0,
+                                0,
+                                Vec::new(),
+                            );
                             Ok(PlanReply {
                                 plan,
                                 source: RequestSource::Coalesced,
                                 key,
+                                trace: ctx,
                             })
                         }
                         Err(e) => {
@@ -183,97 +301,204 @@ impl Planner {
                                 PlanError::Overloaded { .. } => RequestSource::Shed,
                                 PlanError::Search(_) => RequestSource::Failed,
                             };
-                            self.record(&label, source, t0, 0);
+                            self.record(
+                                &label,
+                                source,
+                                &ctx,
+                                out.leader_trace_id,
+                                t0,
+                                0,
+                                Vec::new(),
+                            );
                             Err(e)
                         }
                     }
                 }
-                Entry::Leader(flight) => self.lead(req, key, &canon, Some(flight), t0, &label),
+                Entry::Leader(flight) => self.lead(req, key, &canon, Some(flight), t0, &label, ctx),
             }
         } else {
-            self.lead(req, key, &canon, None, t0, &label)
+            self.lead(req, key, &canon, None, t0, &label, ctx)
         }
     }
 
     /// Leader path: admit, search, cache, publish.
+    #[allow(clippy::too_many_arguments)]
     fn lead(
         &self,
         req: &PlanRequest,
         key: u64,
         canon: &str,
-        flight: Option<Arc<crate::singleflight::Flight<FlightResult>>>,
+        flight: Option<Arc<crate::singleflight::Flight<FlightOutput>>>,
         t0: u64,
         label: &str,
+        ctx: TraceContext,
     ) -> Result<PlanReply, PlanError> {
-        let (tx, rx) = mpsc::channel::<(Result<Plan, PlanError>, u64, u64)>();
+        let (tx, rx) = mpsc::channel::<SearchReport>();
         let job_req = req.clone();
         let job_metrics = Arc::clone(&self.metrics);
         let job = move || {
-            let started = job_metrics.now_ns();
+            let started_ns = job_metrics.now_ns();
             job_metrics.on_search_started();
             let result = catch_unwind(AssertUnwindSafe(|| run_search(&job_req)))
                 .unwrap_or_else(|_| Err(PlanError::Search("search worker panicked".into())));
-            let search_ns = job_metrics.now_ns().saturating_sub(started);
-            let _ = tx.send((result, started, search_ns));
+            let search_ns = job_metrics.now_ns().saturating_sub(started_ns);
+            let _ = tx.send(SearchReport {
+                result,
+                started_ns,
+                search_ns,
+            });
         };
 
         if self.executor.try_submit(job).is_err() {
             let err = PlanError::Overloaded {
                 retry_after_ms: self.cfg.retry_after_ms,
             };
+            self.rec(
+                &ctx,
+                "request.shed",
+                vec![
+                    ("key", Value::Str(id_hex(key))),
+                    (
+                        "queue_depth",
+                        Value::UInt(self.executor.queue_depth() as u64),
+                    ),
+                    ("retry_after_ms", Value::UInt(self.cfg.retry_after_ms)),
+                ],
+            );
             // Publish the shed to followers FIRST: they must never
             // hang on a flight whose leader was never admitted.
             if let Some(f) = &flight {
-                self.flights.complete(canon, f, Err(err.clone()));
+                self.flights.complete(
+                    canon,
+                    f,
+                    FlightOutput {
+                        result: Err(err.clone()),
+                        leader_trace_id: ctx.trace_id,
+                    },
+                );
             }
-            self.record(label, RequestSource::Shed, t0, 0);
+            self.record(label, RequestSource::Shed, &ctx, 0, t0, 0, Vec::new());
             return Err(err);
         }
 
-        let (result, started, search_ns) = rx.recv().expect("worker always replies");
-        let flight_result = result.clone().map(|p| (p, search_ns));
-        if let Ok(plan) = &result {
+        let report = rx.recv().expect("worker always replies");
+        let flight_result = match &report.result {
+            Ok((plan, _)) => Ok((plan.clone(), report.search_ns)),
+            Err(e) => Err(e.clone()),
+        };
+        if let Ok((plan, _)) = &report.result {
             if self.cfg.cache_enabled {
                 self.cache.insert(key, canon, plan.clone());
             }
         }
         if let Some(f) = &flight {
-            self.flights.complete(canon, f, flight_result);
+            self.flights.complete(
+                canon,
+                f,
+                FlightOutput {
+                    result: flight_result,
+                    leader_trace_id: ctx.trace_id,
+                },
+            );
         }
 
-        match result {
-            Ok(plan) => {
+        match report.result {
+            Ok((plan, aux)) => {
+                if aux.cancelled {
+                    self.rec(
+                        &ctx,
+                        "search.cancelled",
+                        vec![("key", Value::Str(id_hex(key)))],
+                    );
+                }
+                self.rec(
+                    &ctx,
+                    "search.done",
+                    vec![
+                        ("key", Value::Str(id_hex(key))),
+                        ("winner", Value::Str(plan.winner.name().to_string())),
+                        ("total_evals", Value::UInt(plan.total_evals as u64)),
+                    ],
+                );
+                // Strategy offsets are relative to the portfolio
+                // launch; rebase them onto the metrics clock.
+                let strategies = aux
+                    .strategies
+                    .into_iter()
+                    .map(|s| StrategySpan {
+                        name: s.name,
+                        start_ns: report.started_ns + s.start_ns,
+                        dur_ns: s.dur_ns,
+                    })
+                    .collect();
                 let span = RequestSpan {
                     label: label.to_string(),
                     source: RequestSource::Fresh,
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    parent_span_id: ctx.parent_span_id,
+                    link_trace_id: 0,
                     start_ns: t0,
-                    queued_ns: started.saturating_sub(t0),
-                    search_ns,
+                    queued_ns: report.started_ns.saturating_sub(t0),
+                    search_ns: report.search_ns,
                     total_ns: self.metrics.now_ns().saturating_sub(t0),
+                    strategies,
                 };
                 self.metrics.record_request(span);
                 Ok(PlanReply {
                     plan,
                     source: RequestSource::Fresh,
                     key,
+                    trace: ctx,
                 })
             }
             Err(e) => {
-                self.record(label, RequestSource::Failed, t0, search_ns);
+                self.rec(
+                    &ctx,
+                    "search.fail",
+                    vec![
+                        ("key", Value::Str(id_hex(key))),
+                        ("error", Value::Str(e.to_string())),
+                    ],
+                );
+                self.record(
+                    label,
+                    RequestSource::Failed,
+                    &ctx,
+                    0,
+                    t0,
+                    report.search_ns,
+                    Vec::new(),
+                );
                 Err(e)
             }
         }
     }
 
-    fn record(&self, label: &str, source: RequestSource, t0: u64, search_ns: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        label: &str,
+        source: RequestSource,
+        ctx: &TraceContext,
+        link_trace_id: u64,
+        t0: u64,
+        search_ns: u64,
+        strategies: Vec<StrategySpan>,
+    ) {
         let total_ns = self.metrics.now_ns().saturating_sub(t0);
         self.metrics.record_request(RequestSpan {
             label: label.to_string(),
             source,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span_id: ctx.parent_span_id,
+            link_trace_id,
             start_ns: t0,
             queued_ns: total_ns.saturating_sub(search_ns),
             search_ns,
             total_ns,
+            strategies,
         });
     }
 
@@ -281,6 +506,13 @@ impl Planner {
     pub fn invalidate_cache(&self) -> usize {
         let n = self.cache.invalidate_all();
         self.metrics.on_cache_invalidations(n as u64);
+        if let Some(r) = &self.recorder {
+            r.record_kv(
+                None,
+                "cache.invalidate",
+                vec![("entries", Value::UInt(n as u64))],
+            );
+        }
         n
     }
 
@@ -297,10 +529,123 @@ impl Planner {
         &self.cache
     }
 
+    /// The always-on flight recorder (`None` only when configured off).
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Jobs currently waiting in the executor queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.executor.queue_depth()
+    }
+
+    /// The flight-recorder dump document (`mheta-flight/v1`); an empty
+    /// zero-capacity dump when the recorder is disabled.
+    #[must_use]
+    pub fn flight_dump(&self) -> Value {
+        match &self.recorder {
+            Some(r) => r.dump_value(),
+            None => Value::object(vec![
+                ("schema", Value::Str("mheta-flight/v1".into())),
+                ("capacity", Value::UInt(0)),
+                ("written", Value::UInt(0)),
+                ("dropped", Value::UInt(0)),
+                ("retained", Value::UInt(0)),
+                ("events", Value::Array(Vec::new())),
+            ]),
+        }
+    }
+
+    /// The full Prometheus text-format exposition for this planner:
+    /// the service registry (request/stage series) plus cache,
+    /// executor, and flight-recorder series. See DESIGN.md §12 for the
+    /// naming scheme.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let mut out = mheta_obs::service_text(&self.metrics);
+        let mut p = mheta_obs::PromText::new();
+        p.counter(
+            "mheta_serve_cache_hits_total",
+            "Plan-cache hits.",
+            &[],
+            self.cache.hits(),
+        );
+        p.counter(
+            "mheta_serve_cache_misses_total",
+            "Plan-cache misses.",
+            &[],
+            self.cache.misses(),
+        );
+        p.counter(
+            "mheta_serve_cache_evictions_total",
+            "Plan-cache capacity evictions.",
+            &[],
+            self.cache.evictions(),
+        );
+        p.gauge(
+            "mheta_serve_cache_entries",
+            "Plans currently cached.",
+            &[],
+            self.cache.len() as f64,
+        );
+        p.counter(
+            "mheta_serve_executor_executed_total",
+            "Search jobs fully executed.",
+            &[],
+            self.executor.executed(),
+        );
+        p.counter(
+            "mheta_serve_executor_rejected_total",
+            "Search jobs shed at admission.",
+            &[],
+            self.executor.rejected(),
+        );
+        p.gauge(
+            "mheta_serve_executor_queue_depth",
+            "Jobs currently queued.",
+            &[],
+            self.executor.queue_depth() as f64,
+        );
+        if let Some(r) = &self.recorder {
+            p.counter(
+                "mheta_serve_flight_written_total",
+                "Flight-recorder events written.",
+                &[],
+                r.written(),
+            );
+            p.counter(
+                "mheta_serve_flight_dropped_total",
+                "Flight-recorder events dropped from the ring.",
+                &[],
+                r.dropped(),
+            );
+            p.gauge(
+                "mheta_serve_flight_retained",
+                "Flight-recorder events currently retained.",
+                &[],
+                r.retained() as f64,
+            );
+        }
+        out.push_str(&p.finish());
+        out
+    }
+
     /// Full service statistics: request counters and stage latencies,
-    /// cache counters, and executor admission tallies.
+    /// cache counters, executor admission tallies, and flight-recorder
+    /// occupancy.
     #[must_use]
     pub fn stats(&self) -> Value {
+        let recorder = match &self.recorder {
+            Some(r) => Value::object(vec![
+                ("capacity", Value::UInt(r.capacity() as u64)),
+                ("written", Value::UInt(r.written())),
+                ("dropped", Value::UInt(r.dropped())),
+                ("retained", Value::UInt(r.retained())),
+            ]),
+            None => Value::Null,
+        };
         Value::object(vec![
             ("service", self.metrics.snapshot()),
             ("cache", self.cache.stats()),
@@ -309,14 +654,19 @@ impl Planner {
                 Value::object(vec![
                     ("executed", Value::UInt(self.executor.executed())),
                     ("rejected", Value::UInt(self.executor.rejected())),
+                    (
+                        "queue_depth",
+                        Value::UInt(self.executor.queue_depth() as u64),
+                    ),
                 ]),
             ),
+            ("recorder", recorder),
         ])
     }
 }
 
 /// Build the MHETA model for the request and run the portfolio search.
-fn run_search(req: &PlanRequest) -> Result<Plan, PlanError> {
+fn run_search(req: &PlanRequest) -> Result<(Plan, SearchAux), PlanError> {
     let model = build_model(&req.bench, &req.spec, req.prefetch)
         .map_err(|e| PlanError::Search(e.to_string()))?;
     let inputs = anchor_inputs(&model);
@@ -327,10 +677,25 @@ fn run_search(req: &PlanRequest) -> Result<Plan, PlanError> {
             "no candidate evaluated to a finite score".into(),
         ));
     }
-    Ok(Plan {
-        rows: out.best.best.rows().to_vec(),
-        predicted_ns: out.best.score_ns,
-        winner: out.winner,
-        total_evals: out.total_evals,
-    })
+    let strategies = out
+        .runs
+        .iter()
+        .map(|r| StrategySpan {
+            name: r.strategy.name(),
+            start_ns: r.started_ns,
+            dur_ns: r.elapsed_ns,
+        })
+        .collect();
+    Ok((
+        Plan {
+            rows: out.best.best.rows().to_vec(),
+            predicted_ns: out.best.score_ns,
+            winner: out.winner,
+            total_evals: out.total_evals,
+        },
+        SearchAux {
+            strategies,
+            cancelled: out.cancelled,
+        },
+    ))
 }

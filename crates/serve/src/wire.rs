@@ -10,8 +10,11 @@
 //! ```json
 //! {"op":"ping"}
 //! {"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC",
-//!  "prefetch":false,"search":{"evals":64,"seed":7}}
+//!  "prefetch":false,"search":{"evals":64,"seed":7},
+//!  "trace":{"trace_id":"4f2a...","span_id":"9c01..."}}
 //! {"op":"stats"}
+//! {"op":"metrics"}
+//! {"op":"dump"}
 //! {"op":"invalidate"}
 //! {"op":"shutdown"}
 //! ```
@@ -19,12 +22,22 @@
 //! `arch` is a preset name (`DC`, `IO`, `HY1`, `HY2`) or `HOM<n>` for
 //! a homogeneous `n`-node cluster. The optional `search` object takes
 //! `evals` (per-strategy budget), `retries`, `seed`, `total_evals`,
-//! `stall`, and `target_ns`.
+//! `stall`, and `target_ns`. The optional `trace` object propagates a
+//! client-minted trace context (hex IDs); without it the daemon mints
+//! a root trace per request. Either way the reply echoes `trace_id`,
+//! so the client can correlate its call with the daemon's span log,
+//! flight-recorder dump, and Perfetto export.
 //!
 //! A successful plan reply carries `"source"` — `"fresh"`, `"cache"`,
 //! or `"coalesced"` — so clients (and the CI smoke test) can verify
 //! cache behavior. A shed request gets
-//! `{"ok":false,"error":{"kind":"overloaded","retry_after_ms":N}}`.
+//! `{"ok":false,"error":{"kind":"overloaded","retry_after_ms":N}}`,
+//! and the daemon logs a structured shed event to stderr (key hash,
+//! queue depth, suggested backoff) — sheds are never silent.
+//!
+//! `metrics` returns the Prometheus text exposition as a JSON string
+//! under `"prometheus"`; `dump` returns the flight-recorder document
+//! (`mheta-flight/v1`) under `"flight"`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -33,6 +46,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mheta_obs::json::{self, from_str, opt_f64_field, opt_u64_field, str_field, Value};
+use mheta_obs::trace::{id_hex, parse_id};
+use mheta_obs::TraceContext;
 
 use crate::planner::{PlanError, PlanReply, Planner};
 use crate::request::{benchmark_by_name, cluster_by_name, PlanRequest, SearchParams};
@@ -40,10 +55,15 @@ use crate::request::{benchmark_by_name, cluster_by_name, PlanRequest, SearchPara
 /// One parsed request line.
 #[derive(Debug, Clone)]
 pub enum WireOp {
-    /// Plan an application on a cluster.
-    Plan(Box<PlanRequest>),
+    /// Plan an application on a cluster, optionally under a
+    /// client-propagated trace context.
+    Plan(Box<PlanRequest>, Option<TraceContext>),
     /// Report service, cache, and executor statistics.
     Stats,
+    /// Render the Prometheus text-format exposition.
+    Metrics,
+    /// Dump the flight recorder.
+    Dump,
     /// Drop every cached plan.
     Invalidate,
     /// Liveness probe.
@@ -59,11 +79,28 @@ pub fn parse_request(line: &str) -> Result<WireOp, String> {
     match op {
         "ping" => Ok(WireOp::Ping),
         "stats" => Ok(WireOp::Stats),
+        "metrics" => Ok(WireOp::Metrics),
+        "dump" => Ok(WireOp::Dump),
         "invalidate" => Ok(WireOp::Invalidate),
         "shutdown" => Ok(WireOp::Shutdown),
-        "plan" => Ok(WireOp::Plan(Box::new(parse_plan(&v)?))),
+        "plan" => Ok(WireOp::Plan(Box::new(parse_plan(&v)?), parse_trace(&v)?)),
         other => Err(format!("unknown op `{other}`")),
     }
+}
+
+/// Parse the optional `trace` object (`trace_id` + `span_id`, hex).
+fn parse_trace(v: &Value) -> Result<Option<TraceContext>, String> {
+    let Some(t) = v.get("trace") else {
+        return Ok(None);
+    };
+    if matches!(t, Value::Null) {
+        return Ok(None);
+    }
+    let trace_id = str_field(t, "trace_id").map_err(|e| format!("trace.{e}"))?;
+    let span_id = str_field(t, "span_id").map_err(|e| format!("trace.{e}"))?;
+    let trace_id = parse_id(trace_id).map_err(|e| format!("trace.trace_id: {e}"))?;
+    let span_id = parse_id(span_id).map_err(|e| format!("trace.span_id: {e}"))?;
+    Ok(Some(TraceContext::from_wire(trace_id, span_id)))
 }
 
 fn parse_plan(v: &Value) -> Result<PlanRequest, String> {
@@ -122,6 +159,7 @@ pub fn plan_response(reply: &PlanReply) -> Value {
         ("ok", Value::Bool(true)),
         ("source", Value::Str(reply.source.name().to_string())),
         ("key", Value::Str(format!("{:016x}", reply.key))),
+        ("trace_id", Value::Str(reply.trace.trace_hex())),
         (
             "plan",
             Value::object(vec![
@@ -144,9 +182,10 @@ pub fn plan_response(reply: &PlanReply) -> Value {
     ])
 }
 
-/// Render a planning error.
+/// Render a planning error. `trace` identifies the failed request in
+/// the daemon's telemetry (omitted when no request context exists).
 #[must_use]
-pub fn error_response(err: &PlanError) -> Value {
+pub fn error_response(err: &PlanError, trace: Option<&TraceContext>) -> Value {
     let error = match err {
         PlanError::Overloaded { retry_after_ms } => Value::object(vec![
             ("kind", Value::Str("overloaded".into())),
@@ -157,7 +196,11 @@ pub fn error_response(err: &PlanError) -> Value {
             ("message", Value::Str(msg.clone())),
         ]),
     };
-    Value::object(vec![("ok", Value::Bool(false)), ("error", error)])
+    let mut fields = vec![("ok", Value::Bool(false)), ("error", error)];
+    if let Some(t) = trace {
+        fields.push(("trace_id", Value::Str(t.trace_hex())));
+    }
+    Value::object(fields)
 }
 
 /// Render a protocol-level (parse/validation) error.
@@ -175,6 +218,21 @@ pub fn bad_request_response(msg: &str) -> Value {
     ])
 }
 
+/// Log one structured shed event to stderr: one JSON line with the
+/// request key hash, the queue depth at shed time, and the backoff the
+/// client was told. Sheds must be diagnosable from the daemon log
+/// alone — dropping them silently hides capacity incidents.
+fn log_shed(planner: &Planner, reply_key: u64, ctx: &TraceContext, retry_after_ms: u64) {
+    let line = Value::object(vec![
+        ("event", Value::Str("request.shed".into())),
+        ("trace_id", Value::Str(ctx.trace_hex())),
+        ("key", Value::Str(id_hex(reply_key))),
+        ("queue_depth", Value::UInt(planner.queue_depth() as u64)),
+        ("retry_after_ms", Value::UInt(retry_after_ms)),
+    ]);
+    eprintln!("{}", line.to_json());
+}
+
 /// Execute one parsed op against the planner and render the response.
 /// Returns `(response, shutdown_requested)`.
 pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
@@ -185,6 +243,20 @@ pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
         ),
         WireOp::Stats => (
             Value::object(vec![("ok", Value::Bool(true)), ("stats", planner.stats())]),
+            false,
+        ),
+        WireOp::Metrics => (
+            Value::object(vec![
+                ("ok", Value::Bool(true)),
+                ("prometheus", Value::Str(planner.prometheus())),
+            ]),
+            false,
+        ),
+        WireOp::Dump => (
+            Value::object(vec![
+                ("ok", Value::Bool(true)),
+                ("flight", planner.flight_dump()),
+            ]),
             false,
         ),
         WireOp::Invalidate => {
@@ -201,10 +273,22 @@ pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
             Value::object(vec![("ok", Value::Bool(true)), ("bye", Value::Bool(true))]),
             true,
         ),
-        WireOp::Plan(req) => {
-            let resp = match planner.plan(req) {
+        WireOp::Plan(req, trace) => {
+            // A propagated context becomes the parent of the daemon's
+            // span; otherwise the daemon is the trace root.
+            let ctx = match trace {
+                Some(t) => t.child(),
+                None => TraceContext::root(),
+            };
+            let key = crate::request::fnv1a64(req.canonical_json().as_bytes());
+            let resp = match planner.plan_traced(req, ctx) {
                 Ok(reply) => plan_response(&reply),
-                Err(e) => error_response(&e),
+                Err(e) => {
+                    if let PlanError::Overloaded { retry_after_ms } = &e {
+                        log_shed(planner, key, &ctx, *retry_after_ms);
+                    }
+                    error_response(&e, Some(&ctx))
+                }
             };
             (resp, false)
         }
@@ -275,6 +359,14 @@ mod tests {
             Ok(WireOp::Stats)
         ));
         assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#),
+            Ok(WireOp::Metrics)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"dump"}"#),
+            Ok(WireOp::Dump)
+        ));
+        assert!(matches!(
             parse_request(r#"{"op":"invalidate"}"#),
             Ok(WireOp::Invalidate)
         ));
@@ -295,9 +387,10 @@ mod tests {
                "total_evals":100,"stall":40,"target_ns":1.5}}"#,
         )
         .unwrap();
-        let WireOp::Plan(req) = op else {
+        let WireOp::Plan(req, trace) = op else {
             panic!("expected plan")
         };
+        assert!(trace.is_none());
         assert_eq!(req.bench.name(), "Jacobi");
         assert_eq!(req.spec.name, "DC");
         assert!(req.prefetch);
@@ -310,9 +403,36 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_validates_the_trace_object() {
+        let op = parse_request(
+            r#"{"op":"plan","app":{"name":"cg"},"arch":"HOM4",
+               "trace":{"trace_id":"4f2adeadbeef0001","span_id":"9c01"}}"#,
+        )
+        .unwrap();
+        let WireOp::Plan(_, Some(t)) = op else {
+            panic!("expected traced plan")
+        };
+        assert_eq!(t.trace_id, 0x4f2a_dead_beef_0001);
+        assert_eq!(t.span_id, 0x9c01);
+
+        let err = parse_request(
+            r#"{"op":"plan","app":{"name":"cg"},"arch":"HOM4",
+               "trace":{"trace_id":"zz","span_id":"1"}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("trace.trace_id"), "{err}");
+        let err = parse_request(
+            r#"{"op":"plan","app":{"name":"cg"},"arch":"HOM4",
+               "trace":{"trace_id":"1"}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("trace.field `span_id`"), "{err}");
+    }
+
+    #[test]
     fn plan_defaults_and_validation_errors() {
         let op = parse_request(r#"{"op":"plan","app":{"name":"cg"},"arch":"HOM4"}"#).unwrap();
-        let WireOp::Plan(req) = op else { panic!() };
+        let WireOp::Plan(req, _) = op else { panic!() };
         assert_eq!(req.bench.name(), "CG");
         assert_eq!(req.spec.len(), 4);
         assert!(!req.prefetch);
@@ -327,12 +447,17 @@ mod tests {
 
     #[test]
     fn shed_error_renders_structured_retry_after() {
-        let v = error_response(&PlanError::Overloaded { retry_after_ms: 50 });
+        let ctx = TraceContext::root();
+        let v = error_response(&PlanError::Overloaded { retry_after_ms: 50 }, Some(&ctx));
         let json = v.to_json();
         let back = from_str(&json).unwrap();
         assert_eq!(back.get("ok"), Some(&Value::Bool(false)));
         let error = back.get("error").unwrap();
         assert_eq!(error.get("kind").unwrap().as_str(), Some("overloaded"));
         assert_eq!(error.get("retry_after_ms").unwrap().as_u64(), Some(50));
+        assert_eq!(
+            back.get("trace_id").unwrap().as_str(),
+            Some(ctx.trace_hex().as_str())
+        );
     }
 }

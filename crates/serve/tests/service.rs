@@ -261,8 +261,213 @@ fn perfetto_request_track_covers_the_lifecycle() {
         .iter()
         .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
         .collect();
-    // One fresh request (with a search slice) plus one cache hit.
-    assert_eq!(slices.len(), 3);
+    // One fresh request (with a search slice and one slice per
+    // portfolio strategy thread) plus one cache hit.
+    let on_tid = |tid: u64| {
+        slices
+            .iter()
+            .filter(|e| e.get("tid").unwrap().as_u64() == Some(tid))
+            .count()
+    };
+    assert_eq!(on_tid(0), 2, "request track: one fresh, one cache hit");
+    assert!(
+        on_tid(1) >= 2,
+        "search track: the search slice plus per-strategy slices"
+    );
     assert!(json.contains("\"fresh\""));
     assert!(json.contains("\"cache\""));
+    // Every request slice carries its trace identity.
+    for e in slices
+        .iter()
+        .filter(|e| e.get("tid").unwrap().as_u64() == Some(0))
+    {
+        let args = e.get("args").unwrap();
+        let trace = args.get("trace_id").unwrap().as_str().unwrap();
+        assert_eq!(trace.len(), 16, "hex trace id: {trace}");
+    }
+}
+
+#[test]
+fn wire_round_trip_metrics_and_dump() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let planner = Arc::new(Planner::new(PlannerConfig::default()));
+    let server = std::thread::spawn(move || wire::serve(listener, planner));
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut round_trip = |req: &str| -> Value {
+        writeln!(writer, "{req}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        from_str(line.trim_end()).expect("daemon speaks JSON")
+    };
+
+    // One traced plan so the telemetry has something to show.
+    let reply = round_trip(
+        r#"{"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC","search":{"evals":24,"seed":4},"trace":{"trace_id":"00c0ffee00c0ffee","span_id":"1"}}"#,
+    );
+    assert_eq!(reply.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(
+        reply.get("trace_id").unwrap().as_str(),
+        Some("00c0ffee00c0ffee"),
+        "the reply echoes the propagated trace"
+    );
+
+    // `metrics` returns a well-formed Prometheus exposition.
+    let metrics = round_trip(r#"{"op":"metrics"}"#);
+    assert_eq!(metrics.get("ok"), Some(&Value::Bool(true)));
+    let text = metrics.get("prometheus").unwrap().as_str().unwrap();
+    assert!(text.contains("# TYPE mheta_serve_requests_total counter"));
+    assert!(text.contains("mheta_serve_requests_total{source=\"fresh\"} 1"));
+    assert!(text.contains("# TYPE mheta_serve_stage_seconds histogram"));
+    assert!(text.contains("mheta_serve_stage_seconds_sum"));
+    assert!(text.contains("mheta_serve_stage_seconds_count"));
+    assert!(text.contains("le=\"+Inf\""));
+    assert!(text.contains("mheta_serve_cache_misses_total 1"));
+    assert!(text.contains("mheta_serve_flight_written_total"));
+
+    // `dump` returns the flight-recorder document, and the trace we
+    // propagated identifies this request's lifecycle events in it.
+    let dump = round_trip(r#"{"op":"dump"}"#);
+    assert_eq!(dump.get("ok"), Some(&Value::Bool(true)));
+    let flight = dump.get("flight").unwrap();
+    assert_eq!(
+        flight.get("schema").unwrap().as_str(),
+        Some("mheta-flight/v1")
+    );
+    let events = flight.get("events").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("trace_id").map(Value::as_str) == Some(Some("00c0ffee00c0ffee")))
+        .map(|e| e.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    assert!(kinds.contains(&"request.received"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"cache.miss"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"search.done"), "kinds: {kinds:?}");
+
+    let bye = round_trip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok"), Some(&Value::Bool(true)));
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn one_trace_id_connects_reply_spans_recorder_and_perfetto() {
+    use mheta_obs::TraceContext;
+
+    let planner = Planner::new(PlannerConfig::default());
+    let req = small_request(21);
+    let ctx = TraceContext::root();
+
+    let reply = planner.plan_traced(&req, ctx).unwrap();
+    assert_eq!(
+        reply.trace.trace_id, ctx.trace_id,
+        "reply carries the trace"
+    );
+
+    // The request span on the metrics track carries the same trace.
+    let spans = planner.metrics().spans();
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].trace_id, ctx.trace_id);
+    assert!(
+        !spans[0].strategies.is_empty(),
+        "fresh request records per-strategy sub-spans"
+    );
+
+    // The flight recorder saw the full lifecycle under that trace.
+    let dump = planner.flight_dump();
+    let hex = ctx.trace_hex();
+    let traced: Vec<&str> = dump
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("trace_id").map(Value::as_str) == Some(Some(hex.as_str())))
+        .map(|e| e.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    assert!(traced.contains(&"request.received"));
+    assert!(traced.contains(&"search.done"));
+
+    // And the Perfetto export names the trace on its slices.
+    let perfetto = planner.metrics().perfetto_json();
+    assert!(perfetto.contains(&hex), "trace id visible in Perfetto");
+
+    // A coalesced follower links to the leader's trace: simulate by
+    // serving the same request again from cache (link is exercised in
+    // the coalescing test; here assert the cache path keeps its own
+    // trace identity).
+    let ctx2 = TraceContext::root();
+    let cached = planner.plan_traced(&req, ctx2).unwrap();
+    assert_eq!(cached.source.name(), "cache");
+    assert_eq!(cached.trace.trace_id, ctx2.trace_id);
+}
+
+#[test]
+fn coalesced_followers_link_to_the_leader_trace() {
+    use mheta_obs::{RequestSource, TraceContext};
+
+    let planner = Arc::new(Planner::new(PlannerConfig {
+        workers: 2,
+        cache_enabled: false,
+        ..PlannerConfig::default()
+    }));
+    let req = PlanRequest {
+        search: SearchParams {
+            max_evals_per_strategy: 400,
+            ..small_request(31).search
+        },
+        ..small_request(31)
+    };
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let planner = Arc::clone(&planner);
+            let barrier = Arc::clone(&barrier);
+            let req = req.clone();
+            s.spawn(move || {
+                barrier.wait();
+                planner.plan_traced(&req, TraceContext::root()).unwrap()
+            });
+        }
+    });
+
+    let spans = planner.metrics().spans();
+    let leader: Vec<_> = spans
+        .iter()
+        .filter(|s| s.source == RequestSource::Fresh)
+        .collect();
+    let followers: Vec<_> = spans
+        .iter()
+        .filter(|s| s.source == RequestSource::Coalesced)
+        .collect();
+    assert_eq!(leader.len(), 1, "one leader");
+    assert!(!followers.is_empty(), "budget big enough to coalesce");
+    for f in &followers {
+        assert_eq!(
+            f.link_trace_id, leader[0].trace_id,
+            "every follower links the leader's trace"
+        );
+        assert_ne!(f.trace_id, leader[0].trace_id, "but keeps its own");
+    }
+
+    // Perfetto renders the coalition as flow events bound by the
+    // leader's trace id.
+    let perfetto = planner.metrics().perfetto_json();
+    let v = from_str(&perfetto).unwrap();
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+    let flows_out = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("s"))
+        .count();
+    let flows_in = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("f"))
+        .count();
+    assert_eq!(flows_out, 1, "one flow start at the leader");
+    assert_eq!(flows_in, followers.len(), "one flow finish per follower");
 }

@@ -77,4 +77,26 @@ fn main() {
     }
 
     println!("\nservice stats:\n{}", planner.stats().to_json_pretty());
+
+    // Telemetry: every request above ran under a trace; the flight
+    // recorder kept its lifecycle and the planner renders a
+    // Prometheus scrape on demand.
+    let dump = planner.flight_dump();
+    println!(
+        "\nflight recorder: {} events retained ({} written, {} dropped)",
+        dump.get("retained").and_then(|v| v.as_u64()).unwrap_or(0),
+        dump.get("written").and_then(|v| v.as_u64()).unwrap_or(0),
+        dump.get("dropped").and_then(|v| v.as_u64()).unwrap_or(0),
+    );
+    let prom = planner.prometheus();
+    println!(
+        "prometheus exposition ({} lines), e.g.:",
+        prom.lines().count()
+    );
+    for line in prom
+        .lines()
+        .filter(|l| l.starts_with("mheta_serve_requests_total"))
+    {
+        println!("  {line}");
+    }
 }
