@@ -41,7 +41,7 @@ use mheta_dist::{
     AnnealingConfig, CountingEvaluator, Evaluator, GbsConfig, GenBlock, GeneticConfig,
     PortfolioConfig, RandomConfig, SpectrumPath,
 };
-use mheta_obs::{latency_value, AuditReport};
+use mheta_obs::{latency_value, AuditReport, TraceContext};
 use mheta_serve::{
     benchmark_by_name, PlanError, PlanRequest, Planner, PlannerConfig, SearchParams,
 };
@@ -349,7 +349,13 @@ fn adaptive_entry(smoke: bool, fault_free: &[ClusterSpec]) -> Value {
 ///    best single strategy at the same per-strategy budget;
 /// 5. **Telemetry overhead** — the always-on telemetry (flight
 ///    recorder + trace spans) must cost under 5% of warm closed-loop
-///    throughput against a recorder-off planner (best-of-3 per side).
+///    throughput against a recorder-off planner (best-of-3 per side);
+/// 6. **Deadline cap** — a request with an effectively unbounded
+///    search budget but a short end-to-end deadline must reply within
+///    deadline + epsilon, flagged degraded, and leave the cache empty;
+/// 7. **Warm restart** — after a snapshot/restore cycle the first
+///    request on the restarted planner must be a cache hit (zero
+///    searches) at cache-hit latency, not a fresh multi-ms search.
 fn serving_entry(smoke: bool) -> Value {
     let mix: Vec<PlanRequest> = [
         ("jacobi", presets::dc()),
@@ -451,6 +457,95 @@ fn serving_entry(smoke: bool) -> Value {
             eprintln!("serving: expected a structured shed, got {other:?}");
             std::process::exit(1);
         }
+    }
+
+    // Deadline cap: an effectively unbounded search budget, bounded
+    // only by the request deadline. The reply must arrive within
+    // deadline + epsilon (epsilon absorbs the cancellation-poll
+    // granularity and scheduler jitter), carry the degraded flag, and
+    // never be cached.
+    let deadline_ms = 40u64;
+    let deadline_epsilon_ms = 250u64;
+    let dl_planner = Planner::new(PlannerConfig::default());
+    let unbounded = PlanRequest {
+        search: SearchParams {
+            max_evals_per_strategy: 10_000_000,
+            ..mix[0].search
+        },
+        ..mix[0].clone()
+    };
+    let dl_start = std::time::Instant::now();
+    let dl_reply = dl_planner.plan_opts(
+        &unbounded,
+        TraceContext::root(),
+        Some(std::time::Duration::from_millis(deadline_ms)),
+    );
+    let dl_elapsed_ms = dl_start.elapsed().as_secs_f64() * 1e3;
+    let dl_reply = match dl_reply {
+        Ok(r) if r.degraded => r,
+        other => {
+            eprintln!("serving: expected a degraded incumbent under deadline, got {other:?}");
+            std::process::exit(1);
+        }
+    };
+    if dl_elapsed_ms > (deadline_ms + deadline_epsilon_ms) as f64 {
+        eprintln!(
+            "serving: deadline-capped request took {dl_elapsed_ms:.0} ms \
+             against a {deadline_ms} ms deadline (+{deadline_epsilon_ms} ms epsilon)"
+        );
+        std::process::exit(1);
+    }
+    if !dl_planner.cache().is_empty() {
+        eprintln!("serving: a degraded plan was cached");
+        std::process::exit(1);
+    }
+
+    // Warm restart: persist the warm planner's cache, restore it into
+    // a fresh planner, and require the first request to be a cache hit
+    // at cache-hit speed — bounded by a generous multiple of the
+    // steady-state hit latency, far below a fresh multi-ms search.
+    let hit_latency_secs = |planner: &Planner, req: &PlanRequest| -> f64 {
+        let mut samples: Vec<f64> = (0..32)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                planner.plan(req).expect("cache hit");
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let steady_hit_secs = hit_latency_secs(&warm, &mix[0]);
+    let snap_path =
+        std::env::temp_dir().join(format!("mheta-bench-snap-{}.json", std::process::id()));
+    let saved = warm.save_snapshot(&snap_path).expect("snapshot save");
+    let restarted = Planner::new(PlannerConfig::default());
+    let loaded = restarted.load_snapshot(&snap_path).expect("snapshot load");
+    let first_start = std::time::Instant::now();
+    let first = restarted
+        .plan(&mix[0])
+        .expect("first request after restart");
+    let first_hit_secs = first_start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&snap_path);
+    if first.source.name() != "cache" || restarted.metrics().searches() != 0 {
+        eprintln!(
+            "serving: warm restart missed the cache (source {}, {} searches, \
+             {saved} saved / {loaded} loaded)",
+            first.source.name(),
+            restarted.metrics().searches()
+        );
+        std::process::exit(1);
+    }
+    let warm_restart_budget_secs = steady_hit_secs * 20.0 + 0.002;
+    if first_hit_secs > warm_restart_budget_secs {
+        eprintln!(
+            "serving: first request after warm restart took {:.3} ms against a \
+             {:.3} ms budget (steady-state hit {:.3} ms)",
+            first_hit_secs * 1e3,
+            warm_restart_budget_secs * 1e3,
+            steady_hit_secs * 1e3
+        );
+        std::process::exit(1);
     }
 
     // Telemetry overhead: steady-state serving throughput with the
@@ -580,6 +675,12 @@ fn serving_entry(smoke: bool) -> Value {
         out.winner.name(),
         100.0 * telemetry_overhead
     );
+    println!(
+        "serving   deadline {deadline_ms} ms -> degraded reply in {dl_elapsed_ms:.0} ms; \
+         warm restart first hit {:.3} ms (steady {:.3} ms)",
+        first_hit_secs * 1e3,
+        steady_hit_secs * 1e3
+    );
 
     let stages = warm
         .metrics()
@@ -616,6 +717,25 @@ fn serving_entry(smoke: bool) -> Value {
         (
             "shed",
             Value::object(vec![("retry_after_ms", Value::UInt(shed_retry_ms))]),
+        ),
+        (
+            "deadline",
+            Value::object(vec![
+                ("deadline_ms", Value::UInt(deadline_ms)),
+                ("epsilon_ms", Value::UInt(deadline_epsilon_ms)),
+                ("elapsed_ms", Value::Float(dl_elapsed_ms)),
+                ("degraded", Value::Bool(dl_reply.degraded)),
+                ("evals_spent", Value::UInt(dl_reply.plan.total_evals as u64)),
+            ]),
+        ),
+        (
+            "warm_restart",
+            Value::object(vec![
+                ("entries", Value::UInt(saved as u64)),
+                ("steady_hit_ms", Value::Float(steady_hit_secs * 1e3)),
+                ("first_hit_ms", Value::Float(first_hit_secs * 1e3)),
+                ("budget_ms", Value::Float(warm_restart_budget_secs * 1e3)),
+            ]),
         ),
         (
             "telemetry",

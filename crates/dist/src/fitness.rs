@@ -162,7 +162,11 @@ impl LatencyHistogram {
 ///   `max_total_evals`;
 /// * **convergence** — no search improved the incumbent for
 ///   `stall_evals` combined evaluations;
-/// * **target** — the incumbent reached `target_ns`.
+/// * **target** — the incumbent reached `target_ns`;
+/// * **deadline** — the wall clock passed a configured [`Instant`]
+///   (see [`SearchCtl::with_deadline`]). Deadline trips are flagged
+///   separately ([`SearchCtl::deadline_hit`]) so a caller can tell a
+///   time-bounded *degraded* result from an ordinary early stop.
 ///
 /// All state is atomic; `observe` is lock-free and safe from any number
 /// of worker threads. Scores are nonnegative nanoseconds, so the
@@ -174,9 +178,11 @@ pub struct SearchCtl {
     evals: AtomicUsize,
     last_improve: AtomicUsize,
     cancelled: AtomicBool,
+    deadline_hit: AtomicBool,
     max_total_evals: usize,
     stall_evals: usize,
     target_ns: f64,
+    deadline: Option<Instant>,
 }
 
 impl Default for SearchCtl {
@@ -195,9 +201,11 @@ impl SearchCtl {
             evals: AtomicUsize::new(0),
             last_improve: AtomicUsize::new(0),
             cancelled: AtomicBool::new(false),
+            deadline_hit: AtomicBool::new(false),
             max_total_evals: 0,
             stall_evals: 0,
             target_ns: 0.0,
+            deadline: None,
         }
     }
 
@@ -222,6 +230,18 @@ impl SearchCtl {
     #[must_use]
     pub fn with_target_ns(mut self, target_ns: f64) -> Self {
         self.target_ns = target_ns;
+        self
+    }
+
+    /// Cancel once the wall clock reaches `deadline`. The criterion is
+    /// polled on every [`SearchCtl::observe`] (evaluations are the unit
+    /// of cooperative cancellation), so an expired deadline stops the
+    /// attached searches after at most one in-flight evaluation each —
+    /// the incumbent found so far stays available through
+    /// [`SearchCtl::best_ns`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -261,6 +281,26 @@ impl SearchCtl {
         if self.target_ns > 0.0 && self.best_ns() <= self.target_ns {
             self.cancel();
         }
+        self.poll_deadline();
+    }
+
+    /// Trip cancellation if a configured deadline has passed. Called
+    /// from [`SearchCtl::observe`]; long-running searches may also poll
+    /// it directly between coarser phases.
+    pub fn poll_deadline(&self) {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.deadline_hit.store(true, Ordering::Relaxed);
+                self.cancel();
+            }
+        }
+    }
+
+    /// True once the deadline criterion (and not merely another
+    /// criterion or a manual [`SearchCtl::cancel`]) has tripped.
+    #[must_use]
+    pub fn deadline_hit(&self) -> bool {
+        self.deadline_hit.load(Ordering::Relaxed)
     }
 
     /// Request cooperative cancellation of every attached search.

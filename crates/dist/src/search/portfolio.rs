@@ -74,6 +74,12 @@ pub struct PortfolioConfig {
     /// Cancel once the incumbent reaches this score (nonpositive
     /// disables).
     pub target_ns: f64,
+    /// Cancel once the wall clock reaches this instant (`None`
+    /// disables; a set deadline makes results timing-dependent, like
+    /// the other cancellation criteria). The portfolio still returns
+    /// its incumbent-best, so an expired deadline degrades the answer
+    /// instead of discarding it.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for PortfolioConfig {
@@ -85,6 +91,7 @@ impl Default for PortfolioConfig {
             max_total_evals: 0,
             stall_evals: 0,
             target_ns: 0.0,
+            deadline: None,
         }
     }
 }
@@ -120,6 +127,9 @@ pub struct PortfolioOutcome {
     /// Whether a cancellation criterion tripped before all strategies
     /// exhausted their budgets.
     pub cancelled: bool,
+    /// Whether the *deadline* criterion specifically tripped — the
+    /// result is the best incumbent at the deadline, not a full search.
+    pub deadline_hit: bool,
 }
 
 /// Run GBS, genetic, annealing, and random search concurrently over
@@ -145,7 +155,14 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
     if cfg.target_ns > 0.0 {
         ctl = ctl.with_target_ns(cfg.target_ns);
     }
+    if let Some(deadline) = cfg.deadline {
+        ctl = ctl.with_deadline(deadline);
+    }
     let ctl = Arc::new(ctl);
+    // An already-expired deadline cancels before the first evaluation:
+    // each strategy still contributes its cheap starting candidate, so
+    // even a zero-budget call returns a usable (if degraded) incumbent.
+    ctl.poll_deadline();
 
     let run = |strategy: Strategy| -> SearchOutcome {
         let ctl = Some(Arc::clone(&ctl));
@@ -256,6 +273,7 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
         total_evals,
         eval_latency,
         cancelled: ctl.is_cancelled(),
+        deadline_hit: ctl.deadline_hit(),
     }
 }
 

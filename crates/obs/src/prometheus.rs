@@ -237,6 +237,18 @@ pub fn service_text(m: &ServiceMetrics) -> String {
         m.searches(),
     );
     p.counter(
+        "mheta_serve_degraded_total",
+        "Requests answered with a deadline-truncated incumbent plan.",
+        &[],
+        m.degraded(),
+    );
+    p.counter(
+        "mheta_serve_deadline_exceeded_total",
+        "Requests whose deadline expired with no incumbent plan.",
+        &[],
+        m.deadline_exceeded(),
+    );
+    p.counter(
         "mheta_serve_spans_dropped_total",
         "Request spans dropped from the bounded trace ring.",
         &[],

@@ -143,6 +143,8 @@ pub struct ServiceMetrics {
     searches: AtomicU64,
     shed: AtomicU64,
     failures: AtomicU64,
+    degraded: AtomicU64,
+    deadline_exceeded: AtomicU64,
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
     stages: Mutex<Stages>,
@@ -168,6 +170,8 @@ impl ServiceMetrics {
             searches: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             cache_invalidations: AtomicU64::new(0),
             stages: Mutex::new(Stages::default()),
@@ -224,6 +228,19 @@ impl ServiceMetrics {
         self.searches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one request answered with a *degraded* plan: its deadline
+    /// expired mid-search and the incumbent-best was returned instead
+    /// of a fully searched plan.
+    pub fn on_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request whose deadline expired with no incumbent plan
+    /// available at all (`DeadlineExceeded`).
+    pub fn on_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count cache evictions (capacity pressure).
     pub fn on_cache_evictions(&self, n: u64) {
         self.cache_evictions.fetch_add(n, Ordering::Relaxed);
@@ -270,8 +287,20 @@ impl ServiceMetrics {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Requests answered with a degraded (deadline-truncated) plan.
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose deadline expired with no incumbent available.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
     /// Spans dropped from the bounded trace ring (requests past the
-    /// first [`SPAN_CAP`] keep counting, but lose their span).
+    /// first `SPAN_CAP` keep counting, but lose their span).
     #[must_use]
     pub fn spans_dropped(&self) -> u64 {
         self.spans_dropped.load(Ordering::Relaxed)
@@ -303,6 +332,8 @@ impl ServiceMetrics {
                     ("searches", Value::UInt(self.searches())),
                     ("shed", Value::UInt(self.shed())),
                     ("failures", Value::UInt(self.failures())),
+                    ("degraded", Value::UInt(self.degraded())),
+                    ("deadline_exceeded", Value::UInt(self.deadline_exceeded())),
                     (
                         "cache_evictions",
                         Value::UInt(self.cache_evictions.load(Ordering::Relaxed)),

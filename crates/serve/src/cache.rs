@@ -157,6 +157,26 @@ impl PlanCache {
         dropped > 0
     }
 
+    /// Export every entry as `(key, canonical JSON, plan)`,
+    /// least-recently-used first within each shard — so re-`insert`ing
+    /// the export in order (see [`crate::snapshot`]) reproduces each
+    /// shard's recency ordering.
+    #[must_use]
+    pub fn export(&self) -> Vec<(u64, String, Plan)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            let mut entries: Vec<&Entry> = shard.entries.iter().collect();
+            entries.sort_by_key(|e| e.last_used);
+            out.extend(
+                entries
+                    .into_iter()
+                    .map(|e| (e.key, e.canon.clone(), e.plan.clone())),
+            );
+        }
+        out
+    }
+
     /// Entries currently cached.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -15,6 +15,11 @@
 //! * [`executor`] — a fixed thread pool over a bounded queue; a full
 //!   queue sheds the request with a structured retry-after error
 //!   instead of ever blocking admission;
+//! * [`breaker`] — a per-cache-key-shard circuit breaker: consecutive
+//!   search failures trip it open and further requests there shed
+//!   fast until a half-open probe succeeds;
+//! * [`snapshot`] — crash-safe plan-cache persistence (the checksummed
+//!   `mheta-plancache/v1` file) for warm restarts;
 //! * [`planner`] — the in-process front end wiring the above around
 //!   `mheta_dist::portfolio_search`, instrumented end to end with
 //!   `mheta_obs` service metrics (lifecycle counters, per-stage
@@ -23,18 +28,28 @@
 //!   recorder);
 //! * [`wire`] — the JSON-lines-over-TCP protocol spoken by the
 //!   `pland` daemon and the `planctl` client binaries, carrying the
-//!   trace context end to end plus `metrics` / `dump` telemetry ops.
+//!   trace context and the per-request deadline end to end plus
+//!   `metrics` / `dump` telemetry ops, with graceful-drain lifecycle
+//!   management and per-connection read/write timeouts.
+//!
+//! Requests may carry an end-to-end deadline
+//! ([`planner::Planner::plan_opts`]): a search the deadline interrupts
+//! returns its best incumbent flagged *degraded*; only a request with
+//! no incumbent at all fails with `DeadlineExceeded`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod breaker;
 pub mod cache;
 pub mod executor;
 pub mod planner;
 pub mod request;
 pub mod singleflight;
+pub mod snapshot;
 pub mod wire;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::PlanCache;
 pub use executor::{Executor, QueueFull};
 pub use planner::{Plan, PlanError, PlanReply, Planner, PlannerConfig};
@@ -42,4 +57,5 @@ pub use request::{
     benchmark_by_name, cluster_by_name, fnv1a64, strategy_by_name, PlanRequest, SearchParams,
 };
 pub use singleflight::{Entry, Flight, SingleFlight};
-pub use wire::{parse_request, serve, WireOp};
+pub use snapshot::SnapshotError;
+pub use wire::{parse_request, serve, serve_with, Lifecycle, ServeConfig, WireOp};

@@ -9,6 +9,9 @@
 //!          single-flight ──follower── wait ─────────────▶ reply (coalesced)
 //!               │ leader
 //!               ▼
+//!          circuit breaker ──open── fast-fail ──────────▶ Err(CircuitOpen)
+//!               │ admitted
+//!               ▼
 //!          executor.try_submit ──queue full── shed ─────▶ Err(Overloaded)
 //!               │ admitted
 //!               ▼
@@ -19,6 +22,28 @@
 //! can never hang — a shed or failed leader sheds/fails its followers
 //! too. Every path records a [`RequestSpan`] so the request track and
 //! stage histograms cover shed and failed requests as well.
+//!
+//! ## Deadlines
+//!
+//! [`Planner::plan_opts`] accepts an optional end-to-end budget. The
+//! deadline is computed once at arrival and threaded through every
+//! stage: a coalesced follower gives up its wait when it expires
+//! ([`crate::singleflight::Flight::wait_until`]), a queued job that
+//! dequeues past it never starts searching, and a running search
+//! converts it into `SearchCtl` cooperative cancellation. A search the
+//! deadline interrupts still returns its best incumbent, flagged
+//! [`PlanReply::degraded`]; [`PlanError::DeadlineExceeded`] is reserved
+//! for the case where no incumbent exists at all. Degraded plans are
+//! never cached — they are partial-budget answers and would poison the
+//! key for future full-budget requests.
+//!
+//! ## Circuit breaker
+//!
+//! Consecutive search failures on one cache-key shard trip a
+//! [`CircuitBreaker`]: further requests there shed fast with
+//! [`PlanError::CircuitOpen`] until a half-open probe succeeds. Only
+//! genuine search failures count — sheds and deadline expiries say
+//! nothing about the shard's health.
 //!
 //! ## Telemetry
 //!
@@ -35,8 +60,10 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mheta_apps::{anchor_inputs, build_model};
 use mheta_dist::{portfolio_search, SpectrumPath, Strategy};
@@ -46,6 +73,7 @@ use mheta_obs::{
     FlightRecorder, RequestSource, RequestSpan, ServiceMetrics, StrategySpan, TraceContext,
 };
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::PlanCache;
 use crate::executor::Executor;
 use crate::request::PlanRequest;
@@ -75,6 +103,20 @@ pub enum PlanError {
     },
     /// Model construction or the search itself failed.
     Search(String),
+    /// The request's end-to-end deadline expired before any usable
+    /// incumbent plan existed. (A deadline that expires *mid-search*
+    /// returns the incumbent flagged [`PlanReply::degraded`] instead.)
+    DeadlineExceeded {
+        /// The budget the request arrived with, milliseconds.
+        budget_ms: u64,
+    },
+    /// The circuit breaker for this request's cache-key shard is open
+    /// after consecutive search failures there; the request was shed
+    /// fast without queueing. Retry after the suggested backoff.
+    CircuitOpen {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -84,6 +126,15 @@ impl fmt::Display for PlanError {
                 write!(f, "overloaded; retry after {retry_after_ms} ms")
             }
             PlanError::Search(msg) => write!(f, "search failed: {msg}"),
+            PlanError::DeadlineExceeded { budget_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded: {budget_ms} ms budget, no incumbent plan"
+                )
+            }
+            PlanError::CircuitOpen { retry_after_ms } => {
+                write!(f, "circuit open; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -101,6 +152,10 @@ pub struct PlanReply {
     pub key: u64,
     /// The trace this request was served under.
     pub trace: TraceContext,
+    /// The deadline expired mid-search: this is the best incumbent at
+    /// expiry, not the full-budget answer. Degraded plans are valid
+    /// (every incumbent passed the evaluator) but never cached.
+    pub degraded: bool,
 }
 
 /// Planner tuning.
@@ -127,6 +182,12 @@ pub struct PlannerConfig {
     pub recorder_capacity: usize,
     /// Flight-recorder lock stripes.
     pub recorder_stripes: usize,
+    /// Consecutive search failures (per cache-key shard) that trip the
+    /// circuit breaker; 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker shard stays open before admitting a
+    /// probe, milliseconds.
+    pub breaker_open_ms: u64,
 }
 
 impl Default for PlannerConfig {
@@ -141,6 +202,8 @@ impl Default for PlannerConfig {
             retry_after_ms: 50,
             recorder_capacity: 1024,
             recorder_stripes: 8,
+            breaker_threshold: 5,
+            breaker_open_ms: 1000,
         }
     }
 }
@@ -150,8 +213,10 @@ impl Default for PlannerConfig {
 /// it (on the error paths too).
 #[derive(Clone)]
 struct FlightOutput {
-    /// The plan and the search-stage duration, or the error.
-    result: Result<(Plan, u64), PlanError>,
+    /// The plan, the search-stage duration, and the degraded flag —
+    /// or the error. Followers inherit degradation: they asked for the
+    /// same plan the leader's interrupted search produced.
+    result: Result<(Plan, u64, bool), PlanError>,
     /// The leader's trace ID (never 0).
     leader_trace_id: u64,
 }
@@ -172,6 +237,9 @@ struct SearchAux {
     strategies: Vec<StrategySpan>,
     /// Whether a cancellation criterion tripped.
     cancelled: bool,
+    /// Whether the deadline criterion specifically tripped (the plan
+    /// is the incumbent at expiry, not the full-budget answer).
+    degraded: bool,
 }
 
 /// The resident planning service (in-process front end).
@@ -180,6 +248,7 @@ pub struct Planner {
     cache: PlanCache,
     flights: SingleFlight<FlightOutput>,
     executor: Executor,
+    breaker: CircuitBreaker,
     metrics: Arc<ServiceMetrics>,
     recorder: Option<Arc<FlightRecorder>>,
 }
@@ -192,6 +261,13 @@ impl Planner {
             cache: PlanCache::new(cfg.cache_shards, cfg.cache_capacity),
             flights: SingleFlight::new(),
             executor: Executor::new(cfg.workers, cfg.queue_capacity),
+            breaker: CircuitBreaker::new(
+                cfg.cache_shards,
+                BreakerConfig {
+                    failure_threshold: cfg.breaker_threshold,
+                    open_ms: cfg.breaker_open_ms,
+                },
+            ),
             metrics: Arc::new(ServiceMetrics::new()),
             recorder: (cfg.recorder_capacity > 0).then(|| {
                 Arc::new(FlightRecorder::new(
@@ -211,21 +287,38 @@ impl Planner {
         }
     }
 
-    /// Plan `req` under a freshly minted root trace. See
-    /// [`Planner::plan_traced`].
+    /// Plan `req` under a freshly minted root trace, with no deadline.
+    /// See [`Planner::plan_opts`].
     pub fn plan(&self, req: &PlanRequest) -> Result<PlanReply, PlanError> {
-        self.plan_traced(req, TraceContext::root())
+        self.plan_opts(req, TraceContext::root(), None)
     }
 
-    /// Plan `req` under `ctx`, going through cache → single-flight →
-    /// admission → portfolio search. Never blocks on a full queue:
-    /// overload is a structured [`PlanError::Overloaded`].
+    /// Plan `req` under `ctx`, with no deadline. See
+    /// [`Planner::plan_opts`].
     pub fn plan_traced(
         &self,
         req: &PlanRequest,
         ctx: TraceContext,
     ) -> Result<PlanReply, PlanError> {
+        self.plan_opts(req, ctx, None)
+    }
+
+    /// Plan `req` under `ctx` with an optional end-to-end `deadline`
+    /// budget, going through cache → single-flight → breaker →
+    /// admission → portfolio search. Never blocks on a full queue:
+    /// overload is a structured [`PlanError::Overloaded`]. The deadline
+    /// is operational state, not request content — it does not affect
+    /// the cache key, and two requests differing only in deadline still
+    /// coalesce.
+    pub fn plan_opts(
+        &self,
+        req: &PlanRequest,
+        ctx: TraceContext,
+        deadline: Option<Duration>,
+    ) -> Result<PlanReply, PlanError> {
         let t0 = self.metrics.now_ns();
+        let deadline_at = deadline.map(|d| Instant::now() + d);
+        let budget_ms = deadline.map_or(0, |d| d.as_millis() as u64);
         let canon = req.canonical_json();
         let key = crate::request::fnv1a64(canon.as_bytes());
         let label = req.label();
@@ -250,6 +343,7 @@ impl Planner {
                     source: RequestSource::Cache,
                     key,
                     trace: ctx,
+                    degraded: false,
                 });
             }
         }
@@ -269,7 +363,23 @@ impl Planner {
         if self.cfg.coalesce_enabled {
             match self.flights.enter(&canon) {
                 Entry::Follower(flight) => {
-                    let out = flight.wait();
+                    let Some(out) = flight.wait_until(deadline_at) else {
+                        // Our own deadline expired while the leader was
+                        // still searching. Give up quietly; the leader
+                        // keeps working for the rest of the coalition.
+                        self.metrics.on_deadline_exceeded();
+                        self.rec(
+                            &ctx,
+                            "deadline.exceeded",
+                            vec![
+                                ("key", Value::Str(id_hex(key))),
+                                ("budget_ms", Value::UInt(budget_ms)),
+                                ("stage", Value::Str("coalesced".into())),
+                            ],
+                        );
+                        self.record(&label, RequestSource::Failed, &ctx, 0, t0, 0, Vec::new());
+                        return Err(PlanError::DeadlineExceeded { budget_ms });
+                    };
                     self.rec(
                         &ctx,
                         "coalesce.follow",
@@ -279,7 +389,10 @@ impl Planner {
                         ],
                     );
                     match out.result {
-                        Ok((plan, _)) => {
+                        Ok((plan, _, degraded)) => {
+                            if degraded {
+                                self.metrics.on_degraded();
+                            }
                             self.record(
                                 &label,
                                 RequestSource::Coalesced,
@@ -294,12 +407,17 @@ impl Planner {
                                 source: RequestSource::Coalesced,
                                 key,
                                 trace: ctx,
+                                degraded,
                             })
                         }
                         Err(e) => {
                             let source = match e {
-                                PlanError::Overloaded { .. } => RequestSource::Shed,
-                                PlanError::Search(_) => RequestSource::Failed,
+                                PlanError::Overloaded { .. } | PlanError::CircuitOpen { .. } => {
+                                    RequestSource::Shed
+                                }
+                                PlanError::Search(_) | PlanError::DeadlineExceeded { .. } => {
+                                    RequestSource::Failed
+                                }
                             };
                             self.record(
                                 &label,
@@ -314,14 +432,34 @@ impl Planner {
                         }
                     }
                 }
-                Entry::Leader(flight) => self.lead(req, key, &canon, Some(flight), t0, &label, ctx),
+                Entry::Leader(flight) => self.lead(
+                    req,
+                    key,
+                    &canon,
+                    Some(flight),
+                    t0,
+                    &label,
+                    ctx,
+                    deadline_at,
+                    budget_ms,
+                ),
             }
         } else {
-            self.lead(req, key, &canon, None, t0, &label, ctx)
+            self.lead(
+                req,
+                key,
+                &canon,
+                None,
+                t0,
+                &label,
+                ctx,
+                deadline_at,
+                budget_ms,
+            )
         }
     }
 
-    /// Leader path: admit, search, cache, publish.
+    /// Leader path: breaker, admit, search, cache, publish.
     #[allow(clippy::too_many_arguments)]
     fn lead(
         &self,
@@ -332,15 +470,56 @@ impl Planner {
         t0: u64,
         label: &str,
         ctx: TraceContext,
+        deadline_at: Option<Instant>,
+        budget_ms: u64,
     ) -> Result<PlanReply, PlanError> {
+        if let Err(retry_after_ms) = self.breaker.admit(key, self.metrics.now_ns()) {
+            let err = PlanError::CircuitOpen { retry_after_ms };
+            self.rec(
+                &ctx,
+                "breaker.fastfail",
+                vec![
+                    ("key", Value::Str(id_hex(key))),
+                    ("retry_after_ms", Value::UInt(retry_after_ms)),
+                ],
+            );
+            // Publish the fast-fail to followers FIRST: they must
+            // never hang on a flight whose leader was never admitted.
+            if let Some(f) = &flight {
+                self.flights.complete(
+                    canon,
+                    f,
+                    FlightOutput {
+                        result: Err(err.clone()),
+                        leader_trace_id: ctx.trace_id,
+                    },
+                );
+            }
+            self.record(label, RequestSource::Shed, &ctx, 0, t0, 0, Vec::new());
+            return Err(err);
+        }
+
         let (tx, rx) = mpsc::channel::<SearchReport>();
         let job_req = req.clone();
         let job_metrics = Arc::clone(&self.metrics);
         let job = move || {
             let started_ns = job_metrics.now_ns();
+            // Expired while queued: don't burn a worker on a search
+            // whose client already gave up. No incumbent exists yet,
+            // so this is a true DeadlineExceeded, not a degraded plan.
+            if deadline_at.is_some_and(|d| Instant::now() >= d) {
+                let _ = tx.send(SearchReport {
+                    result: Err(PlanError::DeadlineExceeded { budget_ms }),
+                    started_ns,
+                    search_ns: 0,
+                });
+                return;
+            }
             job_metrics.on_search_started();
-            let result = catch_unwind(AssertUnwindSafe(|| run_search(&job_req)))
-                .unwrap_or_else(|_| Err(PlanError::Search("search worker panicked".into())));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_search(&job_req, deadline_at, budget_ms)
+            }))
+            .unwrap_or_else(|_| Err(PlanError::Search("search worker panicked".into())));
             let search_ns = job_metrics.now_ns().saturating_sub(started_ns);
             let _ = tx.send(SearchReport {
                 result,
@@ -383,11 +562,14 @@ impl Planner {
 
         let report = rx.recv().expect("worker always replies");
         let flight_result = match &report.result {
-            Ok((plan, _)) => Ok((plan.clone(), report.search_ns)),
+            Ok((plan, aux)) => Ok((plan.clone(), report.search_ns, aux.degraded)),
             Err(e) => Err(e.clone()),
         };
-        if let Ok((plan, _)) = &report.result {
-            if self.cfg.cache_enabled {
+        if let Ok((plan, aux)) = &report.result {
+            // Degraded plans are partial-budget incumbents; caching
+            // them would poison the key for future full-budget
+            // requests.
+            if self.cfg.cache_enabled && !aux.degraded {
                 self.cache.insert(key, canon, plan.clone());
             }
         }
@@ -402,6 +584,38 @@ impl Planner {
             );
         }
 
+        // Breaker health: only genuine search outcomes count. A
+        // deadline expiry says nothing about whether the shard's
+        // requests can succeed.
+        match &report.result {
+            Ok(_) => {
+                let closes_before = self.breaker.closes();
+                self.breaker.on_success(key);
+                if self.breaker.closes() > closes_before {
+                    self.rec(
+                        &ctx,
+                        "breaker.close",
+                        vec![("key", Value::Str(id_hex(key)))],
+                    );
+                }
+            }
+            Err(PlanError::Search(_)) => {
+                let trips_before = self.breaker.trips();
+                self.breaker.on_failure(key, self.metrics.now_ns());
+                if self.breaker.trips() > trips_before {
+                    self.rec(
+                        &ctx,
+                        "breaker.open",
+                        vec![
+                            ("key", Value::Str(id_hex(key))),
+                            ("open_ms", Value::UInt(self.cfg.breaker_open_ms)),
+                        ],
+                    );
+                }
+            }
+            Err(_) => {}
+        }
+
         match report.result {
             Ok((plan, aux)) => {
                 if aux.cancelled {
@@ -409,6 +623,18 @@ impl Planner {
                         &ctx,
                         "search.cancelled",
                         vec![("key", Value::Str(id_hex(key)))],
+                    );
+                }
+                if aux.degraded {
+                    self.metrics.on_degraded();
+                    self.rec(
+                        &ctx,
+                        "deadline.degraded",
+                        vec![
+                            ("key", Value::Str(id_hex(key))),
+                            ("budget_ms", Value::UInt(budget_ms)),
+                            ("total_evals", Value::UInt(plan.total_evals as u64)),
+                        ],
                     );
                 }
                 self.rec(
@@ -450,17 +676,31 @@ impl Planner {
                     source: RequestSource::Fresh,
                     key,
                     trace: ctx,
+                    degraded: aux.degraded,
                 })
             }
             Err(e) => {
-                self.rec(
-                    &ctx,
-                    "search.fail",
-                    vec![
-                        ("key", Value::Str(id_hex(key))),
-                        ("error", Value::Str(e.to_string())),
-                    ],
-                );
+                if matches!(e, PlanError::DeadlineExceeded { .. }) {
+                    self.metrics.on_deadline_exceeded();
+                    self.rec(
+                        &ctx,
+                        "deadline.exceeded",
+                        vec![
+                            ("key", Value::Str(id_hex(key))),
+                            ("budget_ms", Value::UInt(budget_ms)),
+                            ("stage", Value::Str("search".into())),
+                        ],
+                    );
+                } else {
+                    self.rec(
+                        &ctx,
+                        "search.fail",
+                        vec![
+                            ("key", Value::Str(id_hex(key))),
+                            ("error", Value::Str(e.to_string())),
+                        ],
+                    );
+                }
                 self.record(
                     label,
                     RequestSource::Failed,
@@ -516,6 +756,43 @@ impl Planner {
         n
     }
 
+    /// Snapshot the plan cache to `path` (`mheta-plancache/v1`,
+    /// atomic tmp + rename). Returns how many entries were saved.
+    pub fn save_snapshot(&self, path: &Path) -> std::io::Result<usize> {
+        let n = crate::snapshot::save(&self.cache, path)?;
+        if let Some(r) = &self.recorder {
+            r.record_kv(
+                None,
+                "snapshot.save",
+                vec![
+                    ("entries", Value::UInt(n as u64)),
+                    ("path", Value::Str(path.display().to_string())),
+                ],
+            );
+        }
+        Ok(n)
+    }
+
+    /// Warm-start the plan cache from the snapshot at `path`. Returns
+    /// how many entries were restored; any rejection (missing file,
+    /// truncation, checksum mismatch, schema mismatch) comes back as a
+    /// value — the caller cold-starts, never crashes.
+    pub fn load_snapshot(&self, path: &Path) -> Result<usize, crate::snapshot::SnapshotError> {
+        let entries = crate::snapshot::load(path)?;
+        let n = crate::snapshot::restore(&self.cache, entries);
+        if let Some(r) = &self.recorder {
+            r.record_kv(
+                None,
+                "snapshot.load",
+                vec![
+                    ("entries", Value::UInt(n as u64)),
+                    ("path", Value::Str(path.display().to_string())),
+                ],
+            );
+        }
+        Ok(n)
+    }
+
     /// The service metrics registry (counters, stage histograms, and
     /// the Perfetto request track).
     #[must_use]
@@ -527,6 +804,12 @@ impl Planner {
     #[must_use]
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The circuit breaker (state inspection and counters).
+    #[must_use]
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     /// The always-on flight recorder (`None` only when configured off).
@@ -560,8 +843,8 @@ impl Planner {
 
     /// The full Prometheus text-format exposition for this planner:
     /// the service registry (request/stage series) plus cache,
-    /// executor, and flight-recorder series. See DESIGN.md §12 for the
-    /// naming scheme.
+    /// executor, breaker, and flight-recorder series. See DESIGN.md
+    /// §12 for the naming scheme.
     #[must_use]
     pub fn prometheus(&self) -> String {
         let mut out = mheta_obs::service_text(&self.metrics);
@@ -608,6 +891,30 @@ impl Planner {
             &[],
             self.executor.queue_depth() as f64,
         );
+        p.counter(
+            "mheta_serve_breaker_trips_total",
+            "Circuit-breaker shard trips (closed to open).",
+            &[],
+            self.breaker.trips(),
+        );
+        p.counter(
+            "mheta_serve_breaker_closes_total",
+            "Circuit-breaker shard recoveries (back to closed).",
+            &[],
+            self.breaker.closes(),
+        );
+        p.counter(
+            "mheta_serve_breaker_fast_fails_total",
+            "Requests shed fast by an open breaker shard.",
+            &[],
+            self.breaker.fast_fails(),
+        );
+        p.gauge(
+            "mheta_serve_breaker_tripped_shards",
+            "Breaker shards currently open or probing.",
+            &[],
+            self.breaker.tripped_shards(self.metrics.now_ns()) as f64,
+        );
         if let Some(r) = &self.recorder {
             p.counter(
                 "mheta_serve_flight_written_total",
@@ -633,8 +940,8 @@ impl Planner {
     }
 
     /// Full service statistics: request counters and stage latencies,
-    /// cache counters, executor admission tallies, and flight-recorder
-    /// occupancy.
+    /// cache counters, executor admission tallies, breaker state, and
+    /// flight-recorder occupancy.
     #[must_use]
     pub fn stats(&self) -> Value {
         let recorder = match &self.recorder {
@@ -660,19 +967,33 @@ impl Planner {
                     ),
                 ]),
             ),
+            ("breaker", self.breaker.stats(self.metrics.now_ns())),
             ("recorder", recorder),
         ])
     }
 }
 
-/// Build the MHETA model for the request and run the portfolio search.
-fn run_search(req: &PlanRequest) -> Result<(Plan, SearchAux), PlanError> {
+/// Build the MHETA model for the request and run the portfolio search,
+/// with the request deadline (if any) as a cooperative cancellation
+/// criterion.
+fn run_search(
+    req: &PlanRequest,
+    deadline: Option<Instant>,
+    budget_ms: u64,
+) -> Result<(Plan, SearchAux), PlanError> {
     let model = build_model(&req.bench, &req.spec, req.prefetch)
         .map_err(|e| PlanError::Search(e.to_string()))?;
     let inputs = anchor_inputs(&model);
     let path = SpectrumPath::new(&inputs);
-    let out = portfolio_search(&path, &model, req.search.to_portfolio());
+    let mut cfg = req.search.to_portfolio();
+    cfg.deadline = deadline;
+    let out = portfolio_search(&path, &model, cfg);
     if !out.best.score_ns.is_finite() {
+        // The deadline fired before ANY candidate finished evaluating:
+        // nothing to degrade to.
+        if out.deadline_hit {
+            return Err(PlanError::DeadlineExceeded { budget_ms });
+        }
         return Err(PlanError::Search(
             "no candidate evaluated to a finite score".into(),
         ));
@@ -696,6 +1017,7 @@ fn run_search(req: &PlanRequest) -> Result<(Plan, SearchAux), PlanError> {
         SearchAux {
             strategies,
             cancelled: out.cancelled,
+            degraded: out.deadline_hit,
         },
     ))
 }

@@ -50,7 +50,10 @@ impl Default for SearchParams {
 }
 
 impl SearchParams {
-    /// The equivalent portfolio configuration.
+    /// The equivalent portfolio configuration. The deadline is not a
+    /// search *parameter* — it is per-request operational state (see
+    /// [`crate::planner::Planner::plan_opts`]) and deliberately absent
+    /// from both this struct and the canonical cache key.
     #[must_use]
     pub fn to_portfolio(&self) -> PortfolioConfig {
         PortfolioConfig {
@@ -60,6 +63,7 @@ impl SearchParams {
             max_total_evals: self.max_total_evals,
             stall_evals: self.stall_evals,
             target_ns: self.target_ns,
+            deadline: None,
         }
     }
 }

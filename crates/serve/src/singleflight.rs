@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// One in-flight computation's publication slot.
 pub struct Flight<T> {
@@ -30,12 +31,34 @@ impl<T: Clone> Flight<T> {
 
     /// Block until the leader publishes, then return the result.
     pub fn wait(&self) -> T {
+        self.wait_until(None).expect("untimed wait cannot expire")
+    }
+
+    /// Block until the leader publishes or `deadline` passes. `None`
+    /// means no deadline (never returns `None`); `Some(None)` return
+    /// means the deadline expired with the flight still unresolved —
+    /// the follower gives up *without* disturbing the leader, which
+    /// keeps working for the rest of the coalition.
+    pub fn wait_until(&self, deadline: Option<Instant>) -> Option<T> {
         let mut slot = self.slot.lock().expect("flight slot poisoned");
         loop {
             if let Some(v) = slot.as_ref() {
-                return v.clone();
+                return Some(v.clone());
             }
-            slot = self.done.wait(slot).expect("flight slot poisoned");
+            match deadline {
+                None => slot = self.done.wait(slot).expect("flight slot poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _) = self
+                        .done
+                        .wait_timeout(slot, d - now)
+                        .expect("flight slot poisoned");
+                    slot = guard;
+                }
+            }
         }
     }
 

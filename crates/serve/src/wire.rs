@@ -10,7 +10,7 @@
 //! ```json
 //! {"op":"ping"}
 //! {"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC",
-//!  "prefetch":false,"search":{"evals":64,"seed":7},
+//!  "prefetch":false,"search":{"evals":64,"seed":7},"deadline_ms":250,
 //!  "trace":{"trace_id":"4f2a...","span_id":"9c01..."}}
 //! {"op":"stats"}
 //! {"op":"metrics"}
@@ -22,18 +22,38 @@
 //! `arch` is a preset name (`DC`, `IO`, `HY1`, `HY2`) or `HOM<n>` for
 //! a homogeneous `n`-node cluster. The optional `search` object takes
 //! `evals` (per-strategy budget), `retries`, `seed`, `total_evals`,
-//! `stall`, and `target_ns`. The optional `trace` object propagates a
-//! client-minted trace context (hex IDs); without it the daemon mints
-//! a root trace per request. Either way the reply echoes `trace_id`,
-//! so the client can correlate its call with the daemon's span log,
-//! flight-recorder dump, and Perfetto export.
+//! `stall`, and `target_ns`. The optional `deadline_ms` is the
+//! request's end-to-end budget: when it expires mid-search the reply
+//! carries the best incumbent flagged `"degraded":true`; when it
+//! expires before any incumbent exists the error kind is `"deadline"`.
+//! The optional `trace` object propagates a client-minted trace
+//! context (hex IDs); without it the daemon mints a root trace per
+//! request. Either way the reply echoes `trace_id`, so the client can
+//! correlate its call with the daemon's span log, flight-recorder
+//! dump, and Perfetto export.
 //!
 //! A successful plan reply carries `"source"` — `"fresh"`, `"cache"`,
 //! or `"coalesced"` — so clients (and the CI smoke test) can verify
-//! cache behavior. A shed request gets
-//! `{"ok":false,"error":{"kind":"overloaded","retry_after_ms":N}}`,
-//! and the daemon logs a structured shed event to stderr (key hash,
-//! queue depth, suggested backoff) — sheds are never silent.
+//! cache behavior. Shed requests get structured errors the client can
+//! act on: `{"ok":false,"error":{"kind":"overloaded","retry_after_ms":N}}`
+//! when the queue is full, `{"kind":"circuit_open","retry_after_ms":N}`
+//! when the breaker for that request's shard is open, and
+//! `{"kind":"draining","retry_after_ms":N}` while the daemon drains
+//! toward shutdown. Every shed also logs a structured event to stderr
+//! — sheds are never silent.
+//!
+//! ## Lifecycle
+//!
+//! [`serve_with`] runs until [`Lifecycle::begin_drain`] fires (the
+//! `shutdown` op, or — in `pland` — SIGTERM/SIGINT). Draining keeps
+//! the listener open so late clients receive the structured
+//! `draining` error instead of a connection refusal; in-flight plan
+//! requests run to completion, bounded by the drain deadline. Control
+//! ops (`stats`, `metrics`, `dump`, `ping`) are still served during
+//! drain, so operators can observe the drain itself. Per-connection
+//! read/write timeouts bound how long a half-open client can hold a
+//! handler thread: a timed-out connection is dropped cleanly with one
+//! `conn.timeout` flight-recorder event, never a panic.
 //!
 //! `metrics` returns the Prometheus text exposition as a JSON string
 //! under `"prometheus"`; `dump` returns the flight-recorder document
@@ -41,9 +61,9 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mheta_obs::json::{self, from_str, opt_f64_field, opt_u64_field, str_field, Value};
 use mheta_obs::trace::{id_hex, parse_id};
@@ -56,9 +76,10 @@ use crate::request::{benchmark_by_name, cluster_by_name, PlanRequest, SearchPara
 #[derive(Debug, Clone)]
 pub enum WireOp {
     /// Plan an application on a cluster, optionally under a
-    /// client-propagated trace context.
-    Plan(Box<PlanRequest>, Option<TraceContext>),
-    /// Report service, cache, and executor statistics.
+    /// client-propagated trace context and an end-to-end deadline
+    /// budget (milliseconds).
+    Plan(Box<PlanRequest>, Option<TraceContext>, Option<u64>),
+    /// Report service, cache, executor, and breaker statistics.
     Stats,
     /// Render the Prometheus text-format exposition.
     Metrics,
@@ -68,7 +89,7 @@ pub enum WireOp {
     Invalidate,
     /// Liveness probe.
     Ping,
-    /// Stop the daemon.
+    /// Drain and stop the daemon.
     Shutdown,
 }
 
@@ -83,7 +104,14 @@ pub fn parse_request(line: &str) -> Result<WireOp, String> {
         "dump" => Ok(WireOp::Dump),
         "invalidate" => Ok(WireOp::Invalidate),
         "shutdown" => Ok(WireOp::Shutdown),
-        "plan" => Ok(WireOp::Plan(Box::new(parse_plan(&v)?), parse_trace(&v)?)),
+        "plan" => {
+            let deadline_ms = opt_u64_field(&v, "deadline_ms").map_err(|e| e.to_string())?;
+            Ok(WireOp::Plan(
+                Box::new(parse_plan(&v)?),
+                parse_trace(&v)?,
+                deadline_ms,
+            ))
+        }
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -160,6 +188,7 @@ pub fn plan_response(reply: &PlanReply) -> Value {
         ("source", Value::Str(reply.source.name().to_string())),
         ("key", Value::Str(format!("{:016x}", reply.key))),
         ("trace_id", Value::Str(reply.trace.trace_hex())),
+        ("degraded", Value::Bool(reply.degraded)),
         (
             "plan",
             Value::object(vec![
@@ -195,12 +224,37 @@ pub fn error_response(err: &PlanError, trace: Option<&TraceContext>) -> Value {
             ("kind", Value::Str("search".into())),
             ("message", Value::Str(msg.clone())),
         ]),
+        PlanError::DeadlineExceeded { budget_ms } => Value::object(vec![
+            ("kind", Value::Str("deadline".into())),
+            ("budget_ms", Value::UInt(*budget_ms)),
+        ]),
+        PlanError::CircuitOpen { retry_after_ms } => Value::object(vec![
+            ("kind", Value::Str("circuit_open".into())),
+            ("retry_after_ms", Value::UInt(*retry_after_ms)),
+        ]),
     };
     let mut fields = vec![("ok", Value::Bool(false)), ("error", error)];
     if let Some(t) = trace {
         fields.push(("trace_id", Value::Str(t.trace_hex())));
     }
     Value::object(fields)
+}
+
+/// Render the structured drain shed: the daemon is on its way down and
+/// the client should retry elsewhere (or here, after a restart) in
+/// `retry_after_ms`.
+#[must_use]
+pub fn draining_response(retry_after_ms: u64) -> Value {
+    Value::object(vec![
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            Value::object(vec![
+                ("kind", Value::Str("draining".into())),
+                ("retry_after_ms", Value::UInt(retry_after_ms)),
+            ]),
+        ),
+    ])
 }
 
 /// Render a protocol-level (parse/validation) error.
@@ -219,12 +273,19 @@ pub fn bad_request_response(msg: &str) -> Value {
 }
 
 /// Log one structured shed event to stderr: one JSON line with the
-/// request key hash, the queue depth at shed time, and the backoff the
-/// client was told. Sheds must be diagnosable from the daemon log
-/// alone — dropping them silently hides capacity incidents.
-fn log_shed(planner: &Planner, reply_key: u64, ctx: &TraceContext, retry_after_ms: u64) {
+/// shed kind, the request key hash, the queue depth at shed time, and
+/// the backoff the client was told. Sheds must be diagnosable from the
+/// daemon log alone — dropping them silently hides capacity incidents.
+fn log_shed(
+    planner: &Planner,
+    kind: &str,
+    reply_key: u64,
+    ctx: &TraceContext,
+    retry_after_ms: u64,
+) {
     let line = Value::object(vec![
         ("event", Value::Str("request.shed".into())),
+        ("kind", Value::Str(kind.to_string())),
         ("trace_id", Value::Str(ctx.trace_hex())),
         ("key", Value::Str(id_hex(reply_key))),
         ("queue_depth", Value::UInt(planner.queue_depth() as u64)),
@@ -234,7 +295,9 @@ fn log_shed(planner: &Planner, reply_key: u64, ctx: &TraceContext, retry_after_m
 }
 
 /// Execute one parsed op against the planner and render the response.
-/// Returns `(response, shutdown_requested)`.
+/// Returns `(response, shutdown_requested)`. Drain-awareness lives in
+/// the connection loop (which owns the [`Lifecycle`]); `handle` itself
+/// always serves.
 pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
     match op {
         WireOp::Ping => (
@@ -273,7 +336,7 @@ pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
             Value::object(vec![("ok", Value::Bool(true)), ("bye", Value::Bool(true))]),
             true,
         ),
-        WireOp::Plan(req, trace) => {
+        WireOp::Plan(req, trace, deadline_ms) => {
             // A propagated context becomes the parent of the daemon's
             // span; otherwise the daemon is the trace root.
             let ctx = match trace {
@@ -281,11 +344,18 @@ pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
                 None => TraceContext::root(),
             };
             let key = crate::request::fnv1a64(req.canonical_json().as_bytes());
-            let resp = match planner.plan_traced(req, ctx) {
+            let deadline = deadline_ms.map(Duration::from_millis);
+            let resp = match planner.plan_opts(req, ctx, deadline) {
                 Ok(reply) => plan_response(&reply),
                 Err(e) => {
-                    if let PlanError::Overloaded { retry_after_ms } = &e {
-                        log_shed(planner, key, &ctx, *retry_after_ms);
+                    match &e {
+                        PlanError::Overloaded { retry_after_ms } => {
+                            log_shed(planner, "overloaded", key, &ctx, *retry_after_ms);
+                        }
+                        PlanError::CircuitOpen { retry_after_ms } => {
+                            log_shed(planner, "circuit_open", key, &ctx, *retry_after_ms);
+                        }
+                        _ => {}
                     }
                     error_response(&e, Some(&ctx))
                 }
@@ -295,18 +365,141 @@ pub fn handle(planner: &Planner, op: &WireOp) -> (Value, bool) {
     }
 }
 
-fn handle_connection(stream: TcpStream, planner: &Planner, shutdown: &AtomicBool) {
+/// Daemon lifecycle tuning.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How long a drain waits for in-flight plan requests before the
+    /// daemon exits anyway, milliseconds.
+    pub drain_deadline_ms: u64,
+    /// Per-connection read timeout, milliseconds; 0 disables. A
+    /// half-open client that sends nothing for this long is dropped
+    /// cleanly instead of holding its handler thread forever.
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout, milliseconds; 0 disables.
+    pub write_timeout_ms: u64,
+    /// Backoff suggested to plan requests shed during drain,
+    /// milliseconds (roughly a restart's startup time).
+    pub drain_retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            drain_deadline_ms: 5_000,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            drain_retry_after_ms: 200,
+        }
+    }
+}
+
+/// Shared daemon lifecycle: the drain flag and the in-flight plan
+/// counter. `pland`'s signal watcher flips the flag on SIGTERM/SIGINT;
+/// the `shutdown` wire op flips it from a connection thread; the
+/// accept loop watches both it and the in-flight count.
+#[derive(Debug, Default)]
+pub struct Lifecycle {
+    draining: AtomicBool,
+    inflight: AtomicUsize,
+}
+
+impl Lifecycle {
+    /// A fresh (serving, idle) lifecycle.
+    #[must_use]
+    pub fn new() -> Self {
+        Lifecycle::default()
+    }
+
+    /// Flip into draining mode (idempotent). New plan requests are
+    /// shed with the structured `draining` error; in-flight ones run
+    /// to completion, bounded by the drain deadline.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Plan requests currently executing.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    fn enter_plan(&self) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn exit_plan(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn log_lifecycle_event(planner: &Planner, event: &'static str, detail: Vec<(&str, Value)>) {
+    let mut fields = vec![("event", Value::Str(event.to_string()))];
+    fields.extend(detail.iter().map(|(k, v)| (*k, v.clone())));
+    eprintln!("{}", Value::object(fields).to_json());
+    if let Some(r) = planner.recorder() {
+        r.record_kv(None, event, detail);
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    planner: &Planner,
+    lifecycle: &Lifecycle,
+    cfg: &ServeConfig,
+) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let reader = BufReader::new(stream);
     for line in reader.lines() {
-        let Ok(line) = line else { return };
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                // A read timeout is a clean disconnect of a half-open
+                // client, not a fault: one event, no panic.
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) {
+                    log_lifecycle_event(
+                        planner,
+                        "conn.timeout",
+                        vec![("read_timeout_ms", Value::UInt(cfg.read_timeout_ms))],
+                    );
+                }
+                return;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (response, stop) = match parse_request(&line) {
+            Ok(op @ WireOp::Plan(..)) => {
+                // Increment BEFORE checking the drain flag: the drain
+                // loop sets the flag first and reads the counter
+                // second, so every plan is either counted or shed —
+                // never silently raced past the drain.
+                lifecycle.enter_plan();
+                let out = if lifecycle.is_draining() {
+                    log_lifecycle_event(
+                        planner,
+                        "request.shed.draining",
+                        vec![("retry_after_ms", Value::UInt(cfg.drain_retry_after_ms))],
+                    );
+                    (draining_response(cfg.drain_retry_after_ms), false)
+                } else {
+                    handle(planner, &op)
+                };
+                lifecycle.exit_plan();
+                out
+            }
             Ok(op) => handle(planner, &op),
             Err(msg) => (bad_request_response(&msg), false),
         };
@@ -314,26 +507,83 @@ fn handle_connection(stream: TcpStream, planner: &Planner, shutdown: &AtomicBool
             return;
         }
         if stop {
-            shutdown.store(true, Ordering::SeqCst);
+            lifecycle.begin_drain();
             return;
         }
     }
 }
 
-/// Run the daemon accept loop until a client sends `shutdown`. The
-/// listener is switched to non-blocking so the loop can observe the
-/// shutdown flag promptly; each connection is served on its own
-/// thread.
+/// Run the daemon accept loop with a default lifecycle and config
+/// until a client sends `shutdown`. See [`serve_with`].
 pub fn serve(listener: TcpListener, planner: Arc<Planner>) -> std::io::Result<()> {
+    serve_with(
+        listener,
+        planner,
+        Arc::new(Lifecycle::new()),
+        ServeConfig::default(),
+    )
+}
+
+/// Run the daemon accept loop until `lifecycle` drains. The listener
+/// is non-blocking so the loop observes the drain flag promptly; each
+/// connection is served on its own thread with the configured
+/// read/write timeouts. During a drain the listener stays open (late
+/// plan requests get the structured `draining` error, control ops
+/// still work) until in-flight plans hit zero or the drain deadline
+/// passes.
+pub fn serve_with(
+    listener: TcpListener,
+    planner: Arc<Planner>,
+    lifecycle: Arc<Lifecycle>,
+    cfg: ServeConfig,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    while !shutdown.load(Ordering::SeqCst) {
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        if lifecycle.is_draining() {
+            let started = *drain_started.get_or_insert_with(|| {
+                log_lifecycle_event(
+                    &planner,
+                    "drain.begin",
+                    vec![
+                        ("in_flight", Value::UInt(lifecycle.in_flight() as u64)),
+                        ("drain_deadline_ms", Value::UInt(cfg.drain_deadline_ms)),
+                    ],
+                );
+                Instant::now()
+            });
+            let deadline = started + Duration::from_millis(cfg.drain_deadline_ms);
+            let in_flight = lifecycle.in_flight();
+            if in_flight == 0 || Instant::now() >= deadline {
+                log_lifecycle_event(
+                    &planner,
+                    "drain.end",
+                    vec![
+                        ("in_flight", Value::UInt(in_flight as u64)),
+                        (
+                            "elapsed_ms",
+                            Value::UInt(started.elapsed().as_millis() as u64),
+                        ),
+                    ],
+                );
+                return Ok(());
+            }
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
+                if cfg.read_timeout_ms > 0 {
+                    let _ =
+                        stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms)));
+                }
+                if cfg.write_timeout_ms > 0 {
+                    let _ =
+                        stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)));
+                }
                 let planner = Arc::clone(&planner);
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || handle_connection(stream, &planner, &shutdown));
+                let lifecycle = Arc::clone(&lifecycle);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || handle_connection(stream, &planner, &lifecycle, &cfg));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -341,7 +591,6 @@ pub fn serve(listener: TcpListener, planner: Arc<Planner>) -> std::io::Result<()
             Err(e) => return Err(e),
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -383,14 +632,15 @@ mod tests {
     fn parses_a_full_plan_request() {
         let op = parse_request(
             r#"{"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC",
-               "prefetch":true,"search":{"evals":32,"seed":9,"retries":2,
+               "prefetch":true,"deadline_ms":250,"search":{"evals":32,"seed":9,"retries":2,
                "total_evals":100,"stall":40,"target_ns":1.5}}"#,
         )
         .unwrap();
-        let WireOp::Plan(req, trace) = op else {
+        let WireOp::Plan(req, trace, deadline_ms) = op else {
             panic!("expected plan")
         };
         assert!(trace.is_none());
+        assert_eq!(deadline_ms, Some(250));
         assert_eq!(req.bench.name(), "Jacobi");
         assert_eq!(req.spec.name, "DC");
         assert!(req.prefetch);
@@ -409,11 +659,12 @@ mod tests {
                "trace":{"trace_id":"4f2adeadbeef0001","span_id":"9c01"}}"#,
         )
         .unwrap();
-        let WireOp::Plan(_, Some(t)) = op else {
+        let WireOp::Plan(_, Some(t), deadline_ms) = op else {
             panic!("expected traced plan")
         };
         assert_eq!(t.trace_id, 0x4f2a_dead_beef_0001);
         assert_eq!(t.span_id, 0x9c01);
+        assert_eq!(deadline_ms, None, "no deadline unless requested");
 
         let err = parse_request(
             r#"{"op":"plan","app":{"name":"cg"},"arch":"HOM4",
@@ -432,7 +683,9 @@ mod tests {
     #[test]
     fn plan_defaults_and_validation_errors() {
         let op = parse_request(r#"{"op":"plan","app":{"name":"cg"},"arch":"HOM4"}"#).unwrap();
-        let WireOp::Plan(req, _) = op else { panic!() };
+        let WireOp::Plan(req, _, _) = op else {
+            panic!()
+        };
         assert_eq!(req.bench.name(), "CG");
         assert_eq!(req.spec.len(), 4);
         assert!(!req.prefetch);
@@ -459,5 +712,48 @@ mod tests {
             back.get("trace_id").unwrap().as_str(),
             Some(ctx.trace_hex().as_str())
         );
+    }
+
+    #[test]
+    fn lifecycle_errors_render_structured_kinds() {
+        let v = error_response(&PlanError::DeadlineExceeded { budget_ms: 250 }, None);
+        let back = from_str(&v.to_json()).unwrap();
+        let error = back.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("deadline"));
+        assert_eq!(error.get("budget_ms").unwrap().as_u64(), Some(250));
+
+        let v = error_response(
+            &PlanError::CircuitOpen {
+                retry_after_ms: 900,
+            },
+            None,
+        );
+        let back = from_str(&v.to_json()).unwrap();
+        let error = back.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("circuit_open"));
+        assert_eq!(error.get("retry_after_ms").unwrap().as_u64(), Some(900));
+
+        let v = draining_response(200);
+        let back = from_str(&v.to_json()).unwrap();
+        assert_eq!(back.get("ok"), Some(&Value::Bool(false)));
+        let error = back.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("draining"));
+        assert_eq!(error.get("retry_after_ms").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn lifecycle_drain_is_idempotent_and_counts_inflight() {
+        let l = Lifecycle::new();
+        assert!(!l.is_draining());
+        assert_eq!(l.in_flight(), 0);
+        l.enter_plan();
+        l.enter_plan();
+        assert_eq!(l.in_flight(), 2);
+        l.begin_drain();
+        l.begin_drain();
+        assert!(l.is_draining());
+        l.exit_plan();
+        l.exit_plan();
+        assert_eq!(l.in_flight(), 0);
     }
 }

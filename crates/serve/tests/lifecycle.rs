@@ -1,0 +1,359 @@
+//! Request-lifecycle hardening, end to end: deadlines (degraded
+//! incumbents vs true expiry), the per-shard circuit breaker, graceful
+//! drain over the wire, and crash-safe snapshot warm starts.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mheta_obs::json::{from_str, Value};
+use mheta_obs::TraceContext;
+use mheta_serve::{
+    benchmark_by_name, snapshot, wire, BreakerState, Lifecycle, PlanError, PlanRequest, Planner,
+    PlannerConfig, SearchParams, ServeConfig,
+};
+use mheta_sim::presets;
+
+fn small_request(seed: u64) -> PlanRequest {
+    PlanRequest {
+        bench: benchmark_by_name("jacobi", "small").unwrap(),
+        prefetch: false,
+        spec: presets::dc(),
+        search: SearchParams {
+            seed,
+            max_evals_per_strategy: 24,
+            ..SearchParams::default()
+        },
+    }
+}
+
+/// A request whose search budget is far larger than any test deadline,
+/// so a deadline reliably expires mid-search.
+fn huge_request(seed: u64) -> PlanRequest {
+    PlanRequest {
+        search: SearchParams {
+            max_evals_per_strategy: 1_000_000,
+            ..small_request(seed).search
+        },
+        ..small_request(seed)
+    }
+}
+
+/// A request whose model construction always fails (negative CPU
+/// power fails `ClusterSpec` validation), deterministically producing
+/// `PlanError::Search`.
+fn doomed_request(seed: u64) -> PlanRequest {
+    let mut req = small_request(seed);
+    req.spec.nodes[0].cpu_power = -1.0;
+    req
+}
+
+#[test]
+fn mid_search_deadline_returns_the_incumbent_flagged_degraded() {
+    let planner = Planner::new(PlannerConfig::default());
+    let req = huge_request(17);
+    let reply = planner
+        .plan_opts(&req, TraceContext::root(), Some(Duration::from_millis(30)))
+        .expect("an incumbent exists by the time the deadline fires");
+    assert!(reply.degraded, "deadline interrupted the full budget");
+    assert_eq!(reply.source.name(), "fresh");
+    assert!(!reply.plan.rows.is_empty());
+    assert!(reply.plan.predicted_ns.is_finite());
+    assert_eq!(planner.metrics().degraded(), 1);
+    // Degraded plans must never poison the cache.
+    assert_eq!(
+        planner.cache().len(),
+        0,
+        "partial-budget incumbent was cached"
+    );
+}
+
+#[test]
+fn expired_deadline_with_no_incumbent_is_a_structured_error() {
+    let planner = Planner::new(PlannerConfig::default());
+    let req = small_request(23);
+    // A zero budget has expired by the time the job dequeues: the
+    // worker refuses to search and no incumbent can exist.
+    let err = planner
+        .plan_opts(&req, TraceContext::root(), Some(Duration::ZERO))
+        .unwrap_err();
+    assert_eq!(err, PlanError::DeadlineExceeded { budget_ms: 0 });
+    assert_eq!(planner.metrics().deadline_exceeded(), 1);
+    assert_eq!(
+        planner.metrics().searches(),
+        0,
+        "no worker time burned on an expired request"
+    );
+}
+
+#[test]
+fn deadline_does_not_change_the_cache_key() {
+    let planner = Planner::new(PlannerConfig::default());
+    let req = small_request(29);
+    let fresh = planner.plan(&req).unwrap();
+    // The same request WITH a (generous) deadline still hits the cache.
+    let cached = planner
+        .plan_opts(&req, TraceContext::root(), Some(Duration::from_secs(60)))
+        .unwrap();
+    assert_eq!(cached.source.name(), "cache");
+    assert_eq!(cached.key, fresh.key);
+    assert!(!cached.degraded);
+}
+
+#[test]
+fn consecutive_search_failures_trip_the_breaker_and_shed_fast() {
+    let planner = Planner::new(PlannerConfig {
+        breaker_threshold: 3,
+        breaker_open_ms: 60_000,
+        cache_shards: 1, // one shard: every key shares the breaker
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    });
+    let req = doomed_request(1);
+    for i in 0..3 {
+        let err = planner.plan(&req).unwrap_err();
+        assert!(
+            matches!(err, PlanError::Search(_)),
+            "attempt {i} fails the search itself: {err}"
+        );
+    }
+    assert_eq!(planner.breaker().trips(), 1);
+    // The fourth request sheds fast — no search, structured backoff.
+    let searches_before = planner.metrics().searches();
+    let err = planner.plan(&req).unwrap_err();
+    let PlanError::CircuitOpen { retry_after_ms } = err else {
+        panic!("expected CircuitOpen, got {err}");
+    };
+    assert!(retry_after_ms > 0 && retry_after_ms <= 60_000);
+    assert_eq!(planner.metrics().searches(), searches_before);
+    assert_eq!(planner.breaker().fast_fails(), 1);
+    // Shard granularity: a healthy request on the same (only) shard is
+    // shed by association while the breaker is open.
+    let err = planner.plan(&small_request(2)).unwrap_err();
+    assert!(matches!(err, PlanError::CircuitOpen { .. }), "{err}");
+}
+
+#[test]
+fn half_open_probe_success_closes_the_breaker() {
+    let planner = Planner::new(PlannerConfig {
+        breaker_threshold: 2,
+        breaker_open_ms: 0, // the window expires immediately: next admit probes
+        cache_shards: 1,
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    });
+    let bad = doomed_request(3);
+    for _ in 0..2 {
+        let _ = planner.plan(&bad).unwrap_err();
+    }
+    assert_eq!(planner.breaker().trips(), 1);
+    // The next request is the half-open probe; it is healthy, so it
+    // runs and closes the breaker.
+    let reply = planner.plan(&small_request(4)).unwrap();
+    assert_eq!(reply.source.name(), "fresh");
+    assert_eq!(planner.breaker().closes(), 1);
+    assert_eq!(
+        planner.breaker().state(0, planner.metrics().now_ns()),
+        BreakerState::Closed
+    );
+    assert_eq!(planner.breaker().probes(), 1);
+}
+
+#[test]
+fn wire_deadline_zero_returns_the_deadline_error_kind() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let planner = Arc::new(Planner::new(PlannerConfig::default()));
+    let server = std::thread::spawn(move || wire::serve(listener, planner));
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut round_trip = |req: &str| -> Value {
+        writeln!(writer, "{req}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        from_str(line.trim_end()).expect("daemon speaks JSON")
+    };
+
+    let v = round_trip(
+        r#"{"op":"plan","app":{"name":"jacobi","size":"small"},"arch":"DC","deadline_ms":0,"search":{"evals":24,"seed":5}}"#,
+    );
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+    let error = v.get("error").unwrap();
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("deadline"));
+    assert_eq!(error.get("budget_ms").unwrap().as_u64(), Some(0));
+
+    let bye = round_trip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok"), Some(&Value::Bool(true)));
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn drain_sheds_new_plans_finishes_inflight_and_exits() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let planner = Arc::new(Planner::new(PlannerConfig::default()));
+    let lifecycle = Arc::new(Lifecycle::new());
+    let server = {
+        let planner = Arc::clone(&planner);
+        let lifecycle = Arc::clone(&lifecycle);
+        std::thread::spawn(move || {
+            wire::serve_with(
+                listener,
+                planner,
+                lifecycle,
+                ServeConfig {
+                    drain_deadline_ms: 5_000,
+                    ..ServeConfig::default()
+                },
+            )
+        })
+    };
+
+    // Connection A: a slow plan (huge budget, bounded by its own
+    // deadline) that is still in flight when the drain begins.
+    let slow = TcpStream::connect(addr).unwrap();
+    let mut slow_writer = slow.try_clone().unwrap();
+    writeln!(
+        slow_writer,
+        r#"{{"op":"plan","app":{{"name":"jacobi","size":"small"}},"arch":"DC","deadline_ms":500,"search":{{"evals":1000000,"seed":6}}}}"#
+    )
+    .unwrap();
+    slow_writer.flush().unwrap();
+    // Let it reach the planner before draining.
+    while lifecycle.in_flight() == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    lifecycle.begin_drain();
+
+    // Connection B: a new plan is shed with the structured draining
+    // error, but control ops still work.
+    let b = TcpStream::connect(addr).unwrap();
+    let mut b_writer = b.try_clone().unwrap();
+    let mut b_reader = BufReader::new(b);
+    let mut round_trip = |req: &str| -> Value {
+        writeln!(b_writer, "{req}").unwrap();
+        b_writer.flush().unwrap();
+        let mut line = String::new();
+        b_reader.read_line(&mut line).unwrap();
+        from_str(line.trim_end()).expect("daemon speaks JSON")
+    };
+    let shed = round_trip(
+        r#"{"op":"plan","app":{"name":"cg","size":"small"},"arch":"DC","search":{"evals":24,"seed":7}}"#,
+    );
+    assert_eq!(shed.get("ok"), Some(&Value::Bool(false)));
+    let error = shed.get("error").unwrap();
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("draining"));
+    assert!(error.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+    let stats = round_trip(r#"{"op":"stats"}"#);
+    assert_eq!(
+        stats.get("ok"),
+        Some(&Value::Bool(true)),
+        "control ops served during drain"
+    );
+
+    // The in-flight request finishes with an answer (its own deadline
+    // degrades it rather than the drain killing it).
+    let mut slow_line = String::new();
+    BufReader::new(slow).read_line(&mut slow_line).unwrap();
+    let slow_reply = from_str(slow_line.trim_end()).unwrap();
+    assert_eq!(slow_reply.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(slow_reply.get("degraded"), Some(&Value::Bool(true)));
+
+    // And the accept loop exits once in-flight hits zero.
+    server.join().unwrap().unwrap();
+    assert_eq!(lifecycle.in_flight(), 0);
+}
+
+#[test]
+fn idle_connections_time_out_cleanly() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let planner = Arc::new(Planner::new(PlannerConfig::default()));
+    let lifecycle = Arc::new(Lifecycle::new());
+    let server = {
+        let planner = Arc::clone(&planner);
+        let lifecycle = Arc::clone(&lifecycle);
+        std::thread::spawn(move || {
+            wire::serve_with(
+                listener,
+                planner,
+                lifecycle,
+                ServeConfig {
+                    read_timeout_ms: 100,
+                    ..ServeConfig::default()
+                },
+            )
+        })
+    };
+
+    // A half-open client: connects, sends nothing. The daemon must
+    // drop it after the read timeout instead of pinning a thread.
+    let mut idle = TcpStream::connect(addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 16];
+    let n = idle.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server closed the idle connection");
+
+    // The daemon is still fully alive for real clients.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"op":"ping"}}"#).unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let pong = from_str(line.trim_end()).unwrap();
+    assert_eq!(pong.get("ok"), Some(&Value::Bool(true)));
+
+    lifecycle.begin_drain();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn snapshot_warm_start_serves_the_first_request_from_cache() {
+    let dir = std::env::temp_dir().join(format!("mheta-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plancache.json");
+
+    // First "boot": plan, then snapshot on the way down.
+    let first = Planner::new(PlannerConfig::default());
+    let req = small_request(37);
+    let fresh = first.plan(&req).unwrap();
+    assert_eq!(fresh.source.name(), "fresh");
+    assert_eq!(first.save_snapshot(&path).unwrap(), 1);
+
+    // Second "boot": warm-start, and the same request is a cache hit
+    // with a bitwise-identical plan — no search runs.
+    let second = Planner::new(PlannerConfig::default());
+    assert_eq!(second.load_snapshot(&path).unwrap(), 1);
+    let warm = second.plan(&req).unwrap();
+    assert_eq!(warm.source.name(), "cache");
+    assert_eq!(warm.plan.rows, fresh.plan.rows);
+    assert_eq!(
+        warm.plan.predicted_ns.to_bits(),
+        fresh.plan.predicted_ns.to_bits()
+    );
+    assert_eq!(second.metrics().searches(), 0);
+
+    // Corrupt the file: the next boot rejects it as a value and cold
+    // starts — never a crash, never a wrong plan.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, text.replacen(":", ";", 1)).unwrap();
+    let third = Planner::new(PlannerConfig::default());
+    let err = third.load_snapshot(&path).unwrap_err();
+    assert!(
+        matches!(err, snapshot::SnapshotError::Malformed(_)),
+        "{err}"
+    );
+    let cold = third.plan(&req).unwrap();
+    assert_eq!(cold.source.name(), "fresh");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
