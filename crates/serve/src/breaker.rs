@@ -25,7 +25,11 @@
 //!   remaining until the next probe as `retry_after_ms`.
 //! * **HalfOpen** — exactly one probe request is admitted; concurrent
 //!   requests keep shedding until the probe reports. Success closes
-//!   the breaker, failure re-opens it for another full window.
+//!   the breaker, failure re-opens it for another full window. A probe
+//!   that ends with *no* search verdict — shed on a full queue, or its
+//!   deadline expired first — must call [`CircuitBreaker::on_abandoned`]
+//!   to release the probe slot, or the shard would wait forever for a
+//!   report that is never coming and fast-fail every future request.
 //!
 //! Time is injected by the caller (nanoseconds on the planner's
 //! metrics clock), so every transition is a pure function of
@@ -228,6 +232,29 @@ impl CircuitBreaker {
         }
     }
 
+    /// Report that an admitted request ended without a search verdict:
+    /// it was shed on a full executor queue, or its deadline expired
+    /// before the search reported. Says nothing about the shard's
+    /// health, but if the request held the half-open probe slot it
+    /// must be released so the next request can probe — otherwise the
+    /// shard stays `HalfOpen` with a phantom probe forever.
+    pub fn on_abandoned(&self, key: u64) {
+        if self.cfg.failure_threshold == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("breaker shard poisoned");
+        if matches!(
+            *shard,
+            Shard::HalfOpen {
+                probe_in_flight: true
+            }
+        ) {
+            *shard = Shard::HalfOpen {
+                probe_in_flight: false,
+            };
+        }
+    }
+
     /// The state of `key`'s shard as of `now_ns` (an open window past
     /// its expiry reports `HalfOpen`, matching what the next `admit`
     /// would do).
@@ -241,19 +268,18 @@ impl CircuitBreaker {
         }
     }
 
-    /// Shards currently tripped (open or probing), at `now_ns`.
+    /// Shards actively tripped at `now_ns`: an open window still
+    /// running, or a half-open probe in flight. An expired-but-idle
+    /// window does not count — the next request there is admitted as
+    /// the probe, so the shard is no longer shedding anything.
     #[must_use]
     pub fn tripped_shards(&self, now_ns: u64) -> usize {
         self.shards
             .iter()
-            .filter(|s| {
-                !matches!(
-                    *s.lock().expect("breaker shard poisoned"),
-                    Shard::Closed { .. }
-                ) && {
-                    let _ = now_ns;
-                    true
-                }
+            .filter(|s| match *s.lock().expect("breaker shard poisoned") {
+                Shard::Closed { .. } => false,
+                Shard::Open { until_ns } => now_ns < until_ns,
+                Shard::HalfOpen { probe_in_flight } => probe_in_flight,
             })
             .count()
     }
@@ -371,6 +397,50 @@ mod tests {
         b.on_failure(0, after);
         assert_eq!(b.state(0, after + 99 * MS), BreakerState::Open);
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn abandoned_probe_releases_the_slot() {
+        let b = breaker();
+        for i in 0..3 {
+            b.on_failure(0, i);
+        }
+        let after = 101 * MS;
+        assert_eq!(b.admit(0, after), Ok(()), "probe admitted");
+        assert!(b.admit(0, after).is_err(), "slot held while probing");
+        // The probe ends without a verdict (shed / deadline): the slot
+        // must come back, or the shard fast-fails forever.
+        b.on_abandoned(0);
+        assert_eq!(b.admit(0, after), Ok(()), "released slot re-probes");
+        assert_eq!(b.probes(), 2);
+        b.on_success(0);
+        assert_eq!(b.state(0, after), BreakerState::Closed);
+    }
+
+    #[test]
+    fn abandon_outside_a_probe_changes_nothing() {
+        let b = breaker();
+        b.on_failure(0, 0);
+        b.on_abandoned(0);
+        assert_eq!(b.state(0, MS), BreakerState::Closed);
+        // The failure count survives the abandon: two more trip it.
+        b.on_failure(0, MS);
+        b.on_failure(0, 2 * MS);
+        assert_eq!(b.state(0, 3 * MS), BreakerState::Open);
+    }
+
+    #[test]
+    fn tripped_shards_excludes_expired_idle_windows() {
+        let b = breaker();
+        for i in 0..3 {
+            b.on_failure(0, i);
+        }
+        assert_eq!(b.tripped_shards(50 * MS), 1, "window still running");
+        assert_eq!(b.tripped_shards(101 * MS), 0, "expired and idle");
+        assert_eq!(b.admit(0, 101 * MS), Ok(()));
+        assert_eq!(b.tripped_shards(101 * MS), 1, "probe in flight");
+        b.on_abandoned(0);
+        assert_eq!(b.tripped_shards(101 * MS), 0, "probe released, idle");
     }
 
     #[test]

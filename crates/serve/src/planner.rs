@@ -35,7 +35,11 @@
 //! [`PlanReply::degraded`]; [`PlanError::DeadlineExceeded`] is reserved
 //! for the case where no incumbent exists at all. Degraded plans are
 //! never cached — they are partial-budget answers and would poison the
-//! key for future full-budget requests.
+//! key for future full-budget requests. They are also never silently
+//! handed to a caller that did not opt in: a deadline-free follower
+//! coalesced onto a flight whose leader degraded re-enters the
+//! pipeline (cache probe, then a fresh flight) instead of inheriting
+//! the partial answer.
 //!
 //! ## Circuit breaker
 //!
@@ -214,8 +218,9 @@ impl Default for PlannerConfig {
 #[derive(Clone)]
 struct FlightOutput {
     /// The plan, the search-stage duration, and the degraded flag —
-    /// or the error. Followers inherit degradation: they asked for the
-    /// same plan the leader's interrupted search produced.
+    /// or the error. Deadlined followers inherit degradation (bounded
+    /// latency is what they asked for); deadline-free followers of a
+    /// degraded flight retry instead of accepting the partial answer.
     result: Result<(Plan, u64, bool), PlanError>,
     /// The leader's trace ID (never 0).
     leader_trace_id: u64,
@@ -361,88 +366,136 @@ impl Planner {
         }
 
         if self.cfg.coalesce_enabled {
-            match self.flights.enter(&canon) {
-                Entry::Follower(flight) => {
-                    let Some(out) = flight.wait_until(deadline_at) else {
-                        // Our own deadline expired while the leader was
-                        // still searching. Give up quietly; the leader
-                        // keeps working for the rest of the coalition.
-                        self.metrics.on_deadline_exceeded();
+            loop {
+                match self.flights.enter(&canon) {
+                    Entry::Follower(flight) => {
+                        let Some(out) = flight.wait_until(deadline_at) else {
+                            // Our own deadline expired while the leader was
+                            // still searching. Give up quietly; the leader
+                            // keeps working for the rest of the coalition.
+                            self.metrics.on_deadline_exceeded();
+                            self.rec(
+                                &ctx,
+                                "deadline.exceeded",
+                                vec![
+                                    ("key", Value::Str(id_hex(key))),
+                                    ("budget_ms", Value::UInt(budget_ms)),
+                                    ("stage", Value::Str("coalesced".into())),
+                                ],
+                            );
+                            self.record(&label, RequestSource::Failed, &ctx, 0, t0, 0, Vec::new());
+                            return Err(PlanError::DeadlineExceeded { budget_ms });
+                        };
                         self.rec(
                             &ctx,
-                            "deadline.exceeded",
+                            "coalesce.follow",
                             vec![
                                 ("key", Value::Str(id_hex(key))),
-                                ("budget_ms", Value::UInt(budget_ms)),
-                                ("stage", Value::Str("coalesced".into())),
+                                ("leader_trace_id", Value::Str(id_hex(out.leader_trace_id))),
                             ],
                         );
-                        self.record(&label, RequestSource::Failed, &ctx, 0, t0, 0, Vec::new());
-                        return Err(PlanError::DeadlineExceeded { budget_ms });
-                    };
-                    self.rec(
-                        &ctx,
-                        "coalesce.follow",
-                        vec![
-                            ("key", Value::Str(id_hex(key))),
-                            ("leader_trace_id", Value::Str(id_hex(out.leader_trace_id))),
-                        ],
-                    );
-                    match out.result {
-                        Ok((plan, _, degraded)) => {
-                            if degraded {
-                                self.metrics.on_degraded();
+                        match out.result {
+                            Ok((plan, _, degraded)) => {
+                                if degraded && deadline_at.is_none() {
+                                    // This caller asked for the full-budget
+                                    // answer; the leader's own deadline cut
+                                    // the search short. Inheriting the
+                                    // incumbent would silently hand a
+                                    // partial-budget plan to a request that
+                                    // never opted into one — go around
+                                    // again instead (cache first: a
+                                    // full-budget leader may have finished
+                                    // while we waited; otherwise re-enter
+                                    // the flight, leading it ourselves if
+                                    // nobody else is searching).
+                                    self.rec(
+                                        &ctx,
+                                        "coalesce.degraded_retry",
+                                        vec![
+                                            ("key", Value::Str(id_hex(key))),
+                                            (
+                                                "leader_trace_id",
+                                                Value::Str(id_hex(out.leader_trace_id)),
+                                            ),
+                                        ],
+                                    );
+                                    if self.cfg.cache_enabled {
+                                        if let Some(plan) = self.cache.get(key, &canon) {
+                                            self.record(
+                                                &label,
+                                                RequestSource::Cache,
+                                                &ctx,
+                                                out.leader_trace_id,
+                                                t0,
+                                                0,
+                                                Vec::new(),
+                                            );
+                                            return Ok(PlanReply {
+                                                plan,
+                                                source: RequestSource::Cache,
+                                                key,
+                                                trace: ctx,
+                                                degraded: false,
+                                            });
+                                        }
+                                    }
+                                    continue;
+                                }
+                                if degraded {
+                                    self.metrics.on_degraded();
+                                }
+                                self.record(
+                                    &label,
+                                    RequestSource::Coalesced,
+                                    &ctx,
+                                    out.leader_trace_id,
+                                    t0,
+                                    0,
+                                    Vec::new(),
+                                );
+                                return Ok(PlanReply {
+                                    plan,
+                                    source: RequestSource::Coalesced,
+                                    key,
+                                    trace: ctx,
+                                    degraded,
+                                });
                             }
-                            self.record(
-                                &label,
-                                RequestSource::Coalesced,
-                                &ctx,
-                                out.leader_trace_id,
-                                t0,
-                                0,
-                                Vec::new(),
-                            );
-                            Ok(PlanReply {
-                                plan,
-                                source: RequestSource::Coalesced,
-                                key,
-                                trace: ctx,
-                                degraded,
-                            })
-                        }
-                        Err(e) => {
-                            let source = match e {
-                                PlanError::Overloaded { .. } | PlanError::CircuitOpen { .. } => {
-                                    RequestSource::Shed
-                                }
-                                PlanError::Search(_) | PlanError::DeadlineExceeded { .. } => {
-                                    RequestSource::Failed
-                                }
-                            };
-                            self.record(
-                                &label,
-                                source,
-                                &ctx,
-                                out.leader_trace_id,
-                                t0,
-                                0,
-                                Vec::new(),
-                            );
-                            Err(e)
+                            Err(e) => {
+                                let source = match e {
+                                    PlanError::Overloaded { .. }
+                                    | PlanError::CircuitOpen { .. } => RequestSource::Shed,
+                                    PlanError::Search(_) | PlanError::DeadlineExceeded { .. } => {
+                                        RequestSource::Failed
+                                    }
+                                };
+                                self.record(
+                                    &label,
+                                    source,
+                                    &ctx,
+                                    out.leader_trace_id,
+                                    t0,
+                                    0,
+                                    Vec::new(),
+                                );
+                                return Err(e);
+                            }
                         }
                     }
+                    Entry::Leader(flight) => {
+                        return self.lead(
+                            req,
+                            key,
+                            &canon,
+                            Some(flight),
+                            t0,
+                            &label,
+                            ctx,
+                            deadline_at,
+                            budget_ms,
+                        )
+                    }
                 }
-                Entry::Leader(flight) => self.lead(
-                    req,
-                    key,
-                    &canon,
-                    Some(flight),
-                    t0,
-                    &label,
-                    ctx,
-                    deadline_at,
-                    budget_ms,
-                ),
             }
         } else {
             self.lead(
@@ -529,6 +582,10 @@ impl Planner {
         };
 
         if self.executor.try_submit(job).is_err() {
+            // The breaker admitted us but no search will run: if we
+            // held the half-open probe slot, give it back so the next
+            // request can probe instead of fast-failing forever.
+            self.breaker.on_abandoned(key);
             let err = PlanError::Overloaded {
                 retry_after_ms: self.cfg.retry_after_ms,
             };
@@ -613,7 +670,13 @@ impl Planner {
                     );
                 }
             }
-            Err(_) => {}
+            Err(_) => {
+                // Neither a success nor a search failure (deadline
+                // expired before or during the search): no verdict on
+                // shard health, but the probe slot — if this request
+                // held it — must be released.
+                self.breaker.on_abandoned(key);
+            }
         }
 
         match report.result {
@@ -911,7 +974,7 @@ impl Planner {
         );
         p.gauge(
             "mheta_serve_breaker_tripped_shards",
-            "Breaker shards currently open or probing.",
+            "Breaker shards currently shedding (open window running) or mid-probe.",
             &[],
             self.breaker.tripped_shards(self.metrics.now_ns()) as f64,
         );

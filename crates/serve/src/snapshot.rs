@@ -18,9 +18,11 @@
 //!
 //! Three properties make it crash-safe:
 //!
-//! * **Atomic replace** — [`save`] writes to a `.tmp` sibling and
-//!   renames it over the target, so a crash mid-write leaves either
-//!   the old snapshot or the new one, never a torn file.
+//! * **Atomic replace** — [`save`] writes to a `.tmp` sibling, fsyncs
+//!   it, renames it over the target, and fsyncs the directory, so
+//!   neither a crash mid-write nor a power loss right after the rename
+//!   leaves a torn or empty file — always the old snapshot or the new
+//!   one, whole.
 //! * **Self-verifying** — the checksum is FNV-1a-64 over the payload's
 //!   canonical compact rendering. [`load`] re-renders the parsed
 //!   payload and recomputes; any truncation or byte flip either breaks
@@ -165,8 +167,9 @@ pub fn snapshot_value(cache: &PlanCache) -> Value {
     ])
 }
 
-/// Save the cache to `path` atomically (write a `.tmp` sibling, then
-/// rename over the target). Returns the number of entries saved.
+/// Save the cache to `path` atomically (write a `.tmp` sibling, fsync
+/// it, rename over the target, fsync the directory). Returns the
+/// number of entries saved.
 pub fn save(cache: &PlanCache, path: &Path) -> io::Result<usize> {
     let doc = snapshot_value(cache);
     let n = doc
@@ -175,8 +178,20 @@ pub fn save(cache: &PlanCache, path: &Path) -> io::Result<usize> {
         .and_then(Value::as_array)
         .map_or(0, <[Value]>::len);
     let tmp = path.with_extension("tmp");
-    fs::write(&tmp, doc.to_json())?;
+    {
+        let mut f = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, doc.to_json().as_bytes())?;
+        // Without this, a power loss can make the rename durable while
+        // the data is not, leaving a truncated snapshot behind the new
+        // name (the loader rejects it, but the warm start is lost).
+        f.sync_all()?;
+    }
     fs::rename(&tmp, path)?;
+    // And make the rename itself durable: fsync the parent directory.
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::File::open(dir)?.sync_all()?;
+    }
     Ok(n)
 }
 

@@ -163,6 +163,100 @@ fn half_open_probe_success_closes_the_breaker() {
 }
 
 #[test]
+fn shed_probe_releases_the_breaker_slot() {
+    let planner = Planner::new(PlannerConfig {
+        breaker_threshold: 1,
+        breaker_open_ms: 0, // the window expires immediately: next admit probes
+        queue_capacity: 0,  // every admission sheds
+        cache_shards: 1,
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    });
+    // Trip the only shard directly; the zero window has already expired.
+    planner.breaker().on_failure(0, planner.metrics().now_ns());
+    // The next request is admitted as the half-open probe, then shed on
+    // the full queue before any search runs. The probe slot must be
+    // released: without it the shard would answer CircuitOpen forever.
+    let err = planner.plan(&small_request(41)).unwrap_err();
+    assert!(matches!(err, PlanError::Overloaded { .. }), "{err}");
+    let err = planner.plan(&small_request(42)).unwrap_err();
+    assert!(
+        matches!(err, PlanError::Overloaded { .. }),
+        "probe slot leaked: {err}"
+    );
+}
+
+#[test]
+fn deadline_expired_probe_releases_the_breaker_slot() {
+    let planner = Planner::new(PlannerConfig {
+        breaker_threshold: 1,
+        breaker_open_ms: 0,
+        cache_shards: 1,
+        cache_enabled: false,
+        coalesce_enabled: false,
+        ..PlannerConfig::default()
+    });
+    planner.breaker().on_failure(0, planner.metrics().now_ns());
+    // The probe's zero budget expires while queued: it ends with
+    // DeadlineExceeded — no verdict on shard health, but the slot must
+    // come back.
+    let err = planner
+        .plan_opts(
+            &small_request(43),
+            TraceContext::root(),
+            Some(Duration::ZERO),
+        )
+        .unwrap_err();
+    assert_eq!(err, PlanError::DeadlineExceeded { budget_ms: 0 });
+    // The shard recovers through the next (healthy) probe instead of
+    // fast-failing until restart.
+    let reply = planner.plan(&small_request(44)).unwrap();
+    assert_eq!(reply.source.name(), "fresh");
+    assert_eq!(
+        planner.breaker().state(0, planner.metrics().now_ns()),
+        BreakerState::Closed
+    );
+}
+
+#[test]
+fn deadline_free_follower_of_a_degraded_flight_is_not_degraded() {
+    let planner = Arc::new(Planner::new(PlannerConfig::default()));
+    // Big enough that the full search far outlasts the leader's 15 ms
+    // deadline, small enough that the follower's full-budget re-run
+    // stays test-sized.
+    let req = PlanRequest {
+        search: SearchParams {
+            max_evals_per_strategy: 50_000,
+            ..small_request(47).search
+        },
+        ..small_request(47)
+    };
+    let leader = {
+        let planner = Arc::clone(&planner);
+        let req = req.clone();
+        std::thread::spawn(move || {
+            planner.plan_opts(&req, TraceContext::root(), Some(Duration::from_millis(15)))
+        })
+    };
+    // Join the flight once the leader's search is actually running.
+    while planner.metrics().searches() == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let follower = planner.plan(&req).unwrap();
+    let leader_reply = leader.join().unwrap().unwrap();
+    assert!(leader_reply.degraded, "leader's deadline cut its search");
+    // The follower never opted into a deadline: inheriting the
+    // leader's partial-budget incumbent would silently short-change
+    // it. It must come back with a full-budget (or cached) answer.
+    assert!(
+        !follower.degraded,
+        "full-budget caller received a degraded plan"
+    );
+    assert!(follower.plan.predicted_ns.is_finite());
+}
+
+#[test]
 fn wire_deadline_zero_returns_the_deadline_error_kind() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();

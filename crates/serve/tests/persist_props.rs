@@ -134,12 +134,13 @@ proptest! {
     }
 
     /// The breaker tracks a reference state machine under arbitrary
-    /// sequences of successes, failures, and clock advances.
+    /// sequences of successes, failures, abandons (a request admitted
+    /// but ending with no search verdict), and clock advances.
     #[test]
     fn breaker_matches_reference_model(
         threshold in 1u32..5,
         open_ms in 1u64..50,
-        events in proptest::collection::vec(0u8..3, 1..120),
+        events in proptest::collection::vec(0u8..4, 1..120),
     ) {
         let breaker = CircuitBreaker::new(1, BreakerConfig { failure_threshold: threshold, open_ms });
 
@@ -186,6 +187,26 @@ proptest! {
                             Model::Closed { fails } => Model::Closed { fails: fails + 1 },
                             _ => Model::Open { until: now + open_ms * 1_000_000 },
                         };
+                    }
+                }
+                2 => {
+                    // A request arrives: admit, then abandon if admitted
+                    // (shed on a full queue / deadline expired — no
+                    // search verdict, but the probe slot is released).
+                    let admitted = breaker.admit(0, now).is_ok();
+                    let model_admits = match model {
+                        Model::Closed { .. } => true,
+                        Model::Open { until } if now >= until => { model = Model::HalfOpen { probing: true }; true }
+                        Model::Open { .. } => false,
+                        Model::HalfOpen { probing: false } => { model = Model::HalfOpen { probing: true }; true }
+                        Model::HalfOpen { probing: true } => false,
+                    };
+                    prop_assert_eq!(admitted, model_admits);
+                    if admitted {
+                        breaker.on_abandoned(0);
+                        if let Model::HalfOpen { probing: true } = model {
+                            model = Model::HalfOpen { probing: false };
+                        }
                     }
                 }
                 _ => {
