@@ -35,8 +35,17 @@ fn main() {
 
     println!("Distribution search comparison (budget {budget} MHETA evaluations)");
     println!(
-        "{:<5} {:<8} {:<9} {:>6} {:>10} {:>10} {:>8} {:>9} {:>9}",
-        "arch", "app", "search", "evals", "pred(s)", "actual(s)", "vs Blk", "p50(us)", "p95(us)"
+        "{:<5} {:<8} {:<9} {:>6} {:>10} {:>10} {:>8} {:>9} {:>9} {:>7}",
+        "arch",
+        "app",
+        "search",
+        "evals",
+        "pred(s)",
+        "actual(s)",
+        "vs Blk",
+        "p50(us)",
+        "p95(us)",
+        "delta%"
     );
 
     for spec in [presets::io(), presets::hy1(), presets::hy2()] {
@@ -124,7 +133,7 @@ fn main() {
                     .expect("search-result run")
                     .secs;
                 println!(
-                    "{:<5} {:<8} {:<9} {:>6} {:>9.2}s {:>9.2}s {:>7.2}x {:>9.1} {:>9.1}",
+                    "{:<5} {:<8} {:<9} {:>6} {:>9.2}s {:>9.2}s {:>7.2}x {:>9.1} {:>9.1} {:>6.0}%",
                     spec.name,
                     bench.name(),
                     name,
@@ -134,9 +143,14 @@ fn main() {
                     blk_act / act,
                     outcome.eval_latency.p50_ns() as f64 / 1e3,
                     outcome.eval_latency.p95_ns() as f64 / 1e3,
+                    outcome.delta.hit_rate() * 100.0,
                 );
             }
         }
     }
     println!("\n'vs Blk' = actual speedup of the found distribution over the Block default.");
+    println!(
+        "'delta%' = share of evaluations answered incrementally from cached \
+         leaves (random is the full-eval control: always 0)."
+    );
 }

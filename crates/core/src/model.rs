@@ -208,6 +208,48 @@ impl RankTerms {
     }
 }
 
+/// Per-rank cost leaves of one section: everything the clock
+/// propagation needs from this rank, computed from its row count
+/// alone. Cross-rank coupling (neighbor waits, collectives, pipeline
+/// arrivals) enters only at assembly time
+/// ([`Mheta::predict_from_costs`]), never into these leaves — which is
+/// what makes caching them safe under any change to *other* ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionCost {
+    /// Section id.
+    pub section: u32,
+    /// Per-tile compute + I/O clock advance, in tile order. Pipelined
+    /// sections carry one entry per tile; all other patterns evaluate
+    /// a single tile.
+    pub tile_totals: Vec<f64>,
+    /// Per-stage terms accumulated over the evaluated tiles, in stage
+    /// order — the [`SectionTerms::stages`] leaves of a full
+    /// prediction, cached verbatim.
+    pub stages: Vec<StageTerms>,
+}
+
+/// Cached cost leaves of one rank under one row count: the reusable
+/// half of a prediction. [`Mheta::rank_cost`] is a pure function of
+/// `(rank, rows)`, so a leaf set computed for an earlier distribution
+/// is bitwise-identical to one computed fresh whenever the rank's row
+/// count is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankCost {
+    /// The row count these leaves were computed for.
+    pub rows: usize,
+    /// Per-section leaves, in program order.
+    pub sections: Vec<SectionCost>,
+}
+
+impl RankCost {
+    /// Number of cached stage-term leaves (the unit of the delta
+    /// evaluator's `terms_reused` tally).
+    #[must_use]
+    pub fn leaves(&self) -> usize {
+        self.sections.iter().map(|s| s.stages.len()).sum()
+    }
+}
+
 /// The outcome of evaluating one distribution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
@@ -363,12 +405,27 @@ impl Mheta {
         self.predict_with(rows, PredictOptions::default())
     }
 
-    /// [`Mheta::predict`] with explicit ablation switches.
+    /// [`Mheta::predict`] with explicit ablation switches. Computes
+    /// every rank's cost leaves fresh and assembles them — the same
+    /// path a delta evaluation takes with cached leaves, so the two
+    /// agree bitwise by construction.
     pub fn predict_with(
         &self,
         rows: &[usize],
         opts: PredictOptions,
     ) -> Result<Prediction, ModelError> {
+        self.check_rows(rows)?;
+        let costs: Vec<RankCost> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| self.rank_cost(i, r))
+            .collect();
+        let refs: Vec<&RankCost> = costs.iter().collect();
+        self.predict_from_costs(rows, &refs, opts)
+    }
+
+    /// Validate a distribution vector against the model's dimensions.
+    fn check_rows(&self, rows: &[usize]) -> Result<(), ModelError> {
         let n = self.arch.len();
         if rows.len() != n {
             return Err(ModelError::Dimension(format!(
@@ -384,9 +441,98 @@ impl Mheta {
                 "distribution sums to {total} rows, structure has {expected}"
             )));
         }
+        Ok(())
+    }
 
-        let plans: Vec<HashMap<VarId, VarPlan>> =
-            (0..n).map(|i| self.node_plans(i, rows[i])).collect();
+    /// Validate a borrowed cost-leaf set against a distribution: one
+    /// entry per rank, computed for exactly that rank's row count, with
+    /// leaves for every section. A stale leaf set (wrong `rows`) is an
+    /// error, never a silent misprediction.
+    fn check_costs(&self, rows: &[usize], costs: &[&RankCost]) -> Result<(), ModelError> {
+        if costs.len() != rows.len() {
+            return Err(ModelError::Dimension(format!(
+                "{} cost entries for {} ranks",
+                costs.len(),
+                rows.len()
+            )));
+        }
+        let sections = self.structure.sections.len();
+        for (i, c) in costs.iter().enumerate() {
+            if c.rows != rows[i] {
+                return Err(ModelError::Dimension(format!(
+                    "rank {i} cost leaves computed for {} rows, distribution has {}",
+                    c.rows, rows[i]
+                )));
+            }
+            if c.sections.len() != sections {
+                return Err(ModelError::Dimension(format!(
+                    "rank {i} cost has {} sections, structure has {sections}",
+                    c.sections.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compute one rank's cost leaves under `rows` rows: per-section
+    /// tile totals (the clock advances) and per-stage term breakdowns.
+    /// A pure function of `(rank, rows)` — it never looks at any other
+    /// rank — which is the contract that makes leaf reuse across
+    /// distributions bitwise-exact.
+    #[must_use]
+    pub fn rank_cost(&self, rank: usize, rows: usize) -> RankCost {
+        let plans = self.node_plans(rank, rows);
+        let sections = self
+            .structure
+            .sections
+            .iter()
+            .map(|section| {
+                let tiles = match section.comm {
+                    CommPattern::Pipelined { .. } => section.tiles,
+                    _ => 1,
+                };
+                let mut stages: Vec<StageTerms> = section
+                    .stages
+                    .iter()
+                    .map(|st| StageTerms {
+                        stage: st.id,
+                        terms: TermBreakdown::default(),
+                    })
+                    .collect();
+                let mut tile_totals = Vec::with_capacity(tiles as usize);
+                for tile in 0..tiles {
+                    let mut total = 0.0;
+                    for (idx, stage) in section.stages.iter().enumerate() {
+                        let terms = self.stage_time(rank, rows, section, tile, stage, &plans);
+                        total += terms.compute_ns + terms.io_ns();
+                        stages[idx].terms.add(&terms);
+                    }
+                    tile_totals.push(total);
+                }
+                SectionCost {
+                    section: section.id,
+                    tile_totals,
+                    stages,
+                }
+            })
+            .collect();
+        RankCost { rows, sections }
+    }
+
+    /// Assemble a full prediction from per-rank cost leaves (fresh or
+    /// cached). Runs the same two-pass clock propagation as
+    /// [`Mheta::predict_with`]; given leaves equal to what
+    /// [`Mheta::rank_cost`] returns for `rows`, the result is
+    /// bitwise-identical to a fresh prediction.
+    pub fn predict_from_costs(
+        &self,
+        rows: &[usize],
+        costs: &[&RankCost],
+        opts: PredictOptions,
+    ) -> Result<Prediction, ModelError> {
+        self.check_rows(rows)?;
+        self.check_costs(rows, costs)?;
+        let n = rows.len();
 
         // Two passes over the section chain: the first develops the
         // steady-state clock skew between nodes (pipeline fill, bcast
@@ -400,8 +546,15 @@ impl Mheta {
                 sections: Vec::new(),
             })
             .collect();
-        for section in &self.structure.sections {
-            self.advance_section(section, rows, &plans, &mut clock, &mut warmup_terms, opts);
+        for (idx, section) in self.structure.sections.iter().enumerate() {
+            self.advance_section_cost(
+                idx,
+                section,
+                costs,
+                &mut clock,
+                Some(&mut warmup_terms),
+                opts,
+            );
         }
         let after_warmup = clock.clone();
         let mut terms: Vec<RankTerms> = (0..n)
@@ -410,8 +563,8 @@ impl Mheta {
                 sections: Vec::new(),
             })
             .collect();
-        for section in &self.structure.sections {
-            self.advance_section(section, rows, &plans, &mut clock, &mut terms, opts);
+        for (idx, section) in self.structure.sections.iter().enumerate() {
+            self.advance_section_cost(idx, section, costs, &mut clock, Some(&mut terms), opts);
         }
 
         let per_node_ns: Vec<f64> = clock
@@ -437,6 +590,36 @@ impl Mheta {
             breakdown,
             terms,
         })
+    }
+
+    /// The score-only twin of [`Mheta::predict_from_costs`]: the same
+    /// two-pass clock propagation with no term bookkeeping, returning
+    /// just the iteration time. The clock arithmetic never reads the
+    /// accumulated terms, so this is bitwise-identical to
+    /// `predict_from_costs(..).iteration_ns` — it is the delta
+    /// evaluator's hot path.
+    pub fn score_from_costs(
+        &self,
+        rows: &[usize],
+        costs: &[&RankCost],
+        opts: PredictOptions,
+    ) -> Result<f64, ModelError> {
+        self.check_rows(rows)?;
+        self.check_costs(rows, costs)?;
+        let n = rows.len();
+        let mut clock = vec![0.0f64; n];
+        for (idx, section) in self.structure.sections.iter().enumerate() {
+            self.advance_section_cost(idx, section, costs, &mut clock, None, opts);
+        }
+        let after_warmup = clock.clone();
+        for (idx, section) in self.structure.sections.iter().enumerate() {
+            self.advance_section_cost(idx, section, costs, &mut clock, None, opts);
+        }
+        Ok(clock
+            .iter()
+            .zip(&after_warmup)
+            .map(|(c, w)| c - w)
+            .fold(0.0, f64::max))
     }
 
     /// Compute + I/O terms of one (node, tile, stage).
@@ -522,37 +705,26 @@ impl Mheta {
         terms
     }
 
-    /// Sum of stage times for one (node, tile); stage terms accumulate
-    /// into the rank's current [`SectionTerms`].
-    fn tile_time(
-        &self,
-        rank: usize,
-        rows: usize,
-        section: &SectionSpec,
-        tile: u32,
-        plans: &HashMap<VarId, VarPlan>,
-        sec_terms: &mut SectionTerms,
-    ) -> f64 {
-        let mut total = 0.0;
-        for (idx, stage) in section.stages.iter().enumerate() {
-            let terms = self.stage_time(rank, rows, section, tile, stage, plans);
-            total += terms.compute_ns + terms.io_ns();
-            sec_terms.stages[idx].terms.add(&terms);
-        }
-        total
-    }
-
     /// Advance all per-node clocks across one parallel section,
-    /// including its closing communication. Each rank grows one
-    /// [`SectionTerms`] entry in `detail`.
-    #[allow(clippy::too_many_arguments)]
-    fn advance_section(
+    /// including its closing communication, reading per-rank stage
+    /// work from precomputed cost leaves. When `detail` is `Some`,
+    /// each rank grows one [`SectionTerms`] entry (stage terms cloned
+    /// from the leaves, comm terms attributed here). The clock
+    /// arithmetic is identical either way — `detail` feeds only the
+    /// breakdown, never the clocks.
+    ///
+    /// Cross-rank coupling lives entirely in this pass: neighbor
+    /// arrivals, collective trees, and pipeline recurrences all read
+    /// every rank's clock. That is the conservative "dirty closure" —
+    /// comm is never reused from a cache, so leaf reuse can never
+    /// leak a stale wait or collective term.
+    fn advance_section_cost(
         &self,
+        sec_idx: usize,
         section: &SectionSpec,
-        rows: &[usize],
-        plans: &[HashMap<VarId, VarPlan>],
+        costs: &[&RankCost],
         clock: &mut [f64],
-        detail: &mut [RankTerms],
+        mut detail: Option<&mut [RankTerms]>,
         opts: PredictOptions,
     ) {
         let n = clock.len();
@@ -565,31 +737,35 @@ impl Mheta {
                 (elems * 8) as u64
             }
         };
-        for rt in detail.iter_mut() {
-            rt.sections.push(SectionTerms {
-                section: section.id,
-                stages: section
-                    .stages
-                    .iter()
-                    .map(|st| StageTerms {
-                        stage: st.id,
-                        terms: TermBreakdown::default(),
-                    })
-                    .collect(),
-                comm: TermBreakdown::default(),
-            });
+        if let Some(d) = detail.as_deref_mut() {
+            for (i, rt) in d.iter_mut().enumerate() {
+                rt.sections.push(SectionTerms {
+                    section: section.id,
+                    stages: costs[i].sections[sec_idx].stages.clone(),
+                    comm: TermBreakdown::default(),
+                });
+            }
         }
-        // Mutably borrow rank i's freshly pushed section entry.
-        macro_rules! sec_of {
-            ($i:expr) => {
-                detail[$i].sections.last_mut().unwrap()
+        // Per-rank stage work for one tile, straight from the leaves.
+        macro_rules! tile_total {
+            ($i:expr, $t:expr) => {
+                costs[$i].sections[sec_idx].tile_totals[$t as usize]
+            };
+        }
+        // Attribute a comm term to rank i's current section entry
+        // (no-op in the score-only path).
+        macro_rules! comm_of {
+            ($i:expr, $field:ident, $val:expr) => {
+                if let Some(d) = detail.as_deref_mut() {
+                    d[$i].sections.last_mut().unwrap().comm.$field += $val;
+                }
             };
         }
 
         match section.comm {
             CommPattern::None => {
                 for i in 0..n {
-                    clock[i] += self.tile_time(i, rows[i], section, 0, &plans[i], sec_of!(i));
+                    clock[i] += tile_total!(i, 0);
                 }
             }
             CommPattern::NearestNeighbor { msg_elems } => {
@@ -600,17 +776,16 @@ impl Mheta {
                 let mut arrival_from_left = vec![f64::NEG_INFINITY; n];
                 let mut arrival_from_right = vec![f64::NEG_INFINITY; n];
                 for i in 0..n {
-                    let t_s = self.tile_time(i, rows[i], section, 0, &plans[i], sec_of!(i));
-                    ready[i] = clock[i] + t_s;
+                    ready[i] = clock[i] + tile_total!(i, 0);
                     let mut t = ready[i];
                     if i > 0 {
                         t += comm.o_s;
-                        sec_of!(i).comm.comm_overhead_ns += comm.o_s;
+                        comm_of!(i, comm_overhead_ns, comm.o_s);
                         arrival_from_right[i - 1] = t + x;
                     }
                     if i + 1 < n {
                         t += comm.o_s;
-                        sec_of!(i).comm.comm_overhead_ns += comm.o_s;
+                        comm_of!(i, comm_overhead_ns, comm.o_s);
                         arrival_from_left[i + 1] = t + x;
                     }
                     after_sends[i] = t;
@@ -624,23 +799,23 @@ impl Mheta {
                         if opts.model_waits {
                             let waited = arrival_from_left[i] - t;
                             if waited > 0.0 {
-                                sec_of!(i).comm.neighbor_wait_ns += waited;
+                                comm_of!(i, neighbor_wait_ns, waited);
                             }
                             t = t.max(arrival_from_left[i]);
                         }
                         t += comm.o_r;
-                        sec_of!(i).comm.comm_overhead_ns += comm.o_r;
+                        comm_of!(i, comm_overhead_ns, comm.o_r);
                     }
                     if i + 1 < n {
                         if opts.model_waits {
                             let waited = arrival_from_right[i] - t;
                             if waited > 0.0 {
-                                sec_of!(i).comm.neighbor_wait_ns += waited;
+                                comm_of!(i, neighbor_wait_ns, waited);
                             }
                             t = t.max(arrival_from_right[i]);
                         }
                         t += comm.o_r;
-                        sec_of!(i).comm.comm_overhead_ns += comm.o_r;
+                        comm_of!(i, comm_overhead_ns, comm.o_r);
                     }
                     clock[i] = t;
                 }
@@ -649,8 +824,7 @@ impl Mheta {
                 let x = comm.transfer_ns(msg_bytes(msg_elems));
                 let mut ready = vec![0.0f64; n];
                 for i in 0..n {
-                    ready[i] =
-                        clock[i] + self.tile_time(i, rows[i], section, 0, &plans[i], sec_of!(i));
+                    ready[i] = clock[i] + tile_total!(i, 0);
                 }
                 let cost = HopCost {
                     o_s: comm.o_s,
@@ -668,7 +842,7 @@ impl Mheta {
                     }
                 };
                 for i in 0..n {
-                    sec_of!(i).comm.collective_ns += done[i] - ready[i];
+                    comm_of!(i, collective_ns, done[i] - ready[i]);
                 }
                 clock.copy_from_slice(&done);
             }
@@ -684,17 +858,17 @@ impl Mheta {
                             if opts.model_waits {
                                 let waited = arrival[tile as usize] - t;
                                 if waited > 0.0 {
-                                    sec_of!(i).comm.neighbor_wait_ns += waited;
+                                    comm_of!(i, neighbor_wait_ns, waited);
                                 }
                                 t = t.max(arrival[tile as usize]);
                             }
                             t += comm.o_r;
-                            sec_of!(i).comm.comm_overhead_ns += comm.o_r;
+                            comm_of!(i, comm_overhead_ns, comm.o_r);
                         }
-                        t += self.tile_time(i, rows[i], section, tile, &plans[i], sec_of!(i));
+                        t += tile_total!(i, tile);
                         if i + 1 < n {
                             t += comm.o_s;
-                            sec_of!(i).comm.comm_overhead_ns += comm.o_s;
+                            comm_of!(i, comm_overhead_ns, comm.o_s);
                             next_arrival[tile as usize] = t + x;
                         }
                     }

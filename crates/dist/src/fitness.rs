@@ -23,6 +23,8 @@ use std::time::Instant;
 
 use mheta_core::Mheta;
 
+use crate::delta::{DeltaEvaluator, DeltaSession, DeltaStats, Move};
+
 /// Log₂-bucketed histogram of per-evaluation *wall-clock* latencies —
 /// the cost axis of the paper's §5.1 claim that one MHETA evaluation
 /// takes milliseconds where a measured run takes minutes.
@@ -353,6 +355,17 @@ pub trait Evaluator {
     fn eval_ns(&self, rows: &[usize]) -> f64 {
         self.try_eval_ns(rows).unwrap_or(f64::INFINITY)
     }
+
+    /// Open an incremental-evaluation session over this evaluator, if
+    /// it supports one. A session caches the per-rank cost leaves of
+    /// the last accepted distribution and answers near-miss candidates
+    /// by recomputing only the touched ranks — bitwise-identical to
+    /// [`Evaluator::try_eval_ns`], just cheaper. The default is `None`
+    /// (always evaluate in full); [`Mheta`] and the wrappers that
+    /// preserve score mapping override it.
+    fn delta_session(&self) -> Option<Box<dyn DeltaSession + '_>> {
+        None
+    }
 }
 
 impl Evaluator for Mheta {
@@ -360,6 +373,10 @@ impl Evaluator for Mheta {
         self.predict(rows)
             .map(|p| p.iteration_ns)
             .map_err(|e| EvalError(e.to_string()))
+    }
+
+    fn delta_session(&self) -> Option<Box<dyn DeltaSession + '_>> {
+        Some(Box::new(DeltaEvaluator::new(self)))
     }
 }
 
@@ -403,6 +420,12 @@ pub struct CountingEvaluator<'a, E: Evaluator + ?Sized> {
     /// Optional shared portfolio control: every evaluation is published
     /// to it, and the owning search polls [`CountingEvaluator::cancelled`].
     ctl: Option<Arc<SearchCtl>>,
+    /// Open incremental-evaluation session, when delta evaluation is
+    /// enabled and `inner` supports it. Every attempt — first try or
+    /// retry, sequential or batched — routes through this single seam,
+    /// which is what keeps `count`/latency/ctl at exactly one
+    /// observation per logical candidate regardless of path.
+    session: RefCell<Option<Box<dyn DeltaSession + 'a>>>,
 }
 
 impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
@@ -420,6 +443,21 @@ impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
     /// Wrap `inner` with retries plus an optional shared [`SearchCtl`]
     /// to publish evaluations to (portfolio search).
     pub fn with_control(inner: &'a E, attempts: u32, ctl: Option<Arc<SearchCtl>>) -> Self {
+        Self::with_options(inner, attempts, ctl, false)
+    }
+
+    /// Full-option constructor: retries, optional shared control, and
+    /// incremental (delta) evaluation. With `delta` true the wrapper
+    /// opens `inner`'s [`Evaluator::delta_session`] (a no-op when the
+    /// evaluator has none) and routes every evaluation through it;
+    /// scores stay bitwise-identical to direct evaluation.
+    pub fn with_options(
+        inner: &'a E,
+        attempts: u32,
+        ctl: Option<Arc<SearchCtl>>,
+        delta: bool,
+    ) -> Self {
+        let session = if delta { inner.delta_session() } else { None };
         CountingEvaluator {
             inner,
             count: Cell::new(0),
@@ -429,6 +467,7 @@ impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
             latency: RefCell::new(LatencyHistogram::default()),
             attempts: attempts.max(1),
             ctl,
+            session: RefCell::new(session),
         }
     }
 
@@ -472,36 +511,146 @@ impl<'a, E: Evaluator + ?Sized> CountingEvaluator<'a, E> {
     pub fn eval_latency(&self) -> LatencyHistogram {
         self.latency.borrow().clone()
     }
+
+    /// True when an incremental-evaluation session is active.
+    #[must_use]
+    pub fn delta_active(&self) -> bool {
+        self.session.borrow().is_some()
+    }
+
+    /// Snapshot of the delta session's counters (all-zero when no
+    /// session is active — full evaluation only).
+    #[must_use]
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.session
+            .borrow()
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default()
+    }
+
+    /// Tell the delta session `rows` is the new accepted base, so
+    /// future candidates diff against it. A no-op without a session.
+    pub fn note_accept(&self, rows: &[usize]) {
+        if let Some(s) = self.session.borrow_mut().as_mut() {
+            s.note_accept(rows);
+        }
+    }
+
+    /// Apply `mv` to `base` and evaluate the result: the move-emission
+    /// entry point for searches. `None` when the move is invalid
+    /// (nothing is evaluated or counted); otherwise the candidate and
+    /// its (retried, counted, published) score.
+    pub fn eval_move(
+        &self,
+        base: &[usize],
+        mv: &Move,
+    ) -> Option<(Vec<usize>, Result<f64, EvalError>)> {
+        let cand = mv.apply(base)?;
+        let result = self.try_eval_ns(&cand);
+        Some((cand, result))
+    }
+
+    /// One raw attempt, through the delta session when active.
+    fn attempt(&self, rows: &[usize]) -> Result<f64, EvalError> {
+        let mut guard = self.session.borrow_mut();
+        match guard.as_mut() {
+            Some(s) => s.try_eval_ns(rows),
+            None => self.inner.try_eval_ns(rows),
+        }
+    }
+
+    /// Fold one finished logical evaluation into the tallies: exactly
+    /// one count, one latency sample, and one [`SearchCtl::observe`],
+    /// regardless of retries or the delta/full path taken. Every
+    /// evaluation seam (sequential or batched) funnels through here —
+    /// the invariant `tests` pin as the double-count fix.
+    fn settle(&self, result: &Result<f64, EvalError>, elapsed_ns: u64) {
+        self.count.set(self.count.get() + 1);
+        self.latency.borrow_mut().record(elapsed_ns);
+        if let Err(e) = result {
+            self.failed.set(self.failed.get() + 1);
+            *self.last_error.borrow_mut() = Some(e.clone());
+        }
+        if let Some(ctl) = &self.ctl {
+            ctl.observe(match result {
+                Ok(score) => *score,
+                Err(_) => f64::INFINITY,
+            });
+        }
+    }
+
+    /// Evaluate a batch of candidates — a search's whole neighborhood
+    /// at once — through the delta session when active, on up to
+    /// `threads` scoped worker threads (the session's model is `Sync`
+    /// by the [`crate::delta::DeltaModel`] contract; without a session
+    /// the batch degrades to a sequential sweep). Results come back in
+    /// candidate order; failures are retried sequentially under the
+    /// same `attempts` budget as single evaluations; counters,
+    /// latency, and [`SearchCtl`] observations are folded in candidate
+    /// order after the join, so a batch is observationally identical
+    /// to the same sequence of [`Evaluator::try_eval_ns`] calls.
+    /// Latency samples are amortized (batch wall-clock ÷ candidates):
+    /// the histogram keeps measuring what one logical candidate cost
+    /// the caller.
+    pub fn eval_batch(
+        &self,
+        candidates: &[Vec<usize>],
+        threads: usize,
+    ) -> Vec<Result<f64, EvalError>> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let mut results = {
+            let mut guard = self.session.borrow_mut();
+            match guard.as_mut() {
+                Some(s) => s.eval_batch(candidates, threads),
+                None => candidates
+                    .iter()
+                    .map(|c| self.inner.try_eval_ns(c))
+                    .collect(),
+            }
+        };
+        // Retries stay sequential: they are the rare path, and the
+        // retry loop must observe the session's post-poison state.
+        for (cand, slot) in candidates.iter().zip(results.iter_mut()) {
+            let mut attempt = 1;
+            while slot.is_err() && attempt < self.attempts {
+                if let Err(e) = slot {
+                    self.retried.set(self.retried.get() + 1);
+                    *self.last_error.borrow_mut() = Some(e.clone());
+                }
+                *slot = self.attempt(cand);
+                attempt += 1;
+            }
+        }
+        let total = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let per_candidate = total / candidates.len() as u64;
+        for result in &results {
+            self.settle(result, per_candidate);
+        }
+        results
+    }
 }
 
 impl<E: Evaluator + ?Sized> Evaluator for CountingEvaluator<'_, E> {
     fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
-        self.count.set(self.count.get() + 1);
         let started = Instant::now();
         let mut attempt = 1;
         let result = loop {
-            match self.inner.try_eval_ns(rows) {
+            match self.attempt(rows) {
                 Ok(score) => break Ok(score),
                 Err(e) if attempt < self.attempts => {
                     self.retried.set(self.retried.get() + 1);
                     *self.last_error.borrow_mut() = Some(e);
                     attempt += 1;
                 }
-                Err(e) => {
-                    self.failed.set(self.failed.get() + 1);
-                    *self.last_error.borrow_mut() = Some(e.clone());
-                    break Err(e);
-                }
+                Err(e) => break Err(e),
             }
         };
         let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.latency.borrow_mut().record(elapsed);
-        if let Some(ctl) = &self.ctl {
-            ctl.observe(match &result {
-                Ok(score) => *score,
-                Err(_) => f64::INFINITY,
-            });
-        }
+        self.settle(&result, elapsed);
         result
     }
 }
@@ -609,6 +758,50 @@ impl<E: Evaluator + ?Sized> Evaluator for FailureAwareEvaluator<'_, E> {
     fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
         let t = self.inner.try_eval_ns(rows)?;
         Ok(self.model.expected_iteration_ns(t))
+    }
+
+    fn delta_session(&self) -> Option<Box<dyn DeltaSession + '_>> {
+        let inner = self.inner.delta_session()?;
+        Some(Box::new(MappedDeltaSession {
+            inner,
+            model: self.model,
+        }))
+    }
+}
+
+/// Delta session of a [`FailureAwareEvaluator`]: the inner session's
+/// crash-free scores mapped through the crash cost model. The map is
+/// deterministic and applied identically on delta and full paths, so
+/// bitwise agreement with the wrapper's `try_eval_ns` is preserved.
+struct MappedDeltaSession<'a> {
+    inner: Box<dyn DeltaSession + 'a>,
+    model: CrashCostModel,
+}
+
+impl DeltaSession for MappedDeltaSession<'_> {
+    fn try_eval_ns(&mut self, rows: &[usize]) -> Result<f64, EvalError> {
+        let t = self.inner.try_eval_ns(rows)?;
+        Ok(self.model.expected_iteration_ns(t))
+    }
+
+    fn eval_batch(
+        &mut self,
+        candidates: &[Vec<usize>],
+        threads: usize,
+    ) -> Vec<Result<f64, EvalError>> {
+        self.inner
+            .eval_batch(candidates, threads)
+            .into_iter()
+            .map(|r| r.map(|t| self.model.expected_iteration_ns(t)))
+            .collect()
+    }
+
+    fn note_accept(&mut self, rows: &[usize]) {
+        self.inner.note_accept(rows);
+    }
+
+    fn stats(&self) -> DeltaStats {
+        self.inner.stats()
     }
 }
 
@@ -832,6 +1025,181 @@ mod tests {
         let _ = c.try_eval_ns(&[1]);
         assert_eq!(ctl.evals(), 3);
         assert_eq!(ctl.best_ns(), 3.0);
+    }
+
+    /// Synthetic delta-evaluable model: per-rank leaf cost is
+    /// `rows · weight[rank]`, the score is the (fixed-order) sum.
+    /// `fail_every` > 0 makes every Nth `rank_cost` call fail, for
+    /// pinning the retry/poison seams. Call tallies use atomics so the
+    /// model stays `Sync` (a `DeltaModel` requirement).
+    struct SyntheticModel {
+        weights: Vec<f64>,
+        rank_cost_calls: AtomicUsize,
+        fail_every: usize,
+    }
+
+    impl SyntheticModel {
+        fn new(weights: Vec<f64>) -> Self {
+            SyntheticModel {
+                weights,
+                rank_cost_calls: AtomicUsize::new(0),
+                fail_every: 0,
+            }
+        }
+
+        fn leaf(&self, rank: usize, rows: usize) -> mheta_core::RankCost {
+            let ns = rows as f64 * self.weights[rank];
+            mheta_core::RankCost {
+                rows,
+                sections: vec![mheta_core::SectionCost {
+                    section: 0,
+                    tile_totals: vec![ns],
+                    stages: vec![mheta_core::StageTerms {
+                        stage: 0,
+                        terms: mheta_core::TermBreakdown {
+                            compute_ns: ns,
+                            ..Default::default()
+                        },
+                    }],
+                }],
+            }
+        }
+    }
+
+    impl Evaluator for SyntheticModel {
+        fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
+            let mut total = 0.0;
+            for (i, &r) in rows.iter().enumerate() {
+                total += self.leaf(i, r).sections[0].tile_totals[0];
+            }
+            Ok(total)
+        }
+
+        fn delta_session(&self) -> Option<Box<dyn DeltaSession + '_>> {
+            Some(Box::new(DeltaEvaluator::new(self)))
+        }
+    }
+
+    impl crate::delta::DeltaModel for SyntheticModel {
+        fn rank_cost(&self, rank: usize, rows: usize) -> Result<mheta_core::RankCost, EvalError> {
+            let n = self.rank_cost_calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.fail_every > 0 && n.is_multiple_of(self.fail_every) {
+                return Err(EvalError("injected leaf fault".into()));
+            }
+            Ok(self.leaf(rank, rows))
+        }
+
+        fn assemble(
+            &self,
+            _rows: &[usize],
+            costs: &[&mheta_core::RankCost],
+        ) -> Result<f64, EvalError> {
+            let mut total = 0.0;
+            for c in costs {
+                total += c.sections[0].tile_totals[0];
+            }
+            Ok(total)
+        }
+    }
+
+    #[test]
+    fn delta_paths_count_once_per_logical_candidate() {
+        // The double-count seam fix, pinned: cold full evals, delta
+        // fast paths, and memo hits each settle exactly one count, one
+        // latency sample, and one ctl observation.
+        let model = SyntheticModel::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let ctl = Arc::new(SearchCtl::unlimited());
+        let c = CountingEvaluator::with_options(&model, 1, Some(Arc::clone(&ctl)), true);
+        assert!(c.delta_active());
+
+        let base = [10usize, 10, 10, 10];
+        let a = c.try_eval_ns(&base).unwrap();
+        assert_eq!(a.to_bits(), model.try_eval_ns(&base).unwrap().to_bits());
+        let shifted = [9usize, 11, 10, 10];
+        let b = c.try_eval_ns(&shifted).unwrap();
+        assert_eq!(b.to_bits(), model.try_eval_ns(&shifted).unwrap().to_bits());
+        c.note_accept(&shifted);
+        let b2 = c.try_eval_ns(&shifted).unwrap();
+        assert_eq!(b2.to_bits(), b.to_bits());
+
+        assert_eq!(c.count(), 3, "three logical candidates");
+        assert_eq!(c.eval_latency().count, 3, "one latency sample each");
+        assert_eq!(ctl.evals(), 3, "one ctl observation each");
+        let d = c.delta_stats();
+        assert_eq!(d.full_evals, 1, "only the cold start was full");
+        assert_eq!(d.delta_hits, 2, "partial reuse + memo hit");
+        assert_eq!(d.fallback_cold, 1);
+        // Cold: 4 rank_cost calls; shifted: 2 dirty ranks; memo: 0.
+        assert_eq!(model.rank_cost_calls.load(Ordering::Relaxed), 6);
+        // Partial eval reused 2 of 4 leaves; memo hit reused all 4.
+        assert_eq!(d.terms_reused, 2 + 4);
+    }
+
+    #[test]
+    fn delta_retries_count_once_and_errors_poison() {
+        // rank_cost fails on its 3rd call: the cold eval of a 2-rank
+        // distribution survives, the next candidate's first attempt
+        // dies mid-leaf (poisoning the cache), and the retry — now
+        // cold again — succeeds. Still exactly one count, one latency
+        // sample, and one ctl observation per logical candidate.
+        let model = SyntheticModel {
+            fail_every: 3,
+            ..SyntheticModel::new(vec![1.0, 2.0])
+        };
+        let ctl = Arc::new(SearchCtl::unlimited());
+        let c = CountingEvaluator::with_options(&model, 2, Some(Arc::clone(&ctl)), true);
+
+        let base = [8usize, 8];
+        assert!(c.try_eval_ns(&base).is_ok());
+        let shifted = [7usize, 9];
+        let s = c.try_eval_ns(&shifted).unwrap();
+        assert_eq!(s.to_bits(), model.try_eval_ns(&shifted).unwrap().to_bits());
+
+        assert_eq!(c.count(), 2, "retry spends no budget");
+        assert_eq!(c.retries(), 1);
+        assert_eq!(c.failed(), 0);
+        assert_eq!(c.eval_latency().count, 2);
+        assert_eq!(ctl.evals(), 2);
+        let d = c.delta_stats();
+        assert_eq!(d.fallback_error, 1, "the poisoned attempt");
+        assert_eq!(d.full_evals, 2, "cold start + post-poison retry");
+        assert_eq!(d.delta_hits, 0, "the poisoned delta path never answered");
+        assert_eq!(d.fallback_cold, 2, "cache was cold again after poisoning");
+        assert_eq!(c.last_error().unwrap().0, "injected leaf fault");
+    }
+
+    #[test]
+    fn batched_and_sequential_evaluations_agree_bitwise() {
+        let model = SyntheticModel::new(vec![1.0, 0.5, 2.0, 0.25]);
+        let seq = CountingEvaluator::with_options(&model, 1, None, true);
+        let bat = CountingEvaluator::with_options(&model, 1, None, true);
+        let base = [12usize, 12, 12, 12];
+        // Warm both sessions on the same base.
+        assert!(seq.try_eval_ns(&base).is_ok());
+        assert!(bat.try_eval_ns(&base).is_ok());
+        seq.note_accept(&base);
+        bat.note_accept(&base);
+
+        let cands: Vec<Vec<usize>> = (0..6)
+            .map(|i| {
+                let mut c = base.to_vec();
+                c[i % 4] += i + 1;
+                c[(i + 1) % 4] -= (i + 1).min(11);
+                c
+            })
+            .collect();
+        let sequential: Vec<f64> = cands.iter().map(|c| seq.try_eval_ns(c).unwrap()).collect();
+        let batched = bat.eval_batch(&cands, 3);
+        for (s, b) in sequential.iter().zip(&batched) {
+            assert_eq!(s.to_bits(), b.as_ref().unwrap().to_bits());
+        }
+        assert_eq!(bat.count(), seq.count(), "same logical candidate count");
+        assert_eq!(bat.eval_latency().count, bat.count() as u64);
+        let ds = seq.delta_stats();
+        let db = bat.delta_stats();
+        assert_eq!(db.full_evals, ds.full_evals);
+        assert_eq!(db.delta_hits, ds.delta_hits);
+        assert_eq!(db.terms_reused, ds.terms_reused);
     }
 
     #[test]

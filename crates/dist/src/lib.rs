@@ -12,6 +12,7 @@
 #![warn(clippy::all)]
 
 pub mod anchors;
+pub mod delta;
 pub mod fitness;
 pub mod genblock;
 pub mod online;
@@ -20,6 +21,7 @@ pub mod search;
 pub mod spectrum;
 
 pub use anchors::{bal, blk, ic, ic_bal, AnchorInputs};
+pub use delta::{DeltaEvaluator, DeltaModel, DeltaSession, DeltaStats, Move};
 pub use fitness::{
     CountingEvaluator, CrashCostModel, EvalError, Evaluator, FailureAwareEvaluator, FallibleFn,
     LatencyHistogram, SearchCtl,

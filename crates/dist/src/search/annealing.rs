@@ -5,9 +5,10 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::delta::Move;
 use crate::fitness::{CountingEvaluator, Evaluator, SearchCtl};
 use crate::genblock::GenBlock;
-use crate::search::{move_rows, outcome, History, SearchOutcome};
+use crate::search::{outcome, History, SearchOutcome};
 
 /// Tuning for [`simulated_annealing`].
 #[derive(Debug, Clone)]
@@ -26,6 +27,10 @@ pub struct AnnealingConfig {
     /// Optional shared portfolio control (incumbent + cancellation);
     /// see [`SearchCtl`].
     pub ctl: Option<Arc<SearchCtl>>,
+    /// Incremental (delta) evaluation of single-boundary perturbations
+    /// against the accepted base. Scores are bitwise-identical either
+    /// way; default on.
+    pub delta: bool,
 }
 
 impl Default for AnnealingConfig {
@@ -37,6 +42,7 @@ impl Default for AnnealingConfig {
             seed: 0xA11EA1,
             eval_retries: 1,
             ctl: None,
+            delta: true,
         }
     }
 }
@@ -47,7 +53,8 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
     eval: &E,
     cfg: AnnealingConfig,
 ) -> SearchOutcome {
-    let counter = CountingEvaluator::with_control(eval, cfg.eval_retries, cfg.ctl.clone());
+    let counter =
+        CountingEvaluator::with_options(eval, cfg.eval_retries, cfg.ctl.clone(), cfg.delta);
     let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = start.len();
@@ -61,14 +68,18 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
     let mut temp = (current_score * cfg.initial_temp_frac).max(1.0);
 
     while counter.count() < cfg.max_evals && !counter.cancelled() {
-        let mut cand = current.clone();
         let from = rng.gen_range(0..n);
         let to = rng.gen_range(0..n);
         let amount = rng.gen_range(1..=(total / (4 * n)).max(1));
-        if !move_rows(&mut cand, from, to, amount) {
+        // The perturbation is emitted as a `Move` descriptor so the
+        // delta session knows exactly which two ranks it touches;
+        // `Move::apply` keeps the historical clamping semantics, so
+        // the visited-candidate sequence is unchanged.
+        let mv = Move::shift(from, to, amount);
+        let Some((cand, result)) = counter.eval_move(&current, &mv) else {
             continue;
-        }
-        let score = counter.eval_ns(&cand);
+        };
+        let score = result.unwrap_or(f64::INFINITY);
         history.observe(&counter, score);
         let accept = score <= current_score || {
             let p = (-(score - current_score) / temp).exp();
@@ -83,6 +94,9 @@ pub fn simulated_annealing<E: Evaluator + ?Sized>(
             }
             current = cand;
             current_score = score;
+            if score.is_finite() {
+                counter.note_accept(&current);
+            }
             if score < best_score {
                 best_score = score;
                 best = current.clone();

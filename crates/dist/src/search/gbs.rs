@@ -27,6 +27,15 @@ pub struct GbsConfig {
     /// Optional shared portfolio control (incumbent + cancellation);
     /// see [`SearchCtl`].
     pub ctl: Option<Arc<SearchCtl>>,
+    /// Incremental (delta) evaluation of neighborhood steps against
+    /// the last probed point. Scores are bitwise-identical either way;
+    /// default on.
+    pub delta: bool,
+    /// Scoped worker threads for the opening anchor sweep (1 =
+    /// sequential, the default). Batched anchors settle their
+    /// counters/history after the joint evaluation, so convergence
+    /// points within one batch share an `evals` stamp.
+    pub anchor_threads: usize,
 }
 
 impl Default for GbsConfig {
@@ -36,6 +45,8 @@ impl Default for GbsConfig {
             tolerance: 0.02,
             eval_retries: 1,
             ctl: None,
+            delta: true,
+            anchor_threads: 1,
         }
     }
 }
@@ -46,7 +57,8 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
     eval: &E,
     cfg: GbsConfig,
 ) -> SearchOutcome {
-    let counter = CountingEvaluator::with_control(eval, cfg.eval_retries, cfg.ctl.clone());
+    let counter =
+        CountingEvaluator::with_options(eval, cfg.eval_retries, cfg.ctl.clone(), cfg.delta);
     let mut history = History::new();
     let legs = path.legs().max(1) as f64;
 
@@ -68,6 +80,14 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
         let g = path.at(t);
         let s = counter.eval_ns(g.rows());
         history.observe(counter, s);
+        // Rebase the delta session on every probe: neighboring
+        // spectrum points differ in only a few boundary rows, so the
+        // next probe reuses most of this one's leaves. Promotion is
+        // free — the probe's fresh leaves are already pending. (A
+        // failed eval poisons the session; don't rebase on it.)
+        if s.is_finite() {
+            counter.note_accept(g.rows());
+        }
         if s < best.score {
             best.score = s;
             best.t = t;
@@ -75,12 +95,31 @@ pub fn gbs_search<E: Evaluator + ?Sized>(
         s
     }
 
-    // Score every anchor first.
-    for i in 0..=path.legs() {
-        if counter.count() >= cfg.max_evals || counter.cancelled() {
-            break;
+    // Score every anchor first — batched on scoped threads when
+    // configured, sequentially otherwise.
+    if cfg.anchor_threads > 1 {
+        let remaining = cfg.max_evals.saturating_sub(counter.count());
+        let take = (path.legs() + 1).min(remaining);
+        if take > 0 && !counter.cancelled() {
+            let ts: Vec<f64> = (0..take).map(|i| i as f64 / legs).collect();
+            let cands: Vec<Vec<usize>> = ts.iter().map(|&t| path.at(t).rows().to_vec()).collect();
+            let results = counter.eval_batch(&cands, cfg.anchor_threads);
+            for (t, r) in ts.iter().zip(results) {
+                let s = r.unwrap_or(f64::INFINITY);
+                history.observe(&counter, s);
+                if s < best.score {
+                    best.score = s;
+                    best.t = *t;
+                }
+            }
         }
-        consider(path, &counter, &mut history, &mut best, i as f64 / legs);
+    } else {
+        for i in 0..=path.legs() {
+            if counter.count() >= cfg.max_evals || counter.cancelled() {
+                break;
+            }
+            consider(path, &counter, &mut history, &mut best, i as f64 / legs);
+        }
     }
 
     // Refine around the best anchor with golden-section search on the

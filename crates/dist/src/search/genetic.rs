@@ -9,9 +9,10 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::delta::Move;
 use crate::fitness::{CountingEvaluator, Evaluator, SearchCtl};
 use crate::genblock::GenBlock;
-use crate::search::{move_rows, outcome, History, SearchOutcome};
+use crate::search::{outcome, History, SearchOutcome};
 
 /// Tuning for [`genetic_search`].
 #[derive(Debug, Clone)]
@@ -30,6 +31,10 @@ pub struct GeneticConfig {
     /// Optional shared portfolio control (incumbent + cancellation);
     /// see [`SearchCtl`].
     pub ctl: Option<Arc<SearchCtl>>,
+    /// Incremental (delta) evaluation of children against the last
+    /// evaluated individual. Scores are bitwise-identical either way;
+    /// default on.
+    pub delta: bool,
 }
 
 impl Default for GeneticConfig {
@@ -41,6 +46,7 @@ impl Default for GeneticConfig {
             seed: 0x6E6E6E,
             eval_retries: 1,
             ctl: None,
+            delta: true,
         }
     }
 }
@@ -55,7 +61,8 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
     cfg: GeneticConfig,
 ) -> SearchOutcome {
     assert!(total >= n, "need at least one row per node");
-    let counter = CountingEvaluator::with_control(eval, cfg.eval_retries, cfg.ctl.clone());
+    let counter =
+        CountingEvaluator::with_options(eval, cfg.eval_retries, cfg.ctl.clone(), cfg.delta);
     let mut history = History::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
@@ -110,15 +117,25 @@ pub fn genetic_search<E: Evaluator + ?Sized>(
             .collect();
         let mut child = GenBlock::apportion(total, &weights).rows().to_vec();
 
+        // Post-crossover repair mutation, emitted as a `Move` (same
+        // clamping semantics as the historical in-place mutation).
         if rng.gen::<f64>() < cfg.mutation_rate {
             let from = rng.gen_range(0..n);
             let to = rng.gen_range(0..n);
             let amount = rng.gen_range(1..=(total / (4 * n)).max(1));
-            move_rows(&mut child, from, to, amount);
+            Move::shift(from, to, amount).apply_to(&mut child);
         }
 
         let score = counter.eval_ns(&child);
         history.observe(&counter, score);
+        // Rebase the delta session on each child: at convergence
+        // successive children differ in a handful of boundary rows, so
+        // most leaves carry over. Promotion of the child's fresh
+        // leaves is free. (A failed eval poisons the session; don't
+        // ask it to rebase on a candidate it could not score.)
+        if score.is_finite() {
+            counter.note_accept(&child);
+        }
         if score < best.1 {
             best = (child.clone(), score);
         }

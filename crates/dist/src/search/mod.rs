@@ -18,6 +18,7 @@ pub use genetic::{genetic_search, GeneticConfig};
 pub use portfolio::{portfolio_search, PortfolioConfig, PortfolioOutcome, Strategy, StrategyRun};
 pub use random::{random_search, RandomConfig};
 
+use crate::delta::DeltaStats;
 use crate::fitness::{CountingEvaluator, EvalError, Evaluator, LatencyHistogram};
 use crate::genblock::GenBlock;
 
@@ -62,6 +63,9 @@ pub struct SearchOutcome {
     /// Wall-clock latency histogram of the evaluator calls (the
     /// paper's per-evaluation cost axis: p50/p95/p99 in ns).
     pub eval_latency: LatencyHistogram,
+    /// Incremental-evaluation tallies (all zero when delta evaluation
+    /// was off or the evaluator has no delta session).
+    pub delta: DeltaStats,
 }
 
 /// Accumulates the per-evaluation convergence curve during a search.
@@ -129,6 +133,7 @@ pub(crate) fn outcome<E: Evaluator + ?Sized>(
         last_failure: counter.last_error(),
         history: history.points,
         eval_latency: counter.eval_latency(),
+        delta: counter.delta_stats(),
     }
 }
 

@@ -14,6 +14,7 @@
 use std::sync::Arc;
 use std::thread;
 
+use crate::delta::DeltaStats;
 use crate::fitness::{Evaluator, LatencyHistogram, SearchCtl};
 use crate::genblock::GenBlock;
 use crate::search::{
@@ -80,6 +81,11 @@ pub struct PortfolioConfig {
     /// its incumbent-best, so an expired deadline degrades the answer
     /// instead of discarding it.
     pub deadline: Option<std::time::Instant>,
+    /// Incremental (delta) evaluation for GBS, genetic, and annealing.
+    /// Random search always evaluates in full — it is the experiment's
+    /// control arm (its candidates share nothing with an incumbent).
+    /// Scores are bitwise-identical either way; default on.
+    pub delta: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -92,6 +98,7 @@ impl Default for PortfolioConfig {
             stall_evals: 0,
             target_ns: 0.0,
             deadline: None,
+            delta: true,
         }
     }
 }
@@ -124,6 +131,9 @@ pub struct PortfolioOutcome {
     pub total_evals: usize,
     /// Bucket-exact merge of every strategy's evaluation latency.
     pub eval_latency: LatencyHistogram,
+    /// Exact sum of every strategy's incremental-evaluation tallies
+    /// (random contributes zeros — it is the full-eval control).
+    pub delta: DeltaStats,
     /// Whether a cancellation criterion tripped before all strategies
     /// exhausted their budgets.
     pub cancelled: bool,
@@ -174,6 +184,7 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
                     max_evals: cfg.max_evals_per_strategy,
                     eval_retries: cfg.eval_retries,
                     ctl,
+                    delta: cfg.delta,
                     ..GbsConfig::default()
                 },
             ),
@@ -187,6 +198,7 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
                     eval_retries: cfg.eval_retries,
                     seed: cfg.seed ^ 0x6E6E,
                     ctl,
+                    delta: cfg.delta,
                     ..GeneticConfig::default()
                 },
             ),
@@ -198,6 +210,7 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
                     eval_retries: cfg.eval_retries,
                     seed: cfg.seed ^ 0xA11E,
                     ctl,
+                    delta: cfg.delta,
                     ..AnnealingConfig::default()
                 },
             ),
@@ -261,9 +274,11 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
 
     let mut eval_latency = LatencyHistogram::default();
     let mut total_evals = 0;
+    let mut delta = DeltaStats::default();
     for r in &runs {
         eval_latency.merge(&r.outcome.eval_latency);
         total_evals += r.outcome.evaluations;
+        delta.merge(&r.outcome.delta);
     }
 
     PortfolioOutcome {
@@ -272,6 +287,7 @@ pub fn portfolio_search<E: Evaluator + Sync + ?Sized>(
         runs,
         total_evals,
         eval_latency,
+        delta,
         cancelled: ctl.is_cancelled(),
         deadline_hit: ctl.deadline_hit(),
     }

@@ -59,5 +59,7 @@ pub use perfetto::{
 pub use prometheus::{metrics_text, service_text, PromText};
 pub use recorder::{FlightRecorder, RecordedEvent};
 pub use service::{RequestSource, RequestSpan, ServiceMetrics, StrategySpan};
-pub use telemetry::{convergence_csv, latency_value, search_value, searches_json, searches_value};
+pub use telemetry::{
+    convergence_csv, delta_value, latency_value, search_value, searches_json, searches_value,
+};
 pub use trace::TraceContext;

@@ -254,6 +254,35 @@ pub fn service_text(m: &ServiceMetrics) -> String {
         &[],
         m.spans_dropped(),
     );
+    p.counter(
+        "mheta_serve_delta_hits_total",
+        "Search evaluations answered from cached delta leaves.",
+        &[],
+        m.delta_hits(),
+    );
+    p.counter(
+        "mheta_serve_delta_full_evals_total",
+        "Search evaluations that recomputed every rank's leaves.",
+        &[],
+        m.delta_full_evals(),
+    );
+    p.counter(
+        "mheta_serve_delta_terms_reused_total",
+        "Cost leaves reused from delta caches instead of recomputed.",
+        &[],
+        m.delta_terms_reused(),
+    );
+    for (kind, value) in [
+        ("structural", m.delta_fallbacks()),
+        ("error", m.delta_fallback_errors()),
+    ] {
+        p.counter(
+            "mheta_serve_delta_fallbacks_total",
+            "Delta evaluations that fell back to a full evaluation.",
+            &[("kind", kind)],
+            value,
+        );
+    }
     for (stage, h) in m.stage_histograms() {
         latency_histogram(
             &mut p,
@@ -349,6 +378,25 @@ mod tests {
             .unwrap()
             .2;
         assert!((sum - 5_000_907.0 / 1e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_text_exposes_delta_counters() {
+        let m = ServiceMetrics::new();
+        m.on_delta(&mheta_dist::DeltaStats {
+            delta_hits: 7,
+            full_evals: 2,
+            terms_reused: 91,
+            fallback_cold: 2,
+            fallback_error: 1,
+            ..Default::default()
+        });
+        let text = service_text(&m);
+        assert!(text.contains("mheta_serve_delta_hits_total 7"));
+        assert!(text.contains("mheta_serve_delta_full_evals_total 2"));
+        assert!(text.contains("mheta_serve_delta_terms_reused_total 91"));
+        assert!(text.contains("mheta_serve_delta_fallbacks_total{kind=\"structural\"} 2"));
+        assert!(text.contains("mheta_serve_delta_fallbacks_total{kind=\"error\"} 1"));
     }
 
     #[test]

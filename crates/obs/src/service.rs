@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mheta_dist::LatencyHistogram;
+use mheta_dist::{DeltaStats, LatencyHistogram};
 
 use crate::json::Value;
 use crate::telemetry::latency_value;
@@ -147,6 +147,11 @@ pub struct ServiceMetrics {
     deadline_exceeded: AtomicU64,
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
+    delta_hits: AtomicU64,
+    delta_full_evals: AtomicU64,
+    delta_terms_reused: AtomicU64,
+    delta_fallbacks: AtomicU64,
+    delta_fallback_errors: AtomicU64,
     stages: Mutex<Stages>,
     spans: Mutex<Vec<RequestSpan>>,
     spans_dropped: AtomicU64,
@@ -174,6 +179,11 @@ impl ServiceMetrics {
             deadline_exceeded: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             cache_invalidations: AtomicU64::new(0),
+            delta_hits: AtomicU64::new(0),
+            delta_full_evals: AtomicU64::new(0),
+            delta_terms_reused: AtomicU64::new(0),
+            delta_fallbacks: AtomicU64::new(0),
+            delta_fallback_errors: AtomicU64::new(0),
             stages: Mutex::new(Stages::default()),
             spans: Mutex::new(Vec::new()),
             spans_dropped: AtomicU64::new(0),
@@ -241,6 +251,23 @@ impl ServiceMetrics {
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Fold one finished search's incremental-evaluation tallies into
+    /// the service-wide delta counters (structural fallbacks — cold,
+    /// shape, all-dirty — aggregate into one counter; error fallbacks
+    /// stay separate because they indicate model trouble, not cache
+    /// geometry).
+    pub fn on_delta(&self, d: &DeltaStats) {
+        self.delta_hits.fetch_add(d.delta_hits, Ordering::Relaxed);
+        self.delta_full_evals
+            .fetch_add(d.full_evals, Ordering::Relaxed);
+        self.delta_terms_reused
+            .fetch_add(d.terms_reused, Ordering::Relaxed);
+        self.delta_fallbacks
+            .fetch_add(d.fallbacks(), Ordering::Relaxed);
+        self.delta_fallback_errors
+            .fetch_add(d.fallback_error, Ordering::Relaxed);
+    }
+
     /// Count cache evictions (capacity pressure).
     pub fn on_cache_evictions(&self, n: u64) {
         self.cache_evictions.fetch_add(n, Ordering::Relaxed);
@@ -299,6 +326,37 @@ impl ServiceMetrics {
         self.deadline_exceeded.load(Ordering::Relaxed)
     }
 
+    /// Evaluations answered from cached delta leaves, service-wide.
+    #[must_use]
+    pub fn delta_hits(&self) -> u64 {
+        self.delta_hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that recomputed every rank's leaves, service-wide.
+    #[must_use]
+    pub fn delta_full_evals(&self) -> u64 {
+        self.delta_full_evals.load(Ordering::Relaxed)
+    }
+
+    /// Cost leaves reused from delta caches instead of recomputed.
+    #[must_use]
+    pub fn delta_terms_reused(&self) -> u64 {
+        self.delta_terms_reused.load(Ordering::Relaxed)
+    }
+
+    /// Structural delta fallbacks (cold cache, shape change, all ranks
+    /// dirty).
+    #[must_use]
+    pub fn delta_fallbacks(&self) -> u64 {
+        self.delta_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Delta fallbacks caused by evaluation errors (cache poisoned).
+    #[must_use]
+    pub fn delta_fallback_errors(&self) -> u64 {
+        self.delta_fallback_errors.load(Ordering::Relaxed)
+    }
+
     /// Spans dropped from the bounded trace ring (requests past the
     /// first `SPAN_CAP` keep counting, but lose their span).
     #[must_use]
@@ -341,6 +399,14 @@ impl ServiceMetrics {
                     (
                         "cache_invalidations",
                         Value::UInt(self.cache_invalidations.load(Ordering::Relaxed)),
+                    ),
+                    ("delta_hits", Value::UInt(self.delta_hits())),
+                    ("delta_full_evals", Value::UInt(self.delta_full_evals())),
+                    ("delta_terms_reused", Value::UInt(self.delta_terms_reused())),
+                    ("delta_fallbacks", Value::UInt(self.delta_fallbacks())),
+                    (
+                        "delta_fallback_errors",
+                        Value::UInt(self.delta_fallback_errors()),
                     ),
                     ("spans_dropped", Value::UInt(self.spans_dropped())),
                 ]),
@@ -538,6 +604,37 @@ mod tests {
         );
         let counters = snap.get("counters").unwrap();
         assert_eq!(counters.get("cache_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn delta_tallies_accumulate_and_snapshot() {
+        let m = ServiceMetrics::new();
+        m.on_delta(&DeltaStats {
+            delta_hits: 10,
+            full_evals: 3,
+            terms_reused: 200,
+            fallback_cold: 2,
+            fallback_all_dirty: 1,
+            fallback_error: 1,
+            ..DeltaStats::default()
+        });
+        m.on_delta(&DeltaStats {
+            delta_hits: 5,
+            fallback_shape: 1,
+            ..DeltaStats::default()
+        });
+        assert_eq!(m.delta_hits(), 15);
+        assert_eq!(m.delta_full_evals(), 3);
+        assert_eq!(m.delta_terms_reused(), 200);
+        assert_eq!(m.delta_fallbacks(), 4, "cold+all_dirty+shape aggregate");
+        assert_eq!(m.delta_fallback_errors(), 1);
+        let counters = m.snapshot();
+        let counters = counters.get("counters").unwrap();
+        assert_eq!(counters.get("delta_hits").unwrap().as_u64(), Some(15));
+        assert_eq!(
+            counters.get("delta_terms_reused").unwrap().as_u64(),
+            Some(200)
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 
 use crate::json::{Serialize, Value};
-use mheta_dist::{LatencyHistogram, SearchOutcome};
+use mheta_dist::{DeltaStats, LatencyHistogram, SearchOutcome};
 
 /// A latency histogram as a JSON value: count, mean, and the
 /// p50/p95/p99 quantiles, in ns. Wall-clock derived, so this part of
@@ -30,8 +30,27 @@ pub fn latency_value(h: &LatencyHistogram) -> Value {
     ])
 }
 
+/// Incremental-evaluation tallies as a JSON value: the
+/// `delta_hits / full_evals / terms_reused / fallback_*` counters a
+/// delta session accumulated, plus the derived hit rate. All zero when
+/// delta evaluation was off or unavailable.
+#[must_use]
+pub fn delta_value(d: &DeltaStats) -> Value {
+    Value::object(vec![
+        ("delta_hits", Value::UInt(d.delta_hits)),
+        ("full_evals", Value::UInt(d.full_evals)),
+        ("terms_reused", Value::UInt(d.terms_reused)),
+        ("fallback_cold", Value::UInt(d.fallback_cold)),
+        ("fallback_shape", Value::UInt(d.fallback_shape)),
+        ("fallback_all_dirty", Value::UInt(d.fallback_all_dirty)),
+        ("fallback_error", Value::UInt(d.fallback_error)),
+        ("hit_rate", Value::Float(d.hit_rate())),
+    ])
+}
+
 /// One search's outcome as a JSON value: best distribution, score,
-/// evaluation/failure/retry tallies, and the full convergence curve.
+/// evaluation/failure/retry tallies, delta-evaluation tallies, and the
+/// full convergence curve.
 #[must_use]
 pub fn search_value(name: &str, out: &SearchOutcome) -> Value {
     Value::object(vec![
@@ -58,6 +77,7 @@ pub fn search_value(name: &str, out: &SearchOutcome) -> Value {
             },
         ),
         ("eval_latency", latency_value(&out.eval_latency)),
+        ("delta", delta_value(&out.delta)),
         ("history", out.history.to_value()),
     ])
 }
@@ -190,6 +210,32 @@ mod tests {
         let p99 = lat.get("p99_ns").unwrap().as_u64().unwrap();
         assert!(p50 <= p95 && p95 <= p99, "quantiles are ordered");
         assert!(lat.get("mean_ns").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn delta_block_reports_counters_and_hit_rate() {
+        let d = DeltaStats {
+            delta_hits: 6,
+            full_evals: 2,
+            terms_reused: 48,
+            fallback_cold: 1,
+            fallback_all_dirty: 1,
+            ..DeltaStats::default()
+        };
+        let v = delta_value(&d);
+        assert_eq!(v.get("delta_hits").unwrap().as_u64(), Some(6));
+        assert_eq!(v.get("full_evals").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("terms_reused").unwrap().as_u64(), Some(48));
+        assert_eq!(v.get("fallback_cold").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("hit_rate").unwrap().as_f64(), Some(0.75));
+
+        // Random search is the full-eval control arm: its delta block
+        // must be present and all-zero.
+        let out = outcome();
+        let sv = search_value("random", &out);
+        let dv = sv.get("delta").unwrap();
+        assert_eq!(dv.get("delta_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(dv.get("full_evals").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -70,7 +70,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mheta_apps::{anchor_inputs, build_model};
-use mheta_dist::{portfolio_search, SpectrumPath, Strategy};
+use mheta_dist::{portfolio_search, DeltaStats, SpectrumPath, Strategy};
 use mheta_obs::json::Value;
 use mheta_obs::trace::id_hex;
 use mheta_obs::{
@@ -245,6 +245,9 @@ struct SearchAux {
     /// Whether the deadline criterion specifically tripped (the plan
     /// is the incumbent at expiry, not the full-budget answer).
     degraded: bool,
+    /// Incremental-evaluation tallies merged across the portfolio's
+    /// strategies.
+    delta: DeltaStats,
 }
 
 /// The resident planning service (in-process front end).
@@ -623,6 +626,7 @@ impl Planner {
             Err(e) => Err(e.clone()),
         };
         if let Ok((plan, aux)) = &report.result {
+            self.metrics.on_delta(&aux.delta);
             // Degraded plans are partial-budget incumbents; caching
             // them would poison the key for future full-budget
             // requests.
@@ -1081,6 +1085,7 @@ fn run_search(
             strategies,
             cancelled: out.cancelled,
             degraded: out.deadline_hit,
+            delta: out.delta,
         },
     ))
 }

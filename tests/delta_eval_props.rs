@@ -1,0 +1,264 @@
+//! Differential tests pinning the incremental (delta) evaluator to the
+//! full model: for every application, every Table-1 cluster preset, and
+//! arbitrary random move sequences, an incremental evaluation must be
+//! **bitwise-identical** (`f64::to_bits`) to a from-scratch
+//! `try_eval_ns` — including under injected leaf faults, where an
+//! `EvalError` must poison the session's cache and never leak stale
+//! terms into a later answer.
+//!
+//! Case count follows `PROPTEST_CASES` (default 256); CI's `delta-diff`
+//! job runs this suite at 256 cases.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use mheta::core::RankCost;
+use mheta::dist::{DeltaEvaluator, DeltaModel, DeltaSession, EvalError, Evaluator, Move};
+use mheta::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Every (application, Table-1 preset) model, built once: 5 apps × 4
+/// architectures. Building a model per proptest case would dominate.
+fn models() -> &'static Vec<(String, Mheta, usize)> {
+    static MODELS: OnceLock<Vec<(String, Mheta, usize)>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let specs = [presets::dc(), presets::io(), presets::hy1(), presets::hy2()];
+        let benches = [
+            Benchmark::Jacobi(Jacobi::small()),
+            Benchmark::Cg(Cg::small()),
+            Benchmark::Rna(Rna::small()),
+            Benchmark::Lanczos(Lanczos::small()),
+            Benchmark::Multigrid(Multigrid::small()),
+        ];
+        let mut out = Vec::new();
+        for spec in &specs {
+            for bench in &benches {
+                let model = build_model(bench, spec, false)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), spec.name));
+                out.push((
+                    format!("{}@{}", bench.name(), spec.name),
+                    model,
+                    bench.total_rows(),
+                ));
+            }
+        }
+        out
+    })
+}
+
+/// A random valid distribution of `total` rows over `n` ranks.
+fn random_distribution(rng: &mut SmallRng, total: usize, n: usize) -> Vec<usize> {
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+    GenBlock::apportion(total, &weights).rows().to_vec()
+}
+
+/// A random move in the searches' vocabulary: mostly boundary shifts
+/// (the SA/GBS step), plus swaps and k-rank redistributions (the GA
+/// repair step).
+fn random_move(rng: &mut SmallRng, rows: &[usize]) -> Move {
+    let n = rows.len();
+    match rng.gen_range(0u32..10) {
+        0..=6 => Move::shift(
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+            rng.gen_range(1..=4),
+        ),
+        7 | 8 => Move::swap(rng.gen_range(0..n), rng.gen_range(0..n)),
+        _ => {
+            // A 3-rank cycle that preserves the total and the one-row
+            // minimum: each listed rank takes its left neighbor's count.
+            let i = rng.gen_range(0..n);
+            let (j, k) = ((i + 1) % n, (i + 2) % n);
+            Move::Redistribute(vec![(i, rows[k]), (j, rows[i]), (k, rows[j])])
+        }
+    }
+}
+
+/// Wraps a model so every Nth `rank_cost` call fails, deterministically.
+/// `Sync` (a `DeltaModel` requirement) via an atomic call counter.
+struct FaultyMheta<'a> {
+    inner: &'a Mheta,
+    calls: AtomicU64,
+    fail_every: u64,
+}
+
+impl Evaluator for FaultyMheta<'_> {
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
+        self.inner.try_eval_ns(rows)
+    }
+}
+
+impl DeltaModel for FaultyMheta<'_> {
+    fn rank_cost(&self, rank: usize, rows: usize) -> Result<RankCost, EvalError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fail_every > 0 && n.is_multiple_of(self.fail_every) {
+            return Err(EvalError("injected leaf fault".into()));
+        }
+        DeltaModel::rank_cost(self.inner, rank, rows)
+    }
+
+    fn assemble(&self, rows: &[usize], costs: &[&RankCost]) -> Result<f64, EvalError> {
+        self.inner.assemble(rows, costs)
+    }
+}
+
+proptest! {
+    // `PROPTEST_CASES` overrides (CI pins 256 in the delta-diff job).
+    #![proptest_config(ProptestConfig::default())]
+
+    /// The core differential property: a delta session fed an arbitrary
+    /// interleaving of moves, acceptances, and random restarts answers
+    /// bitwise-identically to full evaluation, on every app × preset.
+    #[test]
+    fn random_move_sequences_evaluate_bitwise_identical(
+        which in 0usize..1000,
+        seed in any::<u64>(),
+    ) {
+        let (name, model, total) = &models()[which % models().len()];
+        let n = model.arch().len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut session = DeltaEvaluator::new(model);
+
+        let mut current = random_distribution(&mut rng, *total, n);
+        let mut evals = 0usize;
+        while evals < 24 {
+            let cand = if rng.gen_range(0u32..8) == 0 {
+                // Random restart: most ranks dirty, exercising the
+                // all-dirty / many-dirty paths.
+                random_distribution(&mut rng, *total, n)
+            } else {
+                match random_move(&mut rng, &current).apply(&current) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            let incremental = session.try_eval_ns(&cand).expect(name);
+            let full = model.try_eval_ns(&cand).expect(name);
+            prop_assert_eq!(
+                incremental.to_bits(), full.to_bits(),
+                "{}: delta {} != full {} on {:?}", name, incremental, full, cand
+            );
+            if rng.gen_bool(0.5) {
+                session.note_accept(&cand);
+                current = cand;
+            }
+            evals += 1;
+        }
+        let stats = session.stats();
+        prop_assert_eq!(stats.total(), 24, "every evaluation tallied once");
+        prop_assert!(stats.delta_hits > 0, "{}: no incremental reuse in 24 evals", name);
+    }
+
+    /// Fault injection: when a leaf computation fails mid-evaluation,
+    /// the error surfaces, the cache is poisoned, and every subsequent
+    /// successful answer is still bitwise-identical to full evaluation
+    /// — stale terms never leak.
+    #[test]
+    fn faults_poison_the_cache_and_never_leak_stale_terms(
+        which in 0usize..1000,
+        seed in any::<u64>(),
+        fail_every in 5u64..12,
+    ) {
+        let (name, model, total) = &models()[which % models().len()];
+        let n = model.arch().len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let faulty = FaultyMheta { inner: model, calls: AtomicU64::new(0), fail_every };
+        let mut session = DeltaEvaluator::new(&faulty);
+
+        let mut current = random_distribution(&mut rng, *total, n);
+        let mut failures = 0usize;
+        for _ in 0..32 {
+            let cand = match random_move(&mut rng, &current).apply(&current) {
+                Some(c) => c,
+                None => continue,
+            };
+            match session.try_eval_ns(&cand) {
+                Ok(incremental) => {
+                    let full = model.try_eval_ns(&cand).expect(name);
+                    prop_assert_eq!(
+                        incremental.to_bits(), full.to_bits(),
+                        "{}: stale terms leaked after {} failures", name, failures
+                    );
+                    session.note_accept(&cand);
+                    current = cand;
+                }
+                Err(e) => {
+                    prop_assert_eq!(&e.0, "injected leaf fault");
+                    failures += 1;
+                }
+            }
+        }
+        let stats = session.stats();
+        prop_assert!(failures > 0, "{}: fault injection never fired", name);
+        prop_assert_eq!(stats.fallback_error, failures as u64);
+    }
+
+    /// Batched (scoped-thread) evaluation answers bitwise-identically
+    /// to sequential full evaluation, in candidate order.
+    #[test]
+    fn batched_evaluation_matches_full_bitwise(
+        which in 0usize..1000,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let (name, model, total) = &models()[which % models().len()];
+        let n = model.arch().len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut session = DeltaEvaluator::new(model);
+
+        let base = random_distribution(&mut rng, *total, n);
+        session.try_eval_ns(&base).expect(name);
+        session.note_accept(&base);
+
+        let mut cands = Vec::new();
+        while cands.len() < 9 {
+            if let Some(c) = random_move(&mut rng, &base).apply(&base) {
+                cands.push(c);
+            }
+        }
+        let batched = session.eval_batch(&cands, threads);
+        prop_assert_eq!(batched.len(), cands.len());
+        for (cand, res) in cands.iter().zip(&batched) {
+            let incremental = res.as_ref().expect(name);
+            let full = model.try_eval_ns(cand).expect(name);
+            prop_assert_eq!(
+                incremental.to_bits(), full.to_bits(),
+                "{}: batched eval diverged on {:?}", name, cand
+            );
+        }
+    }
+}
+
+/// Shape changes and model-level errors surface identically through the
+/// session and through full evaluation, and leave no stale state.
+#[test]
+fn shape_mismatch_and_model_errors_poison_consistently() {
+    let (name, model, total) = &models()[0];
+    let n = model.arch().len();
+    let mut session = DeltaEvaluator::new(model);
+
+    let base: Vec<usize> = GenBlock::block(*total, n).rows().to_vec();
+    let a = session.try_eval_ns(&base).expect(name);
+    assert_eq!(a.to_bits(), model.try_eval_ns(&base).unwrap().to_bits());
+    session.note_accept(&base);
+
+    // Wrong rank count: both paths must reject it.
+    let wrong: Vec<usize> = base[..n - 1].to_vec();
+    assert!(session.try_eval_ns(&wrong).is_err());
+    assert!(model.try_eval_ns(&wrong).is_err());
+
+    // Wrong total: likewise.
+    let mut bad_total = base.clone();
+    bad_total[0] += 1;
+    assert!(session.try_eval_ns(&bad_total).is_err());
+    assert!(model.try_eval_ns(&bad_total).is_err());
+
+    // After the errors the cache is poisoned; the next answer must be
+    // recomputed from scratch and still bitwise-exact.
+    let again = session.try_eval_ns(&base).expect(name);
+    assert_eq!(again.to_bits(), a.to_bits());
+    let stats = session.stats();
+    assert!(stats.fallback_error >= 2, "errors recorded: {stats:?}");
+}

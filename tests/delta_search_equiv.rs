@@ -1,0 +1,254 @@
+//! Search-equivalence regressions for delta evaluation: turning the
+//! incremental evaluator on must not change *anything* a search does —
+//! not the best distribution, not its score bits, and not even the
+//! sequence of candidates visited. A recording evaluator (which
+//! forwards its delta session so both modes log at the same seam) pins
+//! the visited-candidate sequences; the portfolio test additionally
+//! checks that delta evaluation actually engages (`delta_hits > 0`)
+//! while leaving the incumbent unchanged.
+
+use std::cell::RefCell;
+
+use mheta::dist::{
+    gbs_search, genetic_search, portfolio_search, simulated_annealing, AnnealingConfig,
+    DeltaSession, EvalError, Evaluator, GbsConfig, GenBlock, GeneticConfig, PortfolioConfig,
+    SearchOutcome,
+};
+use mheta::prelude::*;
+
+/// Logs every candidate an inner delta session is asked to evaluate.
+struct RecordingSession<'a> {
+    inner: Box<dyn DeltaSession + 'a>,
+    log: &'a RefCell<Vec<Vec<usize>>>,
+}
+
+impl DeltaSession for RecordingSession<'_> {
+    fn try_eval_ns(&mut self, rows: &[usize]) -> Result<f64, EvalError> {
+        self.log.borrow_mut().push(rows.to_vec());
+        self.inner.try_eval_ns(rows)
+    }
+
+    fn eval_batch(
+        &mut self,
+        candidates: &[Vec<usize>],
+        threads: usize,
+    ) -> Vec<Result<f64, EvalError>> {
+        self.log.borrow_mut().extend(candidates.iter().cloned());
+        self.inner.eval_batch(candidates, threads)
+    }
+
+    fn note_accept(&mut self, rows: &[usize]) {
+        self.inner.note_accept(rows);
+    }
+
+    fn stats(&self) -> mheta::dist::DeltaStats {
+        self.inner.stats()
+    }
+}
+
+/// An evaluator that records the visited-candidate sequence on both
+/// paths: direct full evaluations land in the log via `try_eval_ns`,
+/// delta evaluations via the forwarded [`RecordingSession`]. Either
+/// way, one log entry per logical candidate, in visit order.
+struct Recorder<'a> {
+    model: &'a Mheta,
+    log: RefCell<Vec<Vec<usize>>>,
+}
+
+impl<'a> Recorder<'a> {
+    fn new(model: &'a Mheta) -> Self {
+        Recorder {
+            model,
+            log: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn visited(&self) -> Vec<Vec<usize>> {
+        self.log.borrow().clone()
+    }
+}
+
+impl Evaluator for Recorder<'_> {
+    fn try_eval_ns(&self, rows: &[usize]) -> Result<f64, EvalError> {
+        self.log.borrow_mut().push(rows.to_vec());
+        self.model.try_eval_ns(rows)
+    }
+
+    fn delta_session(&self) -> Option<Box<dyn DeltaSession + '_>> {
+        let inner = self.model.delta_session()?;
+        Some(Box::new(RecordingSession {
+            inner,
+            log: &self.log,
+        }))
+    }
+}
+
+fn model() -> (Mheta, usize, usize) {
+    let spec = presets::dc();
+    let bench = Benchmark::Jacobi(Jacobi::small());
+    let model = build_model(&bench, &spec, false).expect("model builds");
+    let n = spec.len();
+    (model, bench.total_rows(), n)
+}
+
+/// Assert two outcomes are indistinguishable where determinism is
+/// promised: best distribution, exact score bits, evaluation count,
+/// and the full convergence curve.
+fn assert_equivalent(on: &SearchOutcome, off: &SearchOutcome, what: &str) {
+    assert_eq!(on.best.rows(), off.best.rows(), "{what}: best differs");
+    assert_eq!(
+        on.score_ns.to_bits(),
+        off.score_ns.to_bits(),
+        "{what}: score bits differ"
+    );
+    assert_eq!(
+        on.evaluations, off.evaluations,
+        "{what}: evaluation counts differ"
+    );
+    assert_eq!(
+        on.history.len(),
+        off.history.len(),
+        "{what}: history lengths differ"
+    );
+    for (i, (a, b)) in on.history.iter().zip(&off.history).enumerate() {
+        assert_eq!(a.evals, b.evals, "{what}: history[{i}].evals differs");
+        assert_eq!(
+            a.best_ns.to_bits(),
+            b.best_ns.to_bits(),
+            "{what}: history[{i}].best_ns differs"
+        );
+        assert_eq!(
+            a.mean_ns.to_bits(),
+            b.mean_ns.to_bits(),
+            "{what}: history[{i}].mean_ns differs"
+        );
+    }
+}
+
+#[test]
+fn gbs_delta_on_off_equivalent() {
+    let (model, total, _) = model();
+    let inputs = mheta::apps::anchor_inputs(&model);
+    let path = SpectrumPath::new(&inputs);
+    let _ = total;
+    let run = |delta: bool| {
+        let rec = Recorder::new(&model);
+        let out = gbs_search(
+            &path,
+            &rec,
+            GbsConfig {
+                max_evals: 48,
+                delta,
+                ..GbsConfig::default()
+            },
+        );
+        (out, rec.visited())
+    };
+    let (on, seq_on) = run(true);
+    let (off, seq_off) = run(false);
+    assert_equivalent(&on, &off, "gbs");
+    assert_eq!(seq_on, seq_off, "gbs: visited-candidate sequences differ");
+    assert_eq!(off.delta.total(), 0, "delta off must tally nothing");
+}
+
+#[test]
+fn genetic_delta_on_off_equivalent() {
+    let (model, total, n) = model();
+    let run = |delta: bool| {
+        let rec = Recorder::new(&model);
+        let out = genetic_search(
+            total,
+            n,
+            &[],
+            &rec,
+            GeneticConfig {
+                max_evals: 64,
+                delta,
+                ..GeneticConfig::default()
+            },
+        );
+        (out, rec.visited())
+    };
+    let (on, seq_on) = run(true);
+    let (off, seq_off) = run(false);
+    assert_equivalent(&on, &off, "genetic");
+    assert_eq!(
+        seq_on, seq_off,
+        "genetic: visited-candidate sequences differ"
+    );
+    assert!(on.delta.total() > 0, "delta session never engaged");
+}
+
+#[test]
+fn annealing_delta_on_off_equivalent() {
+    let (model, total, n) = model();
+    let start = GenBlock::block(total, n);
+    let run = |delta: bool| {
+        let rec = Recorder::new(&model);
+        let out = simulated_annealing(
+            &start,
+            &rec,
+            AnnealingConfig {
+                max_evals: 64,
+                delta,
+                ..AnnealingConfig::default()
+            },
+        );
+        (out, rec.visited())
+    };
+    let (on, seq_on) = run(true);
+    let (off, seq_off) = run(false);
+    assert_equivalent(&on, &off, "annealing");
+    assert_eq!(
+        seq_on, seq_off,
+        "annealing: visited-candidate sequences differ"
+    );
+    // SA perturbs single boundaries against an accepted base: the
+    // delta fast path must actually fire.
+    assert!(
+        on.delta.delta_hits > 0,
+        "annealing never hit the delta path"
+    );
+}
+
+#[test]
+fn portfolio_delta_engages_without_changing_the_incumbent() {
+    let (model, _, _) = model();
+    let inputs = mheta::apps::anchor_inputs(&model);
+    let path = SpectrumPath::new(&inputs);
+    let cfg = |delta: bool| PortfolioConfig {
+        max_evals_per_strategy: 40,
+        delta,
+        ..PortfolioConfig::default()
+    };
+    let on = portfolio_search(&path, &model, cfg(true));
+    let off = portfolio_search(&path, &model, cfg(false));
+    assert_eq!(
+        on.best.best.rows(),
+        off.best.best.rows(),
+        "portfolio incumbent changed"
+    );
+    assert_eq!(
+        on.best.score_ns.to_bits(),
+        off.best.score_ns.to_bits(),
+        "portfolio incumbent score changed"
+    );
+    assert_eq!(on.winner, off.winner, "portfolio winner changed");
+    assert!(
+        on.delta.delta_hits > 0,
+        "portfolio never hit the delta path"
+    );
+    assert_eq!(off.delta.total(), 0, "delta off must tally nothing");
+    // Random is the full-eval control arm: its run contributes no
+    // delta tallies even when delta is on.
+    let random = on
+        .runs
+        .iter()
+        .find(|r| r.strategy.name() == "random")
+        .expect("random strategy present");
+    assert_eq!(
+        random.outcome.delta.total(),
+        0,
+        "random must stay full-eval"
+    );
+}

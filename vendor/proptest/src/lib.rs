@@ -41,11 +41,21 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Config { cases }
         }
+
+        /// The `PROPTEST_CASES` environment override, if set and
+        /// parseable (mirrors upstream proptest's env-var config).
+        pub fn env_cases() -> Option<u32> {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 256 }
+            Config {
+                cases: Config::env_cases().unwrap_or(256),
+            }
         }
     }
 
@@ -445,6 +455,18 @@ macro_rules! prop_assert_eq {
                 "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
                 stringify!($left),
                 stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
                 left,
                 right,
             )));
